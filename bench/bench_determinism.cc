@@ -1,0 +1,78 @@
+/**
+ * @file
+ * E14 (IV.F, V.c): run-to-run determinism.
+ *
+ * The TSP has no arbiters, caches, or reactive elements: the same
+ * program produces the same cycle count every run, so tail latency
+ * equals mean latency. The cache-based baseline's latency moves with
+ * replacement state (a stand-in for ASLR, co-runners, prefetchers).
+ */
+
+#include <set>
+
+#include "baseline/core.hh"
+#include "bench_util.hh"
+#include "model/resnet.hh"
+#include "runtime/session.hh"
+
+int
+main()
+{
+    using namespace tsp;
+    bench::banner("E14 (IV.F/V.c): run-to-run determinism",
+                  "TSP latency is exact and repeatable; conventional "
+                  "cache hierarchies are not");
+
+    // TSP: five full inference runs of a small conv net.
+    Graph g = model::buildTinyNet(3, 12, 12, 8);
+    const int h = 12, w = 12, c = 8;
+    Rng rng(1);
+    std::vector<std::int8_t> input(
+        static_cast<std::size_t>(h) * w * c);
+    for (auto &v : input)
+        v = static_cast<std::int8_t>(rng.intIn(-100, 100));
+
+    std::printf("TSP (tiny conv net, 5 runs):\n  cycles:");
+    std::set<Cycle> tsp_cycles;
+    for (int run = 0; run < 5; ++run) {
+        Lowering lw(true);
+        const auto t = g.lower(lw, input);
+        (void)t;
+        InferenceSession sess(lw);
+        const Cycle cy = sess.run();
+        tsp_cycles.insert(cy);
+        std::printf(" %llu", static_cast<unsigned long long>(cy));
+    }
+    std::printf("\n  distinct values: %zu (variance: %s)\n\n",
+                tsp_cycles.size(),
+                tsp_cycles.size() == 1 ? "zero" : "NONZERO — bug!");
+
+    // Baseline: the same GEMM under five replacement seeds.
+    std::printf("cache-based core (GEMM 64x128x512, 5 runs):\n"
+                "  cycles:");
+    std::set<std::uint64_t> cpu_cycles;
+    std::uint64_t mn = ~0ull, mx = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        baseline::CoreConfig cfg;
+        cfg.seed = seed;
+        const auto r = baseline::BaselineCore(cfg).runGemm(64, 128,
+                                                           512);
+        cpu_cycles.insert(r.cycles);
+        mn = std::min(mn, r.cycles);
+        mx = std::max(mx, r.cycles);
+        std::printf(" %llu",
+                    static_cast<unsigned long long>(r.cycles));
+    }
+    std::printf("\n  distinct values: %zu, spread %.2f%%\n",
+                cpu_cycles.size(),
+                100.0 * static_cast<double>(mx - mn) /
+                    static_cast<double>(mn));
+
+    std::printf("\nshape check: TSP zero-variance, baseline "
+                "nonzero: %s\n",
+                (tsp_cycles.size() == 1 && cpu_cycles.size() > 1)
+                    ? "yes"
+                    : "NO");
+    bench::footer();
+    return 0;
+}

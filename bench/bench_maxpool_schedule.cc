@@ -1,0 +1,78 @@
+/**
+ * @file
+ * E5 (Fig. 11): the compiler's instruction schedule for the 3x3 max
+ * pool in ResNet-50 — concurrent reads across MEM slices feeding the
+ * switch/vector units, with writes committing results while later
+ * windows are already streaming (read/compute/write overlap).
+ */
+
+#include <map>
+#include <set>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "compiler/lowering.hh"
+#include "runtime/session.hh"
+
+int
+main()
+{
+    using namespace tsp;
+    bench::banner("E5 (Fig. 11): 3x3 max pool instruction schedule",
+                  "reads, data movement, max ops and writes overlap "
+                  "cycle-exactly; bank concurrency lets reads of the "
+                  "next window proceed under writes of the previous");
+
+    // The ResNet-50 pool1 geometry at reduced spatial size for a
+    // readable chart (112x112 -> 56x56 in the real model).
+    const int h = 16, w = 16, c = 64;
+    Rng rng(5);
+    std::vector<std::int8_t> data(
+        static_cast<std::size_t>(h) * w * c);
+    for (auto &v : data)
+        v = static_cast<std::int8_t>(rng.intIn(-100, 100));
+
+    Lowering lw(true);
+    const LoweredTensor in = lw.inputTensor(h, w, c, data);
+    const LoweredTensor out = lw.maxPool(in, 3, 2, 1);
+
+    const Cycle from = ScheduledProgram::kProgramStart + 118;
+    std::printf("%s\n", lw.program().gantt(from, from + 100).c_str());
+
+    // Overlap metrics: cycles where reads, VXM ops and writes all
+    // dispatch simultaneously (the hallmark of Fig. 11).
+    std::map<Cycle, std::set<SliceKind>> kinds_at;
+    for (const auto &e : lw.program().events())
+        kinds_at[e.cycle].insert(opcodeSlice(e.inst.op));
+    std::size_t overlap3 = 0, total = 0;
+    for (const auto &[t, kinds] : kinds_at) {
+        ++total;
+        if (kinds.count(SliceKind::MEM) &&
+            kinds.count(SliceKind::VXM)) {
+            ++overlap3;
+        }
+    }
+    std::printf("cycles with MEM and VXM dispatching together: %zu "
+                "of %zu busy cycles (%.0f%%)\n",
+                overlap3, total,
+                100.0 * static_cast<double>(overlap3) /
+                    static_cast<double>(total));
+
+    InferenceSession sess(lw);
+    const Cycle cycles = sess.run();
+    const auto got = sess.readTensor(out);
+    ref::QTensor qin(h, w, c);
+    qin.data = data;
+    const auto want = ref::maxPool(qin, 3, 2, 1);
+    std::size_t bad = 0;
+    for (std::size_t i = 0; i < want.data.size(); ++i)
+        bad += got.data[i] != want.data[i];
+    std::printf("executed in %llu cycles; %zu output mismatches vs "
+                "golden reference\n",
+                static_cast<unsigned long long>(cycles), bad);
+    std::printf("shape check: sustained read/compute/write overlap "
+                "and bit-exact results: %s\n",
+                (overlap3 * 2 > total && bad == 0) ? "yes" : "NO");
+    bench::footer();
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * E4 (Fig. 10): per-layer power while ResNet-50 executes.
+ *
+ * The paper plots measured chip power layer by layer, with spikes
+ * where four conv2d operations run concurrently at peak arithmetic
+ * utilization. We reproduce the *shape* from the activity-based power
+ * model: a per-cycle trace downsampled into layer buckets, plus an
+ * ASCII profile.
+ */
+
+#include <algorithm>
+
+#include "bench_util.hh"
+#include "model/resnet.hh"
+#include "runtime/session.hh"
+
+int
+main()
+{
+    using namespace tsp;
+    bench::banner("E4 (Fig. 10): power usage for ResNet-50 layers",
+                  "power tracks MXM occupancy layer by layer; spikes "
+                  "at concurrent conv2d regions; deterministic "
+                  "profile run-to-run");
+
+    Graph g = model::buildResNet(50, 42);
+    const auto input = model::im2colStem(model::makeImage(7));
+    Lowering lw(true);
+    const auto tensors = g.lower(lw, input);
+    (void)tensors;
+
+    ChipConfig cfg;
+    cfg.powerTraceEnabled = true;
+    InferenceSession sess(lw, cfg);
+    const Cycle cycles = sess.run();
+
+    const auto &trace = sess.chip().power().traceW();
+    std::printf("%llu cycles, average power %.1f W, trace %zu "
+                "samples\n\n",
+                static_cast<unsigned long long>(cycles),
+                sess.chip().power().averagePowerW(), trace.size());
+
+    // Average power within each lowered layer's cycle span.
+    std::printf("%-4s %-10s %10s %10s %8s\n", "#", "layer", "begin",
+                "cycles", "avg W");
+    double peak_w = 0.0;
+    std::vector<double> layer_w;
+    for (std::size_t i = 0; i < lw.layers().size(); ++i) {
+        const auto &L = lw.layers()[i];
+        const Cycle b = std::min<Cycle>(L.begin, trace.size());
+        const Cycle e = std::min<Cycle>(L.end, trace.size());
+        double sum = 0.0;
+        for (Cycle t = b; t < e; ++t)
+            sum += trace[static_cast<std::size_t>(t)];
+        const double avg =
+            e > b ? sum / static_cast<double>(e - b) : 0.0;
+        layer_w.push_back(avg);
+        peak_w = std::max(peak_w, avg);
+        if (i < 12 || i + 6 >= lw.layers().size()) {
+            std::printf("%-4zu %-10s %10llu %10llu %8.1f\n", i,
+                        L.name.c_str(),
+                        static_cast<unsigned long long>(L.begin),
+                        static_cast<unsigned long long>(e - b), avg);
+        } else if (i == 12) {
+            std::printf("...  (%zu more layers)\n",
+                        lw.layers().size() - 18);
+        }
+    }
+
+    // ASCII profile of the downsampled trace (the Fig. 10 curve).
+    std::printf("\npower profile (64 buckets, '#' = %0.0f W):\n",
+                peak_w / 24.0);
+    const auto buckets = sess.chip().power().downsampledTrace(64);
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        const int bars = static_cast<int>(buckets[b] / peak_w * 24.0);
+        std::printf("%3zu |", b);
+        for (int i = 0; i < bars; ++i)
+            std::putchar('#');
+        std::printf(" %.0f W\n", buckets[b]);
+    }
+
+    // Shape checks: conv spikes above eltwise layers; idle floor
+    // below everything.
+    double conv_max = 0.0, res_max = 0.0;
+    for (std::size_t i = 0; i < lw.layers().size(); ++i) {
+        if (lw.layers()[i].name == "conv2d")
+            conv_max = std::max(conv_max, layer_w[i]);
+        if (lw.layers()[i].name == "residual")
+            res_max = std::max(res_max, layer_w[i]);
+    }
+    std::printf("\nshape check: peak conv power (%.1f W) > peak "
+                "residual power (%.1f W): %s\n",
+                conv_max, res_max, conv_max > res_max ? "yes" : "NO");
+    bench::footer();
+    return 0;
+}

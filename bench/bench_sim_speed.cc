@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Host-side microbenchmarks (google-benchmark): how fast the
+ * simulator itself runs — fabric hops, ECC codec, MXM matvec tick,
+ * and a full chip cycle — for anyone profiling or extending the
+ * model. These measure the *simulator*, not the simulated chip.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "mem/ecc.hh"
+#include "mxm/mxm_plane.hh"
+#include "sim/chip.hh"
+#include "stream/fabric.hh"
+
+namespace tsp {
+namespace {
+
+void
+BM_FabricAdvance(benchmark::State &state)
+{
+    StreamFabric fabric;
+    Vec320 v;
+    for (int i = 0; i < 32; ++i)
+        fabric.write({static_cast<StreamId>(i), Direction::East},
+                     40 + i % 8, v);
+    for (auto _ : state) {
+        fabric.advance();
+        benchmark::DoNotOptimize(fabric.validEntries());
+    }
+}
+BENCHMARK(BM_FabricAdvance);
+
+void
+BM_EccComputeVec(benchmark::State &state)
+{
+    Rng rng(1);
+    Vec320 v;
+    for (auto &b : v.bytes)
+        b = static_cast<std::uint8_t>(rng.nextBelow(256));
+    for (auto _ : state) {
+        eccComputeVec(v);
+        benchmark::DoNotOptimize(v.ecc[0]);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLanes);
+}
+BENCHMARK(BM_EccComputeVec);
+
+void
+BM_EccCheckVec(benchmark::State &state)
+{
+    Rng rng(2);
+    Vec320 v;
+    for (auto &b : v.bytes)
+        b = static_cast<std::uint8_t>(rng.nextBelow(256));
+    eccComputeVec(v);
+    for (auto _ : state) {
+        Vec320 copy = v;
+        benchmark::DoNotOptimize(eccCheckVec(copy));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLanes);
+}
+BENCHMARK(BM_EccCheckVec);
+
+void
+BM_MxmMatvecTick(benchmark::State &state)
+{
+    ChipConfig cfg;
+    cfg.strictStreams = false;
+    cfg.eccEnabled = false;
+    StreamFabric fabric;
+    MxmPlane plane(0, cfg, fabric);
+    // A long activation window; each tick is one 320x320 matvec.
+    Instruction abc;
+    abc.op = Opcode::Abc;
+    abc.imm1 = kMxmAccDepth;
+    abc.srcA = {16, Direction::West};
+    std::uint32_t left = 0;
+    for (auto _ : state) {
+        if (left == 0) {
+            plane.issue(abc, fabric.now());
+            left = kMxmAccDepth;
+        }
+        plane.tick(fabric.now());
+        fabric.advance();
+        --left;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * kMxmDim * kMxmDim));
+}
+BENCHMARK(BM_MxmMatvecTick);
+
+void
+BM_ChipIdleCycle(benchmark::State &state)
+{
+    Chip chip;
+    chip.loadProgram(AsmProgram{});
+    for (auto _ : state)
+        chip.step();
+}
+BENCHMARK(BM_ChipIdleCycle);
+
+} // namespace
+} // namespace tsp
+
+BENCHMARK_MAIN();

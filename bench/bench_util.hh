@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: table printing and the
+ * standard header each experiment emits (paper artifact id + claim).
+ */
+
+#ifndef TSP_BENCH_BENCH_UTIL_HH
+#define TSP_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+
+namespace tsp::bench {
+
+/** Prints the experiment banner. */
+inline void
+banner(const char *id, const char *claim)
+{
+    std::printf("=============================================="
+                "==================\n");
+    std::printf("%s\n", id);
+    std::printf("paper: %s\n", claim);
+    std::printf("----------------------------------------------"
+                "------------------\n");
+}
+
+/** Prints a footer separating experiments in concatenated logs. */
+inline void
+footer()
+{
+    std::printf("\n");
+}
+
+} // namespace tsp::bench
+
+#endif // TSP_BENCH_BENCH_UTIL_HH

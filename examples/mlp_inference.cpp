@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A non-CNN workload: a quantized 3-layer MLP classifier (the class
+ * of model behind the recommendation workloads the paper's intro
+ * cites). Fully connected layers lower as 1x1 convolutions on a 1x1
+ * spatial tensor, exercising the matmul path with K and M larger
+ * than one 320x320 tile.
+ *
+ *   $ ./mlp_inference
+ */
+
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "graph/graph.hh"
+#include "model/resnet.hh"
+#include "runtime/session.hh"
+
+int
+main()
+{
+    using namespace tsp;
+
+    // 512 -> 640 -> 640 -> 40 classifier.
+    constexpr int kIn = 512, kHidden = 640, kOut = 40;
+    Graph g;
+    const int input = g.addInput(1, 1, kIn);
+    ConvGeom fc_relu;
+    fc_relu.relu = true;
+    ConvGeom fc_plain;
+    fc_plain.relu = false;
+    int x = g.addConv(input, fc_relu,
+                      model::makeConvWeights(kHidden, kIn, 1, 1, 11));
+    x = g.addConv(x, fc_relu,
+                  model::makeConvWeights(kHidden, kHidden, 1, 1, 12));
+    x = g.addConv(x, fc_plain,
+                  model::makeConvWeights(kOut, kHidden, 1, 1, 13));
+    g.inferShapes();
+
+    Rng rng(5);
+    std::vector<std::int8_t> features(kIn);
+    for (auto &v : features)
+        v = static_cast<std::int8_t>(rng.intIn(-100, 100));
+
+    Lowering lowering(/*pipelined=*/true);
+    const auto tensors = g.lower(lowering, features);
+    InferenceSession session(lowering);
+    const Cycle cycles = session.run();
+
+    // Validate against the golden reference.
+    ref::QTensor qin(1, 1, kIn);
+    qin.data = features;
+    const auto refs = g.runReference(qin);
+    const auto got = session.readTensor(tensors.at(g.outputNode()));
+    const auto &want = refs.at(g.outputNode());
+    std::size_t bad = 0;
+    for (std::size_t i = 0; i < want.data.size(); ++i)
+        bad += got.data[i] != want.data[i];
+
+    std::printf("3-layer MLP (%d -> %d -> %d -> %d), batch 1\n", kIn,
+                kHidden, kHidden, kOut);
+    std::printf("  parameters       : %zu\n", g.parameterCount());
+    std::printf("  MACs             : %.2f M\n",
+                static_cast<double>(g.maccCount()) * 1e-6);
+    std::printf("  latency          : %llu cycles = %.2f us at 1 "
+                "GHz\n",
+                static_cast<unsigned long long>(cycles),
+                static_cast<double>(cycles) * 1e-3);
+    std::printf("  queries/second   : %.0f at batch 1\n",
+                1e9 / static_cast<double>(cycles));
+    std::printf("  logit mismatches : %zu of %zu vs golden "
+                "reference\n",
+                bad, want.data.size());
+    return bad == 0 ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+#include "arch/config.hh"
+
+#include "common/logging.hh"
+
+namespace tsp {
+
+void
+ChipConfig::validate() const
+{
+    if (clockHz <= 0)
+        fatal("ChipConfig: clockHz must be positive (got %g)", clockHz);
+    if (activeSuperlanes < 1 || activeSuperlanes > kSuperlanes) {
+        fatal("ChipConfig: activeSuperlanes must be in [1, %d] (got %d)",
+              kSuperlanes, activeSuperlanes);
+    }
+}
+
+} // namespace tsp

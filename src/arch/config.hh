@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Runtime-tunable chip configuration.
+ *
+ * Geometry constants (lanes, slices, banks) are fixed by the
+ * architecture and live in arch/types.hh and arch/layout.hh; this
+ * struct carries the knobs that vary between experiments: clock
+ * frequency, ECC enablement, active vector length (superlane power
+ * gating), tracing, and the power-model coefficients.
+ */
+
+#ifndef TSP_ARCH_CONFIG_HH
+#define TSP_ARCH_CONFIG_HH
+
+#include <cstdint>
+
+#include "arch/types.hh"
+
+namespace tsp {
+
+/**
+ * Per-operation energy coefficients in picojoules, used by the
+ * activity-based power model (DESIGN.md substitution table: the paper
+ * reports measured chip power; we reproduce the per-layer *shape* with
+ * activity counting). Values are representative 14nm estimates.
+ */
+struct PowerParams
+{
+    /** Energy of one int8 MACC in the MXM. */
+    double mxmMaccPj = 0.4;
+
+    /** Energy of one 32-bit VXM ALU operation. */
+    double vxmOpPj = 1.2;
+
+    /** Energy of one byte moved one stream-register hop. */
+    double streamHopPj = 0.06;
+
+    /** Energy of one 16-byte SRAM word access (read or write). */
+    double sramWordPj = 12.0;
+
+    /** Energy of one byte switched through the SXM. */
+    double sxmBytePj = 0.25;
+
+    /** Energy of one instruction dispatch at an ICU. */
+    double icuDispatchPj = 8.0;
+
+    /** Static leakage + clock-tree power per active superlane, watts. */
+    double superlaneStaticW = 1.5;
+
+    /** Chip-wide uncore static power, watts. */
+    double uncoreStaticW = 15.0;
+};
+
+/** Top-level simulator configuration. */
+struct ChipConfig
+{
+    /** Core clock in Hz. The paper analyzes at 1 GHz (nominal 900 MHz). */
+    double clockHz = 1.0e9;
+
+    /**
+     * Number of powered superlanes (1..20). Vector length is
+     * 16 x activeSuperlanes; unused superlanes are clock-gated
+     * (paper II.F, energy proportionality).
+     */
+    int activeSuperlanes = kSuperlanes;
+
+    /** Generate/check SECDED codes on streams and SRAM. */
+    bool eccEnabled = true;
+
+    /** Record a cycle-by-cycle power trace (costs memory). */
+    bool powerTraceEnabled = false;
+
+    /**
+     * Panic when an instruction samples a stream register with no
+     * valid value flowing through it. The hardware would silently
+     * consume garbage; a mis-scheduled intercept is always a compiler
+     * bug, so the default is to fail loudly.
+     */
+    bool strictStreams = true;
+
+    /** Record per-instruction execution events for schedule dumps. */
+    bool traceEnabled = false;
+
+    /** Power-model coefficients. */
+    PowerParams power{};
+
+    /** @return active vector length in bytes. */
+    int
+    vectorLength() const
+    {
+        return activeSuperlanes * kLanesPerSuperlane;
+    }
+
+    /** @return seconds per core clock cycle. */
+    double
+    cyclePeriodSec() const
+    {
+        return 1.0 / clockHz;
+    }
+
+    /** Validates ranges; calls fatal() on user error. */
+    void validate() const;
+};
+
+} // namespace tsp
+
+#endif // TSP_ARCH_CONFIG_HH

@@ -1,0 +1,81 @@
+#include "baseline/cache.hh"
+
+#include "common/logging.hh"
+
+namespace tsp::baseline {
+
+CacheLevel::CacheLevel(const CacheLevelConfig &cfg, Rng &rng)
+    : cfg_(cfg), rng_(rng)
+{
+    TSP_ASSERT(cfg.sizeBytes % (cfg.ways * cfg.lineBytes) == 0);
+    sets_ = cfg.sizeBytes / (cfg.ways * cfg.lineBytes);
+    tags_.resize(static_cast<std::size_t>(sets_) * cfg.ways, 0);
+    valid_.resize(tags_.size(), false);
+}
+
+bool
+CacheLevel::access(std::uint64_t addr)
+{
+    const std::uint64_t line = addr / cfg_.lineBytes;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(line % sets_);
+    const std::size_t base =
+        static_cast<std::size_t>(set) * cfg_.ways;
+
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (valid_[base + w] && tags_[base + w] == line) {
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    // Install into an invalid way, else evict a random one.
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (!valid_[base + w]) {
+            valid_[base + w] = true;
+            tags_[base + w] = line;
+            return false;
+        }
+    }
+    const std::uint32_t victim =
+        static_cast<std::uint32_t>(rng_.nextBelow(cfg_.ways));
+    tags_[base + victim] = line;
+    return false;
+}
+
+void
+CacheLevel::flush()
+{
+    std::fill(valid_.begin(), valid_.end(), false);
+}
+
+MemoryHierarchy::MemoryHierarchy(std::uint64_t seed,
+                                 std::uint32_t dram_latency)
+    : rng_(seed),
+      l1_(CacheLevelConfig{32 * 1024, 8, 64, 4}, rng_),
+      l2_(CacheLevelConfig{1024 * 1024, 16, 64, 14}, rng_),
+      dramLatency_(dram_latency)
+{
+}
+
+std::uint32_t
+MemoryHierarchy::access(std::uint64_t addr, std::uint32_t bytes)
+{
+    // Touch every line the access spans; cost is the worst line.
+    std::uint32_t cost = 0;
+    const std::uint32_t line = l1_.config().lineBytes;
+    for (std::uint64_t a = addr; a < addr + bytes; a += line) {
+        std::uint32_t c;
+        if (l1_.access(a)) {
+            c = l1_.config().hitLatency;
+        } else if (l2_.access(a)) {
+            c = l2_.config().hitLatency;
+        } else {
+            c = dramLatency_;
+        }
+        cost = std::max(cost, c);
+    }
+    return cost;
+}
+
+} // namespace tsp::baseline

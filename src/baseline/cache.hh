@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A conventional two-level cache hierarchy — the "reactive element in
+ * the data path" the TSP deliberately eliminates (paper I, IV.A,
+ * V.c). Used by the baseline core to demonstrate the determinism and
+ * tail-latency contrast: replacement is randomized (as real parts
+ * effectively are, through ASLR, prefetcher state, and co-runner
+ * interference), so identical runs see different miss patterns unless
+ * the seed is pinned.
+ */
+
+#ifndef TSP_BASELINE_CACHE_HH
+#define TSP_BASELINE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace tsp::baseline {
+
+/** Configuration of one cache level. */
+struct CacheLevelConfig
+{
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t ways = 8;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t hitLatency = 4; ///< Cycles.
+};
+
+/** One set-associative cache level with random replacement. */
+class CacheLevel
+{
+  public:
+    CacheLevel(const CacheLevelConfig &cfg, Rng &rng);
+
+    /**
+     * Looks up @p addr; on miss, installs the line (possibly
+     * evicting a random way).
+     *
+     * @return true on hit.
+     */
+    bool access(std::uint64_t addr);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    const CacheLevelConfig &config() const { return cfg_; }
+
+    /** Empties the cache (between runs). */
+    void flush();
+
+  private:
+    CacheLevelConfig cfg_;
+    Rng &rng_;
+    std::uint32_t sets_;
+    std::vector<std::uint64_t> tags_;  ///< [set * ways + way].
+    std::vector<bool> valid_;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/** L1 + L2 + DRAM latency model. */
+class MemoryHierarchy
+{
+  public:
+    /**
+     * @param seed perturbs replacement decisions; two hierarchies
+     * with different seeds model two runs of a real machine.
+     */
+    explicit MemoryHierarchy(std::uint64_t seed,
+                             std::uint32_t dram_latency = 180);
+
+    /** @return cycles taken by a load/store of @p bytes at @p addr. */
+    std::uint32_t access(std::uint64_t addr, std::uint32_t bytes);
+
+    const CacheLevel &l1() const { return l1_; }
+    const CacheLevel &l2() const { return l2_; }
+
+  private:
+    Rng rng_;
+    CacheLevel l1_;
+    CacheLevel l2_;
+    std::uint32_t dramLatency_;
+};
+
+} // namespace tsp::baseline
+
+#endif // TSP_BASELINE_CACHE_HH

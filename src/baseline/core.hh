@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A conventional SIMD load-store core (Fig. 1a / Fig. 3 of the paper):
+ * instructions move operands between memory and registers through a
+ * reactive cache hierarchy, so both the dynamic instruction count (4
+ * per element-wise op: LOAD, LOAD, ADD, STORE) and the latency vary
+ * run to run. The baseline for experiments E10/E14/E18.
+ */
+
+#ifndef TSP_BASELINE_CORE_HH
+#define TSP_BASELINE_CORE_HH
+
+#include "baseline/cache.hh"
+
+namespace tsp::baseline {
+
+/** Result of one workload execution. */
+struct RunResult
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t maccOps = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Misses = 0;
+};
+
+/** Core parameters (a generous GPU-SM-like SIMD unit). */
+struct CoreConfig
+{
+    int simdLanes = 64;        ///< int8 MACCs per ALU instruction.
+    int aluPipes = 4;          ///< Parallel SIMD pipes (conv model
+                               ///< uses a GPU-like 32).
+    double clockHz = 1.5e9;
+    std::uint64_t seed = 1;    ///< Perturbs cache replacement.
+};
+
+/** The baseline in-order SIMD core. */
+class BaselineCore
+{
+  public:
+    explicit BaselineCore(const CoreConfig &cfg);
+
+    /**
+     * Executes Z = X + Y over @p elements int8 values, the paper's
+     * Fig. 3 RISC loop: two loads, an add, and a store per SIMD
+     * chunk.
+     */
+    RunResult runVectorAdd(std::size_t elements);
+
+    /**
+     * Executes an int8 GEMM C[M,N] = A[M,K] x B[K,N] with blocked
+     * loops, streaming operands through the cache hierarchy.
+     */
+    RunResult runGemm(int m, int n, int k);
+
+    /** Geometry of one conv layer for runConvNet(). */
+    struct ConvLayerDesc
+    {
+        std::int64_t outputs = 0;       ///< H*W*outC elements.
+        std::int64_t macsPerOutput = 0; ///< inC*kh*kw.
+        std::int64_t weightBytes = 0;   ///< outC*inC*kh*kw (int8).
+    };
+
+    /**
+     * Executes a whole convolutional network — a geometry-faithful
+     * stand-in for ResNet on a conventional accelerator. Batch > 1
+     * amortizes weight traffic across images (weights are re-fetched
+     * once per layer per batch, not per image).
+     */
+    RunResult runConvNet(const std::vector<ConvLayerDesc> &layers,
+                         int batch);
+
+    const CoreConfig &config() const { return cfg_; }
+
+  private:
+    CoreConfig cfg_;
+    MemoryHierarchy mem_;
+};
+
+/**
+ * Published comparison points the paper cites [1], [44]: batch-1
+ * ResNet50 inference throughput/latency of contemporary parts.
+ */
+struct ReferenceChip
+{
+    const char *name;
+    double resnet50Ips;      ///< Batch-1 images/s.
+    double batch1LatencyUs;  ///< End-to-end single-image latency.
+};
+
+/** @return the paper's comparison table. */
+const std::vector<ReferenceChip> &referenceChips();
+
+/** The paper's own TSP measurements for cross-checking. */
+inline constexpr double kPaperTspIps = 20'400.0;
+inline constexpr double kPaperTspLatencyUs = 49.0;
+
+} // namespace tsp::baseline
+
+#endif // TSP_BASELINE_CORE_HH

@@ -1,0 +1,102 @@
+#include "c2c/c2c_module.hh"
+
+#include "common/logging.hh"
+
+namespace tsp {
+
+C2cModule::C2cModule(const ChipConfig &cfg, StreamFabric &fabric)
+    : cfg_(cfg), io_(cfg, fabric, "C2C"), links_(kC2cLinks)
+{
+}
+
+C2cModule::Link &
+C2cModule::linkAt(int link)
+{
+    TSP_ASSERT(link >= 0 && link < kC2cLinks);
+    return links_[static_cast<std::size_t>(link)];
+}
+
+void
+C2cModule::connect(int link, C2cModule &peer, int peer_link,
+                   Cycle wire_latency)
+{
+    Link &l = linkAt(link);
+    Link &p = peer.linkAt(peer_link);
+    TSP_ASSERT(!l.peer && !p.peer);
+    l.peer = &peer;
+    l.peerLink = peer_link;
+    l.wireLatency = wire_latency;
+    p.peer = this;
+    p.peerLink = link;
+    p.wireLatency = wire_latency;
+}
+
+void
+C2cModule::deliver(int link, const Vec320 &vec, Cycle arrival)
+{
+    Link &l = linkAt(link);
+    // Arrivals are inherently ordered on a point-to-point link.
+    TSP_ASSERT(l.rx.empty() || l.rx.back().first <= arrival);
+    l.rx.emplace_back(arrival, vec);
+}
+
+std::size_t
+C2cModule::pendingRx(int link) const
+{
+    return links_[static_cast<std::size_t>(link)].rx.size();
+}
+
+void
+C2cModule::execute(const Instruction &inst, int link, Cycle now)
+{
+    Link &l = linkAt(link);
+    const SlicePos p = IcuId::c2c(link).pos();
+
+    switch (inst.op) {
+      case Opcode::Deskew:
+        l.deskewed = true;
+        return;
+
+      case Opcode::Send: {
+        if (!l.peer)
+            panic("C2C%d: send on an unconnected link", link);
+        if (!l.deskewed)
+            panic("C2C%d: send before deskew", link);
+        if (now < l.txBusyUntil) {
+            panic("C2C%d: send while serializing previous vector "
+                  "(busy until %llu, now %llu) — scheduler bug",
+                  link, static_cast<unsigned long long>(l.txBusyUntil),
+                  static_cast<unsigned long long>(now));
+        }
+        const Vec320 v = io_.consume(inst.srcA, p);
+        l.txBusyUntil = now + kC2cSerializationCycles;
+        l.peer->deliver(l.peerLink, v,
+                        now + kC2cSerializationCycles + l.wireLatency);
+        ++sent_;
+        return;
+      }
+
+      case Opcode::Receive: {
+        if (!l.deskewed)
+            panic("C2C%d: receive before deskew", link);
+        if (l.rx.empty() || l.rx.front().first > now) {
+            if (cfg_.strictStreams) {
+                panic("C2C%d: receive at cycle %llu with no arrived "
+                      "vector (scheduler bug)",
+                      link, static_cast<unsigned long long>(now));
+            }
+            return;
+        }
+        const Vec320 v = l.rx.front().second;
+        l.rx.pop_front();
+        io_.produce(inst.dst, p, v, now + opTiming(Opcode::Receive).dFunc);
+        ++received_;
+        return;
+      }
+
+      default:
+        panic("C2C%d: bad opcode %s", link, opcodeName(inst.op));
+    }
+}
+
+} // namespace tsp

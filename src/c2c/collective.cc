@@ -1,0 +1,190 @@
+#include "c2c/collective.hh"
+
+#include "common/logging.hh"
+
+namespace tsp {
+
+namespace {
+
+/** Positions used by the schedule. */
+constexpr SlicePos kVxm = Layout::vxm;
+
+SlicePos
+slicePos()
+{
+    return Layout::memPos(Hemisphere::East, AllReducePlan::kSlice);
+}
+
+/** Emits "read @p addr so it is at the east link at @p at". */
+void
+emitReadToLink(ScheduledProgram &prog, MemAddr addr, StreamRef s,
+               Cycle at)
+{
+    const Cycle lead =
+        opTiming(Opcode::Read).dFunc +
+        Layout::transitDelay(slicePos(), Layout::c2cEast);
+    Instruction rd;
+    rd.op = Opcode::Read;
+    rd.addr = addr;
+    rd.dst = s;
+    prog.emit(at - lead, IcuId::mem(Hemisphere::East,
+                                    AllReducePlan::kSlice),
+              rd);
+}
+
+} // namespace
+
+AllReducePlan
+buildRingAllReduce(const Pod &pod,
+                   std::vector<ScheduledProgram> &programs)
+{
+    const int n = const_cast<Pod &>(pod).size();
+    TSP_ASSERT(n >= 2);
+    programs.assign(static_cast<std::size_t>(n), {});
+
+    AllReducePlan plan;
+    const Cycle wire = pod.wireLatency();
+    // One hop: serialize (22) + wire + receive (2) + to the VXM (47)
+    // + add (1) + write transit + read back to the link, plus slack.
+    plan.phase = kC2cSerializationCycles + wire + 160;
+    plan.firstSend = 120;
+
+    // Deskew every ring link once, well before the first send.
+    for (int c = 0; c < n; ++c) {
+        Instruction deskew;
+        deskew.op = Opcode::Deskew;
+        programs[static_cast<std::size_t>(c)].emit(
+            0, IcuId::c2c(Pod::kRightLink), deskew);
+        programs[static_cast<std::size_t>(c)].emit(
+            1, IcuId::c2c(Pod::kLeftLink), deskew);
+    }
+
+    const IcuId mem =
+        IcuId::mem(Hemisphere::East, AllReducePlan::kSlice);
+    const StreamRef out_s{4, Direction::East};  // To the east link.
+    const StreamRef in_s{6, Direction::East};   // From the west link.
+    const StreamRef local_s{16, Direction::West}; // Slice -> VXM.
+    const StreamRef sum_s{29, Direction::East};   // VXM -> slice.
+
+    // The running partial lives at kResultAddr; chip 0 seeds it from
+    // its local vector (identity add with the zero at kResultAddr is
+    // avoided by just sending kLocalAddr directly in phase 0).
+    //
+    // Reduce phases p = 0..n-2: chip p sends its partial (phase 0:
+    // its local vector), chip p+1 receives, adds its local vector at
+    // the VXM and commits to kResultAddr.
+    for (int p = 0; p <= n - 2; ++p) {
+        const int sender = p;
+        const int receiver = p + 1;
+        auto &ps = programs[static_cast<std::size_t>(sender)];
+        auto &pr = programs[static_cast<std::size_t>(receiver)];
+        const Cycle send_at =
+            plan.firstSend + static_cast<Cycle>(p) * plan.phase;
+
+        emitReadToLink(ps,
+                       p == 0 ? AllReducePlan::kLocalAddr
+                              : AllReducePlan::kResultAddr,
+                       out_s, send_at);
+        Instruction send;
+        send.op = Opcode::Send;
+        send.imm0 = Pod::kRightLink;
+        send.srcA = out_s;
+        ps.emit(send_at, IcuId::c2c(Pod::kRightLink), send);
+
+        const Cycle arrive =
+            send_at + kC2cSerializationCycles + wire;
+        Instruction recv;
+        recv.op = Opcode::Receive;
+        recv.imm0 = Pod::kLeftLink;
+        recv.dst = in_s;
+        pr.emit(arrive, IcuId::c2c(Pod::kLeftLink), recv);
+
+        // The received vector is visible at the west link (pos 0)
+        // at arrive + d_func(Receive), then flows east to the VXM.
+        const Cycle at_vxm = arrive +
+                             opTiming(Opcode::Receive).dFunc +
+                             Layout::transitDelay(Layout::c2cWest,
+                                                  kVxm);
+        // Local vector arrives the same cycle, flowing west.
+        Instruction rd;
+        rd.op = Opcode::Read;
+        rd.addr = AllReducePlan::kLocalAddr;
+        rd.dst = local_s;
+        pr.emit(at_vxm - opTiming(Opcode::Read).dFunc -
+                    Layout::transitDelay(slicePos(), kVxm),
+                mem, rd);
+
+        Instruction add;
+        add.op = Opcode::AddSat;
+        add.dtype = DType::Int8;
+        add.srcA = in_s;
+        add.srcB = local_s;
+        add.dst = sum_s;
+        pr.emit(at_vxm, IcuId::vxmAlu(0), add);
+
+        // Commit the new partial.
+        const Cycle w_at = at_vxm + opTiming(Opcode::AddSat).dFunc +
+                           Layout::transitDelay(kVxm, slicePos());
+        Instruction wr;
+        wr.op = Opcode::Write;
+        wr.addr = AllReducePlan::kResultAddr;
+        wr.srcA = sum_s;
+        pr.emit(w_at, mem, wr);
+    }
+
+    // Broadcast phases p = n-1 .. 2n-3: the total travels the ring;
+    // each receiver stores it. Chip n-1 holds the total after the
+    // reduce; it also copies it in place (already at kResultAddr).
+    for (int p = n - 1; p <= 2 * n - 3; ++p) {
+        const int sender = p % n;
+        const int receiver = (p + 1) % n;
+        auto &ps = programs[static_cast<std::size_t>(sender)];
+        auto &pr = programs[static_cast<std::size_t>(receiver)];
+        const Cycle send_at =
+            plan.firstSend + static_cast<Cycle>(p) * plan.phase;
+
+        emitReadToLink(ps, AllReducePlan::kResultAddr, out_s,
+                       send_at);
+        Instruction send;
+        send.op = Opcode::Send;
+        send.imm0 = Pod::kRightLink;
+        send.srcA = out_s;
+        ps.emit(send_at, IcuId::c2c(Pod::kRightLink), send);
+
+        const Cycle arrive =
+            send_at + kC2cSerializationCycles + wire;
+        Instruction recv;
+        recv.op = Opcode::Receive;
+        recv.imm0 = Pod::kLeftLink;
+        recv.dst = in_s;
+        pr.emit(arrive, IcuId::c2c(Pod::kLeftLink), recv);
+
+        // Store straight to kResultAddr (pos 0 -> slice, eastward).
+        const Cycle w_at = arrive +
+                           opTiming(Opcode::Receive).dFunc +
+                           Layout::transitDelay(Layout::c2cWest,
+                                                slicePos());
+        Instruction wr;
+        wr.op = Opcode::Write;
+        wr.addr = AllReducePlan::kResultAddr;
+        wr.srcA = in_s;
+        pr.emit(w_at, mem, wr);
+    }
+
+    plan.finish = plan.firstSend +
+                  static_cast<Cycle>(2 * n - 2) * plan.phase;
+    return plan;
+}
+
+Cycle
+runAllReduce(Pod &pod, std::vector<ScheduledProgram> &programs)
+{
+    TSP_ASSERT(static_cast<int>(programs.size()) == pod.size());
+    for (int c = 0; c < pod.size(); ++c) {
+        pod.chip(c).loadProgram(
+            programs[static_cast<std::size_t>(c)].toAsm());
+    }
+    return pod.runAll();
+}
+
+} // namespace tsp

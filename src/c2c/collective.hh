@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Statically scheduled multi-chip collectives over a Pod ring.
+ *
+ * Because every chip and every link is deterministic, a collective is
+ * just one more compile-time schedule: the ring all-reduce below
+ * pipelines a partial sum around the ring (each hop lands at a
+ * precomputed cycle, the VXM folds in the local contribution) and
+ * then broadcasts the total — with zero synchronization instructions
+ * after the initial deskew.
+ */
+
+#ifndef TSP_C2C_COLLECTIVE_HH
+#define TSP_C2C_COLLECTIVE_HH
+
+#include "c2c/pod.hh"
+#include "compiler/schedule.hh"
+
+namespace tsp {
+
+/** Placement and timing constants of the ring all-reduce. */
+struct AllReducePlan
+{
+    /** MEM slice (east hemisphere) holding the vectors. */
+    static constexpr int kSlice = 43;
+    /** Word holding the chip's local contribution. */
+    static constexpr MemAddr kLocalAddr = 0x10;
+    /** Word receiving the reduced result. */
+    static constexpr MemAddr kResultAddr = 0x20;
+
+    Cycle phase = 0;      ///< Cycles per ring hop.
+    Cycle firstSend = 0;  ///< First Send's cycle.
+    Cycle finish = 0;     ///< All chips hold the result by here.
+};
+
+/**
+ * Builds per-chip programs for a saturating int8 ring all-reduce of
+ * one 320-byte vector: result = satadd(...satadd(V0, V1)..., Vn-1),
+ * landed at kResultAddr on every chip.
+ *
+ * @param pod the ring (provides size and wire latency).
+ * @param programs out: one ScheduledProgram per chip.
+ * @return the plan with the computed timing.
+ */
+AllReducePlan buildRingAllReduce(
+    const Pod &pod, std::vector<ScheduledProgram> &programs);
+
+/**
+ * Loads the programs, runs the pod, and returns the cycle count.
+ * Vectors must already be in place at kLocalAddr.
+ */
+Cycle runAllReduce(Pod &pod, std::vector<ScheduledProgram> &programs);
+
+} // namespace tsp
+
+#endif // TSP_C2C_COLLECTIVE_HH

@@ -1,0 +1,60 @@
+#include "c2c/pod.hh"
+
+#include "common/logging.hh"
+
+namespace tsp {
+
+Pod::Pod(int chips, Cycle wire_latency, ChipConfig cfg)
+    : wireLatency_(wire_latency)
+{
+    TSP_ASSERT(chips >= 2);
+    chips_.reserve(static_cast<std::size_t>(chips));
+    for (int i = 0; i < chips; ++i)
+        chips_.push_back(std::make_unique<Chip>(cfg));
+    for (int i = 0; i < chips; ++i) {
+        Chip &a = *chips_[static_cast<std::size_t>(i)];
+        Chip &b = *chips_[static_cast<std::size_t>((i + 1) % chips)];
+        a.c2c().connect(kRightLink, b.c2c(), kLeftLink,
+                        wire_latency);
+    }
+}
+
+Chip &
+Pod::chip(int i)
+{
+    TSP_ASSERT(i >= 0 && i < size());
+    return *chips_[static_cast<std::size_t>(i)];
+}
+
+void
+Pod::stepAll()
+{
+    for (auto &c : chips_)
+        c->step();
+}
+
+bool
+Pod::allDone() const
+{
+    for (const auto &c : chips_) {
+        if (!c->done())
+            return false;
+    }
+    return true;
+}
+
+Cycle
+Pod::runAll(Cycle max_cycles)
+{
+    Cycle guard = 0;
+    while (!allDone()) {
+        if (guard++ >= max_cycles) {
+            fatal("Pod::runAll: cycle limit %llu reached",
+                  static_cast<unsigned long long>(max_cycles));
+        }
+        stepAll();
+    }
+    return chips_.front()->now();
+}
+
+} // namespace tsp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A pod of TSPs — the paper's scale-out story (II item 6: the 3.84
+ * Tb/s of pin bandwidth "can be flexibly partitioned to support
+ * high-radix interconnection networks of TSPs for large-scale
+ * systems").
+ *
+ * The pod wires chips into a ring (link 1 of chip i to link 0 of
+ * chip i+1) and steps them in lock-step on one core-clock domain.
+ * Because every chip is deterministic and the links are deskewed
+ * once, multi-chip programs need no handshakes: the compiler
+ * schedules Sends on one chip and Receives on another to the exact
+ * arrival cycle.
+ */
+
+#ifndef TSP_C2C_POD_HH
+#define TSP_C2C_POD_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/chip.hh"
+
+namespace tsp {
+
+/** A ring of lock-stepped TSP chips. */
+class Pod
+{
+  public:
+    /** Ring link assignments on every chip. */
+    static constexpr int kRightLink = 1; ///< To chip (i+1) % n.
+    static constexpr int kLeftLink = 0;  ///< From chip (i-1+n) % n.
+
+    /**
+     * @param chips number of chips (>= 2).
+     * @param wire_latency link flight time in cycles.
+     */
+    Pod(int chips, Cycle wire_latency, ChipConfig cfg = {});
+
+    /** @return chip @p i. */
+    Chip &chip(int i);
+
+    /** @return the number of chips. */
+    int size() const { return static_cast<int>(chips_.size()); }
+
+    /** @return the ring wire latency. */
+    Cycle wireLatency() const { return wireLatency_; }
+
+    /** Advances every chip one cycle (lock-step). */
+    void stepAll();
+
+    /**
+     * Runs until every chip retires, or @p max_cycles.
+     * @return the final cycle count.
+     */
+    Cycle runAll(Cycle max_cycles = 10'000'000);
+
+    /** @return true once every chip is done. */
+    bool allDone() const;
+
+  private:
+    std::vector<std::unique_ptr<Chip>> chips_;
+    Cycle wireLatency_;
+};
+
+} // namespace tsp
+
+#endif // TSP_C2C_POD_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic inputs to the simulator (synthetic weights, activations,
+ * fault injection, baseline cache perturbations) are drawn from this
+ * seeded generator so every experiment is exactly reproducible — the
+ * repository's determinism claims extend to its own test data.
+ */
+
+#ifndef TSP_COMMON_RNG_HH
+#define TSP_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace tsp {
+
+/**
+ * xoshiro256** generator with splitmix64 seeding.
+ *
+ * Small, fast, and fully deterministic across platforms (no dependence
+ * on libstdc++ distribution implementations).
+ */
+class Rng
+{
+  public:
+    /** Seeds the four state words via splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** @return the next 64 uniformly distributed bits. */
+    std::uint64_t next();
+
+    /** @return a uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** @return a uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return a uniform float in [lo, hi). */
+    float uniform(float lo, float hi);
+
+    /**
+     * @return an approximately standard-normal float (sum of 12
+     * uniforms, Irwin-Hall), adequate for synthetic weight tensors.
+     */
+    float gaussian();
+
+    /** @return a uniform int in [lo, hi] inclusive. */
+    int intIn(int lo, int hi);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace tsp
+
+#endif // TSP_COMMON_RNG_HH

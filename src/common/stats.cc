@@ -1,0 +1,74 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace tsp {
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters_)
+        kv.second = 0;
+}
+
+std::string
+StatGroup::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters_)
+        os << name << " = " << value << '\n';
+    return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets, 0)
+{
+    TSP_ASSERT(hi > lo && buckets > 0);
+}
+
+void
+Histogram::record(double sample)
+{
+    if (count_ == 0) {
+        min_ = max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    ++count_;
+    sum_ += sample;
+
+    const double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+    auto idx = static_cast<long>((sample - lo_) / width);
+    idx = std::clamp<long>(idx, 0, static_cast<long>(buckets_.size()) - 1);
+    ++buckets_[static_cast<std::size_t>(idx)];
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::quantile(double p) const
+{
+    TSP_ASSERT(p >= 0.0 && p <= 1.0);
+    if (count_ == 0)
+        return 0.0;
+    const auto target =
+        static_cast<std::uint64_t>(p * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    const double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen > target)
+            return lo_ + (static_cast<double>(i) + 0.5) * width;
+    }
+    return hi_;
+}
+
+} // namespace tsp

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Lightweight statistics: named counters and scalar gauges collected by
+ * the chip model and reported by benches and the runtime.
+ */
+
+#ifndef TSP_COMMON_STATS_HH
+#define TSP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tsp {
+
+/**
+ * A registry of named 64-bit counters.
+ *
+ * Counters are created on first use. The registry is intentionally a
+ * plain map: stat updates happen at instruction granularity (not per
+ * lane per cycle), so lookup cost is not on the hot path; hot-path
+ * counters are owned as raw uint64_t members by their slice models and
+ * published into a StatGroup at reporting time.
+ */
+class StatGroup
+{
+  public:
+    /** Adds @p delta to the counter named @p name. */
+    void
+    add(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Sets counter @p name to an absolute value. */
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    /** @return the counter value, or 0 if never touched. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** @return all counters in name order. */
+    const std::map<std::string, std::uint64_t> &
+    all() const
+    {
+        return counters_;
+    }
+
+    /** Resets every counter to zero (entries are kept). */
+    void reset();
+
+    /** Renders a human-readable table of all counters. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+/**
+ * Fixed-bucket histogram for latency/occupancy distributions.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the first bucket.
+     * @param hi exclusive upper bound of the last bucket.
+     * @param buckets number of equal-width buckets.
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Records one sample (out-of-range samples clamp to end buckets). */
+    void record(double sample);
+
+    /** @return number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** @return arithmetic mean of recorded samples. */
+    double mean() const;
+
+    /** @return smallest and largest recorded sample. */
+    double minSample() const { return min_; }
+    double maxSample() const { return max_; }
+
+    /** @return the approximate p-quantile (0 <= p <= 1) from buckets. */
+    double quantile(double p) const;
+
+    /** @return per-bucket counts. */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace tsp
+
+#endif // TSP_COMMON_STATS_HH

@@ -1,0 +1,777 @@
+#include "compiler/lowering.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "compiler/lowering_internal.hh"
+
+namespace tsp {
+
+namespace {
+
+/** Cycles from a Read's issue to visibility at @p consumer. */
+Cycle
+readLead(const GlobalAddr &a, SlicePos consumer)
+{
+    return opTiming(Opcode::Read).dFunc +
+           Layout::transitDelay(a.pos(), consumer);
+}
+
+/** MXM drain parameters shared by compiler and chip model. */
+constexpr Cycle kAccLatency = kSuperlanes + 1; // opTiming(Acc).dFunc
+constexpr Cycle kMxmToVxm = 46;                // delta(MXM, VXM)
+
+} // namespace
+
+Cycle
+LoweredTensor::maxReady() const
+{
+    Cycle m = 0;
+    for (int e = 0; e < 2; ++e) {
+        if (!ready[e])
+            continue;
+        for (const Cycle c : *ready[e])
+            m = std::max(m, c);
+    }
+    return m;
+}
+
+Lowering::Lowering(bool pipelined) : kb_(prog_), pipelined_(pipelined)
+{
+    for (int e = 0; e < 2; ++e) {
+        eng_[e] = std::make_unique<Engine>();
+        Engine &en = *eng_[e];
+        en.idx = e;
+        en.hem = e == 0 ? Hemisphere::West : Hemisphere::East;
+        en.planes[0] = e == 0 ? 0 : 2;
+        en.planes[1] = e == 0 ? 1 : 3;
+        en.mxmPos = Layout::mxmPos(en.hem);
+        en.aluBase = e == 0 ? 0 : 8;
+        en.roles.toMxm =
+            e == 0 ? Direction::West : Direction::East;
+        en.roles.fromMxm = opposite(en.roles.toMxm);
+
+        // Schedules must leave room for read leads plus the barrier.
+        const Cycle base = ScheduledProgram::kProgramStart + 128;
+        en.installFree = base;
+        en.chainFree = base;
+        en.planeFree[0] = base;
+        en.planeFree[1] = base;
+
+        // Padding vectors: zero pads read all-zero SRAM (no DMA
+        // needed); -128 pads are DMA-filled for max pooling.
+        en.padZero[0] = alloc_.alloc(en.hem, kPadSlice, 1);
+        en.padZero[1] = alloc_.alloc(en.hem, kActLast, 1);
+        en.padNeg128[0] = alloc_.alloc(en.hem, kPadSlice, 1);
+        en.padNeg128[1] = alloc_.alloc(en.hem, kActLast, 1);
+        en.padNeg128[2] = alloc_.alloc(en.hem, kBiasFirst, 1);
+        std::array<std::int8_t, kLanes> neg;
+        neg.fill(-128);
+        for (const auto &a : en.padNeg128)
+            image_.addInt8(a, neg.data(), kLanes);
+        en.zeroQuad = allocConstQuad(alloc_, en.hem, kScaleFirst);
+        // Zero quad: SRAM zero-initialized; nothing to DMA.
+    }
+}
+
+Lowering::~Lowering() = default;
+
+Lowering::Engine &
+Lowering::engine(int e)
+{
+    TSP_ASSERT(e == 0 || e == 1);
+    return *eng_[e];
+}
+
+void
+Lowering::bumpLast(Cycle c)
+{
+    lastEvent_ = std::max(lastEvent_, c);
+}
+
+void
+Lowering::recordLayer(const char *kind, Cycle begin)
+{
+    LayerSpan span;
+    span.name = nextName_.empty() ? kind : nextName_;
+    nextName_.clear();
+    span.begin = begin;
+    span.end = lastEvent_;
+    layers_.push_back(std::move(span));
+}
+
+// --------------------------------------------------------------------
+// MEM port reservation
+// --------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t
+portKey(const GlobalAddr &a, Cycle c)
+{
+    const std::uint64_t slice =
+        static_cast<std::uint64_t>(a.hem == Hemisphere::East
+                                       ? kMemSlicesPerHem + a.slice
+                                       : a.slice);
+    return (c << 7) | slice;
+}
+
+constexpr std::uint8_t kPortRead = 0x1;
+constexpr std::uint8_t kPortWrite = 0x2;
+constexpr std::uint8_t kPortReadBank = 0x4;  // Bank of the read.
+constexpr std::uint8_t kPortWriteBank = 0x8; // Bank of the write.
+
+} // namespace
+
+bool
+Lowering::tryReserveRead(const GlobalAddr &a, Cycle c)
+{
+    const std::uint64_t key = portKey(a, c);
+    auto it = ports_.find(key);
+    const int bank = a.bank();
+    if (it == ports_.end()) {
+        ports_[key] = static_cast<std::uint8_t>(
+            kPortRead | (bank ? kPortReadBank : 0));
+        return true;
+    }
+    std::uint8_t &bits = it->second;
+    if (bits & kPortRead)
+        return false; // One read per cycle.
+    if (bits & kPortWrite) {
+        const int wbank = (bits & kPortWriteBank) ? 1 : 0;
+        if (wbank == bank)
+            return false; // Pseudo-dual-port: opposite banks only.
+    }
+    bits |= static_cast<std::uint8_t>(kPortRead |
+                                      (bank ? kPortReadBank : 0));
+    return true;
+}
+
+void
+Lowering::unreserveRead(const GlobalAddr &a, Cycle c)
+{
+    auto it = ports_.find(portKey(a, c));
+    TSP_ASSERT(it != ports_.end() && (it->second & kPortRead));
+    it->second &= static_cast<std::uint8_t>(
+        ~(kPortRead | kPortReadBank));
+    if (it->second == 0)
+        ports_.erase(it);
+}
+
+bool
+Lowering::tryReserveWrite(const GlobalAddr &a, Cycle c)
+{
+    const std::uint64_t key = portKey(a, c);
+    auto it = ports_.find(key);
+    const int bank = a.bank();
+    if (it == ports_.end()) {
+        ports_[key] = static_cast<std::uint8_t>(
+            kPortWrite | (bank ? kPortWriteBank : 0));
+        return true;
+    }
+    std::uint8_t &bits = it->second;
+    if (bits & kPortWrite)
+        return false;
+    if (bits & kPortRead) {
+        const int rbank = (bits & kPortReadBank) ? 1 : 0;
+        if (rbank == bank)
+            return false;
+    }
+    bits |= static_cast<std::uint8_t>(kPortWrite |
+                                      (bank ? kPortWriteBank : 0));
+    return true;
+}
+
+void
+Lowering::unreserveWrite(const GlobalAddr &a, Cycle c)
+{
+    auto it = ports_.find(portKey(a, c));
+    TSP_ASSERT(it != ports_.end() && (it->second & kPortWrite));
+    it->second &= static_cast<std::uint8_t>(
+        ~(kPortWrite | kPortWriteBank));
+    if (it->second == 0)
+        ports_.erase(it);
+}
+
+bool
+Lowering::tryReserveAll(const std::vector<Access> &batch)
+{
+    std::size_t done = 0;
+    for (; done < batch.size(); ++done) {
+        const Access &acc = batch[done];
+        const bool ok = acc.write ? tryReserveWrite(acc.a, acc.c)
+                                  : tryReserveRead(acc.a, acc.c);
+        if (!ok)
+            break;
+    }
+    if (done == batch.size())
+        return true;
+    for (std::size_t i = 0; i < done; ++i) {
+        const Access &acc = batch[i];
+        if (acc.write)
+            unreserveWrite(acc.a, acc.c);
+        else
+            unreserveRead(acc.a, acc.c);
+    }
+    return false;
+}
+
+void
+Lowering::reservedRead(const GlobalAddr &a, StreamRef s,
+                       SlicePos consumer, Cycle at)
+{
+    kb_.readArriving(a, s, consumer, at);
+    bumpLast(at);
+}
+
+void
+Lowering::reservedWrite(const GlobalAddr &a, StreamRef s, Cycle issue)
+{
+    kb_.write(a, s, issue);
+    bumpLast(issue + 1);
+}
+
+// --------------------------------------------------------------------
+// Tensor placement
+// --------------------------------------------------------------------
+
+namespace {
+/** Activation stripe groups: {1..4}, {5..8}, {9..12}, {13..16}. */
+constexpr int kActGroupStride = 4;
+} // namespace
+
+int
+Lowering::groupOf(const LoweredTensor &t)
+{
+    const int first = t.t.part[0].firstSlice;
+    if (first < kActFirst)
+        return -1;
+    return (first - kActFirst) / kActGroupStride;
+}
+
+LoweredTensor
+Lowering::allocOutput(int height, int width, int channels, int halo,
+                      Hemisphere part_hem[2], int avoid_mask)
+{
+    TSP_ASSERT(height >= 1 && width >= 1 && channels >= 1);
+    LoweredTensor lt;
+    ActTensor &t = lt.t;
+    t.height = height;
+    t.width = width;
+    t.channels = channels;
+    t.kgCount = (channels + kMxmDim - 1) / kMxmDim;
+    t.splitY = height > 1 ? (height + 1) / 2 : 1;
+    t.halo = height > 1 ? std::min(halo, height) : 0;
+
+    int group = actGroup_;
+    for (int tries = 0; tries < kActGroups; ++tries) {
+        if (!(avoid_mask & (1 << group)))
+            break;
+        group = (group + 1) % kActGroups;
+    }
+    actGroup_ = (group + 1) % kActGroups;
+    const int first = kActFirst + group * kActGroupStride;
+
+    for (int e = 0; e < 2; ++e) {
+        const int stored_rows =
+            e == 0 ? t.storedHiY() : t.height - t.storedLoY();
+        const int rows = stored_rows * t.width * t.kgCount;
+        StripedTensor &st = t.part[e];
+        st.hem = part_hem[e];
+        st.firstSlice = first;
+        st.nSlices = kActStripe;
+        st.rows = rows;
+        if (rows > 0) {
+            const GlobalAddr a =
+                alloc_.allocStriped(st.hem, first, kActStripe,
+                                    st.wordsPerSlice());
+            st.base = a.addr;
+        }
+        lt.ready[e] = std::make_shared<std::vector<Cycle>>(
+            static_cast<std::size_t>(std::max(rows, 0)), Cycle{0});
+    }
+    return lt;
+}
+
+LoweredTensor
+Lowering::inputTensor(int height, int width, int channels,
+                      const std::vector<std::int8_t> &data, int halo)
+{
+    TSP_ASSERT(static_cast<std::size_t>(height) * width * channels ==
+               data.size());
+    // Every tensor part lives in its engine's own hemisphere: reads
+    // flow toward the engine's MXM (or the VXM) without crossing the
+    // bisection, and outputs are flipped back by the chains' final
+    // stage.
+    Hemisphere hems[2] = {Hemisphere::West, Hemisphere::East};
+    LoweredTensor lt =
+        allocOutput(height, width, channels, halo, hems);
+    const ActTensor &t = lt.t;
+
+    // DMA every stored row of both parts.
+    std::vector<std::int8_t> row(kLanes, 0);
+    for (int e = 0; e < 2; ++e) {
+        const int y_lo = e == 0 ? 0 : t.storedLoY();
+        const int y_hi = e == 0 ? t.storedHiY() : t.height;
+        for (int y = y_lo; y < y_hi; ++y) {
+            for (int x = 0; x < t.width; ++x) {
+                for (int kg = 0; kg < t.kgCount; ++kg) {
+                    std::fill(row.begin(), row.end(), 0);
+                    const int c_lo = kg * kMxmDim;
+                    const int c_hi =
+                        std::min(channels, c_lo + kMxmDim);
+                    for (int c = c_lo; c < c_hi; ++c) {
+                        row[static_cast<std::size_t>(c - c_lo)] =
+                            data[(static_cast<std::size_t>(y) * t.width +
+                                  x) *
+                                     channels +
+                                 c];
+                    }
+                    image_.addInt8(t.addrOf(e, y, x, kg), row.data(),
+                                   kLanes);
+                }
+            }
+        }
+    }
+    return lt;
+}
+
+std::unique_ptr<Lowering::PlacedConv>
+Lowering::placeConv(const ConvGeom &g, const ConvWeights &w)
+{
+    auto pc = std::make_unique<PlacedConv>();
+    pc->g = g;
+    pc->outC = w.outC;
+    pc->inC = w.inC;
+    pc->kgIn = (w.inC + kMxmDim - 1) / kMxmDim;
+    pc->cogOut = (w.outC + kMxmDim - 1) / kMxmDim;
+    const int windows = pc->windows();
+
+    std::vector<std::int8_t> row(kMxmDim, 0);
+    std::vector<std::int32_t> biasv(kMxmDim, 0);
+    std::vector<float> scalev(kMxmDim, 0.0f);
+
+    for (int e = 0; e < 2; ++e) {
+        const Hemisphere hem =
+            e == 0 ? Hemisphere::West : Hemisphere::East;
+        pc->tiles[e].reserve(
+            static_cast<std::size_t>(pc->cogOut) * windows);
+        for (int cog = 0; cog < pc->cogOut; ++cog) {
+            for (int ky = 0; ky < g.kh; ++ky) {
+                for (int kx = 0; kx < g.kw; ++kx) {
+                    for (int kg = 0; kg < pc->kgIn; ++kg) {
+                        const int valid_rows = std::min(
+                            kMxmDim, w.outC - cog * kMxmDim);
+                        WeightTile tile = allocWeightTile(
+                            alloc_, hem, kWeightFirst, valid_rows);
+                        // DMA the stored row groups (tail rows of
+                        // the last group zero).
+                        const int stored =
+                            tile.bursts() * WeightTile::kStripe;
+                        for (int r = 0; r < stored; ++r) {
+                            std::fill(row.begin(), row.end(), 0);
+                            const int oc = cog * kMxmDim + r;
+                            if (oc < w.outC) {
+                                const int c_lo = kg * kMxmDim;
+                                const int c_hi = std::min(
+                                    w.inC, c_lo + kMxmDim);
+                                for (int ic = c_lo; ic < c_hi; ++ic) {
+                                    row[static_cast<std::size_t>(
+                                        ic - c_lo)] =
+                                        w.at(oc, ic, ky, kx);
+                                }
+                            }
+                            image_.addInt8(tile.rowAddr(r),
+                                           row.data(), kMxmDim);
+                        }
+                        pc->tiles[e].push_back(tile);
+                    }
+                }
+            }
+            // Per-cog bias / scale quads.
+            std::fill(biasv.begin(), biasv.end(), 0);
+            std::fill(scalev.begin(), scalev.end(), 0.0f);
+            for (int r = 0; r < kMxmDim; ++r) {
+                const int oc = cog * kMxmDim + r;
+                if (oc < w.outC) {
+                    biasv[static_cast<std::size_t>(r)] = w.bias[oc];
+                    scalev[static_cast<std::size_t>(r)] = w.scale[oc];
+                }
+            }
+            ConstQuad bq = allocConstQuad(alloc_, hem, kBiasFirst);
+            ConstQuad sq = allocConstQuad(alloc_, hem, kScaleFirst);
+            image_.addInt32Quad(bq.addr, biasv.data(), kMxmDim);
+            image_.addFp32Quad(sq.addr, scalev.data(), kMxmDim);
+            pc->bias[e].push_back(bq);
+            pc->scale[e].push_back(sq);
+        }
+    }
+    return pc;
+}
+
+// --------------------------------------------------------------------
+// Requantization chain (shared by conv and global-avg-pool drains)
+// --------------------------------------------------------------------
+
+void
+Lowering::requantChain(int e, StreamId result_base,
+                       const ConstQuad &bias, const ConstQuad &scale,
+                       bool relu, Cycle tv, int n,
+                       const std::vector<DrainDest> &dest,
+                       std::vector<Cycle> &commit)
+{
+    Engine &en = engine(e);
+    const StreamRoles &r = en.roles;
+    const SlicePos vxm = Layout::vxm;
+    commit.assign(static_cast<std::size_t>(n), 0);
+
+    for (int i = 0; i < n; ++i) {
+        const Cycle t = tv + static_cast<Cycle>(i);
+
+        // Stage 1: acc + bias (int32, saturating).
+        for (int k = 0; k < 4; ++k)
+            reservedRead(bias.addr[k], r.bias(k), vxm, t);
+        StreamRef res{static_cast<StreamId>(result_base), r.fromMxm};
+        kb_.vxmBinary(en.aluBase + 0, Opcode::AddSat, DType::Int32,
+                      res, r.bias(0), r.stage1(0), t);
+        // Stage 2: int32 -> fp32.
+        kb_.vxmConvert(en.aluBase + 1, DType::Int32, DType::Fp32,
+                       r.stage1(0), r.stage2(0), t + 1);
+        // Stage 3: x scale (fp32).
+        for (int k = 0; k < 4; ++k)
+            reservedRead(scale.addr[k], r.scale(k), vxm, t + 3);
+        kb_.vxmBinary(en.aluBase + 2, Opcode::Mul, DType::Fp32,
+                      r.stage2(0), r.scale(0), r.stage3(0), t + 3);
+        // Stage 4: fp32 -> int8 (round-to-nearest-even, saturating).
+        kb_.vxmConvert(en.aluBase + 3, DType::Fp32, DType::Int8,
+                       r.stage3(0), r.stageInt8(), t + 5);
+        // Stage 5 flips direction toward the engine's own hemisphere
+        // (ReLU when the layer has one, an identity Max otherwise).
+        if (relu) {
+            kb_.vxmUnary(en.aluBase + 4, Opcode::Relu, DType::Int8,
+                         r.stageInt8(), r.finalOwn(), t + 7);
+        } else {
+            kb_.vxmBinary(en.aluBase + 4, Opcode::Max, DType::Int8,
+                          r.stageInt8(), r.stageInt8(), r.finalOwn(),
+                          t + 7);
+        }
+        const Cycle vis_final = t + 8;
+
+        // Primary write at arrival (ports reserved by the caller's
+        // drain placement).
+        const DrainDest &d = dest[static_cast<std::size_t>(i)];
+        const Cycle w_issue =
+            vis_final +
+            Layout::transitDelay(vxm, d.primary.pos());
+        reservedWrite(d.primary, r.finalOwn(), w_issue);
+        commit[static_cast<std::size_t>(i)] = w_issue + 1;
+
+        // Halo duplicate flows the other way.
+        if (d.hasHalo) {
+            kb_.vxmBinary(en.aluBase + 5, Opcode::Max, DType::Int8,
+                          r.finalOwn(), r.finalOwn(), r.haloOut(),
+                          vis_final);
+            const Cycle h_issue =
+                vis_final + 1 +
+                Layout::transitDelay(vxm, d.haloCopy.pos());
+            reservedWrite(d.haloCopy, r.haloOut(), h_issue);
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Convolution engine
+// --------------------------------------------------------------------
+
+void
+Lowering::convEngine(int e, const LoweredTensor &in, const ConvGeom &g,
+                     const PlacedConv &pc, LoweredTensor &out)
+{
+    Engine &en = engine(e);
+    const StreamRoles &r = en.roles;
+    const ActTensor &it = in.t;
+    ActTensor &ot = out.t;
+
+    const int y_lo = e == 0 ? 0 : ot.splitY;
+    const int y_hi = e == 0 ? ot.splitY : ot.height;
+    const int owned = (y_hi - y_lo) * ot.width;
+    if (owned <= 0)
+        return;
+
+    const int windows = pc.windows();
+    const int chunk_max = static_cast<int>(kMxmAccDepth);
+    const Cycle in_max_ready = pipelined_ ? 0 : in.maxReady();
+
+    // Flattened owned output positions, chunked.
+    int chunk_idx = 0;
+    for (int cog = 0; cog < pc.cogOut; ++cog) {
+        for (int p0 = 0; p0 < owned; p0 += chunk_max, ++chunk_idx) {
+            const int n = std::min(chunk_max, owned - p0);
+            const int pi = chunk_idx % 2;
+            const int plane = en.planes[pi];
+
+            Cycle prev_window_end = en.planeFree[pi];
+            Cycle last_window_start = 0;
+            for (int w = 0; w < windows; ++w) {
+                const int kg = w % pc.kgIn;
+                const int kx = (w / pc.kgIn) % g.kw;
+                const int ky = w / (pc.kgIn * g.kw);
+                const WeightTile &tile =
+                    pc.tiles[e][static_cast<std::size_t>(cog) *
+                                    windows +
+                                w];
+
+                // Weight install: the LW burst may overlap the
+                // plane's previous window, but IW must not commit
+                // while the array is still streaming it.
+                const Cycle bursts =
+                    static_cast<Cycle>(tile.bursts());
+                const Cycle iw_min =
+                    w == 0 ? en.windowEnd[pi] : prev_window_end;
+                const Cycle inst_start = std::max(
+                    en.installFree,
+                    iw_min > bursts ? iw_min - bursts : 0);
+                const Cycle inst_done = kb_.installWeights(
+                    plane, tile, /*streams_base=*/0, r.toMxm,
+                    inst_start);
+                en.installFree = inst_start + bursts + 1;
+                bumpLast(inst_done);
+
+                // Per-element source addresses.
+                std::vector<GlobalAddr> src(
+                    static_cast<std::size_t>(n));
+                std::vector<Cycle> row_ready(
+                    static_cast<std::size_t>(n), 0);
+                for (int i = 0; i < n; ++i) {
+                    const int p = p0 + i;
+                    const int oy = y_lo + p / ot.width;
+                    const int ox = p % ot.width;
+                    const int iy = oy * g.stride - g.pad + ky;
+                    const int ix = ox * g.stride - g.pad + kx;
+                    if (iy < 0 || iy >= it.height || ix < 0 ||
+                        ix >= it.width) {
+                        src[static_cast<std::size_t>(i)] =
+                            en.padZero[pi];
+                        continue;
+                    }
+                    if (!it.stores(e, iy)) {
+                        panic("convEngine: engine %d needs input row "
+                              "y=%d beyond its halo",
+                              e, iy);
+                    }
+                    src[static_cast<std::size_t>(i)] =
+                        it.addrOf(e, iy, ix, kg);
+                    if (in.ready[e]) {
+                        row_ready[static_cast<std::size_t>(i)] =
+                            (*in.ready[e])[static_cast<std::size_t>(
+                                it.localRow(e, iy, ix, kg))];
+                    }
+                }
+
+                // Earliest window start.
+                Cycle tw = std::max(prev_window_end, inst_done);
+                for (int i = 0; i < n; ++i) {
+                    const Cycle lead = readLead(
+                        src[static_cast<std::size_t>(i)], en.mxmPos);
+                    // Sequential mode pretends every row commits at
+                    // the producer's last write (paper IV.C "before").
+                    const Cycle rdy =
+                        pipelined_
+                            ? row_ready[static_cast<std::size_t>(i)]
+                            : in_max_ready;
+                    // Read issue = tw + i - lead >= rdy.
+                    const Cycle need = rdy + lead;
+                    if (tw + static_cast<Cycle>(i) < need)
+                        tw = need - static_cast<Cycle>(i);
+                }
+
+                // Probe read ports; bump the window until all fit.
+                for (int attempt = 0;; ++attempt) {
+                    if (attempt > 100000) {
+                        panic("convEngine: cannot place window "
+                              "(port livelock)");
+                    }
+                    int ok = 0;
+                    for (int i = 0; i < n; ++i) {
+                        const GlobalAddr &a =
+                            src[static_cast<std::size_t>(i)];
+                        const Cycle issue =
+                            tw + static_cast<Cycle>(i) -
+                            readLead(a, en.mxmPos);
+                        if (!tryReserveRead(a, issue))
+                            break;
+                        ++ok;
+                    }
+                    if (ok == n)
+                        break;
+                    // Roll back and retry one cycle later.
+                    for (int i = 0; i < ok; ++i) {
+                        const GlobalAddr &a =
+                            src[static_cast<std::size_t>(i)];
+                        unreserveRead(a,
+                                      tw + static_cast<Cycle>(i) -
+                                          readLead(a, en.mxmPos));
+                    }
+                    ++tw;
+                }
+
+                // Emit the reads and the window.
+                for (int i = 0; i < n; ++i) {
+                    reservedRead(src[static_cast<std::size_t>(i)],
+                                 r.act(pi), en.mxmPos,
+                                 tw + static_cast<Cycle>(i));
+                }
+                kb_.abc(plane, r.act(pi),
+                        static_cast<std::uint32_t>(n),
+                        /*accumulate=*/w > 0, DType::Int8, tw);
+                bumpLast(tw + static_cast<Cycle>(n));
+
+                prev_window_end = tw + static_cast<Cycle>(n);
+                last_window_start = tw;
+            }
+
+            // ---- Drain through the requant chain.
+            // chainFree/chainTail are in VXM-arrival time; ACC issue
+            // u leads them by the accumulate-exit + transit latency.
+            constexpr Cycle drain_lead = kAccLatency + kMxmToVxm;
+            const int sig = g.relu ? 1 : 0;
+            // A heterogeneous predecessor may have had traffic
+            // crossing the result streams' transit span; leave the
+            // full MXM-to-VXM flight clear after its tail.
+            const Cycle gate = en.chainSig == sig
+                                   ? en.chainFree
+                                   : en.chainTail + kMxmToVxm;
+            Cycle u = last_window_start + 1;
+            if (gate > drain_lead)
+                u = std::max(u, gate - drain_lead);
+
+            // Destination rows (+ halo duplicates).
+            std::vector<DrainDest> dest(static_cast<std::size_t>(n));
+            for (int i = 0; i < n; ++i) {
+                const int p = p0 + i;
+                const int oy = y_lo + p / ot.width;
+                const int ox = p % ot.width;
+                DrainDest &d = dest[static_cast<std::size_t>(i)];
+                d.primary = ot.addrOf(e, oy, ox, cog);
+                if (ot.stores(1 - e, oy)) {
+                    d.hasHalo = true;
+                    d.haloCopy = ot.addrOf(1 - e, oy, ox, cog);
+                }
+            }
+
+            // Probe the drain's whole port footprint (const-quad
+            // reads + output writes); shift the drain on conflict.
+            constexpr Cycle chain_out_lat = 8;
+            for (int attempt = 0;; ++attempt) {
+                if (attempt > 100000)
+                    panic("convEngine: cannot place drain");
+                std::vector<Access> batch;
+                const Cycle tv = u + kAccLatency + kMxmToVxm;
+                for (int i = 0; i < n; ++i) {
+                    const Cycle t = tv + static_cast<Cycle>(i);
+                    for (int q = 0; q < 4; ++q) {
+                        const GlobalAddr &ba =
+                            pc.bias[e][static_cast<std::size_t>(cog)]
+                                .addr[q];
+                        batch.push_back(
+                            {ba, t - readLead(ba, Layout::vxm),
+                             false});
+                        const GlobalAddr &sa =
+                            pc.scale[e][static_cast<std::size_t>(cog)]
+                                .addr[q];
+                        batch.push_back(
+                            {sa, t + 3 - readLead(sa, Layout::vxm),
+                             false});
+                    }
+                    const DrainDest &d =
+                        dest[static_cast<std::size_t>(i)];
+                    const Cycle vis = t + chain_out_lat;
+                    batch.push_back(
+                        {d.primary,
+                         vis + Layout::transitDelay(Layout::vxm,
+                                                    d.primary.pos()),
+                         true});
+                    if (d.hasHalo) {
+                        batch.push_back(
+                            {d.haloCopy,
+                             vis + 1 +
+                                 Layout::transitDelay(
+                                     Layout::vxm, d.haloCopy.pos()),
+                             true});
+                    }
+                }
+                if (tryReserveAll(batch))
+                    break;
+                ++u;
+            }
+
+            const Cycle tv = u + kAccLatency + kMxmToVxm;
+            kb_.acc(plane, r.result(pi, 0),
+                    static_cast<std::uint32_t>(n), u);
+
+            std::vector<Cycle> commit;
+            requantChain(e, r.result(pi, 0).id, pc.bias[e][cog],
+                         pc.scale[e][cog], g.relu, tv, n, dest,
+                         commit);
+
+            // Record row readiness (halo copies commit one visibility
+            // cycle later plus their own transit).
+            for (int i = 0; i < n; ++i) {
+                const int p = p0 + i;
+                const int oy = y_lo + p / ot.width;
+                const int ox = p % ot.width;
+                (*out.ready[e])[static_cast<std::size_t>(
+                    ot.localRow(e, oy, ox, cog))] =
+                    commit[static_cast<std::size_t>(i)];
+                const DrainDest &d = dest[static_cast<std::size_t>(i)];
+                if (d.hasHalo) {
+                    const Cycle vis = tv + static_cast<Cycle>(i) +
+                                      chain_out_lat;
+                    const Cycle hi =
+                        vis + 1 +
+                        Layout::transitDelay(Layout::vxm,
+                                             d.haloCopy.pos());
+                    (*out.ready[1 - e])[static_cast<std::size_t>(
+                        ot.localRow(1 - e, oy, ox, cog))] = hi + 1;
+                }
+            }
+
+            en.chainFree = tv + static_cast<Cycle>(n);
+            en.chainTail =
+                tv + static_cast<Cycle>(n) + chain_out_lat + 2;
+            en.chainSig = sig;
+            en.planeFree[pi] = u + 1;
+            en.windowEnd[pi] =
+                last_window_start + static_cast<Cycle>(n);
+        }
+    }
+}
+
+LoweredTensor
+Lowering::conv2d(const LoweredTensor &in, const ConvGeom &g,
+                 const ConvWeights &w, int out_halo)
+{
+    TSP_ASSERT(in.t.channels == w.inC);
+    const int out_h =
+        (in.t.height + 2 * g.pad - g.kh) / g.stride + 1;
+    const int out_w =
+        (in.t.width + 2 * g.pad - g.kw) / g.stride + 1;
+    TSP_ASSERT(out_h >= 1 && out_w >= 1);
+
+    auto pc = placeConv(g, w);
+
+    Hemisphere hems[2] = {Hemisphere::West, Hemisphere::East};
+    int avoid = 0;
+    if (const int ig = groupOf(in); ig >= 0)
+        avoid |= 1 << ig;
+    LoweredTensor out =
+        allocOutput(out_h, out_w, w.outC, out_halo, hems, avoid);
+
+    const Cycle begin = lastEvent_;
+    for (int e = 0; e < 2; ++e)
+        convEngine(e, in, g, *pc, out);
+    recordLayer("conv2d", begin);
+    return out;
+}
+
+} // namespace tsp

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Layer lowering: turns quantized NN layers into exactly-timed TSP
+ * instruction schedules.
+ *
+ * Responsibilities mirroring the paper's compiler back-end (II, IV):
+ *  - placement: weights striped near the MXMs, constants in dedicated
+ *    quad slices, activations split across hemispheres with halo rows
+ *    (see compiler/tensor.hh);
+ *  - two-dimensional scheduling of instructions and data (Eq. 4),
+ *    tracking every stream's position and time of use;
+ *  - explicit management of MEM ports: a reservation table guarantees
+ *    each slice sees at most one read and one write per cycle, in
+ *    opposite banks — there is no hardware arbiter to fall back on;
+ *  - chaining: MXM results stream through the VXM requantization
+ *    chain (int32 +bias -> fp32 -> x scale -> int8 -> ReLU) without
+ *    round-tripping through MEM (paper IV.B);
+ *  - optional cross-layer pipelining: a consumer may read an input
+ *    row as soon as its producer committed it (paper IV.C).
+ *
+ * Stream map (fixed roles; see DESIGN.md section 7):
+ *   West engine (planes 0,1 at MXM_W):
+ *     westward: s0-15 weights, s16/s17 activations (planes 0/1),
+ *               s30 halo copies from the east engine's outputs;
+ *     eastward: s0-3 bias, s4-7 scale, s8-15 + s24-27 chain
+ *               intermediates, s16-19/s20-23 MXM results (planes
+ *               0/1), s28 int8, s29 final (to east-hemisphere
+ *               slices), s30 halo copies toward east storage.
+ *   East engine (planes 2,3 at MXM_E): the exact mirror.
+ * Cross-hemisphere reuse of the same stream ids is safe because every
+ * consumer samples a value at or before the position where the other
+ * hemisphere's producers overwrite the flow line.
+ */
+
+#ifndef TSP_COMPILER_LOWERING_HH
+#define TSP_COMPILER_LOWERING_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/config.hh"
+#include "compiler/builder.hh"
+#include "compiler/host_image.hh"
+
+namespace tsp {
+
+/** Host-side quantized convolution layer parameters. */
+struct ConvWeights
+{
+    int outC = 0;
+    int inC = 0;
+    int kh = 1;
+    int kw = 1;
+    std::vector<std::int8_t> w;    ///< [outC][inC][kh][kw].
+    std::vector<std::int32_t> bias;  ///< [outC].
+    std::vector<float> scale;        ///< [outC]: (acc+bias)*scale.
+
+    /** @return weight element. */
+    std::int8_t
+    at(int oc, int ic, int ky, int kx) const
+    {
+        return w[((static_cast<std::size_t>(oc) * inC + ic) * kh + ky) *
+                     kw +
+                 kx];
+    }
+};
+
+/** Convolution geometry. */
+struct ConvGeom
+{
+    int kh = 1;
+    int kw = 1;
+    int stride = 1;
+    int pad = 0;
+    bool relu = true;
+};
+
+/** An activation tensor plus its per-row commit times. */
+struct LoweredTensor
+{
+    ActTensor t;
+    /** ready[e][local_row]: first cycle a read of that row may issue. */
+    std::shared_ptr<std::vector<Cycle>> ready[2];
+
+    /** @return latest commit across both parts. */
+    Cycle maxReady() const;
+};
+
+/** The lowering context: one instance builds one program. */
+class Lowering
+{
+  public:
+    /** Slice-region boundaries (per hemisphere). */
+    static constexpr int kPadSlice = 0;     ///< Constant pad vectors.
+    static constexpr int kActFirst = 1;     ///< Activations 1..19.
+    static constexpr int kActLast = 19;
+    static constexpr int kBiasFirst = 20;   ///< Bias quads 20..23.
+    static constexpr int kScaleFirst = 24;  ///< Scale quads 24..27.
+    static constexpr int kWeightFirst = 28; ///< Weight stripes 28..43.
+
+    /** Default striping width for activation tensors. */
+    static constexpr int kActStripe = 4;
+
+    /** Number of rotating activation slice groups. */
+    static constexpr int kActGroups = 4;
+
+    /**
+     * @param pipelined allow consuming a row as soon as it commits
+     * (paper IV.C optimization); when false, every layer waits for
+     * the previous layer's last write.
+     */
+    explicit Lowering(bool pipelined = true);
+
+    ~Lowering();
+
+    /** @return the schedule under construction. */
+    ScheduledProgram &program() { return prog_; }
+
+    /** @return the DMA manifest. */
+    HostImage &image() { return image_; }
+
+    /** @return the memory allocator. */
+    MemAllocator &allocator() { return alloc_; }
+
+    /**
+     * Places a host-provided int8 input tensor [h x w x channels] and
+     * queues its rows for DMA. Ready at cycle 0.
+     */
+    LoweredTensor inputTensor(int height, int width, int channels,
+                              const std::vector<std::int8_t> &data,
+                              int halo = kDefaultHalo);
+
+    /** Lowers a quantized conv2d (+bias, x scale, optional ReLU). */
+    LoweredTensor conv2d(const LoweredTensor &in, const ConvGeom &g,
+                         const ConvWeights &w,
+                         int out_halo = kDefaultHalo);
+
+    /** Lowers k x k max pooling (stride @p stride, pad @p pad). */
+    LoweredTensor maxPool(const LoweredTensor &in, int k, int stride,
+                          int pad, int out_halo = kDefaultHalo);
+
+    /**
+     * Lowers global average pooling to a 1 x 1 tensor; @p scale maps
+     * the int32 sum back to int8 (1 / positions folded with the
+     * layer's requant ratio).
+     */
+    LoweredTensor globalAvgPool(const LoweredTensor &in, float scale);
+
+    /**
+     * Lowers out = relu?(sat_int8(a * sa + b * sb)) — the quantized
+     * residual connection.
+     */
+    LoweredTensor residualAdd(const LoweredTensor &a,
+                              const LoweredTensor &b, float sa,
+                              float sb, bool relu,
+                              int out_halo = kDefaultHalo);
+
+    /** @return cycle at which the whole program has finished. */
+    Cycle finishCycle() const { return lastEvent_; }
+
+    /** One lowered layer's cycle span (for the per-layer power plot). */
+    struct LayerSpan
+    {
+        std::string name;
+        Cycle begin = 0;
+        Cycle end = 0;
+    };
+
+    /** @return spans of every lowered layer in emission order. */
+    const std::vector<LayerSpan> &layers() const { return layers_; }
+
+    /** Names the next lowered layer (defaults to the op kind). */
+    void setNextLayerName(std::string name)
+    {
+        nextName_ = std::move(name);
+    }
+
+    /** Default halo rows stored on each side of the split. */
+    static constexpr int kDefaultHalo = 4;
+
+    /** @return the slice group (0..3) of a tensor, or -1. */
+    static int groupOf(const LoweredTensor &t);
+
+    /**
+     * Emits a MEM-to-MEM copy of @p src into a fresh allocation that
+     * avoids @p avoid_mask's groups (explicit memory management in
+     * the spirit of Listing 2). One row per cycle per engine.
+     */
+    LoweredTensor copyTensor(const LoweredTensor &src, int avoid_mask);
+
+  private:
+    struct Engine; // Per-hemisphere scheduling state.
+
+    Engine &engine(int e);
+
+    /** Gate for VXM ops that time-share the bisection streams. */
+    Cycle globalChainGate();
+
+    /** Marks both engines' chains busy until @p c. */
+    void setGlobalChain(Cycle c);
+
+    /**
+     * Allocates an output tensor in the act region, rotating across
+     * the slice groups while skipping any group in @p avoid_mask
+     * (bit g set = group g busy — typically the op's input tensors,
+     * so reads and writes of one engine never fight over a slice).
+     */
+    LoweredTensor allocOutput(int height, int width, int channels,
+                              int halo, Hemisphere part_hem[2],
+                              int avoid_mask = 0);
+
+    /** Places conv weights+consts into SRAM for both hemispheres. */
+    struct PlacedConv;
+    std::unique_ptr<PlacedConv> placeConv(const ConvGeom &g,
+                                          const ConvWeights &w);
+
+    // --- MEM port reservation (no arbiters: compile-time proof) ---
+    bool tryReserveRead(const GlobalAddr &a, Cycle c);
+    bool tryReserveWrite(const GlobalAddr &a, Cycle c);
+    void unreserveRead(const GlobalAddr &a, Cycle c);
+    void unreserveWrite(const GlobalAddr &a, Cycle c);
+
+    /** One element of an all-or-nothing reservation batch. */
+    struct Access
+    {
+        GlobalAddr a;
+        Cycle c = 0;
+        bool write = false;
+    };
+
+    /** Reserves all of @p batch or none; @return success. */
+    bool tryReserveAll(const std::vector<Access> &batch);
+
+    /** Emits a read with port reservation; panics if impossible. */
+    void reservedRead(const GlobalAddr &a, StreamRef s,
+                      SlicePos consumer, Cycle at);
+
+    /** Emits a write with port reservation (must have been probed). */
+    void reservedWrite(const GlobalAddr &a, StreamRef s, Cycle issue);
+
+    void bumpLast(Cycle c);
+
+    // Engine subroutines (definitions in lowering.cc).
+    void convEngine(int e, const LoweredTensor &in, const ConvGeom &g,
+                    const PlacedConv &pc, LoweredTensor &out);
+    void maxPoolEngine(int e, const LoweredTensor &in, int k,
+                       int stride, int pad, LoweredTensor &out);
+    void eltwiseAddEngine(int e, const LoweredTensor &a,
+                          const LoweredTensor &b, const ConstQuad &sa,
+                          const ConstQuad &sb, bool relu,
+                          LoweredTensor &out);
+
+    /**
+     * Runs the requant chain for a drain of @p n result vectors
+     * arriving at the VXM from @p result_base starting at @p tv, and
+     * writes the int8 outputs to the addresses produced by @p dest
+     * (primary + optional halo copy). Returns per-vector write cycles
+     * via @p commit.
+     */
+    struct DrainDest
+    {
+        GlobalAddr primary;
+        bool hasHalo = false;
+        GlobalAddr haloCopy;
+    };
+    void requantChain(int e, StreamId result_base,
+                      const ConstQuad &bias, const ConstQuad &scale,
+                      bool relu, Cycle tv, int n,
+                      const std::vector<DrainDest> &dest,
+                      std::vector<Cycle> &commit);
+
+    void recordLayer(const char *kind, Cycle begin);
+
+    /** Rotating activation stripe group (0..2) for allocOutput. */
+    int actGroup_ = 0;
+
+    ScheduledProgram prog_;
+    KernelBuilder kb_;
+    MemAllocator alloc_;
+    HostImage image_;
+    bool pipelined_;
+    Cycle lastEvent_ = 0;
+    std::vector<LayerSpan> layers_;
+    std::string nextName_;
+
+    std::unique_ptr<Engine> eng_[2];
+
+    /** (hem, slice, cycle) -> port usage bits. */
+    std::unordered_map<std::uint64_t, std::uint8_t> ports_;
+};
+
+} // namespace tsp
+
+#endif // TSP_COMPILER_LOWERING_HH

@@ -1,0 +1,860 @@
+/**
+ * @file
+ * Non-MXM layer engines: max pooling (the Fig. 11 workload),
+ * quantized residual addition, and global average pooling. All stream
+ * vectors through the VXM at the chip bisection, sharing the per-
+ * hemisphere chain resource with the conv drains (serialized via
+ * chainFree), and follow the same output conventions: primary rows
+ * flow past the VXM to the opposite hemisphere, halo duplicates are
+ * direction-flipped through a copy ALU.
+ */
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "compiler/lowering.hh"
+#include "compiler/lowering_internal.hh"
+
+namespace tsp {
+
+namespace {
+
+/** Direction a read from @p a must flow to reach the VXM. */
+Direction
+dirToVxm(const GlobalAddr &a)
+{
+    return Layout::flowDirection(a.pos(), Layout::vxm);
+}
+
+} // namespace
+
+/**
+ * Eltwise-style layers consume their operands *at* the chip
+ * bisection, so the two hemispheres' engines share the same stream
+ * registers there; they run in disjoint time windows gated on both
+ * engines' chains (a conv drain, by contrast, owns a per-hemisphere
+ * partition of the position-47 streams and pipelines freely).
+ */
+Cycle
+Lowering::globalChainGate()
+{
+    Cycle g = ScheduledProgram::kProgramStart + 128;
+    for (int e = 0; e < 2; ++e) {
+        g = std::max(g, engine(e).chainFree);
+        g = std::max(g, engine(e).chainTail);
+    }
+    return g;
+}
+
+void
+Lowering::setGlobalChain(Cycle c)
+{
+    for (int e = 0; e < 2; ++e) {
+        engine(e).chainFree = c;
+        engine(e).chainTail = c;
+        engine(e).chainSig = -1;
+    }
+}
+
+namespace {
+
+Cycle
+leadToVxm(const GlobalAddr &a)
+{
+    return opTiming(Opcode::Read).dFunc +
+           Layout::transitDelay(a.pos(), Layout::vxm);
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Max pooling
+// --------------------------------------------------------------------
+
+void
+Lowering::maxPoolEngine(int e, const LoweredTensor &in, int k,
+                        int stride, int pad, LoweredTensor &out)
+{
+    Engine &en = engine(e);
+    const StreamRoles &r = en.roles;
+    const ActTensor &it = in.t;
+    ActTensor &ot = out.t;
+    const SlicePos vxm = Layout::vxm;
+
+    const int y_lo = e == 0 ? 0 : ot.splitY;
+    const int y_hi = e == 0 ? ot.splitY : ot.height;
+    if (y_hi <= y_lo)
+        return;
+
+    const int kk = k * k;
+    Cycle slot = globalChainGate();
+    const Cycle in_max_ready = pipelined_ ? 0 : in.maxReady();
+
+    for (int oy = y_lo; oy < y_hi; ++oy) {
+        for (int ox = 0; ox < ot.width; ++ox) {
+            for (int kg = 0; kg < ot.kgCount; ++kg) {
+                // Gather the k*k input addresses (row-major window).
+                std::vector<GlobalAddr> src(
+                    static_cast<std::size_t>(kk));
+                std::vector<Cycle> rdy(static_cast<std::size_t>(kk),
+                                       in_max_ready);
+                for (int j = 0; j < kk; ++j) {
+                    const int iy = oy * stride - pad + j / k;
+                    const int ix = ox * stride - pad + j % k;
+                    if (iy < 0 || iy >= it.height || ix < 0 ||
+                        ix >= it.width) {
+                        src[static_cast<std::size_t>(j)] =
+                            en.padNeg128[j % 3];
+                        rdy[static_cast<std::size_t>(j)] = 0;
+                        continue;
+                    }
+                    if (!it.stores(e, iy)) {
+                        panic("maxPoolEngine: input row y=%d beyond "
+                              "engine %d halo",
+                              iy, e);
+                    }
+                    src[static_cast<std::size_t>(j)] =
+                        it.addrOf(e, iy, ix, kg);
+                    if (pipelined_) {
+                        rdy[static_cast<std::size_t>(j)] =
+                            (*in.ready[e])[static_cast<std::size_t>(
+                                it.localRow(e, iy, ix, kg))];
+                    }
+                }
+
+                // Fast plan (k == 3 only): per window row, a pair
+                // read at slot + row and a single at slot + row + 1;
+                // a three-ALU max tree finishes at slot + 5, one
+                // element every 3 cycles. Falls back to a fully
+                // serial chain when two same-cycle reads would hit
+                // one slice.
+                const bool try_fast = k == 3;
+                auto fastArrival = [&](int j) {
+                    const int row = j / 3;
+                    const int col = j % 3;
+                    return slot + static_cast<Cycle>(row) +
+                           (col == 2 ? 1 : 0);
+                };
+                auto serialArrival = [&](int j) {
+                    return slot + static_cast<Cycle>(j);
+                };
+
+                bool fast = try_fast;
+                // +1 for the direction-flipping final copy stage.
+                const Cycle fast_out = 6;
+                const Cycle serial_out = static_cast<Cycle>(kk) + 1;
+
+                const GlobalAddr primary = ot.addrOf(e, oy, ox, kg);
+                const bool has_halo = ot.stores(1 - e, oy);
+                const GlobalAddr halo_a =
+                    has_halo ? ot.addrOf(1 - e, oy, ox, kg)
+                             : GlobalAddr{};
+
+                auto buildBatch = [&](bool use_fast,
+                                      std::vector<Access> &batch) {
+                    batch.clear();
+                    const Cycle out_off =
+                        use_fast ? fast_out : serial_out;
+                    for (int j = 0; j < kk; ++j) {
+                        const GlobalAddr &a =
+                            src[static_cast<std::size_t>(j)];
+                        const Cycle at = use_fast ? fastArrival(j)
+                                                  : serialArrival(j);
+                        batch.push_back(
+                            {a, at - leadToVxm(a), false});
+                    }
+                    batch.push_back(
+                        {primary,
+                         slot + out_off +
+                             Layout::transitDelay(vxm,
+                                                  primary.pos()),
+                         true});
+                    if (has_halo) {
+                        batch.push_back(
+                            {halo_a,
+                             slot + out_off + 1 +
+                                 Layout::transitDelay(vxm,
+                                                      halo_a.pos()),
+                             true});
+                    }
+                };
+
+                auto hasInternalConflict =
+                    [&](const std::vector<Access> &batch) {
+                        for (std::size_t i = 0; i < batch.size();
+                             ++i) {
+                            for (std::size_t j2 = i + 1;
+                                 j2 < batch.size(); ++j2) {
+                                if (batch[i].a.hem ==
+                                        batch[j2].a.hem &&
+                                    batch[i].a.slice ==
+                                        batch[j2].a.slice &&
+                                    batch[i].c == batch[j2].c &&
+                                    batch[i].write ==
+                                        batch[j2].write) {
+                                    return true;
+                                }
+                            }
+                        }
+                        return false;
+                    };
+
+                // Honor row readiness.
+                for (int j = 0; j < kk; ++j) {
+                    const GlobalAddr &a =
+                        src[static_cast<std::size_t>(j)];
+                    const Cycle at =
+                        (fast ? fastArrival(j) : serialArrival(j));
+                    const Cycle off = at - slot;
+                    const Cycle need =
+                        rdy[static_cast<std::size_t>(j)] +
+                        leadToVxm(a);
+                    if (slot + off < need)
+                        slot = need - off;
+                }
+
+                std::vector<Access> batch;
+                if (fast) {
+                    buildBatch(true, batch);
+                    if (hasInternalConflict(batch))
+                        fast = false;
+                }
+                for (int attempt = 0;; ++attempt) {
+                    if (attempt > 100000)
+                        panic("maxPoolEngine: port livelock");
+                    buildBatch(fast, batch);
+                    if (tryReserveAll(batch))
+                        break;
+                    ++slot;
+                }
+
+                Cycle tree_vis;
+                StreamRef tree_s;
+                if (fast) {
+                    // Reads: pairs on streams 16/17, singles on 18.
+                    for (int row = 0; row < 3; ++row) {
+                        const GlobalAddr &a0 =
+                            src[static_cast<std::size_t>(3 * row)];
+                        const GlobalAddr &a1 = src
+                            [static_cast<std::size_t>(3 * row + 1)];
+                        const GlobalAddr &a2 = src
+                            [static_cast<std::size_t>(3 * row + 2)];
+                        reservedRead(a0,
+                                     StreamRef{16, dirToVxm(a0)},
+                                     vxm, fastArrival(3 * row));
+                        reservedRead(a1,
+                                     StreamRef{17, dirToVxm(a1)},
+                                     vxm, fastArrival(3 * row + 1));
+                        reservedRead(a2,
+                                     StreamRef{18, dirToVxm(a2)},
+                                     vxm, fastArrival(3 * row + 2));
+                        // P_row = max(pair) on stage1(0).
+                        kb_.vxmBinary(en.aluBase + 0, Opcode::Max,
+                                      DType::Int8,
+                                      StreamRef{16, dirToVxm(a0)},
+                                      StreamRef{17, dirToVxm(a1)},
+                                      r.stage1(0),
+                                      slot + static_cast<Cycle>(row));
+                        // M_row = max(P_row, single): rows 0 and 2
+                        // land on stage1(1), row 1 on stage1(2).
+                        kb_.vxmBinary(
+                            en.aluBase + 1, Opcode::Max, DType::Int8,
+                            r.stage1(0),
+                            StreamRef{18, dirToVxm(a2)},
+                            row == 1 ? r.stage1(2) : r.stage1(1),
+                            slot + static_cast<Cycle>(row) + 1);
+                    }
+                    // Combine on stage1(3): carry M0, fold M1, M2.
+                    kb_.vxmBinary(en.aluBase + 2, Opcode::Max,
+                                  DType::Int8, r.stage1(1),
+                                  r.stage1(1), r.stage1(3), slot + 2);
+                    kb_.vxmBinary(en.aluBase + 2, Opcode::Max,
+                                  DType::Int8, r.stage1(3),
+                                  r.stage1(2), r.stage1(3), slot + 3);
+                    kb_.vxmBinary(en.aluBase + 2, Opcode::Max,
+                                  DType::Int8, r.stage1(3),
+                                  r.stage1(1), r.stage1(3), slot + 4);
+                    tree_vis = slot + fast_out - 1;
+                    tree_s = r.stage1(3);
+                } else {
+                    // Serial fallback: self-chained running max.
+                    for (int j = 0; j < kk; ++j) {
+                        const GlobalAddr &a =
+                            src[static_cast<std::size_t>(j)];
+                        const StreamRef in_s{16, dirToVxm(a)};
+                        reservedRead(a, in_s, vxm,
+                                     serialArrival(j));
+                        if (j == 0) {
+                            kb_.vxmBinary(en.aluBase + 0,
+                                          Opcode::Max, DType::Int8,
+                                          in_s, in_s, r.stage1(0),
+                                          slot);
+                        } else {
+                            kb_.vxmBinary(
+                                en.aluBase + 0, Opcode::Max,
+                                DType::Int8, r.stage1(0), in_s,
+                                r.stage1(0),
+                                slot + static_cast<Cycle>(j));
+                        }
+                    }
+                    tree_vis = slot + serial_out - 1;
+                    tree_s = r.stage1(0);
+                }
+
+                // Flip toward the engine's own hemisphere.
+                kb_.vxmBinary(en.aluBase + 3, Opcode::Max,
+                              DType::Int8, tree_s, tree_s,
+                              r.finalOwn(), tree_vis);
+                const Cycle vis = tree_vis + 1;
+                const StreamRef final_s = r.finalOwn();
+
+                // Outputs follow the conv conventions: primary to
+                // the opposite hemisphere on fromMxm, halo flipped.
+                const Cycle w_issue =
+                    vis + Layout::transitDelay(vxm, primary.pos());
+                reservedWrite(primary, final_s, w_issue);
+                (*out.ready[e])[static_cast<std::size_t>(
+                    ot.localRow(e, oy, ox, kg))] = w_issue + 1;
+
+                if (has_halo) {
+                    kb_.vxmBinary(en.aluBase + 4, Opcode::Max,
+                                  DType::Int8, final_s, final_s,
+                                  r.haloOut(), vis);
+                    const Cycle h_issue =
+                        vis + 1 +
+                        Layout::transitDelay(vxm, halo_a.pos());
+                    reservedWrite(halo_a, r.haloOut(), h_issue);
+                    (*out.ready[1 - e])[static_cast<std::size_t>(
+                        ot.localRow(1 - e, oy, ox, kg))] =
+                        h_issue + 1;
+                }
+
+                slot += fast ? 3 : static_cast<Cycle>(kk) + 2;
+            }
+        }
+    }
+    setGlobalChain(slot + 8);
+}
+
+LoweredTensor
+Lowering::maxPool(const LoweredTensor &in, int k, int stride, int pad,
+                  int out_halo)
+{
+    const int out_h = (in.t.height + 2 * pad - k) / stride + 1;
+    const int out_w = (in.t.width + 2 * pad - k) / stride + 1;
+    Hemisphere hems[2] = {Hemisphere::West, Hemisphere::East};
+    int avoid = 0;
+    if (const int ig = groupOf(in); ig >= 0)
+        avoid |= 1 << ig;
+    LoweredTensor out = allocOutput(out_h, out_w, in.t.channels,
+                                    out_halo, hems, avoid);
+    const Cycle begin = lastEvent_;
+    for (int e = 0; e < 2; ++e)
+        maxPoolEngine(e, in, k, stride, pad, out);
+    recordLayer("maxpool", begin);
+    return out;
+}
+
+// --------------------------------------------------------------------
+// Residual addition
+// --------------------------------------------------------------------
+
+void
+Lowering::eltwiseAddEngine(int e, const LoweredTensor &a,
+                           const LoweredTensor &b, const ConstQuad &sa,
+                           const ConstQuad &sb, bool relu,
+                           LoweredTensor &out)
+{
+    Engine &en = engine(e);
+    const StreamRoles &r = en.roles;
+    const ActTensor &at = a.t;
+    const ActTensor &bt = b.t;
+    ActTensor &ot = out.t;
+    const SlicePos vxm = Layout::vxm;
+    TSP_ASSERT(at.height == bt.height && at.width == bt.width &&
+               at.kgCount == bt.kgCount);
+
+    const int y_lo = e == 0 ? 0 : ot.splitY;
+    const int y_hi = e == 0 ? ot.splitY : ot.height;
+    if (y_hi <= y_lo)
+        return;
+
+    Cycle slot = globalChainGate();
+    const Cycle max_ready =
+        pipelined_ ? 0 : std::max(a.maxReady(), b.maxReady());
+
+    for (int oy = y_lo; oy < y_hi; ++oy) {
+        for (int ox = 0; ox < ot.width; ++ox) {
+            for (int kg = 0; kg < ot.kgCount; ++kg) {
+                const GlobalAddr src_a = at.addrOf(e, oy, ox, kg);
+                const GlobalAddr src_b = bt.addrOf(e, oy, ox, kg);
+                Cycle rdy_a = max_ready, rdy_b = max_ready;
+                if (pipelined_) {
+                    rdy_a = (*a.ready[e])[static_cast<std::size_t>(
+                        at.localRow(e, oy, ox, kg))];
+                    rdy_b = (*b.ready[e])[static_cast<std::size_t>(
+                        bt.localRow(e, oy, ox, kg))];
+                }
+                slot = std::max(slot, rdy_a + leadToVxm(src_a));
+                slot = std::max(slot, rdy_b + leadToVxm(src_b));
+
+                // Stream budget (see lowering.hh): all 7 fp32/const
+                // quads plus three singles packed into quad 28-31;
+                // the adder borrows quad 16-19, which carries no
+                // traffic during the globally gated eltwise window.
+                const StreamRef in_a{28, dirToVxm(src_a)};
+                const StreamRef in_b{31, dirToVxm(src_b)};
+                const StreamRef mulb_out{20, r.fromMxm};
+                const StreamRef add_out{16, r.fromMxm};
+                const StreamRef int8_out{29, r.fromMxm};
+
+                // Probe every access of the element as a unit.
+                const GlobalAddr primary = ot.addrOf(e, oy, ox, kg);
+                const bool has_halo = ot.stores(1 - e, oy);
+                const GlobalAddr halo_a =
+                    has_halo ? ot.addrOf(1 - e, oy, ox, kg)
+                             : GlobalAddr{};
+                constexpr Cycle out_lat = 8;
+                for (int attempt = 0;; ++attempt) {
+                    if (attempt > 100000)
+                        panic("eltwiseAddEngine: port livelock");
+                    std::vector<Access> batch;
+                    batch.push_back(
+                        {src_a, slot - leadToVxm(src_a), false});
+                    batch.push_back(
+                        {src_b, slot - leadToVxm(src_b), false});
+                    for (int q = 0; q < 4; ++q) {
+                        batch.push_back(
+                            {sa.addr[q],
+                             slot + 2 - leadToVxm(sa.addr[q]),
+                             false});
+                        batch.push_back(
+                            {sb.addr[q],
+                             slot + 2 - leadToVxm(sb.addr[q]),
+                             false});
+                    }
+                    batch.push_back(
+                        {primary,
+                         slot + out_lat +
+                             Layout::transitDelay(vxm,
+                                                  primary.pos()),
+                         true});
+                    if (has_halo) {
+                        batch.push_back(
+                            {halo_a,
+                             slot + out_lat + 1 +
+                                 Layout::transitDelay(vxm,
+                                                      halo_a.pos()),
+                             true});
+                    }
+                    if (tryReserveAll(batch))
+                        break;
+                    ++slot;
+                }
+                reservedRead(src_a, in_a, vxm, slot);
+                reservedRead(src_b, in_b, vxm, slot);
+
+                // Pipeline (per element, one producing stage per
+                // stream so back-to-back elements never collide on a
+                // flowing register; inputs always flow toMxm thanks
+                // to the uniform tensor placement, so the fromMxm
+                // quad 16-19 is free for the adder):
+                //  s:   cvtA -> stage1 (s8-11); cvtB -> stage2
+                //       (s12-15)
+                //  s+2: mulA (stage1 x sa) -> stage3 (s24-27);
+                //       mulB (stage2 x sb) -> s20-23
+                //  s+4: add -> s16-19
+                //  s+5: cvt fp32->int8 -> s29 fromMxm
+                //  s+7: relu/copy -> finalOwn (s29 toMxm)
+                kb_.vxmConvert(en.aluBase + 0, DType::Int8,
+                               DType::Fp32, in_a, r.stage1(0), slot);
+                kb_.vxmConvert(en.aluBase + 1, DType::Int8,
+                               DType::Fp32, in_b, r.stage2(0), slot);
+                for (int q = 0; q < 4; ++q) {
+                    reservedRead(sa.addr[q], r.bias(q), vxm,
+                                 slot + 2);
+                    reservedRead(sb.addr[q], r.scale(q), vxm,
+                                 slot + 2);
+                }
+                kb_.vxmBinary(en.aluBase + 2, Opcode::Mul,
+                              DType::Fp32, r.stage1(0), r.bias(0),
+                              r.stage3(0), slot + 2);
+                kb_.vxmBinary(en.aluBase + 3, Opcode::Mul,
+                              DType::Fp32, r.stage2(0), r.scale(0),
+                              mulb_out, slot + 2);
+                kb_.vxmBinary(en.aluBase + 4, Opcode::Add,
+                              DType::Fp32, r.stage3(0), mulb_out,
+                              add_out, slot + 4);
+                kb_.vxmConvert(en.aluBase + 5, DType::Fp32,
+                               DType::Int8, add_out, int8_out,
+                               slot + 5);
+                if (relu) {
+                    kb_.vxmUnary(en.aluBase + 6, Opcode::Relu,
+                                 DType::Int8, int8_out,
+                                 r.finalOwn(), slot + 7);
+                } else {
+                    kb_.vxmBinary(en.aluBase + 6, Opcode::Max,
+                                  DType::Int8, int8_out, int8_out,
+                                  r.finalOwn(), slot + 7);
+                }
+                const Cycle vis = slot + 8;
+                const StreamRef final_s = r.finalOwn();
+
+                const Cycle w_issue =
+                    vis + Layout::transitDelay(vxm, primary.pos());
+                reservedWrite(primary, final_s, w_issue);
+                (*out.ready[e])[static_cast<std::size_t>(
+                    ot.localRow(e, oy, ox, kg))] = w_issue + 1;
+
+                if (has_halo) {
+                    kb_.vxmBinary(en.aluBase + 7, Opcode::Max,
+                                  DType::Int8, final_s, final_s,
+                                  r.haloOut(), vis);
+                    const Cycle h_issue =
+                        vis + 1 +
+                        Layout::transitDelay(vxm, halo_a.pos());
+                    reservedWrite(halo_a, r.haloOut(), h_issue);
+                    (*out.ready[1 - e])[static_cast<std::size_t>(
+                        ot.localRow(1 - e, oy, ox, kg))] =
+                        h_issue + 1;
+                }
+                slot += 1;
+            }
+        }
+    }
+    setGlobalChain(slot + 9);
+}
+
+LoweredTensor
+Lowering::copyTensor(const LoweredTensor &src, int avoid_mask)
+{
+    const ActTensor &st = src.t;
+    Hemisphere hems[2] = {st.part[0].hem, st.part[1].hem};
+    LoweredTensor out =
+        allocOutput(st.height, st.width, st.channels, st.halo, hems,
+                    avoid_mask);
+    // Preserve the exact stored-row structure (including halos).
+    TSP_ASSERT(out.t.splitY == st.splitY && out.t.halo == st.halo);
+
+    for (int e = 0; e < 2; ++e) {
+        const StripedTensor &sp = st.part[e];
+        if (sp.rows == 0)
+            continue;
+        Cycle t = std::max(engine(e).chainFree,
+                           ScheduledProgram::kProgramStart + 128);
+        const Cycle max_ready = pipelined_ ? 0 : src.maxReady();
+        // Slice-major order: consecutive issues come from ONE source
+        // slice, so their values ride distinct flow lines of the
+        // single copy stream; a gap separates slice groups.
+        for (int s_idx = 0; s_idx < sp.nSlices; ++s_idx) {
+            for (int row = s_idx; row < sp.rows;
+                 row += sp.nSlices) {
+                const GlobalAddr from = sp.rowAddr(row);
+                const GlobalAddr to = out.t.part[e].rowAddr(row);
+                const Cycle rdy =
+                    pipelined_ ? (*src.ready[e])[static_cast<
+                                     std::size_t>(row)]
+                               : max_ready;
+                const Cycle lead =
+                    opTiming(Opcode::Read).dFunc +
+                    Layout::transitDelay(from.pos(), to.pos());
+                Cycle issue = std::max(t, rdy);
+                for (int attempt = 0;; ++attempt) {
+                    if (attempt > 100000)
+                        panic("copyTensor: port livelock");
+                    std::vector<Access> batch;
+                    batch.push_back({from, issue, false});
+                    batch.push_back({to, issue + lead, true});
+                    if (tryReserveAll(batch))
+                        break;
+                    ++issue;
+                }
+                const StreamRef s{
+                    31,
+                    Layout::flowDirection(from.pos(), to.pos())};
+                kb_.read(from, s, issue);
+                kb_.write(to, s, issue + lead);
+                bumpLast(issue + lead + 1);
+                (*out.ready[e])[static_cast<std::size_t>(row)] =
+                    issue + lead + 1;
+                t = issue + 1;
+            }
+            t += Layout::numPositions; // Drain the line space.
+        }
+    }
+    return out;
+}
+
+LoweredTensor
+Lowering::residualAdd(const LoweredTensor &a, const LoweredTensor &b,
+                      float sa, float sb, bool relu, int out_halo)
+{
+    TSP_ASSERT(a.t.channels == b.t.channels);
+    Hemisphere hems[2] = {Hemisphere::West, Hemisphere::East};
+    int avoid = 0;
+    if (const int ga = groupOf(a); ga >= 0)
+        avoid |= 1 << ga;
+    if (const int gb = groupOf(b); gb >= 0)
+        avoid |= 1 << gb;
+
+    // The engine issues both operand reads in the same cycle; if the
+    // operands landed in the same slice group, stage one of them
+    // into a fresh group first (escape hatch — the group rotation
+    // avoids this in practice).
+    const LoweredTensor *pb = &b;
+    LoweredTensor staged;
+    if (groupOf(a) >= 0 && groupOf(a) == groupOf(b)) {
+        staged = copyTensor(b, avoid);
+        if (const int gs = groupOf(staged); gs >= 0)
+            avoid |= 1 << gs;
+        pb = &staged;
+    }
+
+    LoweredTensor out = allocOutput(a.t.height, a.t.width,
+                                    a.t.channels, out_halo, hems,
+                                    avoid);
+
+    std::vector<float> sav(kLanes, sa), sbv(kLanes, sb);
+    ConstQuad saq[2], sbq[2];
+    for (int e = 0; e < 2; ++e) {
+        const Hemisphere hem =
+            e == 0 ? Hemisphere::West : Hemisphere::East;
+        saq[e] = allocConstQuad(alloc_, hem, kBiasFirst);
+        sbq[e] = allocConstQuad(alloc_, hem, kScaleFirst);
+        image_.addFp32Quad(saq[e].addr, sav.data(), kLanes);
+        image_.addFp32Quad(sbq[e].addr, sbv.data(), kLanes);
+    }
+
+    const Cycle begin = lastEvent_;
+    for (int e = 0; e < 2; ++e)
+        eltwiseAddEngine(e, a, *pb, saq[e], sbq[e], relu, out);
+    recordLayer("residual", begin);
+    return out;
+}
+
+// --------------------------------------------------------------------
+// Global average pooling
+// --------------------------------------------------------------------
+
+LoweredTensor
+Lowering::globalAvgPool(const LoweredTensor &in, float scale)
+{
+    const ActTensor &it = in.t;
+    Hemisphere hems[2] = {Hemisphere::West, Hemisphere::East};
+    int avoid = 0;
+    if (const int ig = groupOf(in); ig >= 0)
+        avoid |= 1 << ig;
+    LoweredTensor out =
+        allocOutput(1, 1, it.channels, /*halo=*/0, hems, avoid);
+    const Cycle layer_begin = lastEvent_;
+
+    const SlicePos vxm = Layout::vxm;
+    std::vector<float> scalev(kLanes, scale);
+
+    // Per-engine partial sums land in int32 quads; the west engine
+    // combines and requantizes.
+    std::vector<ConstQuad> partial[2]; // [e][kg]
+    std::vector<Cycle> partial_ready[2];
+
+    for (int e = 0; e < 2; ++e) {
+        Engine &en = engine(e);
+        const StreamRoles &r = en.roles;
+        const int y_lo = e == 0 ? 0 : it.splitY;
+        const int y_hi = e == 0 ? it.splitY : it.height;
+        if (y_hi <= y_lo)
+            continue;
+
+        Cycle slot = globalChainGate();
+        const Cycle max_ready = pipelined_ ? 0 : in.maxReady();
+
+        for (int kg = 0; kg < it.kgCount; ++kg) {
+            // Seed the running sum with the zero quad.
+            // Elements stream 1/cycle: cvt at s, add at s+2 chained
+            // on stage2 (the running int32 sum).
+            std::vector<std::pair<int, int>> pos;
+            for (int y = y_lo; y < y_hi; ++y)
+                for (int x = 0; x < it.width; ++x)
+                    pos.emplace_back(y, x);
+
+            // Find a feasible base slot for the whole run.
+            Cycle base = slot;
+            for (std::size_t i = 0; i < pos.size(); ++i) {
+                const GlobalAddr a =
+                    it.addrOf(e, pos[i].first, pos[i].second, kg);
+                Cycle rdy = max_ready;
+                if (pipelined_) {
+                    rdy = (*in.ready[e])[static_cast<std::size_t>(
+                        it.localRow(e, pos[i].first, pos[i].second,
+                                    kg))];
+                }
+                const Cycle need = rdy + leadToVxm(a);
+                if (base + static_cast<Cycle>(i) < need)
+                    base = need - static_cast<Cycle>(i);
+            }
+            // Partial-sum destination quad (4 distinct slices).
+            const Hemisphere qhem_probe =
+                e == 0 ? Hemisphere::East : Hemisphere::West;
+            ConstQuad q = allocConstQuad(alloc_, qhem_probe,
+                                         kActFirst);
+            for (int attempt = 0;; ++attempt) {
+                if (attempt > 100000)
+                    panic("globalAvgPool: port livelock");
+                std::vector<Access> batch;
+                for (std::size_t i = 0; i < pos.size(); ++i) {
+                    const GlobalAddr a = it.addrOf(
+                        e, pos[i].first, pos[i].second, kg);
+                    batch.push_back(
+                        {a,
+                         base + static_cast<Cycle>(i) - leadToVxm(a),
+                         false});
+                }
+                const Cycle sv =
+                    base + static_cast<Cycle>(pos.size()) + 2;
+                for (int c = 0; c < 4; ++c) {
+                    batch.push_back(
+                        {en.zeroQuad.addr[c],
+                         base + 2 - leadToVxm(en.zeroQuad.addr[c]),
+                         false});
+                    batch.push_back(
+                        {q.addr[c],
+                         sv + Layout::transitDelay(
+                                  vxm, q.addr[c].pos()),
+                         true});
+                }
+                if (tryReserveAll(batch))
+                    break;
+                ++base;
+            }
+
+            // Zero-quad seed arrives when the first add needs it.
+            for (int q = 0; q < 4; ++q) {
+                reservedRead(en.zeroQuad.addr[q], r.stage2(q), vxm,
+                             base + 2);
+            }
+            for (std::size_t i = 0; i < pos.size(); ++i) {
+                const GlobalAddr a =
+                    it.addrOf(e, pos[i].first, pos[i].second, kg);
+                const Cycle s = base + static_cast<Cycle>(i);
+                reservedRead(a, StreamRef{16, dirToVxm(a)}, vxm, s);
+                kb_.vxmConvert(en.aluBase + 0, DType::Int8,
+                               DType::Int32,
+                               StreamRef{16, dirToVxm(a)},
+                               r.stage1(0), s);
+                kb_.vxmBinary(en.aluBase + 1, Opcode::AddSat,
+                              DType::Int32, r.stage1(0), r.stage2(0),
+                              r.stage2(0), s + 2);
+            }
+            const Cycle sum_vis =
+                base + static_cast<Cycle>(pos.size()) + 2;
+
+            // Write the partial quad (already reserved above).
+            Cycle commit = 0;
+            for (int c = 0; c < 4; ++c) {
+                const Cycle wi =
+                    sum_vis +
+                    Layout::transitDelay(vxm, q.addr[c].pos());
+                reservedWrite(q.addr[c], r.stage2(c), wi);
+                commit = std::max(commit, wi + 1);
+            }
+            partial[e].push_back(q);
+            partial_ready[e].push_back(commit);
+            slot = sum_vis + 3;
+        }
+        setGlobalChain(slot);
+    }
+
+    // Combine + requantize on the west engine.
+    Engine &en = engine(0);
+    const StreamRoles &r = en.roles;
+    ConstQuad sq = allocConstQuad(alloc_, en.hem, kScaleFirst);
+    image_.addFp32Quad(sq.addr, scalev.data(), kLanes);
+
+    for (int kg = 0; kg < it.kgCount; ++kg) {
+        const bool have_east =
+            static_cast<std::size_t>(kg) < partial[1].size();
+        const ConstQuad &qa = partial[0][static_cast<std::size_t>(kg)];
+        // Partial quads live wherever their producing engine could
+        // write them; the reads must flow toward the VXM from there.
+        const Direction da = dirToVxm(qa.addr[0]);
+        Cycle t = globalChainGate();
+        // Every quad component has its own transit; the arrival time
+        // must clear the slowest one after its commit.
+        for (int c = 0; c < 4; ++c) {
+            t = std::max(
+                t, partial_ready[0][static_cast<std::size_t>(kg)] +
+                       leadToVxm(qa.addr[c]));
+        }
+        const ConstQuad &qb =
+            have_east ? partial[1][static_cast<std::size_t>(kg)]
+                      : en.zeroQuad;
+        const Direction db = dirToVxm(qb.addr[0]);
+        if (have_east) {
+            for (int c = 0; c < 4; ++c) {
+                t = std::max(
+                    t,
+                    partial_ready[1][static_cast<std::size_t>(kg)] +
+                        leadToVxm(qb.addr[c]));
+            }
+        }
+        const GlobalAddr out_primary = out.t.addrOf(0, 0, 0, kg);
+        for (int attempt = 0;; ++attempt) {
+            if (attempt > 100000)
+                panic("globalAvgPool: combine port livelock");
+            std::vector<Access> batch;
+            for (int c = 0; c < 4; ++c) {
+                batch.push_back(
+                    {qa.addr[c], t - leadToVxm(qa.addr[c]), false});
+                batch.push_back(
+                    {qb.addr[c], t - leadToVxm(qb.addr[c]), false});
+                batch.push_back(
+                    {sq.addr[c], t + 3 - leadToVxm(sq.addr[c]),
+                     false});
+            }
+            batch.push_back(
+                {out_primary,
+                 t + 8 +
+                     Layout::transitDelay(vxm, out_primary.pos()),
+                 true});
+            if (tryReserveAll(batch))
+                break;
+            ++t;
+        }
+        for (int c = 0; c < 4; ++c) {
+            reservedRead(qa.addr[c],
+                         StreamRef{static_cast<StreamId>(8 + c), da},
+                         vxm, t);
+            reservedRead(qb.addr[c],
+                         StreamRef{static_cast<StreamId>(12 + c),
+                                   db},
+                         vxm, t);
+        }
+        kb_.vxmBinary(en.aluBase + 0, Opcode::AddSat, DType::Int32,
+                      StreamRef{8, da}, StreamRef{12, db},
+                      r.stage3(0), t);
+        // stage3 int32 -> fp32 -> x scale -> int8.
+        kb_.vxmConvert(en.aluBase + 1, DType::Int32, DType::Fp32,
+                       r.stage3(0), r.stage1(0), t + 1);
+        for (int c = 0; c < 4; ++c)
+            reservedRead(sq.addr[c], r.scale(c), vxm, t + 3);
+        // (Scale reads were reserved in the combine batch above.)
+        kb_.vxmBinary(en.aluBase + 2, Opcode::Mul, DType::Fp32,
+                      r.stage1(0), r.scale(0), r.stage2(0), t + 3);
+        kb_.vxmConvert(en.aluBase + 3, DType::Fp32, DType::Int8,
+                       r.stage2(0), r.stageInt8(), t + 5);
+        kb_.vxmBinary(en.aluBase + 4, Opcode::Max, DType::Int8,
+                      r.stageInt8(), r.stageInt8(), r.finalOwn(),
+                      t + 7);
+        const Cycle vis = t + 8;
+
+        const Cycle wi =
+            vis + Layout::transitDelay(vxm, out_primary.pos());
+        reservedWrite(out_primary, r.finalOwn(), wi);
+        (*out.ready[0])[static_cast<std::size_t>(
+            out.t.localRow(0, 0, 0, kg))] = wi + 1;
+        setGlobalChain(t + 8);
+    }
+    recordLayer("gap", layer_begin);
+    return out;
+}
+
+} // namespace tsp

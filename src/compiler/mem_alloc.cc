@@ -1,0 +1,124 @@
+#include "compiler/mem_alloc.hh"
+
+#include "common/logging.hh"
+
+namespace tsp {
+
+MemAllocator::MemAllocator()
+{
+    // Reserve word 0 of slice 0, bank 0 in each hemisphere as the
+    // architectural zero vector (zero padding source).
+    for (int h = 0; h < 2; ++h)
+        banks_[static_cast<std::size_t>(h)][0][0].next = 1;
+}
+
+MemAllocator::BankState &
+MemAllocator::state(Hemisphere hem, int slice, int bank)
+{
+    TSP_ASSERT(slice >= 0 && slice < kMemSlicesPerHem);
+    TSP_ASSERT(bank >= 0 && bank < kMemBanks);
+    return banks_[static_cast<std::size_t>(hem)]
+                 [static_cast<std::size_t>(slice)]
+                 [static_cast<std::size_t>(bank)];
+}
+
+const MemAllocator::BankState &
+MemAllocator::state(Hemisphere hem, int slice, int bank) const
+{
+    return const_cast<MemAllocator *>(this)->state(hem, slice, bank);
+}
+
+int
+MemAllocator::freeWords(Hemisphere hem, int slice, int bank) const
+{
+    return kBankWords - state(hem, slice, bank).next;
+}
+
+GlobalAddr
+MemAllocator::alloc(Hemisphere hem, int slice, int words, int bank)
+{
+    TSP_ASSERT(words > 0);
+    if (bank < 0) {
+        bank = freeWords(hem, slice, 0) >= freeWords(hem, slice, 1)
+                   ? 0
+                   : 1;
+    }
+    BankState &b = state(hem, slice, bank);
+    if (b.next + words > kBankWords) {
+        fatal("MemAllocator: %s slice %d bank %d exhausted "
+              "(%d words requested, %d free)",
+              hemName(hem), slice, bank, words, kBankWords - b.next);
+    }
+    const MemAddr addr =
+        static_cast<MemAddr>(bank * kBankWords + b.next);
+    b.next += words;
+    return GlobalAddr{hem, slice, addr};
+}
+
+GlobalAddr
+MemAllocator::allocStriped(Hemisphere hem, int first_slice, int count,
+                           int words, int bank)
+{
+    TSP_ASSERT(count >= 1 &&
+               first_slice + count <= kMemSlicesPerHem);
+    // All stripes must land at the same offset: find a common bank
+    // and offset across the slices.
+    int use_bank = bank;
+    if (use_bank < 0) {
+        // Pick the bank whose *minimum* free space across slices is
+        // largest.
+        int best_free = -1;
+        for (int b = 0; b < kMemBanks; ++b) {
+            int min_free = kBankWords;
+            for (int s = 0; s < count; ++s) {
+                min_free = std::min(
+                    min_free, freeWords(hem, first_slice + s, b));
+            }
+            if (min_free > best_free) {
+                best_free = min_free;
+                use_bank = b;
+            }
+        }
+    }
+    // Common offset = max of the slices' bump pointers.
+    int offset = 0;
+    for (int s = 0; s < count; ++s) {
+        offset = std::max(offset,
+                          state(hem, first_slice + s, use_bank).next);
+    }
+    if (offset + words > kBankWords) {
+        fatal("MemAllocator: striped alloc of %d words over slices "
+              "%d..%d bank %d does not fit",
+              words, first_slice, first_slice + count - 1, use_bank);
+    }
+    for (int s = 0; s < count; ++s)
+        state(hem, first_slice + s, use_bank).next = offset + words;
+    return GlobalAddr{hem, first_slice,
+                      static_cast<MemAddr>(use_bank * kBankWords +
+                                           offset)};
+}
+
+int
+MemAllocator::bestSlice(Hemisphere hem, int lo, int hi, int words) const
+{
+    TSP_ASSERT(lo >= 0 && hi < kMemSlicesPerHem && lo <= hi);
+    int best = -1;
+    int best_free = words - 1;
+    for (int s = lo; s <= hi; ++s) {
+        const int f = std::max(freeWords(hem, s, 0),
+                               freeWords(hem, s, 1));
+        if (f > best_free) {
+            best_free = f;
+            best = s;
+        }
+    }
+    return best;
+}
+
+GlobalAddr
+MemAllocator::zeroAddr(Hemisphere hem) const
+{
+    return GlobalAddr{hem, 0, 0};
+}
+
+} // namespace tsp

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Compiler-side memory management over the PGAS (paper IV.A).
+ *
+ * There is no hardware allocator or cache hierarchy: the compiler owns
+ * every word of the 88 slices and places tensors to satisfy the
+ * concurrency it needs — operand rows near the consuming MXM, bank
+ * interleaving for simultaneous read/write, and striping across slices
+ * for multi-stream bursts. This class is a bump allocator per
+ * (slice, bank) with helpers for those placement patterns.
+ */
+
+#ifndef TSP_COMPILER_MEM_ALLOC_HH
+#define TSP_COMPILER_MEM_ALLOC_HH
+
+#include <array>
+#include <vector>
+
+#include "mem/addr.hh"
+
+namespace tsp {
+
+/** Bump allocator across all 88 MEM slices. */
+class MemAllocator
+{
+  public:
+    MemAllocator();
+
+    /**
+     * Allocates @p words consecutive word addresses in one slice.
+     *
+     * @param bank 0/1 to force a bank, -1 to use the fuller-free one.
+     * @return the first word's address. Calls fatal() on exhaustion.
+     */
+    GlobalAddr alloc(Hemisphere hem, int slice, int words,
+                     int bank = -1);
+
+    /**
+     * Allocates @p words at the same offset in each of @p count
+     * consecutive slices starting at @p first_slice (striped layouts
+     * for multi-stream bursts such as weight tiles).
+     *
+     * @return the address in the first slice; slice i's copy is at
+     * the same addr with slice = first_slice + i.
+     */
+    GlobalAddr allocStriped(Hemisphere hem, int first_slice, int count,
+                            int words, int bank = -1);
+
+    /** @return free words remaining in (hem, slice, bank). */
+    int freeWords(Hemisphere hem, int slice, int bank) const;
+
+    /**
+     * @return the slice in @p hem within [lo, hi] with the most free
+     * space in either bank, or -1 if nothing fits @p words.
+     */
+    int bestSlice(Hemisphere hem, int lo, int hi, int words) const;
+
+    /**
+     * The reserved all-zero vector of @p hem, used to stream padding
+     * (zero-fill) into convolution halos. Word 0 of slice 0 in each
+     * hemisphere is never handed out.
+     */
+    GlobalAddr zeroAddr(Hemisphere hem) const;
+
+  private:
+    struct BankState
+    {
+        int next = 0; ///< Next free offset within the bank.
+    };
+
+    static constexpr int kBankWords = kMemWordsPerSlice / kMemBanks;
+
+    BankState &state(Hemisphere hem, int slice, int bank);
+    const BankState &state(Hemisphere hem, int slice, int bank) const;
+
+    /** [hem][slice][bank]. */
+    std::array<std::array<std::array<BankState, kMemBanks>,
+                          kMemSlicesPerHem>,
+               2>
+        banks_{};
+};
+
+} // namespace tsp
+
+#endif // TSP_COMPILER_MEM_ALLOC_HH

@@ -1,0 +1,31 @@
+#include "compiler/tensor.hh"
+
+#include "common/logging.hh"
+
+namespace tsp {
+
+WeightTile
+allocWeightTile(MemAllocator &alloc, Hemisphere hem, int first_slice,
+                int rows)
+{
+    TSP_ASSERT(rows >= 1 && rows <= kMxmDim);
+    WeightTile w;
+    w.hem = hem;
+    w.firstSlice = first_slice;
+    w.rows = rows;
+    const GlobalAddr a = alloc.allocStriped(
+        hem, first_slice, WeightTile::kStripe, w.wordsPerSlice());
+    w.base = a.addr;
+    return w;
+}
+
+ConstQuad
+allocConstQuad(MemAllocator &alloc, Hemisphere hem, int first_slice)
+{
+    ConstQuad q;
+    for (int k = 0; k < 4; ++k)
+        q.addr[k] = alloc.alloc(hem, first_slice + k, 1);
+    return q;
+}
+
+} // namespace tsp

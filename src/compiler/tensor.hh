@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Compiler-visible tensor placements.
+ *
+ * Activations are stored as rows of 320-byte vectors: one vector holds
+ * up to 320 channels of one spatial position; deeper layers use
+ * several channel groups (kg) per position. A tensor is split across
+ * the hemispheres by image row (y) so both MXM hemispheres compute in
+ * parallel (paper IV: four simultaneous conv2d), and each side stores
+ * `halo` extra boundary rows of the other side's data so spatially
+ * windowed consumers (3x3/7x7 conv, pooling) never touch the slices
+ * the other hemisphere's engine is streaming from — the placement
+ * discipline of paper IV.A, where the compiler lays out operands to
+ * guarantee conflict-free concurrency.
+ *
+ * Within a part, rows are striped round-robin across a contiguous
+ * range of slices, trading placement freedom for read concurrency.
+ */
+
+#ifndef TSP_COMPILER_TENSOR_HH
+#define TSP_COMPILER_TENSOR_HH
+
+#include <algorithm>
+
+#include "compiler/mem_alloc.hh"
+
+namespace tsp {
+
+/** Rows striped across a contiguous range of slices in one hemisphere. */
+struct StripedTensor
+{
+    Hemisphere hem = Hemisphere::West;
+    int firstSlice = 0;
+    int nSlices = 1;
+    MemAddr base = 0;
+    int rows = 0;
+
+    /** @return address of row @p r. */
+    GlobalAddr
+    rowAddr(int r) const
+    {
+        return GlobalAddr{
+            hem, firstSlice + r % nSlices,
+            static_cast<MemAddr>(base + static_cast<MemAddr>(
+                                            r / nSlices))};
+    }
+
+    /** @return words used per slice. */
+    int
+    wordsPerSlice() const
+    {
+        return (rows + nSlices - 1) / nSlices;
+    }
+};
+
+/**
+ * An int8 activation tensor [height x width x channel groups], split
+ * by image row: the west half computes rows y < splitY, the east half
+ * the rest. Each part *stores* its own rows plus up to `halo` rows
+ * past the boundary (duplicated by the producer).
+ *
+ * Storage hemisphere note: a part's data lives wherever the producer
+ * could write it — the part index is the *owning engine* (0 = west
+ * engine, 1 = east engine), and part[i].hem records where the rows
+ * physically are (they alternate across layers as results flow
+ * through the VXM).
+ */
+struct ActTensor
+{
+    int height = 1;
+    int width = 1;
+    int kgCount = 1;
+    int channels = 0; ///< Logical channel count (<= 320 * kgCount).
+    int splitY = 0;   ///< West engine owns y < splitY.
+    int halo = 0;     ///< Boundary rows duplicated on each side.
+
+    StripedTensor part[2]; ///< [west engine, east engine].
+
+    /** @return spatial positions. */
+    int positions() const { return height * width; }
+
+    /** @return last y (exclusive) stored by the west part. */
+    int storedHiY() const { return std::min(height, splitY + halo); }
+
+    /** @return first y stored by the east part. */
+    int storedLoY() const { return std::max(0, splitY - halo); }
+
+    /** @return true if engine part @p e (0/1) stores image row @p y. */
+    bool
+    stores(int e, int y) const
+    {
+        if (y < 0 || y >= height)
+            return false;
+        return e == 0 ? y < storedHiY() : y >= storedLoY();
+    }
+
+    /** @return local row index of (y, x, kg) within part @p e. */
+    int
+    localRow(int e, int y, int x, int kg) const
+    {
+        const int y0 = e == 0 ? y : y - storedLoY();
+        return (y0 * width + x) * kgCount + kg;
+    }
+
+    /** @return address of (y, x, kg) in part @p e. */
+    GlobalAddr
+    addrOf(int e, int y, int x, int kg) const
+    {
+        return part[e].rowAddr(localRow(e, y, x, kg));
+    }
+
+    /** @return the engine that owns output row @p y. */
+    int
+    ownerOf(int y) const
+    {
+        return y < splitY ? 0 : 1;
+    }
+
+    /** @return rows of image owned by engine @p e. */
+    int
+    ownedRows(int e) const
+    {
+        return e == 0 ? splitY : height - splitY;
+    }
+};
+
+/**
+ * One up-to-320x320 weight tile striped across 16 consecutive
+ * slices: row r (output channel) lives in slice firstSlice + r % 16
+ * at address base + r / 16, so a 16-stream LW burst installs 16 rows
+ * per cycle. Only ceil(rows / 16) row groups are stored and
+ * installed — array rows past that hold stale weights whose outputs
+ * land on channels the schedule never writes back (their downstream
+ * weight columns are zero), so partial tiles are exact and save both
+ * SRAM and install cycles.
+ */
+struct WeightTile
+{
+    Hemisphere hem = Hemisphere::West;
+    int firstSlice = 0;
+    MemAddr base = 0;
+    int rows = kMxmDim; ///< Valid rows (output channels).
+
+    static constexpr int kStripe = 16;
+
+    /** @return number of 16-row LW bursts this tile installs. */
+    int
+    bursts() const
+    {
+        return (rows + kStripe - 1) / kStripe;
+    }
+
+    /** @return address of weight row @p r. */
+    GlobalAddr
+    rowAddr(int r) const
+    {
+        return GlobalAddr{
+            hem, firstSlice + r % kStripe,
+            static_cast<MemAddr>(base +
+                                 static_cast<MemAddr>(r / kStripe))};
+    }
+
+    /** @return words used per slice. */
+    int
+    wordsPerSlice() const
+    {
+        return bursts();
+    }
+};
+
+/**
+ * A quad-stream constant: four 320-byte vectors (one int32/fp32 value
+ * per lane) placed in four *distinct* slices so all four streams can
+ * be re-read every cycle during a drain.
+ */
+struct ConstQuad
+{
+    GlobalAddr addr[4];
+};
+
+/**
+ * Allocates a WeightTile of @p rows valid rows striped over 16
+ * slices from @p first_slice.
+ */
+WeightTile allocWeightTile(MemAllocator &alloc, Hemisphere hem,
+                           int first_slice, int rows = kMxmDim);
+
+/** Allocates a ConstQuad in four consecutive slices from @p first. */
+ConstQuad allocConstQuad(MemAllocator &alloc, Hemisphere hem,
+                         int first_slice);
+
+} // namespace tsp
+
+#endif // TSP_COMPILER_TENSOR_HH

@@ -1,0 +1,236 @@
+#include "graph/graph.hh"
+
+#include "common/logging.hh"
+
+namespace tsp {
+
+int
+Graph::push(Node n)
+{
+    n.id = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(n));
+    shaped_ = false;
+    return nodes_.back().id;
+}
+
+int
+Graph::addInput(int h, int w, int c)
+{
+    TSP_ASSERT(nodes_.empty());
+    Node n;
+    n.kind = OpKind::Input;
+    n.outH = h;
+    n.outW = w;
+    n.outC = c;
+    return push(std::move(n));
+}
+
+int
+Graph::addConv(int input, const ConvGeom &geom, ConvWeights weights)
+{
+    TSP_ASSERT(input >= 0 && input < size());
+    Node n;
+    n.kind = OpKind::Conv2d;
+    n.inputs = {input};
+    n.geom = geom;
+    n.weights = std::move(weights);
+    return push(std::move(n));
+}
+
+int
+Graph::addMaxPool(int input, int k, int stride, int pad)
+{
+    TSP_ASSERT(input >= 0 && input < size());
+    Node n;
+    n.kind = OpKind::MaxPool;
+    n.inputs = {input};
+    n.poolK = k;
+    n.poolStride = stride;
+    n.poolPad = pad;
+    return push(std::move(n));
+}
+
+int
+Graph::addGlobalAvgPool(int input, float scale)
+{
+    TSP_ASSERT(input >= 0 && input < size());
+    Node n;
+    n.kind = OpKind::GlobalAvgPool;
+    n.inputs = {input};
+    n.scale = scale;
+    return push(std::move(n));
+}
+
+int
+Graph::addResidual(int a, int b, float sa, float sb, bool relu)
+{
+    TSP_ASSERT(a >= 0 && a < size() && b >= 0 && b < size());
+    Node n;
+    n.kind = OpKind::ResidualAdd;
+    n.inputs = {a, b};
+    n.scaleA = sa;
+    n.scaleB = sb;
+    n.relu = relu;
+    return push(std::move(n));
+}
+
+const Node &
+Graph::node(int id) const
+{
+    TSP_ASSERT(id >= 0 && id < size());
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+void
+Graph::inferShapes()
+{
+    for (Node &n : nodes_) {
+        switch (n.kind) {
+          case OpKind::Input:
+            break;
+          case OpKind::Conv2d: {
+            const Node &in = node(n.inputs[0]);
+            if (in.outC != n.weights.inC) {
+                fatal("graph: conv node %d expects %d channels, got "
+                      "%d",
+                      n.id, n.weights.inC, in.outC);
+            }
+            n.outH = (in.outH + 2 * n.geom.pad - n.geom.kh) /
+                         n.geom.stride +
+                     1;
+            n.outW = (in.outW + 2 * n.geom.pad - n.geom.kw) /
+                         n.geom.stride +
+                     1;
+            n.outC = n.weights.outC;
+            break;
+          }
+          case OpKind::MaxPool: {
+            const Node &in = node(n.inputs[0]);
+            n.outH =
+                (in.outH + 2 * n.poolPad - n.poolK) / n.poolStride +
+                1;
+            n.outW =
+                (in.outW + 2 * n.poolPad - n.poolK) / n.poolStride +
+                1;
+            n.outC = in.outC;
+            break;
+          }
+          case OpKind::GlobalAvgPool: {
+            const Node &in = node(n.inputs[0]);
+            n.outH = 1;
+            n.outW = 1;
+            n.outC = in.outC;
+            break;
+          }
+          case OpKind::ResidualAdd: {
+            const Node &a = node(n.inputs[0]);
+            const Node &b = node(n.inputs[1]);
+            if (a.outH != b.outH || a.outW != b.outW ||
+                a.outC != b.outC) {
+                fatal("graph: residual node %d shape mismatch", n.id);
+            }
+            n.outH = a.outH;
+            n.outW = a.outW;
+            n.outC = a.outC;
+            break;
+          }
+        }
+    }
+    shaped_ = true;
+}
+
+std::map<int, LoweredTensor>
+Graph::lower(Lowering &lw,
+             const std::vector<std::int8_t> &input_data) const
+{
+    TSP_ASSERT(shaped_);
+    std::map<int, LoweredTensor> out;
+    for (const Node &n : nodes_) {
+        switch (n.kind) {
+          case OpKind::Input:
+            out[n.id] = lw.inputTensor(n.outH, n.outW, n.outC,
+                                       input_data);
+            break;
+          case OpKind::Conv2d:
+            out[n.id] =
+                lw.conv2d(out.at(n.inputs[0]), n.geom, n.weights);
+            break;
+          case OpKind::MaxPool:
+            out[n.id] = lw.maxPool(out.at(n.inputs[0]), n.poolK,
+                                   n.poolStride, n.poolPad);
+            break;
+          case OpKind::GlobalAvgPool:
+            out[n.id] =
+                lw.globalAvgPool(out.at(n.inputs[0]), n.scale);
+            break;
+          case OpKind::ResidualAdd:
+            out[n.id] = lw.residualAdd(out.at(n.inputs[0]),
+                                       out.at(n.inputs[1]), n.scaleA,
+                                       n.scaleB, n.relu);
+            break;
+        }
+    }
+    return out;
+}
+
+std::map<int, ref::QTensor>
+Graph::runReference(const ref::QTensor &input) const
+{
+    TSP_ASSERT(shaped_);
+    std::map<int, ref::QTensor> out;
+    for (const Node &n : nodes_) {
+        switch (n.kind) {
+          case OpKind::Input:
+            out[n.id] = input;
+            break;
+          case OpKind::Conv2d:
+            out[n.id] = ref::conv2d(
+                out.at(n.inputs[0]), n.weights.w.data(),
+                n.weights.outC, n.geom.kh, n.geom.kw, n.geom.stride,
+                n.geom.pad, n.weights.bias.data(),
+                n.weights.scale.data(), n.geom.relu);
+            break;
+          case OpKind::MaxPool:
+            out[n.id] = ref::maxPool(out.at(n.inputs[0]), n.poolK,
+                                     n.poolStride, n.poolPad);
+            break;
+          case OpKind::GlobalAvgPool:
+            out[n.id] =
+                ref::globalAvgPool(out.at(n.inputs[0]), n.scale);
+            break;
+          case OpKind::ResidualAdd:
+            out[n.id] = ref::residualAdd(out.at(n.inputs[0]),
+                                         out.at(n.inputs[1]),
+                                         n.scaleA, n.scaleB, n.relu);
+            break;
+        }
+    }
+    return out;
+}
+
+std::size_t
+Graph::parameterCount() const
+{
+    std::size_t total = 0;
+    for (const Node &n : nodes_) {
+        if (n.kind == OpKind::Conv2d)
+            total += n.weights.w.size();
+    }
+    return total;
+}
+
+std::uint64_t
+Graph::maccCount() const
+{
+    TSP_ASSERT(shaped_);
+    std::uint64_t total = 0;
+    for (const Node &n : nodes_) {
+        if (n.kind == OpKind::Conv2d) {
+            total += static_cast<std::uint64_t>(n.outH) * n.outW *
+                     n.outC * n.weights.inC * n.geom.kh * n.geom.kw;
+        }
+    }
+    return total;
+}
+
+} // namespace tsp

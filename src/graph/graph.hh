@@ -1,0 +1,120 @@
+/**
+ * @file
+ * A small tensor-graph IR over the quantized operators the TSP
+ * pipeline supports. Models are built as graphs, shape-inferred, and
+ * then either lowered onto the chip (graph-lowering compiler front
+ * end, paper II/IV) or executed on the golden CPU reference for
+ * validation.
+ */
+
+#ifndef TSP_GRAPH_GRAPH_HH
+#define TSP_GRAPH_GRAPH_HH
+
+#include <map>
+#include <vector>
+
+#include "compiler/lowering.hh"
+#include "ref/qnn.hh"
+
+namespace tsp {
+
+/** Operator kinds supported by the lowering. */
+enum class OpKind : std::uint8_t {
+    Input,
+    Conv2d,
+    MaxPool,
+    GlobalAvgPool,
+    ResidualAdd,
+};
+
+/** One graph node. */
+struct Node
+{
+    int id = -1;
+    OpKind kind = OpKind::Input;
+    std::vector<int> inputs;
+
+    // Conv2d (fully connected = 1x1 conv on a 1x1 input).
+    ConvGeom geom{};
+    ConvWeights weights{};
+
+    // MaxPool.
+    int poolK = 0;
+    int poolStride = 0;
+    int poolPad = 0;
+
+    // GlobalAvgPool.
+    float scale = 1.0f;
+
+    // ResidualAdd.
+    float scaleA = 1.0f;
+    float scaleB = 1.0f;
+    bool relu = false;
+
+    // Inferred output shape.
+    int outH = 0;
+    int outW = 0;
+    int outC = 0;
+};
+
+/** A directed acyclic graph of quantized operators. */
+class Graph
+{
+  public:
+    /** Adds the input placeholder; must be the first node. */
+    int addInput(int h, int w, int c);
+
+    /** Adds a conv2d consuming @p input. */
+    int addConv(int input, const ConvGeom &geom, ConvWeights weights);
+
+    /** Adds k x k max pooling. */
+    int addMaxPool(int input, int k, int stride, int pad);
+
+    /** Adds global average pooling with requant @p scale. */
+    int addGlobalAvgPool(int input, float scale);
+
+    /** Adds out = relu?(a * sa + b * sb). */
+    int addResidual(int a, int b, float sa, float sb, bool relu);
+
+    /** @return node by id. */
+    const Node &node(int id) const;
+
+    /** @return number of nodes. */
+    int size() const { return static_cast<int>(nodes_.size()); }
+
+    /** @return id of the last node (the model output). */
+    int outputNode() const { return size() - 1; }
+
+    /** Infers every node's output shape; fatal() on mismatch. */
+    void inferShapes();
+
+    /**
+     * Lowers the whole graph into @p lw (nodes in id order; ids are
+     * topological by construction).
+     *
+     * @param input_data dense [h x w x c] int8 input.
+     * @return the lowered output tensor of every node.
+     */
+    std::map<int, LoweredTensor> lower(
+        Lowering &lw, const std::vector<std::int8_t> &input_data) const;
+
+    /** Runs the golden CPU reference over the same graph. */
+    std::map<int, ref::QTensor> runReference(
+        const ref::QTensor &input) const;
+
+    /** @return total weight parameters across conv nodes. */
+    std::size_t parameterCount() const;
+
+    /** @return total MACC operations for one inference. */
+    std::uint64_t maccCount() const;
+
+  private:
+    int push(Node n);
+
+    std::vector<Node> nodes_;
+    bool shaped_ = false;
+};
+
+} // namespace tsp
+
+#endif // TSP_GRAPH_GRAPH_HH

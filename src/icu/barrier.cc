@@ -1,0 +1,25 @@
+#include "icu/barrier.hh"
+
+namespace tsp {
+
+void
+BarrierController::notify(Cycle now)
+{
+    notifies_.push_back(now);
+}
+
+std::optional<Cycle>
+BarrierController::releaseTime(Cycle parked_at) const
+{
+    std::optional<Cycle> best;
+    for (const Cycle tn : notifies_) {
+        const Cycle arrival = tn + kBarrierLatency;
+        if (arrival < parked_at)
+            continue; // Broadcast passed before this Sync parked.
+        if (!best || arrival < *best)
+            best = arrival;
+    }
+    return best;
+}
+
+} // namespace tsp

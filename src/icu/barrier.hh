@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Chip-wide barrier synchronization (paper III.A.2).
+ *
+ * One ICU issues Notify; every other ICU parks on Sync. Receipt of the
+ * Notify broadcast satisfies all pending Syncs. The broadcast takes
+ * kBarrierLatency cycles from Notify issue to Sync retirement — the
+ * paper reports 35 cycles for the full chip.
+ */
+
+#ifndef TSP_ICU_BARRIER_HH
+#define TSP_ICU_BARRIER_HH
+
+#include <optional>
+#include <vector>
+
+#include "arch/types.hh"
+
+namespace tsp {
+
+/** Notify-to-Sync-retirement latency in cycles. */
+inline constexpr Cycle kBarrierLatency = 35;
+
+/** Tracks Notify broadcasts and answers Sync release queries. */
+class BarrierController
+{
+  public:
+    /** Records a Notify issued at cycle @p now. */
+    void notify(Cycle now);
+
+    /**
+     * @return the cycle at which a Sync parked at @p parked_at
+     * retires, if a broadcast (issued before or after parking) reaches
+     * it; std::nullopt if no qualifying Notify has been issued yet.
+     *
+     * A broadcast that arrived strictly before the Sync parked is
+     * missed — only pending Syncs are satisfied.
+     */
+    std::optional<Cycle> releaseTime(Cycle parked_at) const;
+
+    /** @return total Notify instructions observed. */
+    std::size_t notifyCount() const { return notifies_.size(); }
+
+  private:
+    std::vector<Cycle> notifies_;
+};
+
+} // namespace tsp
+
+#endif // TSP_ICU_BARRIER_HH

@@ -1,0 +1,133 @@
+#include "icu/queue.hh"
+
+#include "common/logging.hh"
+
+namespace tsp {
+
+InstructionQueue::InstructionQueue(IcuId id, BarrierController &barrier)
+    : id_(id), barrier_(barrier)
+{
+}
+
+void
+InstructionQueue::loadProgram(std::vector<Instruction> program)
+{
+    program_ = std::move(program);
+    pc_ = 0;
+    busyUntil_ = 0;
+    parked_ = false;
+    repeatInst_ = nullptr;
+    repeatsLeft_ = 0;
+}
+
+void
+InstructionQueue::appendInstructions(const std::vector<Instruction> &insts)
+{
+    program_.insert(program_.end(), insts.begin(), insts.end());
+}
+
+bool
+InstructionQueue::done() const
+{
+    return pc_ >= program_.size() && !parked_ && repeatsLeft_ == 0;
+}
+
+int
+InstructionQueue::tick(Cycle now, const Instruction *out[2])
+{
+    // Active Repeat re-issues take priority over new program fetch.
+    if (repeatsLeft_ > 0) {
+        if (now < nextRepeatAt_)
+            return 0;
+        --repeatsLeft_;
+        nextRepeatAt_ = now + repeatGap_;
+        ++dispatched_;
+        out[0] = repeatInst_;
+        return 1;
+    }
+
+    if (parked_) {
+        const auto release = barrier_.releaseTime(parkedAt_);
+        if (release && now >= *release) {
+            parked_ = false; // Sync retires; fall through to issue.
+        } else {
+            ++parkedCycles_;
+            return 0;
+        }
+    }
+
+    if (now < busyUntil_) {
+        ++nopCycles_;
+        return 0;
+    }
+
+    if (pc_ >= program_.size())
+        return 0;
+
+    const Instruction &inst = program_[pc_];
+    switch (inst.op) {
+      case Opcode::Nop: {
+        const std::uint32_t n = inst.imm0 ? inst.imm0 : 1;
+        busyUntil_ = now + n;
+        ++nopCycles_;
+        ++pc_;
+        return 0;
+      }
+      case Opcode::Sync:
+        parked_ = true;
+        parkedAt_ = now;
+        ++pc_;
+        ++parkedCycles_;
+        return 0;
+      case Opcode::Repeat: {
+        // "Repeat the previous instruction n times, d cycles between
+        // iterations": the repeated instruction precedes this one in
+        // program order (an intervening NOP only spaces the first
+        // iteration).
+        std::size_t prev_pc = pc_;
+        while (prev_pc > 0 &&
+               program_[prev_pc - 1].op == Opcode::Nop) {
+            --prev_pc;
+        }
+        if (prev_pc == 0) {
+            panic("%s: repeat with no previous instruction",
+                  id_.name().c_str());
+        }
+        const Instruction &prev = program_[prev_pc - 1];
+        TSP_ASSERT(prev.op != Opcode::Repeat &&
+                   prev.op != Opcode::Sync);
+        repeatInst_ = &prev;
+        repeatsLeft_ = inst.imm0;
+        repeatGap_ = inst.imm1 ? inst.imm1 : 1;
+        ++pc_;
+        // The first iteration fires the cycle Repeat dispatches (the
+        // scheduler spaces it with a NOP when d > 1); later ones are
+        // d cycles apart.
+        if (repeatsLeft_ > 0) {
+            --repeatsLeft_;
+            nextRepeatAt_ = now + repeatGap_;
+            ++dispatched_;
+            out[0] = repeatInst_;
+            return 1;
+        }
+        return 0;
+      }
+      default: {
+        ++pc_;
+        ++dispatched_;
+        out[0] = &program_[pc_ - 1];
+        int n = 1;
+        // Dual-issue: a following instruction marked co-issue
+        // dispatches in the same cycle (MEM read+write pairing).
+        if (n < 2 && pc_ < program_.size() &&
+            (program_[pc_].flags & Instruction::kFlagCoIssue)) {
+            out[n++] = &program_[pc_];
+            ++pc_;
+            ++dispatched_;
+        }
+        return n;
+      }
+    }
+}
+
+} // namespace tsp

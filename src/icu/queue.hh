@@ -1,0 +1,101 @@
+/**
+ * @file
+ * One of the 144 independent instruction queues (paper III.A).
+ *
+ * Each queue holds a compiler-ordered instruction list and issues at
+ * most one instruction per cycle. NOP(N) provides cycle-precise delay,
+ * Repeat(n, d) re-issues the previous instruction, and Sync parks the
+ * queue until a Notify broadcast arrives. The ICU has no stall logic
+ * beyond these explicit instructions — program order plus NOP padding
+ * *is* the schedule.
+ */
+
+#ifndef TSP_ICU_QUEUE_HH
+#define TSP_ICU_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/layout.hh"
+#include "icu/barrier.hh"
+#include "isa/instruction.hh"
+
+namespace tsp {
+
+/** One instruction queue plus its dispatch state machine. */
+class InstructionQueue
+{
+  public:
+    /**
+     * @param id which of the 144 queues this is.
+     * @param barrier shared chip-wide barrier controller.
+     */
+    InstructionQueue(IcuId id, BarrierController &barrier);
+
+    /** Replaces the program and resets dispatch state. */
+    void loadProgram(std::vector<Instruction> program);
+
+    /** Appends instructions (used by the detailed Ifetch path). */
+    void appendInstructions(const std::vector<Instruction> &insts);
+
+    /**
+     * Advances one cycle.
+     *
+     * Fills @p out with up to 2 instructions dispatched to the
+     * functional slice this cycle (2 when the program co-issues a
+     * MEM read/write pair via kFlagCoIssue).
+     *
+     * @return the number of dispatched instructions (0 if the queue
+     * NOP'd, parked, was empty, or retired a purely local
+     * instruction).
+     */
+    int tick(Cycle now, const Instruction *out[2]);
+
+    /** @return true once every instruction has retired. */
+    bool done() const;
+
+    /** @return true if parked on a Sync right now. */
+    bool parked() const { return parked_; }
+
+    /** @return queue identity. */
+    IcuId id() const { return id_; }
+
+    /** @return instructions dispatched to the slice so far. */
+    std::uint64_t dispatched() const { return dispatched_; }
+
+    /** @return cycles spent NOP-delayed (clock-gated). */
+    std::uint64_t nopCycles() const { return nopCycles_; }
+
+    /** @return cycles spent parked on Sync. */
+    std::uint64_t parkedCycles() const { return parkedCycles_; }
+
+    /** @return number of program instructions not yet retired. */
+    std::size_t pendingCount() const { return program_.size() - pc_; }
+
+  private:
+    IcuId id_;
+    BarrierController &barrier_;
+
+    std::vector<Instruction> program_;
+    std::size_t pc_ = 0;
+
+    /** Queue is idle until this cycle (exclusive) due to NOP. */
+    Cycle busyUntil_ = 0;
+
+    bool parked_ = false;
+    Cycle parkedAt_ = 0;
+
+    // Repeat state: re-issue of the previous instruction.
+    const Instruction *repeatInst_ = nullptr;
+    std::uint32_t repeatsLeft_ = 0;
+    std::uint32_t repeatGap_ = 0;
+    Cycle nextRepeatAt_ = 0;
+
+    std::uint64_t dispatched_ = 0;
+    std::uint64_t nopCycles_ = 0;
+    std::uint64_t parkedCycles_ = 0;
+};
+
+} // namespace tsp
+
+#endif // TSP_ICU_QUEUE_HH

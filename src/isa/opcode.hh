@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Opcode enumeration for every instruction in Table I of the paper,
+ * grouped by the functional slice that executes it.
+ */
+
+#ifndef TSP_ISA_OPCODE_HH
+#define TSP_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "arch/layout.hh"
+
+namespace tsp {
+
+/**
+ * All TSP instructions (Table I).
+ *
+ * VXM arithmetic keeps the paper's saturating/modulo split: the plain
+ * Add/Sub/Mul opcodes are the modulo (wrapping) variants and the *Sat
+ * forms saturate; the ALUs are stateless and produce no flags.
+ */
+enum class Opcode : std::uint8_t {
+    // --- ICU (common to every slice) ---
+    Nop,        ///< NOP N: delay N cycles.
+    Ifetch,     ///< Fetch 640 B of program text from a stream.
+    Sync,       ///< Park until a Notify barrier release.
+    Notify,     ///< Release all parked Syncs chip-wide.
+    Config,     ///< Configure low-power mode (superlane gating).
+    Repeat,     ///< Repeat previous instruction n times, d apart.
+
+    // --- MEM ---
+    Read,       ///< Load vector at address onto a stream.
+    Write,      ///< Store a stream's vector to an address.
+    Gather,     ///< Indirect read; addresses arrive on a map stream.
+    Scatter,    ///< Indirect write; addresses arrive on a map stream.
+
+    // --- VXM point-wise ---
+    Add,        ///< Wrapping add (add_mod).
+    Sub,        ///< Wrapping subtract (sub_mod).
+    Mul,        ///< Wrapping multiply (mul_mod).
+    AddSat,     ///< Saturating add.
+    SubSat,     ///< Saturating subtract.
+    MulSat,     ///< Saturating multiply.
+    Max,        ///< Point-wise maximum.
+    Min,        ///< Point-wise minimum.
+    Neg,        ///< Point-wise negate.
+    Abs,        ///< Point-wise absolute value.
+    Mask,       ///< Zero lanes where the mask stream is zero.
+    Relu,       ///< max(0, x).
+    Tanh,       ///< Hyperbolic tangent.
+    Exp,        ///< e^x.
+    Rsqrt,      ///< Reciprocal square root.
+    Convert,    ///< Data-type conversion (fixed <-> float, widen/narrow).
+    Shift,      ///< Arithmetic right shift by imm (requantization step).
+
+    // --- MXM ---
+    Lw,         ///< Load weights from streams into the LW buffer.
+    Iw,         ///< Install weights into the 320x320 array.
+    Abc,        ///< Activation buffer control: begin streaming activations.
+    Acc,        ///< Emit accumulated int32/fp32 results onto streams.
+
+    // --- SXM ---
+    ShiftUp,    ///< Lane-shift a stream North by imm lanes.
+    ShiftDown,  ///< Lane-shift a stream South by imm lanes.
+    SelectNS,   ///< Select between North/South shifted and unshifted.
+    Permute,    ///< Bijective remap of the 320 lanes.
+    Distribute, ///< Remap / replicate / zero-fill within each superlane.
+    Rotate,     ///< Generate all n x n rotations of input data.
+    Transpose,  ///< Transpose 16x16 across a 16-stream group.
+
+    // --- C2C ---
+    Deskew,     ///< Align a plesiochronous link.
+    Send,       ///< Transmit a 320-byte vector on a link.
+    Receive,    ///< Receive a 320-byte vector from a link.
+
+    NumOpcodes,
+};
+
+/** Number of distinct opcodes. */
+inline constexpr int kNumOpcodes =
+    static_cast<int>(Opcode::NumOpcodes);
+
+/** @return the assembler mnemonic, e.g. "add.sat". */
+const char *opcodeName(Opcode op);
+
+/** Parses a mnemonic; returns false if unknown. */
+bool opcodeFromName(const std::string &name, Opcode &out);
+
+/** @return the slice kind that executes @p op (ICU ops -> ICU). */
+SliceKind opcodeSlice(Opcode op);
+
+/** @return true for the point-wise two-operand VXM ops. */
+bool isVxmBinary(Opcode op);
+
+/** @return true for the point-wise one-operand VXM ops. */
+bool isVxmUnary(Opcode op);
+
+} // namespace tsp
+
+#endif // TSP_ISA_OPCODE_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * SECDED error-correcting code over 128-bit memory words.
+ *
+ * The TSP protects each 16-byte memory word with 9 check bits (137
+ * bits total): an extended Hamming code giving single-error correction
+ * and double-error detection. Check bits are generated once at the
+ * producing slice, travel with the word through the stream registers,
+ * and are verified by every consuming slice — covering both SRAM soft
+ * errors and datapath upsets (paper II.D).
+ */
+
+#ifndef TSP_MEM_ECC_HH
+#define TSP_MEM_ECC_HH
+
+#include <cstdint>
+
+#include "arch/types.hh"
+
+namespace tsp {
+
+/** Outcome of an ECC check. */
+enum class EccStatus : std::uint8_t {
+    Ok,            ///< No error.
+    Corrected,     ///< Single-bit error corrected in place.
+    Uncorrectable, ///< Double-bit (or worse) error detected.
+};
+
+/**
+ * Computes the 9-bit SECDED code for a 16-byte word.
+ *
+ * Bit layout: bits 0..7 are the Hamming parities, bit 8 the overall
+ * parity. The code of an all-zero word is 0.
+ */
+std::uint16_t eccCompute(const std::uint8_t *word16);
+
+/**
+ * Verifies @p word16 against @p ecc; corrects a single flipped bit in
+ * either the data or the check bits in place.
+ *
+ * @return Ok, Corrected, or Uncorrectable.
+ */
+EccStatus eccCheckCorrect(std::uint8_t *word16, std::uint16_t &ecc);
+
+/** Computes codes for all 20 superlane words of a vector. */
+void eccComputeVec(Vec320 &vec);
+
+/**
+ * Checks/corrects all 20 superlane words of a vector.
+ *
+ * @return the worst status across the words.
+ */
+EccStatus eccCheckVec(Vec320 &vec);
+
+} // namespace tsp
+
+#endif // TSP_MEM_ECC_HH

@@ -1,0 +1,251 @@
+#include "mem/mem_slice.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace tsp {
+
+namespace {
+constexpr int kWordsPerBank = kMemWordsPerSlice / kMemBanks;
+} // namespace
+
+std::string
+GlobalAddr::toString() const
+{
+    return strformat("%c%d:0x%04x", hem == Hemisphere::East ? 'E' : 'W',
+                     slice, addr);
+}
+
+MemSlice::MemSlice(Hemisphere hem, int index, bool ecc_enabled)
+    : hem_(hem), index_(index), eccEnabled_(ecc_enabled)
+{
+    TSP_ASSERT(index >= 0 && index < kMemSlicesPerHem);
+}
+
+MemSlice::Word *
+MemSlice::bankStore(int bank)
+{
+    TSP_ASSERT(bank >= 0 && bank < kMemBanks);
+    auto &store = banks_[static_cast<std::size_t>(bank)];
+    if (!store)
+        store = std::make_unique<Word[]>(kWordsPerBank);
+    return store.get();
+}
+
+const MemSlice::Word *
+MemSlice::bankStoreConst(int bank) const
+{
+    TSP_ASSERT(bank >= 0 && bank < kMemBanks);
+    return banks_[static_cast<std::size_t>(bank)].get();
+}
+
+MemSlice::Word &
+MemSlice::wordAt(MemAddr addr)
+{
+    TSP_ASSERT(addr < static_cast<MemAddr>(kMemWordsPerSlice));
+    return bankStore(bankOf(addr))[addr % kWordsPerBank];
+}
+
+const MemSlice::Word *
+MemSlice::wordAtConst(MemAddr addr) const
+{
+    TSP_ASSERT(addr < static_cast<MemAddr>(kMemWordsPerSlice));
+    const Word *bank = bankStoreConst(bankOf(addr));
+    return bank ? &bank[addr % kWordsPerBank] : nullptr;
+}
+
+void
+MemSlice::checkPort(MemAddr addr, bool is_write, Cycle now)
+{
+    if (now != lastCycle_) {
+        lastCycle_ = now;
+        readBank_ = -1;
+        writeBank_ = -1;
+    }
+    const int bank = bankOf(addr);
+    if (is_write) {
+        if (writeBank_ != -1) {
+            panic("MEM_%s%d: second write in cycle %llu (scheduler bug)",
+                  hem_ == Hemisphere::East ? "E" : "W", index_,
+                  static_cast<unsigned long long>(now));
+        }
+        if (readBank_ == bank) {
+            panic("MEM_%s%d: read/write bank conflict on bank %d at "
+                  "cycle %llu (scheduler bug)",
+                  hem_ == Hemisphere::East ? "E" : "W", index_, bank,
+                  static_cast<unsigned long long>(now));
+        }
+        writeBank_ = bank;
+    } else {
+        if (readBank_ != -1) {
+            panic("MEM_%s%d: second read in cycle %llu (scheduler bug)",
+                  hem_ == Hemisphere::East ? "E" : "W", index_,
+                  static_cast<unsigned long long>(now));
+        }
+        if (writeBank_ == bank) {
+            panic("MEM_%s%d: read/write bank conflict on bank %d at "
+                  "cycle %llu (scheduler bug)",
+                  hem_ == Hemisphere::East ? "E" : "W", index_, bank,
+                  static_cast<unsigned long long>(now));
+        }
+        readBank_ = bank;
+    }
+}
+
+Vec320
+MemSlice::read(MemAddr addr, Cycle now)
+{
+    checkPort(addr, /*is_write=*/false, now);
+    ++reads_;
+
+    Vec320 out;
+    const Word *w = wordAtConst(addr);
+    if (w) {
+        out.bytes = w->bytes;
+        out.ecc = w->ecc;
+    } else if (eccEnabled_) {
+        // Untouched SRAM reads as zero with valid (zero) ECC.
+        eccComputeVec(out);
+    }
+    return out;
+}
+
+void
+MemSlice::write(MemAddr addr, const Vec320 &vec, Cycle now)
+{
+    checkPort(addr, /*is_write=*/true, now);
+    ++writes_;
+
+    Vec320 v = vec;
+    if (eccEnabled_) {
+        // Consumer-side check before commit (paper II.D).
+        switch (eccCheckVec(v)) {
+          case EccStatus::Ok:
+            break;
+          case EccStatus::Corrected:
+            ++corrected_;
+            break;
+          case EccStatus::Uncorrectable:
+            ++uncorrectable_;
+            warn("MEM_%s%d: uncorrectable stream error written at "
+                 "0x%x",
+                 hem_ == Hemisphere::East ? "E" : "W", index_, addr);
+            break;
+        }
+    }
+    Word &w = wordAt(addr);
+    w.bytes = v.bytes;
+    w.ecc = v.ecc;
+}
+
+Vec320
+MemSlice::gather(const std::array<MemAddr, kSuperlanes> &addrs,
+                 Cycle now)
+{
+    checkPort(addrs[0], /*is_write=*/false, now);
+    ++reads_;
+
+    Vec320 out;
+    bool any_missing = false;
+    for (int sl = 0; sl < kSuperlanes; ++sl) {
+        const Word *w = wordAtConst(addrs[static_cast<std::size_t>(sl)]);
+        if (!w) {
+            any_missing = true;
+            continue;
+        }
+        for (int b = 0; b < kWordBytes; ++b) {
+            out.bytes[static_cast<std::size_t>(sl * kWordBytes + b)] =
+                w->bytes[static_cast<std::size_t>(sl * kWordBytes + b)];
+        }
+        out.ecc[static_cast<std::size_t>(sl)] =
+            w->ecc[static_cast<std::size_t>(sl)];
+    }
+    if (any_missing && eccEnabled_) {
+        // Zero-filled tiles need valid codes for their zero words.
+        Vec320 codes = out;
+        eccComputeVec(codes);
+        for (int sl = 0; sl < kSuperlanes; ++sl) {
+            const Word *w =
+                wordAtConst(addrs[static_cast<std::size_t>(sl)]);
+            if (!w) {
+                out.ecc[static_cast<std::size_t>(sl)] =
+                    codes.ecc[static_cast<std::size_t>(sl)];
+            }
+        }
+    }
+    return out;
+}
+
+void
+MemSlice::scatter(const std::array<MemAddr, kSuperlanes> &addrs,
+                  const Vec320 &vec, Cycle now)
+{
+    checkPort(addrs[0], /*is_write=*/true, now);
+    ++writes_;
+
+    Vec320 v = vec;
+    if (eccEnabled_) {
+        switch (eccCheckVec(v)) {
+          case EccStatus::Ok:
+            break;
+          case EccStatus::Corrected:
+            ++corrected_;
+            break;
+          case EccStatus::Uncorrectable:
+            ++uncorrectable_;
+            warn("MEM_%s%d: uncorrectable stream error scattered",
+                 hem_ == Hemisphere::East ? "E" : "W", index_);
+            break;
+        }
+    }
+    for (int sl = 0; sl < kSuperlanes; ++sl) {
+        Word &w = wordAt(addrs[static_cast<std::size_t>(sl)]);
+        for (int b = 0; b < kWordBytes; ++b) {
+            w.bytes[static_cast<std::size_t>(sl * kWordBytes + b)] =
+                v.bytes[static_cast<std::size_t>(sl * kWordBytes + b)];
+        }
+        w.ecc[static_cast<std::size_t>(sl)] =
+            v.ecc[static_cast<std::size_t>(sl)];
+    }
+}
+
+void
+MemSlice::backdoorWrite(MemAddr addr, const Vec320 &vec)
+{
+    Word &w = wordAt(addr);
+    w.bytes = vec.bytes;
+    if (eccEnabled_) {
+        Vec320 tmp;
+        tmp.bytes = vec.bytes;
+        eccComputeVec(tmp);
+        w.ecc = tmp.ecc;
+    } else {
+        w.ecc = vec.ecc;
+    }
+}
+
+Vec320
+MemSlice::backdoorRead(MemAddr addr) const
+{
+    Vec320 out;
+    const Word *w = wordAtConst(addr);
+    if (w) {
+        out.bytes = w->bytes;
+        out.ecc = w->ecc;
+    } else if (eccEnabled_) {
+        eccComputeVec(out);
+    }
+    return out;
+}
+
+void
+MemSlice::injectBitFlip(MemAddr addr, int byte, int bit)
+{
+    TSP_ASSERT(byte >= 0 && byte < kLanes && bit >= 0 && bit < 8);
+    Word &w = wordAt(addr);
+    w.bytes[static_cast<std::size_t>(byte)] =
+        static_cast<std::uint8_t>(
+            w.bytes[static_cast<std::size_t>(byte)] ^ (1u << bit));
+}
+
+} // namespace tsp

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Model of one MEM slice: 20 vertically stacked SRAM tiles providing
+ * 8192 x 320-byte words in two pseudo-dual-port banks.
+ *
+ * The hardware has no arbiters: a bank conflict is a compiler bug, not
+ * a runtime stall, so this model *panics* on any access pattern the
+ * silicon could not service — one read and one write per cycle, in
+ * opposite banks (paper III.B, IV.A).
+ */
+
+#ifndef TSP_MEM_MEM_SLICE_HH
+#define TSP_MEM_MEM_SLICE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "arch/config.hh"
+#include "arch/types.hh"
+#include "mem/addr.hh"
+#include "mem/ecc.hh"
+
+namespace tsp {
+
+/** One of the 88 on-chip MEM slices. */
+class MemSlice
+{
+  public:
+    /**
+     * @param hem hemisphere this slice belongs to.
+     * @param index slice number 0..43 within the hemisphere.
+     * @param ecc_enabled maintain/verify SECDED codes on words.
+     */
+    MemSlice(Hemisphere hem, int index, bool ecc_enabled);
+
+    /** @return bank (0/1) of a word address: address bit 12. */
+    static int
+    bankOf(MemAddr addr)
+    {
+        return (addr >> 12) & 1;
+    }
+
+    /**
+     * Timed read of one 320-byte word at cycle @p now.
+     *
+     * Panics on a same-cycle port violation (second read, or a
+     * read+write conflict in the same bank).
+     */
+    Vec320 read(MemAddr addr, Cycle now);
+
+    /**
+     * Timed write of one 320-byte word at cycle @p now.
+     *
+     * The vector's ECC is checked (consumer side) before commit; a
+     * corrected error increments the CSR counters. Panics on a port
+     * violation.
+     */
+    void write(MemAddr addr, const Vec320 &vec, Cycle now);
+
+    /**
+     * Indirect read: each superlane tile reads its own word address
+     * (stream-indirect Gather). Counts as one read-port use; per-tile
+     * SRAM arrays make mixed addresses conflict-free within the port.
+     */
+    Vec320 gather(const std::array<MemAddr, kSuperlanes> &addrs,
+                  Cycle now);
+
+    /**
+     * Indirect write: each superlane tile stores its 16-byte word at
+     * its own address (stream-indirect Scatter). The vector's ECC is
+     * checked before commit.
+     */
+    void scatter(const std::array<MemAddr, kSuperlanes> &addrs,
+                 const Vec320 &vec, Cycle now);
+
+    /** Untimed backdoor write used by host DMA; regenerates ECC. */
+    void backdoorWrite(MemAddr addr, const Vec320 &vec);
+
+    /** Untimed backdoor read used by host DMA and tests. */
+    Vec320 backdoorRead(MemAddr addr) const;
+
+    /** Flips one stored bit — soft-error injection for ECC tests. */
+    void injectBitFlip(MemAddr addr, int byte, int bit);
+
+    /** @return total timed reads serviced. */
+    std::uint64_t reads() const { return reads_; }
+
+    /** @return total timed writes serviced. */
+    std::uint64_t writes() const { return writes_; }
+
+    /** @return single-bit errors corrected at this slice (CSR). */
+    std::uint64_t correctedErrors() const { return corrected_; }
+
+    /** @return uncorrectable errors observed at this slice (CSR). */
+    std::uint64_t uncorrectableErrors() const { return uncorrectable_; }
+
+    /** @return this slice's hemisphere. */
+    Hemisphere hemisphere() const { return hem_; }
+
+    /** @return this slice's index within the hemisphere. */
+    int index() const { return index_; }
+
+    /** @return X position on the superlane. */
+    SlicePos pos() const { return Layout::memPos(hem_, index_); }
+
+  private:
+    struct Word
+    {
+        std::array<std::uint8_t, kLanes> bytes{};
+        std::array<std::uint16_t, kSuperlanes> ecc{};
+    };
+
+    /** Lazily materializes a bank's backing store. */
+    Word *bankStore(int bank);
+    const Word *bankStoreConst(int bank) const;
+
+    Word &wordAt(MemAddr addr);
+    const Word *wordAtConst(MemAddr addr) const;
+
+    void checkPort(MemAddr addr, bool is_write, Cycle now);
+
+    Hemisphere hem_;
+    int index_;
+    bool eccEnabled_;
+
+    /** Two banks of 4096 words, allocated on first touch. */
+    mutable std::array<std::unique_ptr<Word[]>, kMemBanks> banks_{};
+
+    // Port-conflict tracking for the current cycle.
+    Cycle lastCycle_ = ~Cycle{0};
+    int readBank_ = -1;
+    int writeBank_ = -1;
+
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t corrected_ = 0;
+    std::uint64_t uncorrectable_ = 0;
+};
+
+} // namespace tsp
+
+#endif // TSP_MEM_MEM_SLICE_HH

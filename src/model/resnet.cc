@@ -1,0 +1,243 @@
+#include "model/resnet.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace tsp::model {
+
+ConvWeights
+makeConvWeights(int out_c, int in_c, int kh, int kw,
+                std::uint64_t seed)
+{
+    Rng rng(seed);
+    ConvWeights w;
+    w.outC = out_c;
+    w.inC = in_c;
+    w.kh = kh;
+    w.kw = kw;
+    w.w.resize(static_cast<std::size_t>(out_c) * in_c * kh * kw);
+    w.bias.resize(static_cast<std::size_t>(out_c));
+    w.scale.resize(static_cast<std::size_t>(out_c));
+
+    // Weight std ~10 LSB; activations run at std ~30 LSB, so the
+    // int32 accumulator has std ~ 10 * 30 * sqrt(K). The requant
+    // scale maps that back to an int8 std of ~30 (keeps every layer
+    // in a healthy dynamic range).
+    for (auto &v : w.w) {
+        const float g = rng.gaussian() * 10.0f;
+        v = static_cast<std::int8_t>(
+            std::clamp(std::lround(g), -127l, 127l));
+    }
+    const float k = static_cast<float>(in_c * kh * kw);
+    const float base_scale = 0.1f / std::sqrt(k);
+    for (int oc = 0; oc < out_c; ++oc) {
+        w.bias[static_cast<std::size_t>(oc)] =
+            static_cast<std::int32_t>(rng.gaussian() * 64.0f);
+        // Small per-channel jitter keeps the scale vector non-trivial.
+        w.scale[static_cast<std::size_t>(oc)] =
+            base_scale * rng.uniform(0.9f, 1.1f);
+    }
+    return w;
+}
+
+std::vector<std::int8_t>
+makeImage(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::int8_t> img(224 * 224 * 3);
+    for (auto &v : img) {
+        v = static_cast<std::int8_t>(std::clamp(
+            std::lround(rng.gaussian() * 30.0f), -127l, 127l));
+    }
+    return img;
+}
+
+std::vector<std::int8_t>
+im2colStem(const std::vector<std::int8_t> &image)
+{
+    TSP_ASSERT(image.size() == 224u * 224 * 3);
+    std::vector<std::int8_t> out(
+        static_cast<std::size_t>(kStemH) * kStemW * kStemC, 0);
+    for (int oy = 0; oy < kStemH; ++oy) {
+        for (int ox = 0; ox < kStemW; ++ox) {
+            for (int ky = 0; ky < 7; ++ky) {
+                const int iy = oy * 2 - 3 + ky;
+                if (iy < 0 || iy >= 224)
+                    continue;
+                for (int kx = 0; kx < 7; ++kx) {
+                    const int ix = ox * 2 - 3 + kx;
+                    if (ix < 0 || ix >= 224)
+                        continue;
+                    for (int c = 0; c < 3; ++c) {
+                        out[(static_cast<std::size_t>(oy) * kStemW +
+                             ox) *
+                                kStemC +
+                            (ky * 7 + kx) * 3 + c] =
+                            image[(static_cast<std::size_t>(iy) *
+                                       224 +
+                                   ix) *
+                                      3 +
+                                  c];
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * The stem conv weights, reindexed for the im2col layout: input
+ * channel (ky*7+kx)*3+c of the 1x1 conv corresponds to tap (ky,kx)
+ * of original channel c.
+ */
+ConvWeights
+makeStemWeights(int out_c, std::uint64_t seed)
+{
+    ConvWeights w = makeConvWeights(out_c, kStemC, 1, 1, seed);
+    // Rescale for the true fan-in (same as the 7x7x3 original).
+    return w;
+}
+
+} // namespace
+
+Graph
+buildResNet(int depth, std::uint64_t seed, bool wide, int class_count)
+{
+    int blocks[4];
+    switch (depth) {
+      case 50:
+        blocks[0] = 3;
+        blocks[1] = 4;
+        blocks[2] = 6;
+        blocks[3] = 3;
+        break;
+      case 101:
+        blocks[0] = 3;
+        blocks[1] = 4;
+        blocks[2] = 23;
+        blocks[3] = 3;
+        break;
+      case 152:
+        blocks[0] = 3;
+        blocks[1] = 8;
+        blocks[2] = 36;
+        blocks[3] = 3;
+        break;
+      default:
+        fatal("buildResNet: depth must be 50, 101, or 152 (got %d)",
+              depth);
+    }
+    return buildResNetBlocks(blocks, seed, wide, class_count);
+}
+
+Graph
+buildResNetBlocks(const int blocks[4], std::uint64_t seed, bool wide,
+                  int class_count)
+{
+    const int base = wide ? 80 : 64;
+    Rng seeder(seed);
+
+    Graph g;
+    const int input = g.addInput(kStemH, kStemW, kStemC);
+
+    // Stem: the im2col'd 7x7/2 conv is a dense 1x1 matmul.
+    ConvGeom stem_geom;
+    stem_geom.relu = true;
+    int x = g.addConv(input, stem_geom,
+                      makeStemWeights(base, seeder.next()));
+    x = g.addMaxPool(x, 3, 2, 1);
+
+    int in_c = base;
+    for (int stage = 0; stage < 4; ++stage) {
+        const int width = base << stage;       // Bottleneck width.
+        const int out_c = width * 4;           // Block output.
+        for (int b = 0; b < blocks[stage]; ++b) {
+            const int stride = (stage > 0 && b == 0) ? 2 : 1;
+            const int block_in = x;
+
+            // 1x1 reduce.
+            ConvGeom g1;
+            g1.relu = true;
+            int y = g.addConv(
+                block_in, g1,
+                makeConvWeights(width, in_c, 1, 1, seeder.next()));
+            // 3x3 (carries the stride).
+            ConvGeom g3;
+            g3.kh = 3;
+            g3.kw = 3;
+            g3.stride = stride;
+            g3.pad = 1;
+            g3.relu = true;
+            y = g.addConv(
+                y, g3,
+                makeConvWeights(width, width, 3, 3, seeder.next()));
+            // 1x1 expand, no ReLU (applied after the residual).
+            ConvGeom g2;
+            g2.relu = false;
+            y = g.addConv(
+                y, g2,
+                makeConvWeights(out_c, width, 1, 1, seeder.next()));
+
+            int skip = block_in;
+            if (in_c != out_c || stride != 1) {
+                ConvGeom gd;
+                gd.stride = stride;
+                gd.relu = false;
+                skip = g.addConv(block_in, gd,
+                                 makeConvWeights(out_c, in_c, 1, 1,
+                                                 seeder.next()));
+            }
+            x = g.addResidual(y, skip, 0.6f, 0.6f, /*relu=*/true);
+            in_c = out_c;
+        }
+    }
+
+    // Head: global average pool then the classifier.
+    const int positions = 7 * 7;
+    x = g.addGlobalAvgPool(x, 1.0f / static_cast<float>(positions));
+    ConvGeom fc_geom;
+    fc_geom.relu = false;
+    x = g.addConv(x, fc_geom,
+                  makeConvWeights(class_count, in_c, 1, 1,
+                                  seeder.next()));
+    g.inferShapes();
+    return g;
+}
+
+Graph
+buildTinyNet(std::uint64_t seed, int h, int w, int c)
+{
+    Rng seeder(seed);
+    Graph g;
+    const int input = g.addInput(h, w, c);
+
+    ConvGeom g3;
+    g3.kh = 3;
+    g3.kw = 3;
+    g3.pad = 1;
+    g3.relu = true;
+    int x = g.addConv(input, g3,
+                      makeConvWeights(16, c, 3, 3, seeder.next()));
+
+    ConvGeom g1;
+    g1.relu = false;
+    const int y = g.addConv(
+        x, g1, makeConvWeights(16, 16, 1, 1, seeder.next()));
+    x = g.addResidual(y, x, 0.7f, 0.5f, /*relu=*/true);
+    x = g.addMaxPool(x, 3, 2, 1);
+    x = g.addGlobalAvgPool(
+        x, 1.0f / static_cast<float>(((h + 1) / 2) * ((w + 1) / 2)));
+    ConvGeom fc;
+    fc.relu = false;
+    x = g.addConv(x, fc, makeConvWeights(10, 16, 1, 1, seeder.next()));
+    g.inferShapes();
+    return g;
+}
+
+} // namespace tsp::model

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * ResNet-50/101/152 model construction (paper section IV).
+ *
+ * Weights are synthetic (seeded, distribution-matched) — the paper's
+ * throughput, latency, and power results depend on layer geometry,
+ * not trained values (DESIGN.md substitution table). BatchNorm is
+ * folded into the per-channel conv scale/bias, as standard for int8
+ * inference. The first 7x7 stride-2 convolution is im2col'd on the
+ * host into a [112 x 112 x 147] tensor so it lowers as a dense
+ * matmul; every other operator runs on-chip.
+ *
+ * The "wide" variant raises every stage width by 1.25x so channel
+ * counts become multiples of 320 (80 / 320 / 640 / 1280 / 2560),
+ * filling the 320x320 MXM exactly — the paper's section IV.E
+ * alternative model trained to higher accuracy at equal latency.
+ */
+
+#ifndef TSP_MODEL_RESNET_HH
+#define TSP_MODEL_RESNET_HH
+
+#include <cstdint>
+
+#include "graph/graph.hh"
+
+namespace tsp::model {
+
+/** Image geometry after host-side im2col of the stem convolution. */
+inline constexpr int kStemH = 112;
+inline constexpr int kStemW = 112;
+inline constexpr int kStemC = 7 * 7 * 3; // 147
+
+/** Synthesizes seeded conv weights with realistic statistics. */
+ConvWeights makeConvWeights(int out_c, int in_c, int kh, int kw,
+                            std::uint64_t seed);
+
+/**
+ * Builds a ResNet graph.
+ *
+ * @param depth 50, 101, or 152 (stage block counts 3-4-6-3,
+ * 3-4-23-3, 3-8-36-3).
+ * @param seed weight RNG seed.
+ * @param wide use the 320-aligned widened channel plan (IV.E).
+ * @param class_count classifier outputs (1000).
+ */
+Graph buildResNet(int depth, std::uint64_t seed, bool wide = false,
+                  int class_count = 1000);
+
+/**
+ * Builds a ResNet with explicit per-stage block counts (the paper's
+ * IV.F projection methodology: ResNet-101/152 repeat ResNet-50's
+ * block structures, so their cycle counts follow from measured
+ * per-block costs).
+ */
+Graph buildResNetBlocks(const int blocks[4], std::uint64_t seed,
+                        bool wide = false, int class_count = 1000);
+
+/** A seeded synthetic 224 x 224 x 3 int8 image. */
+std::vector<std::int8_t> makeImage(std::uint64_t seed);
+
+/** Host-side im2col of the stem: 224x224x3 -> 112x112x147. */
+std::vector<std::int8_t> im2colStem(
+    const std::vector<std::int8_t> &image);
+
+/**
+ * A small 3-layer conv net on a tiny image, for integration tests
+ * that exercise every engine (conv, pool, residual, gap, fc) in
+ * seconds rather than minutes.
+ */
+Graph buildTinyNet(std::uint64_t seed, int h = 12, int w = 12,
+                   int c = 8);
+
+} // namespace tsp::model
+
+#endif // TSP_MODEL_RESNET_HH

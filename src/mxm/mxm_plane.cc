@@ -1,0 +1,312 @@
+#include "mxm/mxm_plane.hh"
+
+#include "common/fp16.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace tsp {
+
+MxmPlane::MxmPlane(int plane, const ChipConfig &cfg,
+                   StreamFabric &fabric)
+    : cfg_(cfg), io_(cfg, fabric, strformat("MXM%d", plane)),
+      plane_(plane),
+      wbuf_(static_cast<std::size_t>(kMxmDim) * kMxmDim, 0),
+      winst_(static_cast<std::size_t>(kMxmDim) * kMxmDim, 0),
+      wbufF_(static_cast<std::size_t>(kMxmDim) * kMxmDim, 0),
+      winstF_(static_cast<std::size_t>(kMxmDim) * kMxmDim, 0)
+{
+    TSP_ASSERT(plane >= 0 && plane < kMxmPlanes);
+}
+
+std::int8_t
+MxmPlane::installedWeight(int row, int col) const
+{
+    TSP_ASSERT(row >= 0 && row < kMxmDim && col >= 0 && col < kMxmDim);
+    return winst_[static_cast<std::size_t>(row) * kMxmDim +
+                  static_cast<std::size_t>(col)];
+}
+
+std::uint16_t
+MxmPlane::installedWeightF16(int row, int col) const
+{
+    TSP_ASSERT(row >= 0 && row < kMxmDim && col >= 0 && col < kMxmDim);
+    return winstF_[static_cast<std::size_t>(row) * kMxmDim +
+                   static_cast<std::size_t>(col)];
+}
+
+void
+MxmPlane::issue(const Instruction &inst, Cycle now)
+{
+    switch (inst.op) {
+      case Opcode::Lw:
+        executeLw(inst, now);
+        return;
+      case Opcode::Iw:
+        executeIw(inst, now);
+        return;
+      case Opcode::Abc:
+        executeAbc(inst, now);
+        return;
+      case Opcode::Acc:
+        executeAcc(inst, now);
+        return;
+      default:
+        panic("MXM%d: bad opcode %s", plane_, opcodeName(inst.op));
+    }
+}
+
+void
+MxmPlane::executeLw(const Instruction &inst, Cycle now)
+{
+    (void)now;
+    const int gs = inst.groupSize;
+    TSP_ASSERT(gs >= 1 && gs <= kStreamsPerDir);
+
+    if (fillRow_ == 0)
+        weightType_ = inst.dtype;
+    else if (inst.dtype != weightType_)
+        panic("MXM%d: mixed weight dtypes in one LW burst", plane_);
+
+    if (weightType_ == DType::Int8) {
+        if (fillRow_ + gs > kMxmDim) {
+            panic("MXM%d: LW overflows weight buffer (row %d + %d)",
+                  plane_, fillRow_, gs);
+        }
+        for (int k = 0; k < gs; ++k) {
+            StreamRef s = inst.srcA;
+            s.id = static_cast<StreamId>(inst.srcA.id + k);
+            const Vec320 v = io_.consume(s, pos());
+            const int row = fillRow_ + k;
+            for (int c = 0; c < kMxmDim; ++c) {
+                wbuf_[static_cast<std::size_t>(row) * kMxmDim +
+                      static_cast<std::size_t>(c)] =
+                    static_cast<std::int8_t>(
+                        v.bytes[static_cast<std::size_t>(c)]);
+            }
+            weightBytes_ += kMxmDim;
+        }
+        fillRow_ += gs;
+    } else if (weightType_ == DType::Fp16) {
+        TSP_ASSERT(gs % 2 == 0);
+        const int rows = gs / 2;
+        if (fillRow_ + rows > kMxmDim) {
+            panic("MXM%d: LW overflows weight buffer (row %d + %d)",
+                  plane_, fillRow_, rows);
+        }
+        for (int i = 0; i < rows; ++i) {
+            StreamRef lo = inst.srcA;
+            lo.id = static_cast<StreamId>(inst.srcA.id + 2 * i);
+            StreamRef hi = lo;
+            hi.id = static_cast<StreamId>(lo.id + 1);
+            const Vec320 vlo = io_.consume(lo, pos());
+            const Vec320 vhi = io_.consume(hi, pos());
+            const int row = fillRow_ + i;
+            for (int c = 0; c < kMxmDim; ++c) {
+                const auto bits = static_cast<std::uint16_t>(
+                    vlo.bytes[static_cast<std::size_t>(c)] |
+                    (static_cast<std::uint16_t>(
+                         vhi.bytes[static_cast<std::size_t>(c)])
+                     << 8));
+                wbufF_[static_cast<std::size_t>(row) * kMxmDim +
+                       static_cast<std::size_t>(c)] = bits;
+            }
+            weightBytes_ += 2 * kMxmDim;
+        }
+        fillRow_ += rows;
+    } else {
+        panic("MXM%d: weights must be int8 or fp16, got %s", plane_,
+              dtypeName(weightType_));
+    }
+}
+
+void
+MxmPlane::executeIw(const Instruction &inst, Cycle now)
+{
+    (void)inst;
+    (void)now;
+    winst_ = wbuf_;
+    winstF_ = wbufF_;
+    installedType_ = weightType_;
+    fillRow_ = 0;
+}
+
+void
+MxmPlane::executeAbc(const Instruction &inst, Cycle now)
+{
+    (void)now;
+    if (abc_.active) {
+        panic("MXM%d: ABC issued while a window is active (scheduler "
+              "bug)",
+              plane_);
+    }
+    TSP_ASSERT(inst.imm1 > 0);
+    if (inst.imm1 > kMxmAccDepth) {
+        panic("MXM%d: ABC window of %u exceeds accumulator depth %u",
+              plane_, inst.imm1, kMxmAccDepth);
+    }
+    abc_.active = true;
+    if (!(inst.flags & Instruction::kFlagAccumulate))
+        ++generation_;
+    abc_.src = inst.srcA;
+    abc_.remaining = inst.imm1;
+    abc_.index = 0;
+    abc_.accumulate = inst.flags & Instruction::kFlagAccumulate;
+    abc_.atype = inst.dtype;
+    if (abc_.atype == DType::Fp16 && installedType_ != DType::Fp16) {
+        panic("MXM%d: fp16 activations over %s weights", plane_,
+              dtypeName(installedType_));
+    }
+}
+
+void
+MxmPlane::executeAcc(const Instruction &inst, Cycle now)
+{
+    (void)now;
+    if (acc_.active) {
+        panic("MXM%d: ACC issued while a drain is active (scheduler "
+              "bug)",
+              plane_);
+    }
+    TSP_ASSERT(inst.imm1 > 0 && inst.imm1 <= kMxmAccDepth);
+    acc_.active = true;
+    accGen_ = generation_;
+    acc_.dst = inst.dst;
+    acc_.remaining = inst.imm1;
+    acc_.index = 0;
+}
+
+void
+MxmPlane::stepAbc(Cycle now)
+{
+    if (!abc_.active)
+        return;
+    ++activeCycles_;
+
+    const int n = cfg_.vectorLength();
+    const std::uint32_t idx = abc_.index;
+
+    // Stamp the accumulator with the current window generation; the
+    // drain checks it reads its own generation (see stepAcc).
+    indexGen_[idx] = generation_;
+
+    if (abc_.atype == DType::Int8) {
+        const Vec320 a = io_.consume(abc_.src, pos());
+        auto &acc = accI_[idx];
+        // Dot products against installed rows: y[r] = sum_c W[r][c]*a[c].
+        for (int r = 0; r < n; ++r) {
+            const std::int8_t *wrow =
+                &winst_[static_cast<std::size_t>(r) * kMxmDim];
+            std::int32_t sum = 0;
+            for (int c = 0; c < n; ++c) {
+                sum += static_cast<std::int32_t>(wrow[c]) *
+                       static_cast<std::int8_t>(
+                           a.bytes[static_cast<std::size_t>(c)]);
+            }
+            if (abc_.accumulate)
+                acc[static_cast<std::size_t>(r)] += sum;
+            else
+                acc[static_cast<std::size_t>(r)] = sum;
+        }
+    } else if (abc_.atype == DType::Fp16) {
+        StreamRef lo = abc_.src;
+        StreamRef hi = abc_.src;
+        hi.id = static_cast<StreamId>(lo.id + 1);
+        const Vec320 vlo = io_.consume(lo, pos());
+        const Vec320 vhi = io_.consume(hi, pos());
+        float act[kMxmDim];
+        for (int c = 0; c < n; ++c) {
+            const auto bits = static_cast<std::uint16_t>(
+                vlo.bytes[static_cast<std::size_t>(c)] |
+                (static_cast<std::uint16_t>(
+                     vhi.bytes[static_cast<std::size_t>(c)])
+                 << 8));
+            act[c] = Fp16::fromBits(bits).toFloat();
+        }
+        auto &acc = accF_[idx];
+        for (int r = 0; r < n; ++r) {
+            const std::uint16_t *wrow =
+                &winstF_[static_cast<std::size_t>(r) * kMxmDim];
+            float sum = 0.0f;
+            for (int c = 0; c < n; ++c)
+                sum += Fp16::fromBits(wrow[c]).toFloat() * act[c];
+            if (abc_.accumulate)
+                acc[static_cast<std::size_t>(r)] += sum;
+            else
+                acc[static_cast<std::size_t>(r)] = sum;
+        }
+    } else {
+        panic("MXM%d: unsupported activation dtype %s", plane_,
+              dtypeName(abc_.atype));
+    }
+    (void)now;
+
+    maccOps_ +=
+        static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+    ++abc_.index;
+    if (--abc_.remaining == 0)
+        abc_.active = false;
+}
+
+void
+MxmPlane::stepAcc(Cycle now)
+{
+    if (!acc_.active)
+        return;
+
+    if (indexGen_[acc_.index] != accGen_) {
+        panic("MXM%d: ACC drains accumulator %u of generation %llu "
+              "but expected %llu (overwritten before drain — "
+              "scheduler bug)",
+              plane_, acc_.index,
+              static_cast<unsigned long long>(indexGen_[acc_.index]),
+              static_cast<unsigned long long>(accGen_));
+    }
+
+    const Cycle when = now + opTiming(Opcode::Acc).dFunc;
+    const int n = cfg_.vectorLength();
+    Vec320 out[4];
+
+    if (installedType_ == DType::Fp16) {
+        const auto &acc = accF_[acc_.index];
+        for (int r = 0; r < n; ++r) {
+            std::uint32_t u;
+            const float f = acc[static_cast<std::size_t>(r)];
+            __builtin_memcpy(&u, &f, sizeof(u));
+            for (int k = 0; k < 4; ++k) {
+                out[k].bytes[static_cast<std::size_t>(r)] =
+                    static_cast<std::uint8_t>((u >> (8 * k)) & 0xff);
+            }
+        }
+    } else {
+        const auto &acc = accI_[acc_.index];
+        for (int r = 0; r < n; ++r) {
+            const auto u = static_cast<std::uint32_t>(
+                acc[static_cast<std::size_t>(r)]);
+            for (int k = 0; k < 4; ++k) {
+                out[k].bytes[static_cast<std::size_t>(r)] =
+                    static_cast<std::uint8_t>((u >> (8 * k)) & 0xff);
+            }
+        }
+    }
+
+    TSP_ASSERT(acc_.dst.id % 4 == 0 &&
+               acc_.dst.id + 4 <= kStreamsPerDir);
+    for (int k = 0; k < 4; ++k) {
+        StreamRef s = acc_.dst;
+        s.id = static_cast<StreamId>(acc_.dst.id + k);
+        io_.produce(s, pos(), out[k], when);
+    }
+
+    ++acc_.index;
+    if (--acc_.remaining == 0)
+        acc_.active = false;
+}
+
+void
+MxmPlane::tick(Cycle now)
+{
+    stepAbc(now);
+    stepAcc(now);
+}
+
+} // namespace tsp

@@ -1,0 +1,57 @@
+#include "runtime/session.hh"
+
+#include "common/logging.hh"
+
+namespace tsp {
+
+InferenceSession::InferenceSession(Lowering &lw, ChipConfig cfg)
+    : chip_(std::make_unique<Chip>(std::move(cfg)))
+{
+    const AsmProgram prog =
+        lw.program().toAsm(/*with_preamble=*/true);
+    chip_->loadProgram(prog);
+    lw.image().applyTo(*chip_);
+    dmaSeconds_ =
+        static_cast<double>(lw.image().totalBytes()) / kPcieGen4Bps;
+}
+
+Cycle
+InferenceSession::run(Cycle max_cycles)
+{
+    cycles_ = chip_->run(max_cycles);
+    return cycles_;
+}
+
+double
+InferenceSession::latencySeconds() const
+{
+    return static_cast<double>(cycles_) *
+           chip_->config().cyclePeriodSec();
+}
+
+ref::QTensor
+InferenceSession::readTensor(const LoweredTensor &t) const
+{
+    const ActTensor &at = t.t;
+    ref::QTensor out(at.height, at.width, at.channels);
+    for (int y = 0; y < at.height; ++y) {
+        const int e = at.ownerOf(y);
+        for (int x = 0; x < at.width; ++x) {
+            for (int kg = 0; kg < at.kgCount; ++kg) {
+                const GlobalAddr a = at.addrOf(e, y, x, kg);
+                const Vec320 v =
+                    chip_->mem(a.hem, a.slice).backdoorRead(a.addr);
+                const int c_lo = kg * kMxmDim;
+                const int c_hi =
+                    std::min(at.channels, c_lo + kMxmDim);
+                for (int c = c_lo; c < c_hi; ++c) {
+                    out.at(y, x, c) = static_cast<std::int8_t>(
+                        v.bytes[static_cast<std::size_t>(c - c_lo)]);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace tsp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Host runtime: owns a chip instance, emplaces the model via the DMA
+ * manifest, loads the scheduled program (with its barrier preamble),
+ * runs it to completion, and reads result tensors back — the host
+ * interface duties of the paper's C2C/PCIe module (II item 6).
+ */
+
+#ifndef TSP_RUNTIME_SESSION_HH
+#define TSP_RUNTIME_SESSION_HH
+
+#include <memory>
+
+#include "compiler/lowering.hh"
+#include "ref/qnn.hh"
+#include "sim/chip.hh"
+
+namespace tsp {
+
+/** Usable PCIe Gen4 x16 bandwidth for the DMA-time model (bytes/s). */
+inline constexpr double kPcieGen4Bps = 32.0e9;
+
+/** One compiled model bound to one chip. */
+class InferenceSession
+{
+  public:
+    /**
+     * Builds the chip, applies @p lw's DMA image and loads its
+     * program. The Lowering must be fully built (all layers added).
+     */
+    explicit InferenceSession(Lowering &lw, ChipConfig cfg = {});
+
+    /** Runs to completion; @return total cycles. */
+    Cycle run(Cycle max_cycles = 500'000'000);
+
+    /** Reads a lowered tensor back into a dense reference tensor. */
+    ref::QTensor readTensor(const LoweredTensor &t) const;
+
+    /** @return the chip model. */
+    Chip &chip() { return *chip_; }
+    const Chip &chip() const { return *chip_; }
+
+    /** @return cycles consumed by the last run(). */
+    Cycle cycles() const { return cycles_; }
+
+    /** @return compute latency of the last run in seconds. */
+    double latencySeconds() const;
+
+    /** @return modeled one-time PCIe DMA time for the image. */
+    double dmaSeconds() const { return dmaSeconds_; }
+
+  private:
+    std::unique_ptr<Chip> chip_;
+    Cycle cycles_ = 0;
+    double dmaSeconds_ = 0.0;
+};
+
+} // namespace tsp
+
+#endif // TSP_RUNTIME_SESSION_HH

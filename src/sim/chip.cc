@@ -1,0 +1,332 @@
+#include "sim/chip.hh"
+
+#include "common/logging.hh"
+
+namespace tsp {
+
+Chip::Chip(ChipConfig cfg) : cfg_(std::move(cfg))
+{
+    cfg_.validate();
+
+    memSlices_.reserve(kMemSlices);
+    for (int h = 0; h < 2; ++h) {
+        for (int i = 0; i < kMemSlicesPerHem; ++i) {
+            memSlices_.emplace_back(static_cast<Hemisphere>(h), i,
+                                    cfg_.eccEnabled);
+        }
+    }
+
+    vxm_ = std::make_unique<VxmUnit>(cfg_, fabric_);
+    for (int p = 0; p < kMxmPlanes; ++p)
+        mxm_.push_back(std::make_unique<MxmPlane>(p, cfg_, fabric_));
+    sxm_.push_back(std::make_unique<SxmComplex>(Hemisphere::West, cfg_,
+                                                fabric_));
+    sxm_.push_back(std::make_unique<SxmComplex>(Hemisphere::East, cfg_,
+                                                fabric_));
+    c2c_ = std::make_unique<C2cModule>(cfg_, fabric_);
+    memIo_ = std::make_unique<StreamIo>(cfg_, fabric_, "MEM");
+    power_ = std::make_unique<PowerModel>(cfg_);
+
+    queues_.reserve(kNumIcus);
+    for (int i = 0; i < kNumIcus; ++i)
+        queues_.emplace_back(IcuId{i}, barrier_);
+}
+
+MemSlice &
+Chip::mem(Hemisphere hem, int index)
+{
+    TSP_ASSERT(index >= 0 && index < kMemSlicesPerHem);
+    const int base =
+        hem == Hemisphere::West ? 0 : kMemSlicesPerHem;
+    return memSlices_[static_cast<std::size_t>(base + index)];
+}
+
+const MemSlice &
+Chip::mem(Hemisphere hem, int index) const
+{
+    return const_cast<Chip *>(this)->mem(hem, index);
+}
+
+const MxmPlane &
+Chip::mxm(int plane) const
+{
+    TSP_ASSERT(plane >= 0 && plane < kMxmPlanes);
+    return *mxm_[static_cast<std::size_t>(plane)];
+}
+
+const SxmComplex &
+Chip::sxm(Hemisphere hem) const
+{
+    return *sxm_[hem == Hemisphere::West ? 0 : 1];
+}
+
+void
+Chip::loadProgram(const AsmProgram &program)
+{
+    for (auto &q : queues_)
+        q.loadProgram({});
+    for (const auto &[icu_id, insts] : program.queues) {
+        TSP_ASSERT(icu_id >= 0 && icu_id < kNumIcus);
+        queues_[static_cast<std::size_t>(icu_id)].loadProgram(insts);
+    }
+    fabric_.clear();
+}
+
+void
+Chip::dispatchMem(const IcuId &icu, const Instruction &inst)
+{
+    const int rel = icu.id - IcuId::memBase;
+    MemSlice &slice = memSlices_[static_cast<std::size_t>(rel)];
+    const SlicePos pos = slice.pos();
+    const Cycle now = fabric_.now();
+    const Cycle when = now + opTiming(inst.op).dFunc;
+
+    switch (inst.op) {
+      case Opcode::Read: {
+        const Vec320 v = slice.read(inst.addr, now);
+        memIo_->produceRaw(inst.dst, pos, v, when);
+        return;
+      }
+      case Opcode::Write: {
+        const Vec320 v = memIo_->consume(inst.srcA, pos);
+        slice.write(inst.addr, v, now);
+        return;
+      }
+      case Opcode::Gather: {
+        // The map stream supplies one 13-bit word address per
+        // superlane in the first two bytes of each tile word.
+        const Vec320 m = memIo_->consume(inst.srcB, pos);
+        std::array<MemAddr, kSuperlanes> addrs;
+        for (int sl = 0; sl < kSuperlanes; ++sl) {
+            const std::size_t base =
+                static_cast<std::size_t>(sl * kWordBytes);
+            addrs[static_cast<std::size_t>(sl)] = static_cast<MemAddr>(
+                (m.bytes[base] |
+                 (static_cast<unsigned>(m.bytes[base + 1]) << 8)) &
+                (kMemWordsPerSlice - 1));
+        }
+        const Vec320 v = slice.gather(addrs, now);
+        memIo_->produceRaw(inst.dst, pos, v, when);
+        return;
+      }
+      case Opcode::Scatter: {
+        const Vec320 m = memIo_->consume(inst.srcB, pos);
+        const Vec320 v = memIo_->consume(inst.srcA, pos);
+        std::array<MemAddr, kSuperlanes> addrs;
+        for (int sl = 0; sl < kSuperlanes; ++sl) {
+            const std::size_t base =
+                static_cast<std::size_t>(sl * kWordBytes);
+            addrs[static_cast<std::size_t>(sl)] = static_cast<MemAddr>(
+                (m.bytes[base] |
+                 (static_cast<unsigned>(m.bytes[base + 1]) << 8)) &
+                (kMemWordsPerSlice - 1));
+        }
+        slice.scatter(addrs, v, now);
+        return;
+      }
+      default:
+        panic("%s: bad MEM opcode %s", icu.name().c_str(),
+              opcodeName(inst.op));
+    }
+}
+
+void
+Chip::dispatch(const IcuId &icu, const Instruction &inst)
+{
+    const Cycle now = fabric_.now();
+
+    // ICU-common instructions may issue from any queue.
+    switch (inst.op) {
+      case Opcode::Notify:
+        barrier_.notify(now);
+        return;
+      case Opcode::Config:
+        // Low-power mode: recorded for the power model; geometry is
+        // fixed per program in this model (ChipConfig sets VL).
+        return;
+      case Opcode::Ifetch: {
+        // Default fetch model: count bandwidth; consume the text
+        // vector pair if the compiler routed one here.
+        ++ifetches_;
+        Vec320 dummy;
+        StreamRef second = inst.srcA;
+        second.id = static_cast<StreamId>(inst.srcA.id + 1);
+        memIo_->tryConsume(inst.srcA, IcuId{icu}.pos(), dummy);
+        memIo_->tryConsume(second, IcuId{icu}.pos(), dummy);
+        return;
+      }
+      default:
+        break;
+    }
+
+    switch (icu.kind()) {
+      case SliceKind::MEM:
+        dispatchMem(icu, inst);
+        return;
+      case SliceKind::VXM:
+        vxm_->execute(inst, icu.id - IcuId::vxmBase, now);
+        return;
+      case SliceKind::MXM: {
+        const int plane = (icu.id - IcuId::mxmBase) / 2;
+        mxm_[static_cast<std::size_t>(plane)]->issue(inst, now);
+        return;
+      }
+      case SliceKind::SXM: {
+        const int rel = icu.id - IcuId::sxmBase;
+        const int hem_idx = rel < 8 ? 0 : 1;
+        sxm_[static_cast<std::size_t>(hem_idx)]->execute(
+            inst, static_cast<SxmUnit>(rel % 8), now);
+        return;
+      }
+      case SliceKind::C2C:
+        c2c_->execute(inst, icu.id - IcuId::c2cBase, now);
+        return;
+      default:
+        panic("dispatch: bad ICU kind");
+    }
+}
+
+void
+Chip::step()
+{
+    const Cycle now = fabric_.now();
+    dispatchesThisCycle_ = 0;
+
+    for (auto &q : queues_) {
+        const Instruction *insts[2] = {nullptr, nullptr};
+        const int n = q.tick(now, insts);
+        for (int i = 0; i < n; ++i) {
+            ++dispatchesThisCycle_;
+            if (cfg_.traceEnabled)
+                trace_.push_back({now, q.id(), *insts[i]});
+            dispatch(q.id(), *insts[i]);
+        }
+    }
+
+    // MXM sequencers stream activations/results every cycle.
+    for (auto &plane : mxm_)
+        plane->tick(now);
+
+    // Power accounting from activity deltas.
+    std::uint64_t macc = 0;
+    for (const auto &plane : mxm_)
+        macc += plane->maccOps();
+    std::uint64_t sxm_bytes = 0;
+    for (const auto &s : sxm_)
+        sxm_bytes += s->bytesSwitched();
+    std::uint64_t sram = 0;
+    for (const auto &m : memSlices_)
+        sram += m.reads() + m.writes();
+
+    ActivitySample act;
+    act.maccOps = macc - prevMacc_;
+    act.vxmLaneOps = vxm_->laneOps() - prevVxmOps_;
+    act.sxmBytes = sxm_bytes - prevSxmBytes_;
+    act.sramWords =
+        (sram - prevSramAccesses_) * kSuperlanes; // 20 words/access.
+    act.streamHops = fabric_.validEntries();
+    act.icuDispatches = dispatchesThisCycle_;
+    power_->sample(act);
+
+    prevMacc_ = macc;
+    prevVxmOps_ = vxm_->laneOps();
+    prevSxmBytes_ = sxm_bytes;
+    prevSramAccesses_ = sram;
+
+    fabric_.advance();
+}
+
+bool
+Chip::done() const
+{
+    for (const auto &q : queues_) {
+        if (!q.done())
+            return false;
+    }
+    for (const auto &plane : mxm_) {
+        if (plane->abcActive() || plane->accActive())
+            return false;
+    }
+    return true;
+}
+
+Cycle
+Chip::run(Cycle max_cycles)
+{
+    while (!done()) {
+        if (now() >= max_cycles) {
+            fatal("Chip::run: cycle limit %llu reached — program never "
+                  "completes",
+                  static_cast<unsigned long long>(max_cycles));
+        }
+        step();
+    }
+    return now();
+}
+
+std::uint64_t
+Chip::totalDispatched() const
+{
+    std::uint64_t total = 0;
+    for (const auto &q : queues_)
+        total += q.dispatched();
+    return total;
+}
+
+std::uint64_t
+Chip::totalMaccOps() const
+{
+    std::uint64_t total = 0;
+    for (const auto &plane : mxm_)
+        total += plane->maccOps();
+    return total;
+}
+
+StatGroup
+Chip::stats() const
+{
+    StatGroup g;
+    g.set("cycles", now());
+    g.set("dispatched", totalDispatched());
+    g.set("macc_ops", totalMaccOps());
+    g.set("vxm_lane_ops", vxm_->laneOps());
+    g.set("stream_hops", fabric_.totalHops());
+    g.set("stream_writes", fabric_.totalWrites());
+    g.set("ifetches", ifetches_);
+
+    std::uint64_t reads = 0, writes = 0, corrected = 0, uncorrectable = 0;
+    for (const auto &m : memSlices_) {
+        reads += m.reads();
+        writes += m.writes();
+        corrected += m.correctedErrors();
+        uncorrectable += m.uncorrectableErrors();
+    }
+    g.set("mem_reads", reads);
+    g.set("mem_writes", writes);
+
+    corrected += memIo_->correctedErrors() +
+                 vxm_->io().correctedErrors();
+    uncorrectable += memIo_->uncorrectableErrors() +
+                     vxm_->io().uncorrectableErrors();
+    for (const auto &s : sxm_) {
+        corrected += s->io().correctedErrors();
+        uncorrectable += s->io().uncorrectableErrors();
+    }
+    for (const auto &p : mxm_) {
+        corrected += p->io().correctedErrors();
+        uncorrectable += p->io().uncorrectableErrors();
+    }
+    g.set("ecc_corrected", corrected);
+    g.set("ecc_uncorrectable", uncorrectable);
+
+    std::uint64_t sxm_bytes = 0;
+    for (const auto &s : sxm_)
+        sxm_bytes += s->bytesSwitched();
+    g.set("sxm_bytes", sxm_bytes);
+
+    g.set("c2c_sent", c2c_->sent());
+    g.set("c2c_received", c2c_->received());
+    return g;
+}
+
+} // namespace tsp

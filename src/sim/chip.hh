@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The top-level TSP chip model: 144 instruction queues driving 88 MEM
+ * slices, the 16-ALU VXM, four MXM planes, two SXM complexes and the
+ * C2C block, all communicating through the chip-wide stream register
+ * file. One step() is one core-clock cycle; execution is exactly
+ * deterministic — the same program produces the same cycle count and
+ * the same stream/SRAM contents on every run.
+ */
+
+#ifndef TSP_SIM_CHIP_HH
+#define TSP_SIM_CHIP_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "arch/config.hh"
+#include "c2c/c2c_module.hh"
+#include "common/stats.hh"
+#include "icu/barrier.hh"
+#include "icu/queue.hh"
+#include "isa/assembler.hh"
+#include "mem/mem_slice.hh"
+#include "mxm/mxm_plane.hh"
+#include "sim/power.hh"
+#include "stream/stream_io.hh"
+#include "sxm/sxm_complex.hh"
+#include "vxm/vxm_unit.hh"
+
+namespace tsp {
+
+/** One instruction-dispatch trace event (for schedule dumps). */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    IcuId icu{};
+    Instruction inst{};
+};
+
+/** The full first-generation TSP chip. */
+class Chip
+{
+  public:
+    explicit Chip(ChipConfig cfg = {});
+
+    /** @return the active configuration. */
+    const ChipConfig &config() const { return cfg_; }
+
+    /** Loads a program into the instruction queues (replaces any). */
+    void loadProgram(const AsmProgram &program);
+
+    /** Advances one core-clock cycle. */
+    void step();
+
+    /**
+     * Runs until every queue has retired and all MXM sequencers are
+     * idle, or @p max_cycles elapse.
+     *
+     * @return the final cycle count. Calls fatal() if the limit hits
+     * (a deterministic program either finishes or is wrong).
+     */
+    Cycle run(Cycle max_cycles = 100'000'000);
+
+    /** @return current cycle. */
+    Cycle now() const { return fabric_.now(); }
+
+    /** @return true when all queues and sequencers are idle. */
+    bool done() const;
+
+    /** @return a MEM slice. */
+    MemSlice &mem(Hemisphere hem, int index);
+    const MemSlice &mem(Hemisphere hem, int index) const;
+
+    /** @return the MEM slice owning @p addr. */
+    MemSlice &
+    mem(const GlobalAddr &addr)
+    {
+        return mem(addr.hem, addr.slice);
+    }
+
+    /** @return the stream fabric (tests and debugging). */
+    StreamFabric &fabric() { return fabric_; }
+
+    /** @return the vector processor. */
+    const VxmUnit &vxm() const { return *vxm_; }
+
+    /** @return MXM plane 0..3. */
+    const MxmPlane &mxm(int plane) const;
+
+    /** @return a hemisphere's SXM complex. */
+    const SxmComplex &sxm(Hemisphere hem) const;
+
+    /** @return the chip-to-chip block. */
+    C2cModule &c2c() { return *c2c_; }
+
+    /** @return the power model. */
+    const PowerModel &power() const { return *power_; }
+
+    /** @return the barrier controller (tests). */
+    const BarrierController &barrier() const { return barrier_; }
+
+    /** @return dispatch trace (empty unless ChipConfig::traceEnabled). */
+    const std::vector<TraceEvent> &trace() const { return trace_; }
+
+    /** @return aggregate statistics across all units. */
+    StatGroup stats() const;
+
+    /** @return total instructions dispatched chip-wide. */
+    std::uint64_t totalDispatched() const;
+
+    /** @return total MACC operations across the four planes. */
+    std::uint64_t totalMaccOps() const;
+
+    /** @return Ifetch instructions observed (fetch-bandwidth stat). */
+    std::uint64_t ifetchCount() const { return ifetches_; }
+
+  private:
+    void dispatch(const IcuId &icu, const Instruction &inst);
+    void dispatchMem(const IcuId &icu, const Instruction &inst);
+
+    ChipConfig cfg_;
+    StreamFabric fabric_;
+    BarrierController barrier_;
+
+    std::vector<MemSlice> memSlices_;          // 88: W0..43, E0..43
+    std::unique_ptr<VxmUnit> vxm_;
+    std::vector<std::unique_ptr<MxmPlane>> mxm_;
+    std::vector<std::unique_ptr<SxmComplex>> sxm_;
+    std::unique_ptr<C2cModule> c2c_;
+    std::unique_ptr<StreamIo> memIo_;          // MEM slices' stream port.
+    std::unique_ptr<PowerModel> power_;
+
+    std::vector<InstructionQueue> queues_;     // 144.
+
+    std::vector<TraceEvent> trace_;
+    std::uint64_t ifetches_ = 0;
+    std::uint64_t dispatchesThisCycle_ = 0;
+
+    // Previous totals for per-cycle power deltas.
+    std::uint64_t prevMacc_ = 0;
+    std::uint64_t prevVxmOps_ = 0;
+    std::uint64_t prevSxmBytes_ = 0;
+    std::uint64_t prevSramAccesses_ = 0;
+};
+
+} // namespace tsp
+
+#endif // TSP_SIM_CHIP_HH

@@ -1,0 +1,64 @@
+#include "sim/power.hh"
+
+#include "arch/types.hh"
+
+namespace tsp {
+
+PowerModel::PowerModel(const ChipConfig &cfg) : cfg_(cfg) {}
+
+void
+PowerModel::sample(const ActivitySample &activity)
+{
+    const PowerParams &p = cfg_.power;
+    const double pj =
+        static_cast<double>(activity.maccOps) * p.mxmMaccPj +
+        static_cast<double>(activity.vxmLaneOps) * p.vxmOpPj +
+        static_cast<double>(activity.streamHops) * kLanes *
+            p.streamHopPj +
+        static_cast<double>(activity.sramWords) * p.sramWordPj +
+        static_cast<double>(activity.sxmBytes) * p.sxmBytePj +
+        static_cast<double>(activity.icuDispatches) * p.icuDispatchPj;
+
+    const double static_w =
+        p.uncoreStaticW +
+        p.superlaneStaticW * cfg_.activeSuperlanes;
+    const double cycle_s = cfg_.cyclePeriodSec();
+    const double joules = pj * 1e-12 + static_w * cycle_s;
+
+    energyJ_ += joules;
+    ++cycles_;
+    if (cfg_.powerTraceEnabled)
+        trace_.push_back(static_cast<float>(joules / cycle_s));
+}
+
+double
+PowerModel::averagePowerW() const
+{
+    if (cycles_ == 0)
+        return 0.0;
+    return energyJ_ / (static_cast<double>(cycles_) *
+                       cfg_.cyclePeriodSec());
+}
+
+std::vector<double>
+PowerModel::downsampledTrace(std::size_t buckets) const
+{
+    std::vector<double> out;
+    if (trace_.empty() || buckets == 0)
+        return out;
+    out.resize(buckets, 0.0);
+    std::vector<std::size_t> counts(buckets, 0);
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+        const std::size_t b =
+            i * buckets / trace_.size();
+        out[b] += trace_[i];
+        ++counts[b];
+    }
+    for (std::size_t b = 0; b < buckets; ++b) {
+        if (counts[b])
+            out[b] /= static_cast<double>(counts[b]);
+    }
+    return out;
+}
+
+} // namespace tsp

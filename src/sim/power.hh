@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Activity-based power model.
+ *
+ * The paper reports measured per-layer chip power (Fig. 10); we
+ * reproduce the *shape* with activity counting: each cycle the chip
+ * reports deltas of its activity counters (MACCs, ALU ops, stream
+ * hops, SRAM words, switched bytes, dispatches) which are weighted by
+ * per-op energy coefficients and added to static power. See DESIGN.md
+ * substitution table.
+ */
+
+#ifndef TSP_SIM_POWER_HH
+#define TSP_SIM_POWER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.hh"
+
+namespace tsp {
+
+/** One cycle's activity deltas. */
+struct ActivitySample
+{
+    std::uint64_t maccOps = 0;
+    std::uint64_t vxmLaneOps = 0;
+    std::uint64_t streamHops = 0;   ///< Flowing vectors (320 B each).
+    std::uint64_t sramWords = 0;    ///< 16-byte word accesses.
+    std::uint64_t sxmBytes = 0;
+    std::uint64_t icuDispatches = 0;
+};
+
+/** Integrates activity into energy and an optional power trace. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const ChipConfig &cfg);
+
+    /** Accounts one cycle of activity. */
+    void sample(const ActivitySample &activity);
+
+    /** @return total energy in joules so far. */
+    double totalEnergyJ() const { return energyJ_; }
+
+    /** @return cycles accounted. */
+    Cycle cycles() const { return cycles_; }
+
+    /** @return average power in watts over all accounted cycles. */
+    double averagePowerW() const;
+
+    /**
+     * @return the per-cycle power trace in watts (empty unless
+     * ChipConfig::powerTraceEnabled).
+     */
+    const std::vector<float> &traceW() const { return trace_; }
+
+    /**
+     * Downsamples the trace into @p buckets averages — the layer-by-
+     * layer power plot.
+     */
+    std::vector<double> downsampledTrace(std::size_t buckets) const;
+
+  private:
+    const ChipConfig &cfg_;
+    double energyJ_ = 0.0;
+    Cycle cycles_ = 0;
+    std::vector<float> trace_;
+};
+
+} // namespace tsp
+
+#endif // TSP_SIM_POWER_HH

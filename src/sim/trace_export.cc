@@ -1,0 +1,92 @@
+#include "sim/trace_export.hh"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/strutil.hh"
+
+namespace tsp {
+
+namespace {
+
+/** Escapes a string for a JSON literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+traceToChromeJson(const std::vector<TraceEvent> &events)
+{
+    std::ostringstream os;
+    os << "{\"traceEvents\":[\n";
+
+    // Thread metadata: name each queue once, grouped by slice kind
+    // via the sort index.
+    std::set<int> named;
+    bool first = true;
+    auto emit = [&](const std::string &line) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << line;
+    };
+
+    for (const TraceEvent &e : events) {
+        if (!named.count(e.icu.id)) {
+            named.insert(e.icu.id);
+            emit(strformat(
+                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                e.icu.id, e.icu.name().c_str()));
+            emit(strformat(
+                "{\"name\":\"thread_sort_index\",\"ph\":\"M\","
+                "\"pid\":1,\"tid\":%d,\"args\":{\"sort_index\":%d}}",
+                e.icu.id, e.icu.id));
+        }
+    }
+
+    for (const TraceEvent &e : events) {
+        emit(strformat(
+            "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+            "\"ts\":%llu,\"dur\":1,\"args\":{\"asm\":\"%s\"}}",
+            opcodeName(e.inst.op), e.icu.id,
+            static_cast<unsigned long long>(e.cycle),
+            jsonEscape(e.inst.toString()).c_str()));
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+bool
+writeChromeTrace(const Chip &chip, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << traceToChromeJson(chip.trace());
+    return static_cast<bool>(out);
+}
+
+} // namespace tsp

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Chrome-tracing export of the chip's dispatch trace: one timeline
+ * row per instruction queue, one duration event per dispatched
+ * instruction (1 cycle = 1 µs in the viewer). Load the output in
+ * chrome://tracing or https://ui.perfetto.dev to see the two-
+ * dimensional schedule the compiler solved (the interactive version
+ * of the paper's Fig. 11).
+ */
+
+#ifndef TSP_SIM_TRACE_EXPORT_HH
+#define TSP_SIM_TRACE_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/chip.hh"
+
+namespace tsp {
+
+/**
+ * Renders @p events as Chrome Trace Event JSON.
+ *
+ * Queues become thread ids grouped by slice kind; the instruction
+ * mnemonic is the event name and the full assembly text is attached
+ * as an argument.
+ */
+std::string traceToChromeJson(const std::vector<TraceEvent> &events);
+
+/** Convenience: writes the chip's trace to @p path; returns success. */
+bool writeChromeTrace(const Chip &chip, const std::string &path);
+
+} // namespace tsp
+
+#endif // TSP_SIM_TRACE_EXPORT_HH

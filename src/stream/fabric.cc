@@ -1,0 +1,109 @@
+#include "stream/fabric.hh"
+
+#include "common/logging.hh"
+
+namespace tsp {
+
+StreamFabric::StreamFabric() : rings_(kNumRings)
+{
+    for (auto &ring : rings_)
+        ring.slots.resize(kPositions);
+}
+
+void
+StreamFabric::applyWrite(StreamRef s, SlicePos pos, const Vec320 &vec,
+                         const char *writer)
+{
+    TSP_ASSERT(pos >= 0 && pos < kPositions);
+    Ring &ring = rings_[static_cast<std::size_t>(ringIndex(s))];
+    Entry &e =
+        ring.slots[static_cast<std::size_t>(slotOf(s.dir, pos))];
+    if (e.valid && e.writtenAt == cycle_) {
+        panic("fabric: two producers on %s at pos %d in cycle %llu "
+              "(%s then %s) (scheduler bug)",
+              s.toString().c_str(), pos,
+              static_cast<unsigned long long>(cycle_), e.writer,
+              writer);
+    }
+    if (!e.valid) {
+        e.valid = true;
+        ++ring.validInRing;
+        ++validCount_;
+    }
+    e.vec = vec;
+    e.writtenAt = cycle_;
+    e.writer = writer;
+    ++totalWrites_;
+}
+
+void
+StreamFabric::scheduleWrite(StreamRef s, SlicePos pos, const Vec320 &vec,
+                            Cycle when, const char *writer)
+{
+    TSP_ASSERT(when >= cycle_);
+    if (when == cycle_) {
+        applyWrite(s, pos, vec, writer);
+        return;
+    }
+    pending_[when].emplace_back(s, pos, vec, writer);
+}
+
+const Vec320 *
+StreamFabric::peek(StreamRef s, SlicePos pos) const
+{
+    TSP_ASSERT(pos >= 0 && pos < kPositions);
+    const Ring &ring = rings_[static_cast<std::size_t>(ringIndex(s))];
+    const Entry &e =
+        ring.slots[static_cast<std::size_t>(slotOf(s.dir, pos))];
+    return e.valid ? &e.vec : nullptr;
+}
+
+void
+StreamFabric::advance()
+{
+    // Everything valid moves one hop (for power accounting).
+    totalHops_ += validCount_;
+
+    ++cycle_;
+
+    // The slot that wrapped around the edge no longer holds a live
+    // value: for eastward streams the value past position N-1 falls
+    // off the east edge (its slot becomes position 0); westward values
+    // fall off the west edge (slot becomes position N-1).
+    for (int r = 0; r < kNumRings; ++r) {
+        Ring &ring = rings_[static_cast<std::size_t>(r)];
+        const Direction dir =
+            r < kStreamsPerDir ? Direction::East : Direction::West;
+        const SlicePos entry_pos =
+            dir == Direction::East ? 0 : kPositions - 1;
+        Entry &e = ring.slots[static_cast<std::size_t>(
+            slotOf(dir, entry_pos))];
+        if (e.valid) {
+            e.valid = false;
+            --ring.validInRing;
+            --validCount_;
+        }
+    }
+
+    // Apply writes that become visible this cycle.
+    auto it = pending_.find(cycle_);
+    if (it != pending_.end()) {
+        for (auto &[s, pos, vec, writer] : it->second)
+            applyWrite(s, pos, vec, writer);
+        pending_.erase(it);
+    }
+}
+
+void
+StreamFabric::clear()
+{
+    for (auto &ring : rings_) {
+        for (auto &e : ring.slots)
+            e.valid = false;
+        ring.validInRing = 0;
+    }
+    validCount_ = 0;
+    pending_.clear();
+}
+
+} // namespace tsp

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The chip-wide streaming register file.
+ *
+ * Streams are the TSP's only inter-slice communication mechanism: 32
+ * eastward and 32 westward logical streams whose values advance one
+ * stream-register hop per core clock (paper II.A, V.c). There is no
+ * routing, arbitration, or flow control — a value simply propagates in
+ * its direction of flow until it falls off the edge of the chip or a
+ * functional slice overwrites it.
+ *
+ * Implementation: each (direction, stream) pair owns a ring buffer
+ * over the 95 stream-register positions. Advancing the clock is O(1)
+ * index arithmetic plus invalidation of the slot that wrapped past the
+ * chip edge; no vector data is copied as it "flows".
+ */
+
+#ifndef TSP_STREAM_FABRIC_HH
+#define TSP_STREAM_FABRIC_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "arch/layout.hh"
+#include "arch/types.hh"
+#include "isa/instruction.hh"
+
+namespace tsp {
+
+/** The streaming register file spanning all superlanes. */
+class StreamFabric
+{
+  public:
+    StreamFabric();
+
+    /** @return the current cycle. */
+    Cycle now() const { return cycle_; }
+
+    /**
+     * Advances one core clock: values move one hop in their direction
+     * of flow, edge values fall off the chip, and writes scheduled for
+     * the new cycle become visible.
+     */
+    void advance();
+
+    /**
+     * @return the vector visible on stream @p s at position @p pos in
+     * the current cycle, or nullptr if no valid value is flowing
+     * there.
+     */
+    const Vec320 *peek(StreamRef s, SlicePos pos) const;
+
+    /**
+     * Makes @p vec visible on stream @p s at position @p pos starting
+     * at cycle @p when (>= now), overwriting whatever would flow
+     * through that register. This is how producers with functional
+     * delay d_func deposit results: when = dispatch + d_func.
+     */
+    void scheduleWrite(StreamRef s, SlicePos pos, const Vec320 &vec,
+                       Cycle when, const char *writer = "?");
+
+    /** Immediate write visible in the current cycle. */
+    void
+    write(StreamRef s, SlicePos pos, const Vec320 &vec)
+    {
+        scheduleWrite(s, pos, vec, cycle_);
+    }
+
+    /** Invalidates every entry of every stream (between programs). */
+    void clear();
+
+    /** @return number of valid vectors currently flowing chip-wide. */
+    std::uint64_t validEntries() const { return validCount_; }
+
+    /** @return cumulative vector-hops since construction (power). */
+    std::uint64_t totalHops() const { return totalHops_; }
+
+    /** @return count of scheduled writes applied so far. */
+    std::uint64_t totalWrites() const { return totalWrites_; }
+
+  private:
+    struct Entry
+    {
+        Vec320 vec;
+        bool valid = false;
+        Cycle writtenAt = ~Cycle{0}; ///< Cycle of the last write.
+        const char *writer = "?";    ///< Debug: who wrote it.
+    };
+
+    /** Ring of entries for one (direction, stream id). */
+    struct Ring
+    {
+        std::vector<Entry> slots;
+        int validInRing = 0;
+    };
+
+    static constexpr int kNumRings = 2 * kStreamsPerDir;
+    static constexpr int kPositions = Layout::numPositions;
+
+    static int
+    ringIndex(StreamRef s)
+    {
+        return (s.dir == Direction::West ? kStreamsPerDir : 0) + s.id;
+    }
+
+    /** Ring slot holding (pos) at the current cycle. */
+    int
+    slotOf(Direction dir, SlicePos pos) const
+    {
+        const long t = static_cast<long>(cycle_ % kPositions);
+        long idx;
+        if (dir == Direction::East)
+            idx = (pos - t) % kPositions;
+        else
+            idx = (pos + t) % kPositions;
+        if (idx < 0)
+            idx += kPositions;
+        return static_cast<int>(idx);
+    }
+
+    void applyWrite(StreamRef s, SlicePos pos, const Vec320 &vec,
+                    const char *writer);
+
+    std::vector<Ring> rings_;
+    Cycle cycle_ = 0;
+
+    /** Writes scheduled for future cycles, applied on advance(). */
+    std::map<Cycle,
+             std::vector<std::tuple<StreamRef, SlicePos, Vec320,
+                                    const char *>>>
+        pending_;
+
+    std::uint64_t validCount_ = 0;
+    std::uint64_t totalHops_ = 0;
+    std::uint64_t totalWrites_ = 0;
+};
+
+} // namespace tsp
+
+#endif // TSP_STREAM_FABRIC_HH

@@ -1,0 +1,76 @@
+#include "stream/stream_io.hh"
+
+#include "common/logging.hh"
+#include "mem/ecc.hh"
+
+namespace tsp {
+
+StreamIo::StreamIo(const ChipConfig &cfg, StreamFabric &fabric,
+                   std::string owner)
+    : cfg_(cfg), fabric_(fabric), owner_(std::move(owner))
+{
+}
+
+Vec320
+StreamIo::consume(StreamRef s, SlicePos pos)
+{
+    Vec320 out;
+    if (!tryConsume(s, pos, out)) {
+        if (cfg_.strictStreams) {
+            panic("%s: no value flowing on %s at pos %d, cycle %llu "
+                  "(scheduler bug)",
+                  owner_.c_str(), s.toString().c_str(), pos,
+                  static_cast<unsigned long long>(fabric_.now()));
+        }
+        ++missed_;
+    }
+    return out;
+}
+
+bool
+StreamIo::tryConsume(StreamRef s, SlicePos pos, Vec320 &out)
+{
+    const Vec320 *v = fabric_.peek(s, pos);
+    if (!v) {
+        out = Vec320{};
+        if (cfg_.eccEnabled)
+            eccComputeVec(out);
+        return false;
+    }
+    out = *v;
+    ++consumed_;
+    if (cfg_.eccEnabled) {
+        switch (eccCheckVec(out)) {
+          case EccStatus::Ok:
+            break;
+          case EccStatus::Corrected:
+            ++corrected_;
+            break;
+          case EccStatus::Uncorrectable:
+            ++uncorrectable_;
+            warn("%s: uncorrectable stream error on %s at pos %d",
+                 owner_.c_str(), s.toString().c_str(), pos);
+            break;
+        }
+    }
+    return true;
+}
+
+void
+StreamIo::produce(StreamRef s, SlicePos pos, Vec320 vec, Cycle when)
+{
+    if (cfg_.eccEnabled)
+        eccComputeVec(vec);
+    fabric_.scheduleWrite(s, pos, vec, when, owner_.c_str());
+    ++produced_;
+}
+
+void
+StreamIo::produceRaw(StreamRef s, SlicePos pos, const Vec320 &vec,
+                     Cycle when)
+{
+    fabric_.scheduleWrite(s, pos, vec, when, owner_.c_str());
+    ++produced_;
+}
+
+} // namespace tsp

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Producer/consumer facade over the stream fabric.
+ *
+ * Every functional slice consumes operands and produces results
+ * through this helper, which implements the paper's producer-side ECC
+ * generation and consumer-side ECC check (II.D), the strict-schedule
+ * check (a missing operand is a compiler bug), and the CSR counters an
+ * error handler would interrogate.
+ */
+
+#ifndef TSP_STREAM_STREAM_IO_HH
+#define TSP_STREAM_STREAM_IO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "arch/config.hh"
+#include "stream/fabric.hh"
+
+namespace tsp {
+
+/** Per-slice stream access point with ECC and CSR counters. */
+class StreamIo
+{
+  public:
+    /**
+     * @param cfg chip configuration (ECC / strictness knobs).
+     * @param fabric the shared stream register file.
+     * @param owner printable slice name for diagnostics.
+     */
+    StreamIo(const ChipConfig &cfg, StreamFabric &fabric,
+             std::string owner);
+
+    /**
+     * Samples stream @p s at position @p pos in the current cycle,
+     * checking (and correcting) ECC.
+     *
+     * If no valid value is flowing: panics under strictStreams,
+     * otherwise returns a zero vector and counts a missed operand.
+     */
+    Vec320 consume(StreamRef s, SlicePos pos);
+
+    /**
+     * Like consume() but tolerates an absent value even in strict
+     * mode (used by Write-style sinks that are themselves optional).
+     *
+     * @return false if nothing was flowing.
+     */
+    bool tryConsume(StreamRef s, SlicePos pos, Vec320 &out);
+
+    /**
+     * Produces @p vec on stream @p s at position @p pos, visible at
+     * cycle @p when; generates fresh ECC (producer side).
+     */
+    void produce(StreamRef s, SlicePos pos, Vec320 vec, Cycle when);
+
+    /**
+     * Produces @p vec with its existing ECC untouched. Used by MEM
+     * reads: the code generated when the word was produced travels
+     * with it, so SRAM soft errors remain detectable downstream.
+     */
+    void produceRaw(StreamRef s, SlicePos pos, const Vec320 &vec,
+                    Cycle when);
+
+    /** CSR: single-bit errors corrected on consumed operands. */
+    std::uint64_t correctedErrors() const { return corrected_; }
+
+    /** CSR: uncorrectable errors observed on consumed operands. */
+    std::uint64_t uncorrectableErrors() const { return uncorrectable_; }
+
+    /** Operands sampled with nothing flowing (non-strict mode only). */
+    std::uint64_t missedOperands() const { return missed_; }
+
+    /** Vectors consumed. */
+    std::uint64_t consumed() const { return consumed_; }
+
+    /** Vectors produced. */
+    std::uint64_t produced() const { return produced_; }
+
+  private:
+    const ChipConfig &cfg_;
+    StreamFabric &fabric_;
+    std::string owner_;
+
+    std::uint64_t corrected_ = 0;
+    std::uint64_t uncorrectable_ = 0;
+    std::uint64_t missed_ = 0;
+    std::uint64_t consumed_ = 0;
+    std::uint64_t produced_ = 0;
+};
+
+} // namespace tsp
+
+#endif // TSP_STREAM_STREAM_IO_HH

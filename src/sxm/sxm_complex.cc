@@ -1,0 +1,238 @@
+#include "sxm/sxm_complex.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace tsp {
+
+SxmComplex::SxmComplex(Hemisphere hem, const ChipConfig &cfg,
+                       StreamFabric &fabric)
+    : hem_(hem), cfg_(cfg),
+      io_(cfg, fabric,
+          strformat("SXM_%c", hem == Hemisphere::East ? 'E' : 'W'))
+{
+}
+
+void
+SxmComplex::checkUnit(Opcode op, SxmUnit unit)
+{
+    bool ok = false;
+    switch (op) {
+      case Opcode::ShiftUp:
+        ok = unit == SxmUnit::ShiftNorth;
+        break;
+      case Opcode::ShiftDown:
+        ok = unit == SxmUnit::ShiftSouth;
+        break;
+      case Opcode::SelectNS:
+        ok = unit == SxmUnit::Select;
+        break;
+      case Opcode::Permute:
+        ok = unit == SxmUnit::Permute;
+        break;
+      case Opcode::Distribute:
+        ok = unit == SxmUnit::Distribute;
+        break;
+      case Opcode::Rotate:
+        ok = unit == SxmUnit::Rotate;
+        break;
+      case Opcode::Transpose:
+        ok = unit == SxmUnit::Transpose0 || unit == SxmUnit::Transpose1;
+        break;
+      default:
+        break;
+    }
+    if (!ok) {
+        panic("SXM: opcode %s dispatched to unit %s", opcodeName(op),
+              sxmUnitName(unit));
+    }
+}
+
+void
+SxmComplex::execute(const Instruction &inst, SxmUnit unit, Cycle now)
+{
+    checkUnit(inst.op, unit);
+    ++instructions_;
+    switch (inst.op) {
+      case Opcode::ShiftUp:
+        executeShift(inst, /*north=*/true, now);
+        return;
+      case Opcode::ShiftDown:
+        executeShift(inst, /*north=*/false, now);
+        return;
+      case Opcode::SelectNS:
+        executeSelect(inst, now);
+        return;
+      case Opcode::Permute:
+        executePermute(inst, now);
+        return;
+      case Opcode::Distribute:
+        executeDistribute(inst, now);
+        return;
+      case Opcode::Rotate:
+        executeRotate(inst, now);
+        return;
+      case Opcode::Transpose:
+        executeTranspose(inst, now);
+        return;
+      default:
+        panic("SXM: bad opcode %s", opcodeName(inst.op));
+    }
+}
+
+void
+SxmComplex::executeShift(const Instruction &inst, bool north, Cycle now)
+{
+    const Vec320 in = io_.consume(inst.srcA, pos());
+    const int n = static_cast<int>(inst.imm0);
+    TSP_ASSERT(n >= 0 && n < kLanes);
+
+    Vec320 out;
+    // North raises the lane index (instructions flow northward over
+    // rising superlanes); vacated lanes zero-fill.
+    for (int l = 0; l < kLanes; ++l) {
+        const int src = north ? l - n : l + n;
+        out.bytes[static_cast<std::size_t>(l)] =
+            (src >= 0 && src < kLanes)
+                ? in.bytes[static_cast<std::size_t>(src)]
+                : 0;
+    }
+    io_.produce(inst.dst, pos(), out,
+                now + opTiming(inst.op).dFunc);
+    bytesSwitched_ += kLanes;
+}
+
+void
+SxmComplex::executeSelect(const Instruction &inst, Cycle now)
+{
+    const Vec320 a = io_.consume(inst.srcA, pos());
+    const Vec320 b = io_.consume(inst.srcB, pos());
+
+    Vec320 out;
+    // imm0 is a 20-bit per-superlane mask: bit s set selects b for
+    // superlane s.
+    for (int sl = 0; sl < kSuperlanes; ++sl) {
+        const bool take_b = (inst.imm0 >> sl) & 1;
+        const Vec320 &src = take_b ? b : a;
+        for (int j = 0; j < kLanesPerSuperlane; ++j) {
+            const int l = sl * kLanesPerSuperlane + j;
+            out.bytes[static_cast<std::size_t>(l)] =
+                src.bytes[static_cast<std::size_t>(l)];
+        }
+    }
+    io_.produce(inst.dst, pos(), out, now + opTiming(inst.op).dFunc);
+    bytesSwitched_ += kLanes;
+}
+
+void
+SxmComplex::executePermute(const Instruction &inst, Cycle now)
+{
+    TSP_ASSERT(inst.map && inst.map->size() == kLanes);
+    const Vec320 in = io_.consume(inst.srcA, pos());
+
+    Vec320 out;
+    for (int l = 0; l < kLanes; ++l) {
+        const std::uint16_t src = (*inst.map)[static_cast<std::size_t>(l)];
+        TSP_ASSERT(src < kLanes);
+        out.bytes[static_cast<std::size_t>(l)] =
+            in.bytes[static_cast<std::size_t>(src)];
+    }
+    io_.produce(inst.dst, pos(), out, now + opTiming(inst.op).dFunc);
+    bytesSwitched_ += kLanes;
+}
+
+void
+SxmComplex::executeDistribute(const Instruction &inst, Cycle now)
+{
+    TSP_ASSERT(inst.map &&
+               inst.map->size() == kLanesPerSuperlane);
+    const Vec320 in = io_.consume(inst.srcA, pos());
+
+    // The same 16-lane remap applies within every superlane; the
+    // sentinel 0xffff zero-fills a lane (zero padding, filter
+    // rearrangement).
+    Vec320 out;
+    for (int sl = 0; sl < kSuperlanes; ++sl) {
+        for (int j = 0; j < kLanesPerSuperlane; ++j) {
+            const std::uint16_t src =
+                (*inst.map)[static_cast<std::size_t>(j)];
+            const int l = sl * kLanesPerSuperlane + j;
+            if (src == 0xffff) {
+                out.bytes[static_cast<std::size_t>(l)] = 0;
+            } else {
+                TSP_ASSERT(src < kLanesPerSuperlane);
+                out.bytes[static_cast<std::size_t>(l)] =
+                    in.bytes[static_cast<std::size_t>(
+                        sl * kLanesPerSuperlane + src)];
+            }
+        }
+    }
+    io_.produce(inst.dst, pos(), out, now + opTiming(inst.op).dFunc);
+    bytesSwitched_ += kLanes;
+}
+
+void
+SxmComplex::executeRotate(const Instruction &inst, Cycle now)
+{
+    const int n = static_cast<int>(inst.imm0);
+    TSP_ASSERT(n == 3 || n == 4);
+    const int block = n * n;
+    const Vec320 in = io_.consume(inst.srcA, pos());
+    const Cycle when = now + opTiming(inst.op).dFunc;
+
+    // Produce n^2 output streams; output r is the input rotated by r
+    // elements within each n^2-lane block (all possible rotations of
+    // the n x n window). Trailing lanes past the last whole block are
+    // zero.
+    const int whole = (kLanes / block) * block;
+    for (int r = 0; r < block; ++r) {
+        Vec320 out;
+        for (int l = 0; l < whole; ++l) {
+            const int base = (l / block) * block;
+            const int j = l % block;
+            out.bytes[static_cast<std::size_t>(l)] =
+                in.bytes[static_cast<std::size_t>(
+                    base + (j + r) % block)];
+        }
+        StreamRef d = inst.dst;
+        d.id = static_cast<StreamId>(inst.dst.id + r);
+        TSP_ASSERT(d.id < kStreamsPerDir);
+        io_.produce(d, pos(), out, when);
+        bytesSwitched_ += kLanes;
+    }
+}
+
+void
+SxmComplex::executeTranspose(const Instruction &inst, Cycle now)
+{
+    TSP_ASSERT(inst.srcA.id + 16 <= kStreamsPerDir);
+    TSP_ASSERT(inst.dst.id + 16 <= kStreamsPerDir);
+    const Cycle when = now + opTiming(inst.op).dFunc;
+
+    Vec320 in[16];
+    for (int k = 0; k < 16; ++k) {
+        StreamRef s = inst.srcA;
+        s.id = static_cast<StreamId>(inst.srcA.id + k);
+        in[k] = io_.consume(s, pos());
+    }
+
+    // Within each superlane, exchange the (stream, lane) axes of the
+    // 16x16 element tile.
+    for (int k = 0; k < 16; ++k) {
+        Vec320 out;
+        for (int sl = 0; sl < kSuperlanes; ++sl) {
+            for (int j = 0; j < kLanesPerSuperlane; ++j) {
+                out.bytes[static_cast<std::size_t>(
+                    sl * kLanesPerSuperlane + j)] =
+                    in[j].bytes[static_cast<std::size_t>(
+                        sl * kLanesPerSuperlane + k)];
+            }
+        }
+        StreamRef d = inst.dst;
+        d.id = static_cast<StreamId>(inst.dst.id + k);
+        io_.produce(d, pos(), out, when);
+        bytesSwitched_ += kLanes;
+    }
+}
+
+} // namespace tsp

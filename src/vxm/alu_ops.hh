@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Pure element-wise semantics of the VXM ALU operations.
+ *
+ * The ALUs are stateless 32-bit units; multi-byte element types occupy
+ * naturally aligned stream groups (int16/fp16 on a pair, int32/fp32 on
+ * a quad — paper II.B, III.C). These functions operate on one lane's
+ * element at a time, with vectors assembled/scattered by the VxmUnit.
+ * Saturating and modulo (wrapping) variants carry the paper's
+ * exception-handling split; no flags or status bits exist.
+ */
+
+#ifndef TSP_VXM_ALU_OPS_HH
+#define TSP_VXM_ALU_OPS_HH
+
+#include <cstdint>
+
+#include "arch/types.hh"
+#include "isa/opcode.hh"
+
+namespace tsp {
+
+/**
+ * A single lane element in flight: raw 32-bit container plus the type
+ * it currently holds. Integer types are sign-extended into `i`; float
+ * types live in `f` (fp16 is widened on load, narrowed on store).
+ */
+struct LaneValue
+{
+    std::int64_t i = 0; ///< Integer payload (sign-extended).
+    float f = 0.0f;     ///< Floating payload.
+};
+
+/** Assembles a lane element of type @p t from @p g little-endian bytes. */
+LaneValue laneLoad(const std::uint8_t *bytes, DType t);
+
+/**
+ * Scatters @p v back to @p g little-endian bytes of type @p t,
+ * wrapping integers (store is type-pure; range handling happened in
+ * the op itself).
+ */
+void laneStore(std::uint8_t *bytes, DType t, const LaneValue &v);
+
+/** Applies a unary VXM op. @p shift_amount is used by Opcode::Shift. */
+LaneValue aluUnary(Opcode op, DType t, const LaneValue &a,
+                   std::uint32_t shift_amount);
+
+/** Applies a binary VXM op. */
+LaneValue aluBinary(Opcode op, DType t, const LaneValue &a,
+                    const LaneValue &b);
+
+/**
+ * Converts between element types with round-to-nearest and integer
+ * saturation (the requantization primitive).
+ */
+LaneValue aluConvert(DType from, DType to, const LaneValue &a);
+
+/** @return the signed min/max representable in integer type @p t. */
+std::int64_t intMin(DType t);
+std::int64_t intMax(DType t);
+
+/** @return true for Fp16/Fp32. */
+constexpr bool
+isFloatType(DType t)
+{
+    return t == DType::Fp16 || t == DType::Fp32;
+}
+
+} // namespace tsp
+
+#endif // TSP_VXM_ALU_OPS_HH

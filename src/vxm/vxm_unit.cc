@@ -1,0 +1,112 @@
+#include "vxm/vxm_unit.hh"
+
+#include "common/logging.hh"
+
+namespace tsp {
+
+VxmUnit::VxmUnit(const ChipConfig &cfg, StreamFabric &fabric)
+    : cfg_(cfg), io_(cfg, fabric, "VXM")
+{
+}
+
+void
+VxmUnit::checkAlignment(StreamRef s, int g)
+{
+    if (g > 1 && (s.id % g) != 0) {
+        panic("VXM: stream group of %d must be naturally aligned, got "
+              "s%d",
+              g, static_cast<int>(s.id));
+    }
+    TSP_ASSERT(s.id + g <= kStreamsPerDir);
+}
+
+void
+VxmUnit::loadGroup(StreamRef base, int g, Vec320 *out)
+{
+    for (int k = 0; k < g; ++k) {
+        StreamRef s = base;
+        s.id = static_cast<StreamId>(base.id + k);
+        out[k] = io_.consume(s, Layout::vxm);
+    }
+}
+
+void
+VxmUnit::storeGroup(StreamRef base, int g, const Vec320 *in, Cycle when)
+{
+    for (int k = 0; k < g; ++k) {
+        StreamRef s = base;
+        s.id = static_cast<StreamId>(base.id + k);
+        io_.produce(s, Layout::vxm, in[k], when);
+    }
+}
+
+void
+VxmUnit::execute(const Instruction &inst, int alu, Cycle now)
+{
+    TSP_ASSERT(alu >= 0 && alu < kVxmAlusPerLane);
+    const Cycle when = now + opTiming(inst.op).dFunc;
+    const int lanes = cfg_.vectorLength();
+    ++instructions_;
+
+    if (inst.op == Opcode::Convert) {
+        const auto to = static_cast<DType>(inst.imm0);
+        const auto from = static_cast<DType>(inst.imm1);
+        const int gi = dtypeBytes(from);
+        const int go = dtypeBytes(to);
+        checkAlignment(inst.srcA, gi);
+        checkAlignment(inst.dst, go);
+
+        Vec320 in[4], out[4];
+        loadGroup(inst.srcA, gi, in);
+        std::uint8_t ibytes[4], obytes[4];
+        for (int l = 0; l < lanes; ++l) {
+            for (int k = 0; k < gi; ++k)
+                ibytes[k] = in[k].bytes[static_cast<std::size_t>(l)];
+            const LaneValue a = laneLoad(ibytes, from);
+            const LaneValue r = aluConvert(from, to, a);
+            laneStore(obytes, to, r);
+            for (int k = 0; k < go; ++k)
+                out[k].bytes[static_cast<std::size_t>(l)] = obytes[k];
+        }
+        storeGroup(inst.dst, go, out, when);
+        laneOps_ += static_cast<std::uint64_t>(lanes);
+        return;
+    }
+
+    const DType t = inst.dtype;
+    const int g = dtypeBytes(t);
+    checkAlignment(inst.srcA, g);
+    checkAlignment(inst.dst, g);
+
+    Vec320 a[4], b[4], out[4];
+    loadGroup(inst.srcA, g, a);
+    const bool binary = isVxmBinary(inst.op);
+    if (binary) {
+        checkAlignment(inst.srcB, g);
+        loadGroup(inst.srcB, g, b);
+    }
+
+    std::uint8_t abytes[4], bbytes[4], obytes[4];
+    for (int l = 0; l < lanes; ++l) {
+        for (int k = 0; k < g; ++k) {
+            abytes[k] = a[k].bytes[static_cast<std::size_t>(l)];
+            if (binary)
+                bbytes[k] = b[k].bytes[static_cast<std::size_t>(l)];
+        }
+        const LaneValue av = laneLoad(abytes, t);
+        LaneValue r;
+        if (binary) {
+            const LaneValue bv = laneLoad(bbytes, t);
+            r = aluBinary(inst.op, t, av, bv);
+        } else {
+            r = aluUnary(inst.op, t, av, inst.imm0);
+        }
+        laneStore(obytes, t, r);
+        for (int k = 0; k < g; ++k)
+            out[k].bytes[static_cast<std::size_t>(l)] = obytes[k];
+    }
+    storeGroup(inst.dst, g, out, when);
+    laneOps_ += static_cast<std::uint64_t>(lanes);
+}
+
+} // namespace tsp

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Chip geometry invariants: slice positions, transit delays, the
+ * 144-queue decomposition, and architectural constants from the
+ * paper (220 MiB SRAM, 320 lanes, bandwidth equations).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/layout.hh"
+
+namespace tsp {
+namespace {
+
+TEST(Layout, ArchitecturalConstants)
+{
+    EXPECT_EQ(kLanes, 320);
+    EXPECT_EQ(kSuperlanes, 20);
+    EXPECT_EQ(kLanesPerSuperlane, 16);
+    EXPECT_EQ(kStreamsPerDir, 32);
+    EXPECT_EQ(kMemSlices, 88);
+    EXPECT_EQ(kNumIcus, 144);
+    // 220 MiB of SRAM (paper II).
+    EXPECT_EQ(kTotalMemBytes, 220ull * 1024 * 1024);
+    // 2.5 MiB per slice.
+    EXPECT_EQ(kMemSliceBytes, 2ull * 1024 * 1024 + 512 * 1024);
+}
+
+TEST(Layout, PositionsAreOrdered)
+{
+    EXPECT_EQ(Layout::numPositions, 95);
+    EXPECT_LT(Layout::c2cWest, Layout::mxmWest);
+    EXPECT_LT(Layout::mxmWest, Layout::sxmWest);
+    EXPECT_LT(Layout::sxmWest, Layout::vxm);
+    EXPECT_LT(Layout::vxm, Layout::sxmEast);
+    EXPECT_LT(Layout::sxmEast, Layout::mxmEast);
+    EXPECT_LT(Layout::mxmEast, Layout::c2cEast);
+    EXPECT_EQ(Layout::vxm, 47);
+}
+
+TEST(Layout, MemPositionsMirror)
+{
+    // MEM0 adjacent to the VXM, MEM43 adjacent to the SXM (paper
+    // II.B).
+    EXPECT_EQ(Layout::memPos(Hemisphere::West, 0), Layout::vxm - 1);
+    EXPECT_EQ(Layout::memPos(Hemisphere::East, 0), Layout::vxm + 1);
+    EXPECT_EQ(Layout::memPos(Hemisphere::West, 43),
+              Layout::sxmWest + 1);
+    EXPECT_EQ(Layout::memPos(Hemisphere::East, 43),
+              Layout::sxmEast - 1);
+    // All 88 positions distinct.
+    std::set<SlicePos> seen;
+    for (int h = 0; h < 2; ++h) {
+        for (int i = 0; i < kMemSlicesPerHem; ++i) {
+            seen.insert(
+                Layout::memPos(static_cast<Hemisphere>(h), i));
+        }
+    }
+    EXPECT_EQ(seen.size(), 88u);
+}
+
+TEST(Layout, TransitDelaySymmetric)
+{
+    EXPECT_EQ(Layout::transitDelay(10, 10), 0u);
+    EXPECT_EQ(Layout::transitDelay(1, 47), 46u);
+    EXPECT_EQ(Layout::transitDelay(47, 1), 46u);
+    EXPECT_EQ(Layout::flowDirection(3, 47), Direction::East);
+    EXPECT_EQ(Layout::flowDirection(47, 3), Direction::West);
+}
+
+TEST(IcuId, DecompositionCovers144)
+{
+    // Every id maps to exactly one slice kind; counts match the
+    // DESIGN.md decomposition.
+    int counts[6] = {0, 0, 0, 0, 0, 0};
+    for (int i = 0; i < kNumIcus; ++i)
+        ++counts[static_cast<int>(IcuId{i}.kind())];
+    EXPECT_EQ(counts[static_cast<int>(SliceKind::MEM)], 88);
+    EXPECT_EQ(counts[static_cast<int>(SliceKind::VXM)], 16);
+    EXPECT_EQ(counts[static_cast<int>(SliceKind::MXM)], 8);
+    EXPECT_EQ(counts[static_cast<int>(SliceKind::SXM)], 16);
+    EXPECT_EQ(counts[static_cast<int>(SliceKind::C2C)], 16);
+}
+
+TEST(IcuId, ConstructorsRoundTrip)
+{
+    EXPECT_EQ(IcuId::mem(Hemisphere::West, 7).name(), "MEM_W7");
+    EXPECT_EQ(IcuId::mem(Hemisphere::East, 43).name(), "MEM_E43");
+    EXPECT_EQ(IcuId::vxmAlu(3).name(), "VXM3");
+    EXPECT_EQ(IcuId::mxm(2, true).name(), "MXM2_W");
+    EXPECT_EQ(IcuId::mxm(1, false).name(), "MXM1_A");
+    EXPECT_EQ(IcuId::sxm(Hemisphere::East, 2).name(), "SXM_E_PRM");
+    EXPECT_EQ(IcuId::c2c(15).name(), "C2C15");
+    // Positions are consistent with kinds.
+    EXPECT_EQ(IcuId::vxmAlu(0).pos(), Layout::vxm);
+    EXPECT_EQ(IcuId::mxm(0, true).pos(), Layout::mxmWest);
+    EXPECT_EQ(IcuId::mxm(3, false).pos(), Layout::mxmEast);
+    EXPECT_EQ(IcuId::mem(Hemisphere::East, 5).pos(),
+              Layout::memPos(Hemisphere::East, 5));
+}
+
+TEST(Layout, BandwidthEquations)
+{
+    // Eq. 1: stream register bandwidth = 2 x 32 x 320 B/cycle
+    //      = 20 KiB/cycle -> 20 TiB/s at ~1 GHz (with TiB = 2^40 and
+    //      the paper's rounding).
+    const double bytes_per_cycle = 2.0 * 32 * 320;
+    EXPECT_EQ(bytes_per_cycle, 20480.0);
+    // Eq. 2: SRAM bandwidth = 2 hem x 44 slices x 2 banks x 320 B.
+    const double sram_per_cycle = 2.0 * 44 * 2 * 320;
+    EXPECT_EQ(sram_per_cycle, 56320.0);
+    // Instruction fetch: 144 x 16 B/cycle.
+    EXPECT_EQ(144.0 * 16, 2304.0);
+}
+
+} // namespace
+} // namespace tsp

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Baseline core and cache hierarchy: hit/miss behavior, the Fig. 3
+ * four-instructions-per-element contrast, and the determinism gap
+ * (same seed = same cycles; different seeds = different cycles).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/core.hh"
+
+namespace tsp::baseline {
+namespace {
+
+TEST(Cache, HitsAfterInstall)
+{
+    Rng rng(1);
+    CacheLevel c(CacheLevelConfig{1024, 2, 64, 1}, rng);
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1010)); // Same line.
+    EXPECT_FALSE(c.access(0x2000));
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, EvictsWhenSetFull)
+{
+    Rng rng(2);
+    // 2 ways x 4 sets x 64 B lines = 512 B.
+    CacheLevel c(CacheLevelConfig{512, 2, 64, 1}, rng);
+    // Three lines mapping to set 0 (stride = sets * line = 256).
+    c.access(0x0000);
+    c.access(0x0100);
+    c.access(0x0200); // Evicts one of the two.
+    const bool first = c.access(0x0000);
+    const bool second = c.access(0x0100);
+    EXPECT_FALSE(first && second) << "one way must have been evicted";
+}
+
+TEST(Hierarchy, LatenciesOrdered)
+{
+    MemoryHierarchy m(3);
+    const auto cold = m.access(0x5000, 4);
+    const auto warm = m.access(0x5000, 4);
+    EXPECT_GT(cold, warm);
+    EXPECT_EQ(warm, m.l1().config().hitLatency);
+}
+
+TEST(Core, VectorAddIssuesFourInstructionsPerChunk)
+{
+    CoreConfig cfg;
+    BaselineCore core(cfg);
+    const std::size_t elements = 64 * 100;
+    const RunResult r = core.runVectorAdd(elements);
+    // Fig. 3: LOAD, LOAD, ADD, STORE per SIMD chunk.
+    EXPECT_EQ(r.instructions, 4u * (elements / cfg.simdLanes));
+    EXPECT_GT(r.cycles, elements / cfg.simdLanes);
+}
+
+TEST(Core, SameSeedIsReproducible)
+{
+    CoreConfig cfg;
+    cfg.seed = 7;
+    const RunResult a = BaselineCore(cfg).runGemm(32, 64, 64);
+    const RunResult b = BaselineCore(cfg).runGemm(32, 64, 64);
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(Core, DifferentSeedsVaryRunToRun)
+{
+    // The determinism contrast (paper IV.F): a cache-based part's
+    // latency moves run to run; the TSP's does not.
+    std::set<std::uint64_t> cycles;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        CoreConfig cfg;
+        cfg.seed = seed;
+        cycles.insert(BaselineCore(cfg).runGemm(48, 64, 256).cycles);
+    }
+    EXPECT_GT(cycles.size(), 1u);
+}
+
+TEST(Core, BatchingAmortizesWeightTraffic)
+{
+    const std::vector<BaselineCore::ConvLayerDesc> net = {
+        {64 * 64, 1024, 8 * 1024 * 1024},
+        {32 * 32, 4096, 16 * 1024 * 1024}};
+    CoreConfig cfg;
+    const RunResult b1 = BaselineCore(cfg).runConvNet(net, 1);
+    const RunResult b8 = BaselineCore(cfg).runConvNet(net, 8);
+    // Per-image cost shrinks with batch (the GPU-style regime the
+    // TSP's batch-1 story contrasts against).
+    EXPECT_LT(static_cast<double>(b8.cycles) / 8.0,
+              static_cast<double>(b1.cycles));
+}
+
+TEST(ReferenceChips, PaperNumbersPresent)
+{
+    const auto &chips = referenceChips();
+    ASSERT_GE(chips.size(), 3u);
+    EXPECT_DOUBLE_EQ(chips[0].resnet50Ips, kPaperTspIps);
+    // Goya batch-1 latency ~240 us (paper V).
+    bool found_goya = false;
+    for (const auto &c : chips) {
+        if (std::string(c.name).find("Goya") != std::string::npos) {
+            found_goya = true;
+            EXPECT_DOUBLE_EQ(c.batch1LatencyUs, 240.0);
+        }
+    }
+    EXPECT_TRUE(found_goya);
+}
+
+} // namespace
+} // namespace tsp::baseline

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Chip-to-chip links: deskew-before-use, send/receive vector exchange
+ * between two chips' fabrics, serialization occupancy, and the
+ * 3.84 Tb/s aggregate bandwidth arithmetic (paper II item 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "c2c/c2c_module.hh"
+#include "mem/ecc.hh"
+
+namespace tsp {
+namespace {
+
+struct TwoChips
+{
+    ChipConfig cfg;
+    StreamFabric fa, fb;
+    C2cModule a{cfg, fa}, b{cfg, fb};
+
+    TwoChips()
+    {
+        a.connect(/*link=*/0, b, /*peer_link=*/0,
+                  /*wire_latency=*/10);
+        Instruction d;
+        d.op = Opcode::Deskew;
+        a.execute(d, 0, 0);
+        b.execute(d, 0, 0);
+    }
+
+    void
+    step()
+    {
+        fa.advance();
+        fb.advance();
+    }
+};
+
+TEST(C2c, SendReceiveRoundTrip)
+{
+    TwoChips t;
+    // Put a vector on chip A's outbound stream at the link position.
+    const SlicePos pa = IcuId::c2c(0).pos();
+    Vec320 v;
+    for (int i = 0; i < kLanes; ++i)
+        v.bytes[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(i * 3);
+    eccComputeVec(v);
+    t.fa.write({5, Direction::West}, pa, v);
+
+    Instruction send;
+    send.op = Opcode::Send;
+    send.imm0 = 0;
+    send.srcA = {5, Direction::West};
+    t.a.execute(send, 0, t.fa.now());
+    EXPECT_EQ(t.a.sent(), 1u);
+
+    // Arrival at serialization + wire latency.
+    const Cycle arrival = kC2cSerializationCycles + 10;
+    while (t.fb.now() < arrival)
+        t.step();
+    EXPECT_EQ(t.b.pendingRx(0), 1u);
+
+    Instruction recv;
+    recv.op = Opcode::Receive;
+    recv.imm0 = 0;
+    recv.dst = {6, Direction::East};
+    t.b.execute(recv, 0, t.fb.now());
+    EXPECT_EQ(t.b.received(), 1u);
+
+    const Cycle vis =
+        t.fb.now() + opTiming(Opcode::Receive).dFunc;
+    while (t.fb.now() < vis)
+        t.step();
+    // The link sits at an edge; the vector flows inward from there.
+    const SlicePos pb = IcuId::c2c(0).pos();
+    const SlicePos at =
+        pb + static_cast<SlicePos>(t.fb.now() - vis) *
+                 (IcuId::c2c(0).pos() == Layout::c2cWest ? 1 : -1);
+    const Vec320 *got = t.fb.peek({6, Direction::East}, at);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->bytes, v.bytes);
+}
+
+TEST(C2cDeath, SendWithoutDeskewPanics)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    const auto body = [] {
+        ChipConfig cfg;
+        cfg.strictStreams = false;
+        StreamFabric fa, fb;
+        C2cModule a(cfg, fa), b(cfg, fb);
+        a.connect(1, b, 1, 5);
+        Instruction send;
+        send.op = Opcode::Send;
+        send.imm0 = 1;
+        send.srcA = {0, Direction::West};
+        a.execute(send, 1, 0);
+    };
+    ASSERT_DEATH(body(), "deskew");
+}
+
+TEST(C2cDeath, OverlappingSendsPanic)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    const auto body = [] {
+        ChipConfig cfg;
+        cfg.strictStreams = false;
+        StreamFabric fa, fb;
+        C2cModule a(cfg, fa), b(cfg, fb);
+        a.connect(0, b, 0, 5);
+        Instruction d;
+        d.op = Opcode::Deskew;
+        a.execute(d, 0, 0);
+        Instruction send;
+        send.op = Opcode::Send;
+        send.imm0 = 0;
+        send.srcA = {0, Direction::West};
+        a.execute(send, 0, 10);
+        a.execute(send, 0, 12); // Mid-serialization.
+    };
+    ASSERT_DEATH(body(), "serializing");
+}
+
+TEST(C2cDeath, ReceiveWithNothingArrivedPanics)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    const auto body = [] {
+        ChipConfig cfg; // Strict.
+        StreamFabric fa, fb;
+        C2cModule a(cfg, fa), b(cfg, fb);
+        a.connect(0, b, 0, 5);
+        Instruction d;
+        d.op = Opcode::Deskew;
+        b.execute(d, 0, 0);
+        Instruction recv;
+        recv.op = Opcode::Receive;
+        recv.imm0 = 0;
+        recv.dst = {0, Direction::East};
+        b.execute(recv, 0, 3);
+    };
+    ASSERT_DEATH(body(), "no arrived vector");
+}
+
+TEST(C2c, AggregateBandwidthMatchesPaper)
+{
+    // 16 links x 4 lanes x 30 Gb/s x 2 directions = 3.84 Tb/s.
+    const double tbps =
+        kC2cLinks * kC2cLinkGbps * 2 / 1000.0;
+    EXPECT_DOUBLE_EQ(tbps, 3.84);
+    // Serialization of one 320-byte vector on one link at 1 GHz:
+    // 2560 bits / 120 Gb/s = 21.3 ns -> 22 cycles.
+    EXPECT_EQ(kC2cSerializationCycles, 22u);
+}
+
+TEST(C2c, BidirectionalTrafficIsIndependent)
+{
+    TwoChips t;
+    Vec320 va, vb;
+    va.bytes.fill(0xaa);
+    vb.bytes.fill(0xbb);
+    eccComputeVec(va);
+    eccComputeVec(vb);
+    t.fa.write({1, Direction::West}, IcuId::c2c(0).pos(), va);
+    t.fb.write({1, Direction::West}, IcuId::c2c(0).pos(), vb);
+
+    Instruction send;
+    send.op = Opcode::Send;
+    send.imm0 = 0;
+    send.srcA = {1, Direction::West};
+    t.a.execute(send, 0, t.fa.now());
+    t.b.execute(send, 0, t.fb.now());
+
+    const Cycle arrival = kC2cSerializationCycles + 10;
+    while (t.fa.now() < arrival)
+        t.step();
+    EXPECT_EQ(t.a.pendingRx(0), 1u);
+    EXPECT_EQ(t.b.pendingRx(0), 1u);
+}
+
+} // namespace
+} // namespace tsp

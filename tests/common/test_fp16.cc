@@ -1,0 +1,113 @@
+/**
+ * @file
+ * binary16 soft-float: exact widening, round-to-nearest-even
+ * narrowing, subnormals, infinities, NaN, and arithmetic identities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fp16.hh"
+#include "common/rng.hh"
+
+namespace tsp {
+namespace {
+
+TEST(Fp16, ZeroAndSigns)
+{
+    EXPECT_EQ(Fp16(0.0f).bits(), 0x0000);
+    EXPECT_EQ(Fp16(-0.0f).bits(), 0x8000);
+    EXPECT_EQ(Fp16::fromBits(0x8000).toFloat(), 0.0f);
+    EXPECT_TRUE(std::signbit(Fp16::fromBits(0x8000).toFloat()));
+}
+
+TEST(Fp16, KnownValues)
+{
+    EXPECT_EQ(Fp16(1.0f).bits(), 0x3c00);
+    EXPECT_EQ(Fp16(-2.0f).bits(), 0xc000);
+    EXPECT_EQ(Fp16(0.5f).bits(), 0x3800);
+    EXPECT_EQ(Fp16(65504.0f).bits(), 0x7bff); // Max finite.
+    EXPECT_EQ(Fp16::fromBits(0x3c00).toFloat(), 1.0f);
+    EXPECT_EQ(Fp16::fromBits(0x7bff).toFloat(), 65504.0f);
+}
+
+TEST(Fp16, OverflowToInfinity)
+{
+    EXPECT_EQ(Fp16(65520.0f).bits(), 0x7c00); // Rounds to inf.
+    EXPECT_EQ(Fp16(1e10f).bits(), 0x7c00);
+    EXPECT_EQ(Fp16(-1e10f).bits(), 0xfc00);
+    EXPECT_TRUE(Fp16(1e10f).isInf());
+}
+
+TEST(Fp16, NaNPropagation)
+{
+    const Fp16 nan(std::nanf(""));
+    EXPECT_TRUE(nan.isNaN());
+    EXPECT_TRUE(std::isnan(nan.toFloat()));
+    EXPECT_FALSE(nan.isInf());
+}
+
+TEST(Fp16, Subnormals)
+{
+    // Smallest positive subnormal: 2^-24.
+    const float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(Fp16(tiny).bits(), 0x0001);
+    EXPECT_EQ(Fp16::fromBits(0x0001).toFloat(), tiny);
+    // Largest subnormal: (1023/1024) * 2^-14.
+    const float big_sub = 1023.0f / 1024.0f * std::ldexp(1.0f, -14);
+    EXPECT_EQ(Fp16(big_sub).bits(), 0x03ff);
+    EXPECT_EQ(Fp16::fromBits(0x03ff).toFloat(), big_sub);
+    // Below half the smallest subnormal flushes to zero.
+    EXPECT_EQ(Fp16(std::ldexp(1.0f, -26)).bits(), 0x0000);
+}
+
+TEST(Fp16, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly between 1.0 and the next fp16 value; RNE
+    // picks the even significand (1.0).
+    EXPECT_EQ(Fp16(1.0f + std::ldexp(1.0f, -11)).bits(), 0x3c00);
+    // 1 + 3*2^-11 is between nextafter values; RNE rounds up to the
+    // even 0x3c02.
+    EXPECT_EQ(Fp16(1.0f + 3.0f * std::ldexp(1.0f, -11)).bits(),
+              0x3c02);
+}
+
+TEST(Fp16, RoundTripAllFinitePatterns)
+{
+    // Every finite fp16 must survive fp16 -> float -> fp16 exactly.
+    for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+        const Fp16 h = Fp16::fromBits(static_cast<std::uint16_t>(b));
+        if (h.isNaN())
+            continue;
+        const Fp16 back(h.toFloat());
+        ASSERT_EQ(back.bits(), h.bits()) << "pattern " << b;
+    }
+}
+
+TEST(Fp16, ArithmeticMatchesSingleRounding)
+{
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const float a = rng.uniform(-100.0f, 100.0f);
+        const float b = rng.uniform(-100.0f, 100.0f);
+        const Fp16 ha(a), hb(b);
+        EXPECT_EQ(fp16Add(ha, hb).bits(),
+                  Fp16(ha.toFloat() + hb.toFloat()).bits());
+        EXPECT_EQ(fp16Mul(ha, hb).bits(),
+                  Fp16(ha.toFloat() * hb.toFloat()).bits());
+    }
+}
+
+TEST(Fp16, MaccAccumulatesInFp32)
+{
+    // Products exact in fp32; accumulation must not round to fp16.
+    const Fp16 a(0.001f), b(0.001f);
+    float acc = 0.0f;
+    for (int i = 0; i < 1000; ++i)
+        acc = fp16MaccToF32(a, b, acc);
+    EXPECT_NEAR(acc, 1000.0f * a.toFloat() * b.toFloat(), 3e-8f);
+}
+
+} // namespace
+} // namespace tsp

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Lowering internals: slice-group rotation with avoidance, the
+ * MEM-to-MEM copyTensor kernel, ActTensor halo/ownership geometry,
+ * and GlobalAddr helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "compiler/lowering.hh"
+#include "runtime/session.hh"
+
+namespace tsp {
+namespace {
+
+std::vector<std::int8_t>
+randomData(int h, int w, int c, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::int8_t> d(static_cast<std::size_t>(h) * w * c);
+    for (auto &v : d)
+        v = static_cast<std::int8_t>(rng.intIn(-100, 100));
+    return d;
+}
+
+TEST(LoweringInternals, GroupRotationAvoidsInputs)
+{
+    Lowering lw(true);
+    const auto d = randomData(4, 4, 8, 1);
+    const LoweredTensor a = lw.inputTensor(4, 4, 8, d);
+    const int ga = Lowering::groupOf(a);
+    ASSERT_GE(ga, 0);
+    // A conv consuming `a` must land elsewhere.
+    ConvGeom g;
+    ConvWeights w;
+    w.outC = 8;
+    w.inC = 8;
+    w.kh = w.kw = 1;
+    w.w.assign(64, 1);
+    w.bias.assign(8, 0);
+    w.scale.assign(8, 0.01f);
+    const LoweredTensor out = lw.conv2d(a, g, w);
+    EXPECT_NE(Lowering::groupOf(out), ga);
+}
+
+TEST(LoweringInternals, CopyTensorRoundTrips)
+{
+    const int h = 6, w = 5, c = 24;
+    const auto data = randomData(h, w, c, 3);
+    Lowering lw(true);
+    const LoweredTensor src = lw.inputTensor(h, w, c, data);
+    const LoweredTensor dst =
+        lw.copyTensor(src, 1 << Lowering::groupOf(src));
+    EXPECT_NE(Lowering::groupOf(dst), Lowering::groupOf(src));
+
+    InferenceSession sess(lw);
+    sess.run();
+    const auto got = sess.readTensor(dst);
+    EXPECT_EQ(got.data, data);
+
+    // Halo rows were copied too: both parts store the duplicated
+    // boundary rows.
+    for (int e = 0; e < 2; ++e)
+        EXPECT_EQ(dst.t.part[e].rows, src.t.part[e].rows);
+}
+
+TEST(ActTensorGeometry, HaloAndOwnership)
+{
+    ActTensor t;
+    t.height = 10;
+    t.width = 4;
+    t.kgCount = 2;
+    t.splitY = 5;
+    t.halo = 2;
+    EXPECT_EQ(t.storedHiY(), 7);
+    EXPECT_EQ(t.storedLoY(), 3);
+    EXPECT_TRUE(t.stores(0, 0));
+    EXPECT_TRUE(t.stores(0, 6));
+    EXPECT_FALSE(t.stores(0, 7));
+    EXPECT_TRUE(t.stores(1, 3));
+    EXPECT_FALSE(t.stores(1, 2));
+    EXPECT_FALSE(t.stores(0, -1));
+    EXPECT_FALSE(t.stores(1, 10));
+    EXPECT_EQ(t.ownerOf(4), 0);
+    EXPECT_EQ(t.ownerOf(5), 1);
+    EXPECT_EQ(t.ownedRows(0), 5);
+    EXPECT_EQ(t.ownedRows(1), 5);
+    // Local rows: east part's y=3 is its row 0.
+    EXPECT_EQ(t.localRow(1, 3, 0, 0), 0);
+    EXPECT_EQ(t.localRow(1, 4, 1, 1), (1 * 4 + 1) * 2 + 1);
+}
+
+TEST(GlobalAddrHelpers, BankPositionLinear)
+{
+    const GlobalAddr a{Hemisphere::East, 7, 0x1003};
+    EXPECT_EQ(a.bank(), 1);
+    EXPECT_EQ(a.pos(), Layout::memPos(Hemisphere::East, 7));
+    EXPECT_EQ(a.icu(), IcuId::mem(Hemisphere::East, 7));
+    const GlobalAddr b{Hemisphere::West, 7, 0x1003};
+    EXPECT_NE(a.linear(), b.linear());
+    EXPECT_EQ(a.toString(), "E7:0x1003");
+}
+
+TEST(LoweringInternals, LayerSpansRecorded)
+{
+    Lowering lw(true);
+    const auto d = randomData(4, 4, 8, 5);
+    const LoweredTensor in = lw.inputTensor(4, 4, 8, d);
+    lw.setNextLayerName("my_pool");
+    lw.maxPool(in, 3, 2, 1);
+    ASSERT_EQ(lw.layers().size(), 1u);
+    EXPECT_EQ(lw.layers()[0].name, "my_pool");
+    EXPECT_GT(lw.layers()[0].end, lw.layers()[0].begin);
+}
+
+TEST(LoweringInternals, NonPipelinedWaitsForProducer)
+{
+    // Sequential mode's first consumer read must come after the
+    // producer's last write; pipelined mode starts earlier.
+    const int h = 8, w = 8, c = 16;
+    const auto data = randomData(h, w, c, 7);
+    ConvGeom g;
+    g.kh = g.kw = 3;
+    g.pad = 1;
+    ConvWeights wt;
+    wt.outC = 16;
+    wt.inC = 16;
+    wt.kh = wt.kw = 3;
+    wt.w.assign(static_cast<std::size_t>(16) * 16 * 9, 1);
+    wt.bias.assign(16, 0);
+    wt.scale.assign(16, 0.002f);
+
+    Cycle seq = 0, pipe = 0;
+    for (const bool pipelined : {false, true}) {
+        Lowering lw(pipelined);
+        LoweredTensor t = lw.inputTensor(h, w, c, data);
+        t = lw.conv2d(t, g, wt);
+        t = lw.conv2d(t, g, wt);
+        (pipelined ? pipe : seq) = lw.finishCycle();
+    }
+    EXPECT_LT(pipe, seq);
+}
+
+} // namespace
+} // namespace tsp

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Graph IR: construction, shape inference, MAC/parameter accounting,
+ * reference execution, and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.hh"
+#include "model/resnet.hh"
+
+namespace tsp {
+namespace {
+
+TEST(Graph, ShapeInference)
+{
+    Graph g;
+    const int in = g.addInput(8, 8, 3);
+    ConvGeom geom;
+    geom.kh = 3;
+    geom.kw = 3;
+    geom.stride = 2;
+    geom.pad = 1;
+    const int c1 =
+        g.addConv(in, geom, model::makeConvWeights(16, 3, 3, 3, 1));
+    const int p = g.addMaxPool(c1, 2, 2, 0);
+    const int gap = g.addGlobalAvgPool(p, 0.25f);
+    g.inferShapes();
+
+    EXPECT_EQ(g.node(c1).outH, 4);
+    EXPECT_EQ(g.node(c1).outW, 4);
+    EXPECT_EQ(g.node(c1).outC, 16);
+    EXPECT_EQ(g.node(p).outH, 2);
+    EXPECT_EQ(g.node(gap).outH, 1);
+    EXPECT_EQ(g.node(gap).outC, 16);
+    EXPECT_EQ(g.outputNode(), gap);
+}
+
+TEST(Graph, MaccAndParameterCounts)
+{
+    Graph g;
+    const int in = g.addInput(4, 4, 8);
+    ConvGeom geom; // 1x1.
+    g.addConv(in, geom, model::makeConvWeights(16, 8, 1, 1, 2));
+    g.inferShapes();
+    EXPECT_EQ(g.parameterCount(), 16u * 8);
+    EXPECT_EQ(g.maccCount(), 4ull * 4 * 16 * 8);
+}
+
+TEST(Graph, ResNet50Structure)
+{
+    Graph g = model::buildResNet(50, 1);
+    // conv1 + pool + 16 blocks x (3 conv + residual) + 4 downsample
+    // convs + gap + fc = 73 nodes including the input.
+    EXPECT_EQ(g.size(), 73);
+    EXPECT_EQ(g.node(g.outputNode()).outC, 1000);
+    // ~25.5M parameters, ~4.1 GMACs (the well-known figures).
+    EXPECT_NEAR(static_cast<double>(g.parameterCount()), 25.5e6,
+                0.3e6);
+    EXPECT_NEAR(static_cast<double>(g.maccCount()), 4.1e9, 0.2e9);
+}
+
+TEST(Graph, DeeperVariantsScale)
+{
+    Graph g101 = model::buildResNet(101, 1);
+    Graph g152 = model::buildResNet(152, 1);
+    EXPECT_GT(g101.parameterCount(), 40e6);
+    EXPECT_GT(g152.parameterCount(), g101.parameterCount());
+    EXPECT_GT(g101.maccCount(), 7e9);
+}
+
+TEST(Graph, WideVariantAlignsTo320)
+{
+    Graph g = model::buildResNet(50, 1, /*wide=*/true);
+    for (int i = 0; i < g.size(); ++i) {
+        const Node &n = g.node(i);
+        // Every conv except the 1000-way classifier head.
+        if (n.kind == OpKind::Conv2d && n.outC >= 320 &&
+            i != g.outputNode()) {
+            EXPECT_EQ(n.outC % 320, 0) << "node " << i;
+        }
+    }
+}
+
+TEST(Graph, ReferenceExecutionRuns)
+{
+    Graph g = model::buildTinyNet(7, 8, 8, 4);
+    ref::QTensor in(8, 8, 4);
+    for (std::size_t i = 0; i < in.data.size(); ++i)
+        in.data[i] = static_cast<std::int8_t>(i % 37);
+    const auto outs = g.runReference(in);
+    const auto &logits = outs.at(g.outputNode());
+    EXPECT_EQ(logits.c, 10);
+    EXPECT_EQ(logits.h, 1);
+}
+
+TEST(GraphDeath, ChannelMismatchIsFatal)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    const auto body = [] {
+        Graph g;
+        const int in = g.addInput(4, 4, 8);
+        ConvGeom geom;
+        g.addConv(in, geom,
+                  model::makeConvWeights(16, 99, 1, 1, 3));
+        g.inferShapes();
+    };
+    ASSERT_EXIT(body(), ::testing::ExitedWithCode(1), "channels");
+}
+
+TEST(Model, Im2colStemMatchesDirectConv)
+{
+    // The host-side im2col plus a 1x1 conv must equal the original
+    // 7x7 stride-2 convolution.
+    const auto img = model::makeImage(3);
+    const auto col = model::im2colStem(img);
+
+    const ConvWeights w =
+        model::makeConvWeights(8, model::kStemC, 1, 1, 4);
+    // Reference: conv on the im2col input.
+    ref::QTensor qcol(model::kStemH, model::kStemW, model::kStemC);
+    qcol.data = col;
+    const auto a =
+        ref::conv2d(qcol, w.w.data(), 8, 1, 1, 1, 0, w.bias.data(),
+                    w.scale.data(), true);
+
+    // Same weights arranged as 7x7x3 applied to the raw image.
+    std::vector<std::int8_t> w7(
+        static_cast<std::size_t>(8) * 3 * 7 * 7);
+    for (int oc = 0; oc < 8; ++oc) {
+        for (int ky = 0; ky < 7; ++ky) {
+            for (int kx = 0; kx < 7; ++kx) {
+                for (int c = 0; c < 3; ++c) {
+                    w7[((static_cast<std::size_t>(oc) * 3 + c) * 7 +
+                        ky) *
+                           7 +
+                       kx] = w.at(oc, (ky * 7 + kx) * 3 + c, 0, 0);
+                }
+            }
+        }
+    }
+    ref::QTensor qimg(224, 224, 3);
+    qimg.data = img;
+    const auto b =
+        ref::conv2d(qimg, w7.data(), 8, 7, 7, 2, 3, w.bias.data(),
+                    w.scale.data(), true);
+    ASSERT_EQ(a.data.size(), b.data.size());
+    EXPECT_EQ(a.data, b.data);
+}
+
+} // namespace
+} // namespace tsp

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Instruction queue semantics: NOP delay precision, Repeat re-issue,
+ * Sync/Notify barrier timing (35 cycles, paper III.A.2), and MEM
+ * dual-issue via the co-issue flag.
+ */
+
+#include <gtest/gtest.h>
+
+#include "icu/queue.hh"
+
+namespace tsp {
+namespace {
+
+Instruction
+readInst(MemAddr a)
+{
+    Instruction i;
+    i.op = Opcode::Read;
+    i.addr = a;
+    i.dst = {0, Direction::East};
+    return i;
+}
+
+Instruction
+nop(std::uint32_t n)
+{
+    Instruction i;
+    i.op = Opcode::Nop;
+    i.imm0 = n;
+    return i;
+}
+
+/** Ticks the queue once; returns the dispatched count. */
+int
+tick(InstructionQueue &q, Cycle now, const Instruction *out[2])
+{
+    out[0] = out[1] = nullptr;
+    return q.tick(now, out);
+}
+
+TEST(Queue, NopDelaysExactly)
+{
+    BarrierController barrier;
+    InstructionQueue q(IcuId::mem(Hemisphere::East, 0), barrier);
+    q.loadProgram({readInst(1), nop(5), readInst(2)});
+
+    const Instruction *out[2];
+    EXPECT_EQ(tick(q, 0, out), 1);
+    EXPECT_EQ(out[0]->addr, 1u);
+    // Cycles 1..5: the NOP retires at 1 and gates until 6.
+    for (Cycle t = 1; t <= 5; ++t)
+        EXPECT_EQ(tick(q, t, out), 0) << t;
+    EXPECT_EQ(tick(q, 6, out), 1);
+    EXPECT_EQ(out[0]->addr, 2u);
+    EXPECT_TRUE(q.done());
+}
+
+TEST(Queue, BackToBackDispatch)
+{
+    BarrierController barrier;
+    InstructionQueue q(IcuId::mem(Hemisphere::East, 1), barrier);
+    q.loadProgram({readInst(1), readInst(2), readInst(3)});
+    const Instruction *out[2];
+    for (Cycle t = 0; t < 3; ++t) {
+        ASSERT_EQ(tick(q, t, out), 1);
+        EXPECT_EQ(out[0]->addr, t + 1);
+    }
+    EXPECT_TRUE(q.done());
+    EXPECT_EQ(q.dispatched(), 3u);
+}
+
+TEST(Queue, RepeatReissuesPrevious)
+{
+    BarrierController barrier;
+    InstructionQueue q(IcuId::mem(Hemisphere::West, 0), barrier);
+    Instruction rep;
+    rep.op = Opcode::Repeat;
+    rep.imm0 = 3; // Three more issues...
+    rep.imm1 = 2; // ...two cycles apart.
+    q.loadProgram({readInst(9), rep});
+
+    const Instruction *out[2];
+    EXPECT_EQ(tick(q, 0, out), 1); // Original at cycle 0.
+    // First iteration fires at the Repeat's dispatch, then every
+    // d = 2 cycles: cycles 1, 3, 5.
+    EXPECT_EQ(tick(q, 1, out), 1);
+    EXPECT_EQ(out[0]->addr, 9u);
+    EXPECT_EQ(tick(q, 2, out), 0);
+    EXPECT_EQ(tick(q, 3, out), 1);
+    EXPECT_EQ(tick(q, 4, out), 0);
+    EXPECT_EQ(tick(q, 5, out), 1);
+    EXPECT_TRUE(q.done());
+    EXPECT_EQ(q.dispatched(), 4u);
+}
+
+TEST(Queue, SyncParksUntilNotify)
+{
+    BarrierController barrier;
+    InstructionQueue q(IcuId::vxmAlu(0), barrier);
+    Instruction sync;
+    sync.op = Opcode::Sync;
+    q.loadProgram({sync, readInst(5)});
+
+    const Instruction *out[2];
+    EXPECT_EQ(tick(q, 0, out), 0);
+    EXPECT_TRUE(q.parked());
+    for (Cycle t = 1; t < 10; ++t)
+        EXPECT_EQ(tick(q, t, out), 0);
+
+    barrier.notify(10);
+    // Broadcast arrives at 10 + 35 = 45 (paper: 35-cycle barrier).
+    EXPECT_EQ(tick(q, 44, out), 0);
+    EXPECT_TRUE(q.parked());
+    EXPECT_EQ(tick(q, 45, out), 1);
+    EXPECT_EQ(out[0]->addr, 5u);
+    EXPECT_FALSE(q.parked());
+}
+
+TEST(Queue, MissedBroadcastWaitsForNext)
+{
+    BarrierController barrier;
+    barrier.notify(0); // Arrives at 35.
+    InstructionQueue q(IcuId::vxmAlu(1), barrier);
+    Instruction sync;
+    sync.op = Opcode::Sync;
+    q.loadProgram({sync, readInst(1)});
+
+    const Instruction *out[2];
+    // Parks at cycle 40, after the broadcast passed: must wait for a
+    // new Notify.
+    EXPECT_EQ(tick(q, 40, out), 0);
+    EXPECT_EQ(tick(q, 50, out), 0);
+    barrier.notify(60);
+    EXPECT_EQ(tick(q, 94, out), 0);
+    EXPECT_EQ(tick(q, 95, out), 1);
+}
+
+TEST(Queue, CoIssueDispatchesPairTogether)
+{
+    BarrierController barrier;
+    InstructionQueue q(IcuId::mem(Hemisphere::East, 2), barrier);
+    Instruction rd = readInst(0x10);
+    Instruction wr;
+    wr.op = Opcode::Write;
+    wr.addr = 0x1010;
+    wr.srcA = {1, Direction::East};
+    wr.flags |= Instruction::kFlagCoIssue;
+    q.loadProgram({rd, wr, readInst(0x20)});
+
+    const Instruction *out[2];
+    EXPECT_EQ(tick(q, 0, out), 2);
+    EXPECT_EQ(out[0]->op, Opcode::Read);
+    EXPECT_EQ(out[1]->op, Opcode::Write);
+    EXPECT_EQ(tick(q, 1, out), 1);
+    EXPECT_EQ(out[0]->addr, 0x20u);
+}
+
+TEST(Queue, StatsTrackNopAndParkCycles)
+{
+    BarrierController barrier;
+    InstructionQueue q(IcuId::vxmAlu(2), barrier);
+    q.loadProgram({nop(3), readInst(1)});
+    const Instruction *out[2];
+    for (Cycle t = 0; t <= 3; ++t)
+        tick(q, t, out);
+    EXPECT_EQ(q.nopCycles(), 3u); // Dispatch cycle + 2 gated.
+    EXPECT_EQ(q.dispatched(), 1u);
+}
+
+TEST(Barrier, ReleaseTimeSemantics)
+{
+    BarrierController b;
+    EXPECT_FALSE(b.releaseTime(0).has_value());
+    b.notify(100);
+    ASSERT_TRUE(b.releaseTime(100).has_value());
+    EXPECT_EQ(*b.releaseTime(100), 135u);
+    EXPECT_EQ(*b.releaseTime(0), 135u);
+    // A Sync parked after the broadcast misses it.
+    EXPECT_FALSE(b.releaseTime(136).has_value());
+    b.notify(200);
+    EXPECT_EQ(*b.releaseTime(136), 235u);
+}
+
+} // namespace
+} // namespace tsp

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Whole-chip ECC fault injection (paper III.C: producers generate
+ * ECC, consumers check and correct). A single-bit upset is injected
+ * into EVERY word of EVERY MEM slice after the model image is
+ * emplaced — weights, biases, scales, activations, instruction-free
+ * scratch — and the network must still produce bit-exact logits,
+ * because every 128-bit ECC chunk can absorb one flipped bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "graph/graph.hh"
+#include "model/resnet.hh"
+#include "runtime/session.hh"
+
+namespace tsp {
+namespace {
+
+std::vector<std::int8_t>
+randomInput(int h, int w, int c, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::int8_t> data(static_cast<std::size_t>(h) * w *
+                                  c);
+    for (auto &v : data)
+        v = static_cast<std::int8_t>(rng.intIn(-100, 100));
+    return data;
+}
+
+TEST(FaultInjection, UniversalSingleBitUpsetIsFullyCorrected)
+{
+    const int h = 12, w = 12, c = 8;
+    Graph g = model::buildTinyNet(/*seed=*/42, h, w, c);
+    const auto input = randomInput(h, w, c, 7);
+
+    Lowering lw(/*pipelined=*/true);
+    const auto lowered = g.lower(lw, input);
+
+    InferenceSession sess(lw);
+
+    // One upset per stored word, in a position that varies with the
+    // address so every byte lane and bit index gets hit somewhere.
+    Rng rng(99);
+    for (const auto hem : {Hemisphere::West, Hemisphere::East}) {
+        for (int sl = 0; sl < kMemSlicesPerHem; ++sl) {
+            auto &mem = sess.chip().mem(hem, sl);
+            for (MemAddr a = 0; a < kMemWordsPerSlice; ++a) {
+                mem.injectBitFlip(a, rng.intIn(0, 319),
+                                  rng.intIn(0, 7));
+            }
+        }
+    }
+
+    const Cycle cycles = sess.run();
+    EXPECT_GT(cycles, 0u);
+    // Every word the program consumed had a flipped bit; the
+    // corrected count proves the error path actually ran.
+    EXPECT_GT(sess.chip().stats().get("ecc_corrected"), 100u);
+
+    ref::QTensor qin(h, w, c);
+    qin.data = input;
+    const auto refs = g.runReference(qin);
+    for (const auto &[id, lt] : lowered) {
+        if (g.node(id).kind == OpKind::Input)
+            continue;
+        const ref::QTensor got = sess.readTensor(lt);
+        const ref::QTensor &want = refs.at(id);
+        ASSERT_EQ(got.data, want.data) << "node " << id;
+    }
+}
+
+TEST(FaultInjection, DoubleBitUpsetIsDetectedAndCounted)
+{
+    // Two flips in one 128-bit chunk exceed SECDED's correction
+    // ability. The chip keeps running (hardware raises a CSR error
+    // flag, it does not halt a systolic array mid-beat), but every
+    // consumer that touched a poisoned chunk must have *detected*
+    // it: the uncorrectable counter is how the host learns the
+    // result cannot be trusted.
+    const int h = 8, w = 8, c = 4;
+    Graph g = model::buildTinyNet(3, h, w, c);
+    const auto input = randomInput(h, w, c, 11);
+    Lowering lw(true);
+    g.lower(lw, input);
+    InferenceSession sess(lw);
+    for (const auto hem : {Hemisphere::West, Hemisphere::East}) {
+        for (int sl = 0; sl < kMemSlicesPerHem; ++sl) {
+            auto &mem = sess.chip().mem(hem, sl);
+            for (MemAddr a = 0; a < kMemWordsPerSlice; ++a) {
+                // Both flips land in ECC chunk 0 (bytes 0..15).
+                mem.injectBitFlip(a, 0, 1);
+                mem.injectBitFlip(a, 1, 5);
+            }
+        }
+    }
+    sess.run();
+    EXPECT_GT(sess.chip().stats().get("ecc_uncorrectable"), 100u);
+    // Nothing was silently "fixed": corrections require a clean
+    // syndrome, which a double flip never produces.
+    EXPECT_EQ(sess.chip().stats().get("ecc_corrected"), 0u);
+}
+
+} // namespace
+} // namespace tsp

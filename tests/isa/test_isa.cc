@@ -1,0 +1,248 @@
+/**
+ * @file
+ * ISA-level tests: mnemonic table, assembler round trips for every
+ * instruction form in Table I, binary encode/decode round trips
+ * (including a randomized fuzz sweep), and timing-table sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "isa/encoding.hh"
+
+namespace tsp {
+namespace {
+
+TEST(Opcode, NamesRoundTrip)
+{
+    for (int i = 0; i < kNumOpcodes; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        Opcode back;
+        ASSERT_TRUE(opcodeFromName(opcodeName(op), back))
+            << opcodeName(op);
+        EXPECT_EQ(back, op);
+    }
+    Opcode out;
+    EXPECT_FALSE(opcodeFromName("bogus", out));
+}
+
+TEST(Opcode, SliceAssignmentsMatchTableOne)
+{
+    EXPECT_EQ(opcodeSlice(Opcode::Nop), SliceKind::ICU);
+    EXPECT_EQ(opcodeSlice(Opcode::Read), SliceKind::MEM);
+    EXPECT_EQ(opcodeSlice(Opcode::Gather), SliceKind::MEM);
+    EXPECT_EQ(opcodeSlice(Opcode::AddSat), SliceKind::VXM);
+    EXPECT_EQ(opcodeSlice(Opcode::Rsqrt), SliceKind::VXM);
+    EXPECT_EQ(opcodeSlice(Opcode::Iw), SliceKind::MXM);
+    EXPECT_EQ(opcodeSlice(Opcode::Transpose), SliceKind::SXM);
+    EXPECT_EQ(opcodeSlice(Opcode::Deskew), SliceKind::C2C);
+}
+
+TEST(Assembler, IcuNames)
+{
+    IcuId id;
+    ASSERT_TRUE(parseIcuName("MEM_E12", id));
+    EXPECT_EQ(id, IcuId::mem(Hemisphere::East, 12));
+    ASSERT_TRUE(parseIcuName("vxm15", id));
+    EXPECT_EQ(id, IcuId::vxmAlu(15));
+    ASSERT_TRUE(parseIcuName("MXM3_A", id));
+    EXPECT_EQ(id, IcuId::mxm(3, false));
+    ASSERT_TRUE(parseIcuName("SXM_W_TR1", id));
+    EXPECT_EQ(id,
+              IcuId::sxm(Hemisphere::West,
+                         static_cast<int>(SxmUnit::Transpose1)));
+    EXPECT_FALSE(parseIcuName("MEM_X1", id));
+    EXPECT_FALSE(parseIcuName("VXM16", id));
+    EXPECT_FALSE(parseIcuName("C2C16", id));
+}
+
+TEST(Assembler, StreamRefs)
+{
+    StreamRef s;
+    ASSERT_TRUE(parseStreamRef("s31.w", s));
+    EXPECT_EQ(s.id, 31);
+    EXPECT_EQ(s.dir, Direction::West);
+    EXPECT_FALSE(parseStreamRef("s32.e", s)); // Out of range.
+    EXPECT_FALSE(parseStreamRef("s1.x", s));
+    EXPECT_FALSE(parseStreamRef("x1.e", s));
+}
+
+/** Round-trips one instruction line through parse + print. */
+void
+roundTrip(const std::string &line)
+{
+    Instruction inst;
+    std::string err;
+    ASSERT_TRUE(parseInstruction(line, inst, err))
+        << line << ": " << err;
+    EXPECT_EQ(inst.toString(), line);
+}
+
+TEST(Assembler, EveryFormRoundTrips)
+{
+    roundTrip("nop 17");
+    roundTrip("repeat 8, 2");
+    roundTrip("sync");
+    roundTrip("notify");
+    roundTrip("config 12");
+    roundTrip("ifetch s3.e");
+    roundTrip("read 0x1a2, s7.e");
+    roundTrip("write 0x1fff, s30.w");
+    roundTrip("gather s5.e, s6.e");
+    roundTrip("scatter s5.w, s6.w");
+    roundTrip("add s1.e, s2.e, s3.e");
+    roundTrip("mul.sat s4.w, s5.w, s6.w");
+    roundTrip("max s1.e, s2.e, s3.e");
+    roundTrip("mask s1.e, s2.e, s3.e");
+    roundTrip("relu s9.e, s10.e");
+    roundTrip("tanh s9.e, s10.e");
+    roundTrip("rsqrt s9.w, s10.w");
+    roundTrip("shift s8.e, s12.e, 5");
+    roundTrip("convert s0.e, s4.e, int32 -> fp32");
+    roundTrip("lw s0.e, n16");
+    roundTrip("iw p2");
+    roundTrip("abc p1, s16.e, n64");
+    roundTrip("abc p1, s16.e, n64, acc");
+    roundTrip("acc p3, s20.w, n32");
+    roundTrip("shift.up s1.e, s2.e, 4");
+    roundTrip("shift.down s1.w, s2.w, 16");
+    roundTrip("select.ns s1.e, s2.e, s3.e, m5");
+    roundTrip("permute s1.e, s2.e");
+    roundTrip("distribute s1.e, s2.e");
+    roundTrip("rotate s0.e, s9.e, n3");
+    roundTrip("transpose s0.e, s16.e");
+    roundTrip("deskew");
+    roundTrip("send l3, s1.e");
+    roundTrip("receive l3, s1.w");
+}
+
+TEST(Assembler, RejectsMalformed)
+{
+    Instruction inst;
+    std::string err;
+    EXPECT_FALSE(parseInstruction("read 0x10", inst, err));
+    EXPECT_FALSE(parseInstruction("add s1.e, s2.e", inst, err));
+    EXPECT_FALSE(parseInstruction("rotate s0.e, s1.e, n5", inst, err));
+    EXPECT_FALSE(parseInstruction("iw p9", inst, err));
+    EXPECT_FALSE(parseInstruction("frobnicate s1.e", inst, err));
+    EXPECT_FALSE(
+        parseInstruction("read 0x9999, s1.e", inst, err)); // >13 bit.
+}
+
+TEST(Assembler, FullListingRoundTrips)
+{
+    const std::string text = "@MEM_E0:\n"
+                             "    read 0x10, s4.e\n"
+                             "    nop 3\n"
+                             "    write 0x20, s0.w\n"
+                             "@VXM0:\n"
+                             "    add s4.e, s5.e, s0.w\n"
+                             "@MXM0_W:\n"
+                             "    lw s0.e, n16\n"
+                             "    iw p0\n";
+    const AsmResult r = assemble(text);
+    ASSERT_TRUE(r.ok) << r.error << " line " << r.errorLine;
+    EXPECT_EQ(r.program.queues.size(), 3u);
+    // Disassemble and re-assemble: fixed point.
+    const std::string dis = disassemble(r.program);
+    const AsmResult r2 = assemble(dis);
+    ASSERT_TRUE(r2.ok);
+    EXPECT_EQ(disassemble(r2.program), dis);
+}
+
+TEST(Assembler, RejectsWrongSliceSection)
+{
+    const AsmResult r = assemble("@MEM_E0:\n    add s1.e, s2.e, s3.e\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.errorLine, 2);
+}
+
+TEST(Encoding, HeaderSizeAndBundles)
+{
+    Instruction inst;
+    inst.op = Opcode::Read;
+    EXPECT_EQ(encodedSize(inst), kInstHeaderBytes);
+    EXPECT_EQ(kIfetchBundleBytes, 640u); // Pair of 320-byte vectors.
+}
+
+TEST(Encoding, MapPayloadRoundTrips)
+{
+    Instruction inst;
+    inst.op = Opcode::Permute;
+    inst.srcA = {1, Direction::East};
+    inst.dst = {2, Direction::East};
+    auto map = std::make_shared<std::vector<std::uint16_t>>();
+    for (int i = 0; i < kLanes; ++i)
+        map->push_back(static_cast<std::uint16_t>(kLanes - 1 - i));
+    inst.map = map;
+
+    std::vector<std::uint8_t> bytes;
+    encodeInstruction(inst, bytes);
+    EXPECT_EQ(bytes.size(), kInstHeaderBytes + 2u * kLanes);
+
+    std::size_t off = 0;
+    auto back = decodeInstruction(bytes, off);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(off, bytes.size());
+    EXPECT_EQ(*back, inst);
+}
+
+TEST(Encoding, FuzzRoundTrip)
+{
+    Rng rng(99);
+    std::vector<Instruction> queue;
+    for (int i = 0; i < 500; ++i) {
+        Instruction inst;
+        inst.op = static_cast<Opcode>(rng.nextBelow(kNumOpcodes));
+        inst.imm0 = static_cast<std::uint32_t>(rng.next());
+        inst.imm1 = static_cast<std::uint32_t>(rng.next());
+        inst.addr = static_cast<MemAddr>(rng.nextBelow(8192));
+        inst.srcA = {static_cast<StreamId>(rng.nextBelow(32)),
+                     rng.nextBelow(2) ? Direction::East
+                                      : Direction::West};
+        inst.srcB = {static_cast<StreamId>(rng.nextBelow(32)),
+                     Direction::West};
+        inst.dst = {static_cast<StreamId>(rng.nextBelow(32)),
+                    Direction::East};
+        inst.groupSize =
+            static_cast<std::uint8_t>(1 + rng.nextBelow(32));
+        inst.dtype = static_cast<DType>(rng.nextBelow(5));
+        inst.flags = static_cast<std::uint8_t>(rng.nextBelow(4));
+        queue.push_back(std::move(inst));
+    }
+    const auto bytes = encodeQueue(queue);
+    std::vector<Instruction> back;
+    ASSERT_TRUE(decodeQueue(bytes, back));
+    ASSERT_EQ(back.size(), queue.size());
+    for (std::size_t i = 0; i < queue.size(); ++i)
+        EXPECT_EQ(back[i], queue[i]) << i;
+}
+
+TEST(Encoding, RejectsTruncation)
+{
+    Instruction inst;
+    inst.op = Opcode::Add;
+    std::vector<std::uint8_t> bytes;
+    encodeInstruction(inst, bytes);
+    bytes.pop_back();
+    std::vector<Instruction> out;
+    EXPECT_FALSE(decodeQueue(bytes, out));
+}
+
+TEST(Timing, TemporalParametersExposed)
+{
+    // Eq. 4: T = N + d_func + delta.
+    EXPECT_EQ(instructionTime(Opcode::Read, 10, 15, kSuperlanes),
+              20u + opTiming(Opcode::Read).dFunc + 5u);
+    // Every opcode has a positive functional delay.
+    for (int i = 0; i < kNumOpcodes; ++i) {
+        EXPECT_GE(opTiming(static_cast<Opcode>(i)).dFunc, 1u);
+    }
+    // The ACC exit latency spans the supercell chain.
+    EXPECT_EQ(opTiming(Opcode::Acc).dFunc,
+              static_cast<Cycle>(kSuperlanes) + 1);
+}
+
+} // namespace
+} // namespace tsp

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * fp16 end-to-end through the chip: install fp16 weights (two byte
+ * planes in tandem), stream fp16 activations as stream pairs, drain
+ * fp32 results through ACC, and commit them to MEM — validated
+ * against host math with the same accumulation order (paper III.D:
+ * "supports numerics for both 8-bit integer and 16-bit floating
+ * point", fp32 accumulation with a single rounding step).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/fp16.hh"
+#include "common/rng.hh"
+#include "compiler/builder.hh"
+#include "compiler/host_image.hh"
+#include "mem/ecc.hh"
+#include "sim/chip.hh"
+
+namespace tsp {
+namespace {
+
+TEST(MxmFp16, MatmulThroughTheChip)
+{
+    Rng rng(21);
+    // Host-side fp16 weights [320][320] and activations [n][320].
+    constexpr int kN = 6;
+    std::vector<float> w(static_cast<std::size_t>(kMxmDim) *
+                         kMxmDim);
+    for (auto &v : w)
+        v = Fp16(rng.uniform(-1.0f, 1.0f)).toFloat();
+    std::vector<float> act(static_cast<std::size_t>(kN) * kMxmDim);
+    for (auto &v : act)
+        v = Fp16(rng.uniform(-1.0f, 1.0f)).toFloat();
+
+    // --- Placement: weights striped over 16 east slices as fp16
+    // pairs; each LW burst of 16 streams installs 8 rows.
+    MemAllocator alloc;
+    HostImage image;
+    ScheduledProgram prog;
+    KernelBuilder kb(prog);
+    const Hemisphere hem = Hemisphere::East;
+    const int plane = 2; // East plane.
+    const SlicePos mxm = Layout::mxmPos(hem);
+    const IcuId wq = IcuId::mxm(plane, true);
+
+    // Weight words: row r split into low/high byte vectors.
+    std::vector<GlobalAddr> lo_addr(kMxmDim), hi_addr(kMxmDim);
+    for (int r = 0; r < kMxmDim; ++r) {
+        // Row r rides stream pair (2*(r%8), 2*(r%8)+1) in burst r/8;
+        // place the two vectors in distinct slices 28 + 2*(r%8) and
+        // 29 + 2*(r%8).
+        const int s_lo = 28 + 2 * (r % 8);
+        const int s_hi = s_lo + 1;
+        lo_addr[static_cast<std::size_t>(r)] =
+            alloc.alloc(hem, s_lo, 1);
+        hi_addr[static_cast<std::size_t>(r)] =
+            alloc.alloc(hem, s_hi, 1);
+        HostImage::Entry elo, ehi;
+        std::array<std::uint8_t, kLanes> lo{}, hi{};
+        for (int c = 0; c < kMxmDim; ++c) {
+            const std::uint16_t bits =
+                Fp16(w[static_cast<std::size_t>(r) * kMxmDim + c])
+                    .bits();
+            lo[static_cast<std::size_t>(c)] =
+                static_cast<std::uint8_t>(bits & 0xff);
+            hi[static_cast<std::size_t>(c)] =
+                static_cast<std::uint8_t>(bits >> 8);
+        }
+        image.add(lo_addr[static_cast<std::size_t>(r)], lo);
+        image.add(hi_addr[static_cast<std::size_t>(r)], hi);
+    }
+
+    // LW bursts: 40 bursts x 8 rows, streams 0..15 eastward.
+    const Cycle t0 = 80;
+    for (int burst = 0; burst < kMxmDim / 8; ++burst) {
+        const Cycle at = t0 + static_cast<Cycle>(burst);
+        for (int i = 0; i < 8; ++i) {
+            const int r = burst * 8 + i;
+            kb.readArriving(lo_addr[static_cast<std::size_t>(r)],
+                            {static_cast<StreamId>(2 * i),
+                             Direction::East},
+                            mxm, at);
+            kb.readArriving(hi_addr[static_cast<std::size_t>(r)],
+                            {static_cast<StreamId>(2 * i + 1),
+                             Direction::East},
+                            mxm, at);
+        }
+        Instruction lw;
+        lw.op = Opcode::Lw;
+        lw.srcA = {0, Direction::East};
+        lw.groupSize = 16;
+        lw.dtype = DType::Fp16;
+        prog.emit(at, wq, lw);
+    }
+    Instruction iw;
+    iw.op = Opcode::Iw;
+    iw.imm0 = static_cast<std::uint32_t>(plane);
+    const Cycle iw_at = t0 + kMxmDim / 8;
+    prog.emit(iw_at, wq, iw);
+
+    // Activations: vectors in two slices (lo/hi), streamed as the
+    // pair (16, 17) eastward, one per cycle.
+    std::vector<GlobalAddr> alo(kN), ahi(kN);
+    for (int i = 0; i < kN; ++i) {
+        alo[static_cast<std::size_t>(i)] = alloc.alloc(hem, 10, 1);
+        ahi[static_cast<std::size_t>(i)] = alloc.alloc(hem, 11, 1);
+        std::array<std::uint8_t, kLanes> lo{}, hi{};
+        for (int c = 0; c < kMxmDim; ++c) {
+            const std::uint16_t bits =
+                Fp16(act[static_cast<std::size_t>(i) * kMxmDim + c])
+                    .bits();
+            lo[static_cast<std::size_t>(c)] =
+                static_cast<std::uint8_t>(bits & 0xff);
+            hi[static_cast<std::size_t>(c)] =
+                static_cast<std::uint8_t>(bits >> 8);
+        }
+        image.add(alo[static_cast<std::size_t>(i)], lo);
+        image.add(ahi[static_cast<std::size_t>(i)], hi);
+    }
+    const Cycle abc_at = iw_at + 2;
+    for (int i = 0; i < kN; ++i) {
+        kb.readArriving(alo[static_cast<std::size_t>(i)],
+                        {16, Direction::East}, mxm,
+                        abc_at + static_cast<Cycle>(i));
+        kb.readArriving(ahi[static_cast<std::size_t>(i)],
+                        {17, Direction::East}, mxm,
+                        abc_at + static_cast<Cycle>(i));
+    }
+    kb.abc(plane, {16, Direction::East}, kN, false, DType::Fp16,
+           abc_at);
+
+    // Drain fp32 results westward and commit them to 4 slices.
+    kb.acc(plane, {20, Direction::West}, kN, abc_at + 1);
+    std::vector<GlobalAddr> out(static_cast<std::size_t>(kN) * 4);
+    for (int i = 0; i < kN; ++i) {
+        const Cycle vis = abc_at + 1 + static_cast<Cycle>(i) +
+                          opTiming(Opcode::Acc).dFunc;
+        for (int k = 0; k < 4; ++k) {
+            const GlobalAddr dst = alloc.alloc(hem, 20 + k, 1);
+            out[static_cast<std::size_t>(i) * 4 +
+                static_cast<std::size_t>(k)] = dst;
+            Instruction wr;
+            wr.op = Opcode::Write;
+            wr.addr = dst.addr;
+            wr.srcA = {static_cast<StreamId>(20 + k),
+                       Direction::West};
+            prog.emit(vis + Layout::transitDelay(mxm, dst.pos()),
+                      dst.icu(), wr);
+        }
+    }
+
+    Chip chip;
+    image.applyTo(chip);
+    chip.loadProgram(prog.toAsm());
+    chip.run();
+
+    // Host reference with the same accumulation order (c ascending,
+    // fp32 accumulate of exact fp16 products).
+    for (int i = 0; i < kN; ++i) {
+        Vec320 res[4];
+        for (int k = 0; k < 4; ++k) {
+            const GlobalAddr &a =
+                out[static_cast<std::size_t>(i) * 4 +
+                    static_cast<std::size_t>(k)];
+            res[k] = chip.mem(a.hem, a.slice).backdoorRead(a.addr);
+        }
+        for (int r = 0; r < kMxmDim; ++r) {
+            float want = 0.0f;
+            for (int c = 0; c < kMxmDim; ++c) {
+                want += w[static_cast<std::size_t>(r) * kMxmDim + c] *
+                        act[static_cast<std::size_t>(i) * kMxmDim +
+                            c];
+            }
+            std::uint32_t u = 0;
+            for (int k = 0; k < 4; ++k) {
+                u |= static_cast<std::uint32_t>(
+                         res[k].bytes[static_cast<std::size_t>(r)])
+                     << (8 * k);
+            }
+            float got;
+            std::memcpy(&got, &u, sizeof(got));
+            ASSERT_FLOAT_EQ(got, want)
+                << "vector " << i << " row " << r;
+        }
+    }
+}
+
+} // namespace
+} // namespace tsp

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Golden reference self-checks: requantize saturation/rounding,
+ * operator shape handling, and the fp32 reference used by the
+ * quantization-loss experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ref/qnn.hh"
+
+namespace tsp::ref {
+namespace {
+
+TEST(Requantize, RoundsAndSaturates)
+{
+    EXPECT_EQ(requantize(100, 0, 1.0f, false), 100);
+    EXPECT_EQ(requantize(1000, 0, 1.0f, false), 127);
+    EXPECT_EQ(requantize(-1000, 0, 1.0f, false), -128);
+    EXPECT_EQ(requantize(-5, 0, 1.0f, true), 0); // ReLU.
+    EXPECT_EQ(requantize(5, 0, 0.5f, false), 2); // RNE: 2.5 -> 2.
+    EXPECT_EQ(requantize(7, 0, 0.5f, false), 4); // 3.5 -> 4.
+    EXPECT_EQ(requantize(0, 42, 1.0f, false), 42);
+    // Saturating int32 bias add.
+    EXPECT_EQ(requantize(2'000'000'000, 2'000'000'000, 1e-8f, false),
+              21); // Bias add saturates to INT32_MAX first.
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough)
+{
+    QTensor in(3, 3, 2);
+    for (std::size_t i = 0; i < in.data.size(); ++i)
+        in.data[i] = static_cast<std::int8_t>(i + 1);
+    // 1x1 conv, identity weights, unity scale.
+    const std::int8_t w[4] = {1, 0, 0, 1}; // [oc][ic].
+    const std::int32_t bias[2] = {0, 0};
+    const float scale[2] = {1.0f, 1.0f};
+    const QTensor out = conv2d(in, w, 2, 1, 1, 1, 0, bias, scale,
+                               false);
+    EXPECT_EQ(out.data, in.data);
+}
+
+TEST(Conv2d, PaddingAndStrideShapes)
+{
+    QTensor in(7, 5, 1);
+    const std::int8_t w[9] = {0, 0, 0, 0, 1, 0, 0, 0, 0};
+    const std::int32_t bias[1] = {0};
+    const float scale[1] = {1.0f};
+    const QTensor out =
+        conv2d(in, w, 1, 3, 3, 2, 1, bias, scale, false);
+    EXPECT_EQ(out.h, 4);
+    EXPECT_EQ(out.w, 3);
+}
+
+TEST(MaxPool, UsesNegativePaddingSemantics)
+{
+    QTensor in(2, 2, 1);
+    in.at(0, 0, 0) = -100;
+    in.at(0, 1, 0) = -90;
+    in.at(1, 0, 0) = -80;
+    in.at(1, 1, 0) = -70;
+    const QTensor out = maxPool(in, 3, 2, 1);
+    // Window at (0,0) covers in-bounds values only; max is -70 for
+    // the full window at (0,0) with pad... window covers rows -1..1.
+    EXPECT_EQ(out.h, 1);
+    EXPECT_EQ(out.at(0, 0, 0), -70);
+}
+
+TEST(GlobalAvgPool, AveragesExactly)
+{
+    QTensor in(2, 2, 1);
+    in.at(0, 0, 0) = 10;
+    in.at(0, 1, 0) = 20;
+    in.at(1, 0, 0) = 30;
+    in.at(1, 1, 0) = 41;
+    const QTensor out = globalAvgPool(in, 0.25f);
+    // (101) * 0.25 = 25.25 -> 25.
+    EXPECT_EQ(out.at(0, 0, 0), 25);
+}
+
+TEST(ResidualAdd, ScalesAndClamps)
+{
+    QTensor a(1, 1, 3), b(1, 1, 3);
+    a.data = {100, -100, 4};
+    b.data = {100, -100, 3};
+    const QTensor out = residualAdd(a, b, 1.0f, 1.0f, false);
+    EXPECT_EQ(out.data[0], 127);
+    EXPECT_EQ(out.data[1], -128);
+    EXPECT_EQ(out.data[2], 7);
+    const QTensor relu_out = residualAdd(a, b, 1.0f, 1.0f, true);
+    EXPECT_EQ(relu_out.data[1], 0);
+}
+
+TEST(Conv2dF32, MatchesHandComputation)
+{
+    const std::vector<float> in = {1.0f, 2.0f, 3.0f, 4.0f}; // 2x2x1.
+    const float w[1] = {2.0f};                              // 1x1.
+    const float bias[1] = {0.5f};
+    const auto out =
+        conv2dF32(in, 2, 2, 1, w, 1, 1, 1, 1, 0, bias, false);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_FLOAT_EQ(out[0], 2.5f);
+    EXPECT_FLOAT_EQ(out[3], 8.5f);
+    const auto relu_out =
+        conv2dF32(in, 2, 2, 1, w, 1, 1, 1, 1, 0, nullptr, true);
+    EXPECT_FLOAT_EQ(relu_out[0], 2.0f);
+}
+
+} // namespace
+} // namespace tsp::ref

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Host runtime: DMA-time model, latency accounting, tensor readback
+ * geometry, and back-to-back sessions on fresh chips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "model/resnet.hh"
+#include "runtime/session.hh"
+
+namespace tsp {
+namespace {
+
+TEST(Session, DmaAndLatencyAccounting)
+{
+    Graph g = model::buildTinyNet(11, 8, 8, 4);
+    Rng rng(2);
+    std::vector<std::int8_t> input(8 * 8 * 4);
+    for (auto &v : input)
+        v = static_cast<std::int8_t>(rng.intIn(-50, 50));
+
+    Lowering lw(true);
+    const auto tensors = g.lower(lw, input);
+    const std::size_t image_bytes = lw.image().totalBytes();
+    EXPECT_GT(image_bytes, 0u);
+
+    InferenceSession sess(lw);
+    EXPECT_DOUBLE_EQ(sess.dmaSeconds(),
+                     static_cast<double>(image_bytes) /
+                         kPcieGen4Bps);
+    const Cycle cycles = sess.run();
+    EXPECT_DOUBLE_EQ(sess.latencySeconds(),
+                     static_cast<double>(cycles) * 1e-9);
+    EXPECT_EQ(sess.cycles(), cycles);
+
+    // Readback geometry matches the graph's output shape.
+    const auto out = sess.readTensor(tensors.at(g.outputNode()));
+    EXPECT_EQ(out.h, 1);
+    EXPECT_EQ(out.w, 1);
+    EXPECT_EQ(out.c, 10);
+}
+
+TEST(Session, IndependentSessionsAgree)
+{
+    Graph g = model::buildTinyNet(5, 8, 8, 4);
+    Rng rng(9);
+    std::vector<std::int8_t> input(8 * 8 * 4);
+    for (auto &v : input)
+        v = static_cast<std::int8_t>(rng.intIn(-50, 50));
+
+    std::vector<std::int8_t> first;
+    for (int run = 0; run < 2; ++run) {
+        Lowering lw(true);
+        const auto tensors = g.lower(lw, input);
+        InferenceSession sess(lw);
+        sess.run();
+        const auto out =
+            sess.readTensor(tensors.at(g.outputNode()));
+        if (run == 0)
+            first = out.data;
+        else
+            EXPECT_EQ(out.data, first);
+    }
+}
+
+TEST(Session, CustomClockScalesLatencyOnly)
+{
+    Graph g = model::buildTinyNet(5, 6, 6, 4);
+    Rng rng(4);
+    std::vector<std::int8_t> input(6 * 6 * 4);
+    for (auto &v : input)
+        v = static_cast<std::int8_t>(rng.intIn(-50, 50));
+
+    Lowering lw(true);
+    const auto t = g.lower(lw, input);
+    (void)t;
+    ChipConfig cfg;
+    cfg.clockHz = 900e6; // The nominal silicon clock.
+    InferenceSession sess(lw, cfg);
+    const Cycle cycles = sess.run();
+    EXPECT_DOUBLE_EQ(sess.latencySeconds(),
+                     static_cast<double>(cycles) / 900e6);
+}
+
+} // namespace
+} // namespace tsp

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Activity-based power model: static floor, activity scaling,
+ * downsampling, and configuration validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/layout.hh"
+#include "sim/power.hh"
+
+namespace tsp {
+namespace {
+
+TEST(PowerModel, StaticFloorMatchesConfig)
+{
+    ChipConfig cfg;
+    PowerModel pm(cfg);
+    pm.sample({}); // One idle cycle.
+    const double floor = cfg.power.uncoreStaticW +
+                         cfg.power.superlaneStaticW * kSuperlanes;
+    EXPECT_NEAR(pm.averagePowerW(), floor, 1e-9);
+    EXPECT_EQ(pm.cycles(), 1u);
+}
+
+TEST(PowerModel, ActivityAddsDynamicEnergy)
+{
+    ChipConfig cfg;
+    PowerModel idle(cfg), busy(cfg);
+    idle.sample({});
+    ActivitySample act;
+    act.maccOps = 4ull * 320 * 320; // Peak MXM cycle.
+    act.vxmLaneOps = 320;
+    act.sramWords = 88 * 20;
+    act.icuDispatches = 100;
+    busy.sample(act);
+    EXPECT_GT(busy.totalEnergyJ(), idle.totalEnergyJ());
+    // Peak MXM activity should dominate: 409,600 MACCs x 0.4 pJ =
+    // ~164 W of dynamic power at 1 GHz.
+    EXPECT_GT(busy.averagePowerW(), idle.averagePowerW() + 150.0);
+}
+
+TEST(PowerModel, TraceOnlyWhenEnabled)
+{
+    ChipConfig off;
+    PowerModel a(off);
+    a.sample({});
+    EXPECT_TRUE(a.traceW().empty());
+
+    ChipConfig on;
+    on.powerTraceEnabled = true;
+    PowerModel b(on);
+    b.sample({});
+    b.sample({});
+    EXPECT_EQ(b.traceW().size(), 2u);
+}
+
+TEST(PowerModel, DownsampleAverages)
+{
+    ChipConfig cfg;
+    cfg.powerTraceEnabled = true;
+    PowerModel pm(cfg);
+    // 8 idle cycles then 8 busy cycles.
+    for (int i = 0; i < 8; ++i)
+        pm.sample({});
+    ActivitySample act;
+    act.maccOps = 100000;
+    for (int i = 0; i < 8; ++i)
+        pm.sample(act);
+    const auto buckets = pm.downsampledTrace(2);
+    ASSERT_EQ(buckets.size(), 2u);
+    EXPECT_GT(buckets[1], buckets[0]);
+    EXPECT_TRUE(pm.downsampledTrace(0).empty());
+}
+
+TEST(ChipConfigDeath, BadSuperlaneCountIsFatal)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    const auto body = [] {
+        ChipConfig cfg;
+        cfg.activeSuperlanes = 21;
+        cfg.validate();
+    };
+    ASSERT_EXIT(body(), ::testing::ExitedWithCode(1),
+                "activeSuperlanes");
+}
+
+TEST(ChipConfigDeath, BadClockIsFatal)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    const auto body = [] {
+        ChipConfig cfg;
+        cfg.clockHz = 0.0;
+        cfg.validate();
+    };
+    ASSERT_EXIT(body(), ::testing::ExitedWithCode(1), "clockHz");
+}
+
+TEST(Vec320, LaneHelpers)
+{
+    Vec320 v;
+    v.set(3, 7, 0xab);
+    EXPECT_EQ(v.at(3, 7), 0xab);
+    EXPECT_EQ(v.bytes[3 * kLanesPerSuperlane + 7], 0xab);
+    Vec320 w = v;
+    EXPECT_EQ(v, w);
+    w.set(0, 0, 1);
+    EXPECT_FALSE(v == w);
+}
+
+TEST(Layout, PosNamesReadable)
+{
+    EXPECT_EQ(Layout::posName(Layout::vxm), "VXM");
+    EXPECT_EQ(Layout::posName(Layout::mxmWest), "MXM_W");
+    EXPECT_EQ(Layout::posName(Layout::sxmEast), "SXM_E");
+    EXPECT_EQ(Layout::posName(Layout::c2cEast), "C2C_E");
+    EXPECT_EQ(Layout::posName(Layout::memPos(Hemisphere::West, 0)),
+              "MEM_W0");
+    EXPECT_EQ(Layout::posName(Layout::memPos(Hemisphere::East, 43)),
+              "MEM_E43");
+}
+
+} // namespace
+} // namespace tsp

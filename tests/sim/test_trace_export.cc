@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Chrome-trace export: event structure, escaping, and a file
+ * round-trip from a real program's dispatch trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "sim/trace_export.hh"
+
+namespace tsp {
+namespace {
+
+TEST(TraceExport, JsonContainsQueuesAndEvents)
+{
+    ChipConfig cfg;
+    cfg.traceEnabled = true;
+    Chip chip(cfg);
+    const AsmResult r = assemble("@MEM_W0:\n"
+                                 "    read 0x1, s0.e\n"
+                                 "    nop 2\n"
+                                 "    read 0x2, s1.e\n"
+                                 "@VXM3:\n"
+                                 "    nop 3\n"
+                                 "    relu s0.e, s2.e\n");
+    ASSERT_TRUE(r.ok) << r.error;
+    chip.loadProgram(r.program);
+    chip.run();
+
+    const std::string json = traceToChromeJson(chip.trace());
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("MEM_W0"), std::string::npos);
+    EXPECT_NE(json.find("VXM3"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"read\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"relu\""), std::string::npos);
+    // Three dispatched instructions -> three duration events.
+    std::size_t durations = 0, pos = 0;
+    while ((pos = json.find("\"ph\":\"X\"", pos)) !=
+           std::string::npos) {
+        ++durations;
+        ++pos;
+    }
+    EXPECT_EQ(durations, 3u);
+}
+
+TEST(TraceExport, WritesFile)
+{
+    ChipConfig cfg;
+    cfg.traceEnabled = true;
+    Chip chip(cfg);
+    const AsmResult r = assemble("@MEM_E1:\n    read 0x4, s5.w\n");
+    ASSERT_TRUE(r.ok);
+    chip.loadProgram(r.program);
+    chip.run();
+
+    const std::string path = "/tmp/tsp_trace_test.json";
+    ASSERT_TRUE(writeChromeTrace(chip, path));
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("MEM_E1"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceExport, EscapesAssemblyText)
+{
+    // toString never emits quotes/backslashes today, but the escaper
+    // must be safe regardless.
+    std::vector<TraceEvent> events(1);
+    events[0].cycle = 3;
+    events[0].icu = IcuId::vxmAlu(0);
+    events[0].inst.op = Opcode::Relu;
+    const std::string json = traceToChromeJson(events);
+    EXPECT_NE(json.find("\"asm\""), std::string::npos);
+    EXPECT_EQ(json.find('\n', json.find("\"asm\"")),
+              json.find("\"}}", json.find("\"asm\"")) + 3);
+}
+
+} // namespace
+} // namespace tsp

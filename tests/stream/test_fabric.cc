@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Stream register file semantics (paper II.A, V.c): one-hop-per-cycle
+ * propagation in the direction of flow, values falling off the chip
+ * edge, producer overwrites, scheduled future writes, and the
+ * two-producers-per-slot panic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stream/fabric.hh"
+
+namespace tsp {
+namespace {
+
+Vec320
+mark(std::uint8_t v)
+{
+    Vec320 x;
+    x.bytes.fill(v);
+    return x;
+}
+
+TEST(Fabric, EastwardPropagation)
+{
+    StreamFabric f;
+    const StreamRef s{4, Direction::East};
+    f.write(s, 10, mark(7));
+    EXPECT_NE(f.peek(s, 10), nullptr);
+    EXPECT_EQ(f.peek(s, 11), nullptr);
+
+    f.advance();
+    EXPECT_EQ(f.peek(s, 10), nullptr);
+    ASSERT_NE(f.peek(s, 11), nullptr);
+    EXPECT_EQ(f.peek(s, 11)->bytes[0], 7);
+
+    for (int i = 0; i < 5; ++i)
+        f.advance();
+    ASSERT_NE(f.peek(s, 16), nullptr);
+}
+
+TEST(Fabric, WestwardPropagation)
+{
+    StreamFabric f;
+    const StreamRef s{0, Direction::West};
+    f.write(s, 50, mark(9));
+    f.advance();
+    EXPECT_EQ(f.peek(s, 50), nullptr);
+    ASSERT_NE(f.peek(s, 49), nullptr);
+    EXPECT_EQ(f.peek(s, 49)->bytes[10], 9);
+}
+
+TEST(Fabric, ValuesFallOffTheEdge)
+{
+    StreamFabric f;
+    const StreamRef e{1, Direction::East};
+    const StreamRef w{1, Direction::West};
+    f.write(e, Layout::numPositions - 1, mark(1));
+    f.write(w, 0, mark(2));
+    EXPECT_EQ(f.validEntries(), 2u);
+    f.advance();
+    EXPECT_EQ(f.validEntries(), 0u);
+}
+
+TEST(Fabric, ScheduledWritesAppearOnTime)
+{
+    StreamFabric f;
+    const StreamRef s{2, Direction::East};
+    f.scheduleWrite(s, 20, mark(5), /*when=*/3);
+    f.advance(); // 1
+    f.advance(); // 2
+    EXPECT_EQ(f.peek(s, 20), nullptr);
+    f.advance(); // 3
+    ASSERT_NE(f.peek(s, 20), nullptr);
+    EXPECT_EQ(f.peek(s, 20)->bytes[0], 5);
+}
+
+TEST(Fabric, ProducerOverwritesFlowingValue)
+{
+    StreamFabric f;
+    const StreamRef s{3, Direction::East};
+    f.write(s, 10, mark(1)); // Will be at 12 after two hops.
+    f.advance();
+    f.write(s, 11, mark(2)); // Overwrites the slot at pos 11 now.
+    f.advance();
+    // Only one value lives on: the overwriting producer's.
+    ASSERT_NE(f.peek(s, 12), nullptr);
+    EXPECT_EQ(f.peek(s, 12)->bytes[0], 2);
+}
+
+TEST(Fabric, IndependentStreamsAndDirections)
+{
+    StreamFabric f;
+    f.write({5, Direction::East}, 30, mark(1));
+    f.write({5, Direction::West}, 30, mark(2));
+    f.write({6, Direction::East}, 30, mark(3));
+    f.advance();
+    EXPECT_EQ(f.peek({5, Direction::East}, 31)->bytes[0], 1);
+    EXPECT_EQ(f.peek({5, Direction::West}, 29)->bytes[0], 2);
+    EXPECT_EQ(f.peek({6, Direction::East}, 31)->bytes[0], 3);
+}
+
+TEST(Fabric, HopAccounting)
+{
+    StreamFabric f;
+    f.write({0, Direction::East}, 0, mark(1));
+    const auto before = f.totalHops();
+    f.advance();
+    f.advance();
+    EXPECT_EQ(f.totalHops() - before, 2u);
+}
+
+TEST(Fabric, ClearInvalidatesEverything)
+{
+    StreamFabric f;
+    f.write({7, Direction::East}, 40, mark(4));
+    f.scheduleWrite({7, Direction::East}, 41, mark(5), 10);
+    f.clear();
+    EXPECT_EQ(f.validEntries(), 0u);
+    for (int i = 0; i < 12; ++i)
+        f.advance();
+    EXPECT_EQ(f.validEntries(), 0u) << "pending writes were dropped";
+}
+
+TEST(FabricDeath, TwoProducersSameSlotPanic)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    const auto body = [] {
+        StreamFabric f;
+        f.write({1, Direction::East}, 10, mark(1));
+        f.write({1, Direction::East}, 10, mark(2));
+    };
+    ASSERT_DEATH(body(), "two producers");
+}
+
+TEST(Fabric, FullTraversalTiming)
+{
+    // A value written at the west edge reaches the east edge after
+    // exactly numPositions - 1 hops, then falls off.
+    StreamFabric f;
+    const StreamRef s{9, Direction::East};
+    f.write(s, 0, mark(6));
+    for (int i = 0; i < Layout::numPositions - 1; ++i)
+        f.advance();
+    ASSERT_NE(f.peek(s, Layout::numPositions - 1), nullptr);
+    f.advance();
+    EXPECT_EQ(f.validEntries(), 0u);
+}
+
+} // namespace
+} // namespace tsp

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * SXM functional semantics (paper III.E, Fig. 8): lane shifts with
+ * zero fill, the North/South select, 320-lane permutation, the
+ * per-superlane distributor with zero-fill, n x n rotations, and the
+ * 16x16 transposer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/config.hh"
+#include "mem/ecc.hh"
+#include "sxm/sxm_complex.hh"
+
+namespace tsp {
+namespace {
+
+class SxmTest : public ::testing::Test
+{
+  protected:
+    SxmTest() : sxm_(Hemisphere::West, cfg_, fabric_) {}
+
+    Vec320
+    ramp() const
+    {
+        Vec320 v;
+        for (int i = 0; i < kLanes; ++i) {
+            v.bytes[static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(i & 0xff);
+        }
+        return v;
+    }
+
+    void
+    put(StreamId id, const Vec320 &v)
+    {
+        Vec320 x = v;
+        eccComputeVec(x);
+        fabric_.write({id, Direction::West}, sxm_.pos(), x);
+    }
+
+    /** Runs @p inst and returns the vector on @p out after dFunc. */
+    Vec320
+    runOne(const Instruction &inst, SxmUnit unit, StreamId out)
+    {
+        sxm_.execute(inst, unit, fabric_.now());
+        const Cycle vis =
+            fabric_.now() + opTiming(inst.op).dFunc;
+        while (fabric_.now() < vis)
+            fabric_.advance();
+        const Vec320 *v =
+            fabric_.peek({out, inst.dst.dir}, sxm_.pos());
+        EXPECT_NE(v, nullptr);
+        return v ? *v : Vec320{};
+    }
+
+    ChipConfig cfg_;
+    StreamFabric fabric_;
+    SxmComplex sxm_;
+};
+
+TEST_F(SxmTest, ShiftUpMovesNorthWithZeroFill)
+{
+    put(0, ramp());
+    Instruction inst;
+    inst.op = Opcode::ShiftUp;
+    inst.srcA = {0, Direction::West};
+    inst.dst = {1, Direction::West};
+    inst.imm0 = 3;
+    const Vec320 out = runOne(inst, SxmUnit::ShiftNorth, 1);
+    EXPECT_EQ(out.bytes[0], 0);
+    EXPECT_EQ(out.bytes[2], 0);
+    EXPECT_EQ(out.bytes[3], 0); // Was lane 0's value (0).
+    EXPECT_EQ(out.bytes[10], 7);
+    EXPECT_EQ(out.bytes[319], static_cast<std::uint8_t>(316 & 0xff));
+}
+
+TEST_F(SxmTest, ShiftDownMovesSouthWithZeroFill)
+{
+    put(0, ramp());
+    Instruction inst;
+    inst.op = Opcode::ShiftDown;
+    inst.srcA = {0, Direction::West};
+    inst.dst = {1, Direction::West};
+    inst.imm0 = 5;
+    const Vec320 out = runOne(inst, SxmUnit::ShiftSouth, 1);
+    EXPECT_EQ(out.bytes[0], 5);
+    EXPECT_EQ(out.bytes[314], static_cast<std::uint8_t>(319 & 0xff));
+    EXPECT_EQ(out.bytes[315], 0);
+    EXPECT_EQ(out.bytes[319], 0);
+}
+
+TEST_F(SxmTest, SelectPerSuperlaneMask)
+{
+    Vec320 a, b;
+    a.bytes.fill(1);
+    b.bytes.fill(2);
+    put(0, a);
+    put(1, b);
+    Instruction inst;
+    inst.op = Opcode::SelectNS;
+    inst.srcA = {0, Direction::West};
+    inst.srcB = {1, Direction::West};
+    inst.dst = {2, Direction::West};
+    inst.imm0 = 0b101; // Superlanes 0 and 2 take b.
+    const Vec320 out = runOne(inst, SxmUnit::Select, 2);
+    EXPECT_EQ(out.bytes[0], 2);
+    EXPECT_EQ(out.bytes[16], 1);
+    EXPECT_EQ(out.bytes[32], 2);
+    EXPECT_EQ(out.bytes[48], 1);
+}
+
+TEST_F(SxmTest, PermuteAppliesBijection)
+{
+    put(0, ramp());
+    Instruction inst;
+    inst.op = Opcode::Permute;
+    inst.srcA = {0, Direction::West};
+    inst.dst = {1, Direction::West};
+    auto map = std::make_shared<std::vector<std::uint16_t>>();
+    for (int i = 0; i < kLanes; ++i)
+        map->push_back(static_cast<std::uint16_t>(kLanes - 1 - i));
+    inst.map = map;
+    const Vec320 out = runOne(inst, SxmUnit::Permute, 1);
+    for (int i = 0; i < kLanes; ++i) {
+        EXPECT_EQ(out.bytes[static_cast<std::size_t>(i)],
+                  static_cast<std::uint8_t>((kLanes - 1 - i) & 0xff));
+    }
+}
+
+TEST_F(SxmTest, DistributeRemapsWithinSuperlanes)
+{
+    put(0, ramp());
+    Instruction inst;
+    inst.op = Opcode::Distribute;
+    inst.srcA = {0, Direction::West};
+    inst.dst = {1, Direction::West};
+    auto map = std::make_shared<std::vector<std::uint16_t>>();
+    // Broadcast lane 3, except lane 15 which zero-fills.
+    for (int j = 0; j < 15; ++j)
+        map->push_back(3);
+    map->push_back(0xffff);
+    inst.map = map;
+    const Vec320 out = runOne(inst, SxmUnit::Distribute, 1);
+    for (int sl = 0; sl < kSuperlanes; ++sl) {
+        EXPECT_EQ(out.bytes[static_cast<std::size_t>(sl * 16)],
+                  static_cast<std::uint8_t>((sl * 16 + 3) & 0xff));
+        EXPECT_EQ(out.bytes[static_cast<std::size_t>(sl * 16 + 15)],
+                  0);
+    }
+}
+
+TEST_F(SxmTest, RotateProducesAllRotations)
+{
+    put(0, ramp());
+    Instruction inst;
+    inst.op = Opcode::Rotate;
+    inst.srcA = {0, Direction::West};
+    inst.dst = {4, Direction::West};
+    inst.imm0 = 3; // 3x3: 9 outputs, 9-lane blocks.
+    inst.groupSize = 9;
+    sxm_.execute(inst, SxmUnit::Rotate, fabric_.now());
+    const Cycle vis = fabric_.now() + opTiming(Opcode::Rotate).dFunc;
+    while (fabric_.now() < vis)
+        fabric_.advance();
+    for (int r = 0; r < 9; ++r) {
+        const Vec320 *v = fabric_.peek(
+            {static_cast<StreamId>(4 + r), Direction::West},
+            sxm_.pos());
+        ASSERT_NE(v, nullptr) << r;
+        // Block 2 (lanes 18..26), element j holds lane
+        // 18 + (j + r) % 9.
+        for (int j = 0; j < 9; ++j) {
+            EXPECT_EQ(v->bytes[static_cast<std::size_t>(18 + j)],
+                      static_cast<std::uint8_t>(18 + (j + r) % 9))
+                << r << "," << j;
+        }
+    }
+}
+
+TEST_F(SxmTest, TransposeSwapsStreamAndLane)
+{
+    // Stream j's superlane-s tile column j: in[j].lane(16s + k) ->
+    // out[k].lane(16s + j).
+    for (int j = 0; j < 16; ++j) {
+        Vec320 v;
+        for (int sl = 0; sl < kSuperlanes; ++sl) {
+            for (int k = 0; k < 16; ++k) {
+                v.bytes[static_cast<std::size_t>(sl * 16 + k)] =
+                    static_cast<std::uint8_t>(16 * j + k);
+            }
+        }
+        put(static_cast<StreamId>(j), v);
+    }
+    Instruction inst;
+    inst.op = Opcode::Transpose;
+    inst.srcA = {0, Direction::West};
+    inst.dst = {16, Direction::West};
+    inst.groupSize = 16;
+    sxm_.execute(inst, SxmUnit::Transpose0, fabric_.now());
+    const Cycle vis =
+        fabric_.now() + opTiming(Opcode::Transpose).dFunc;
+    while (fabric_.now() < vis)
+        fabric_.advance();
+    for (int k = 0; k < 16; ++k) {
+        const Vec320 *v = fabric_.peek(
+            {static_cast<StreamId>(16 + k), Direction::West},
+            sxm_.pos());
+        ASSERT_NE(v, nullptr);
+        for (int j = 0; j < 16; ++j) {
+            // out[k].lane(16*0 + j) == in[j].lane(16*0 + k).
+            EXPECT_EQ(v->bytes[static_cast<std::size_t>(j)],
+                      static_cast<std::uint8_t>(16 * j + k));
+        }
+    }
+}
+
+TEST_F(SxmTest, DoubleTransposeIsIdentity)
+{
+    Vec320 in[16];
+    for (int j = 0; j < 16; ++j) {
+        for (int i = 0; i < kLanes; ++i) {
+            in[j].bytes[static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>((j * 31 + i * 7) & 0xff);
+        }
+        put(static_cast<StreamId>(j), in[j]);
+    }
+    Instruction t1;
+    t1.op = Opcode::Transpose;
+    t1.srcA = {0, Direction::West};
+    t1.dst = {16, Direction::West};
+    t1.groupSize = 16;
+    sxm_.execute(t1, SxmUnit::Transpose0, fabric_.now());
+    const Cycle v1 = fabric_.now() + opTiming(Opcode::Transpose).dFunc;
+    while (fabric_.now() < v1)
+        fabric_.advance();
+    Instruction t2 = t1;
+    t2.srcA = {16, Direction::West};
+    t2.dst = {0, Direction::West};
+    sxm_.execute(t2, SxmUnit::Transpose1, fabric_.now());
+    const Cycle v2 = fabric_.now() + opTiming(Opcode::Transpose).dFunc;
+    while (fabric_.now() < v2)
+        fabric_.advance();
+    for (int j = 0; j < 16; ++j) {
+        const Vec320 *v = fabric_.peek(
+            {static_cast<StreamId>(j), Direction::West}, sxm_.pos());
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(v->bytes, in[j].bytes) << j;
+    }
+}
+
+TEST_F(SxmTest, WrongUnitPanics)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    const auto body = [] {
+        ChipConfig cfg;
+        StreamFabric fabric;
+        SxmComplex sxm(Hemisphere::East, cfg, fabric);
+        Instruction inst;
+        inst.op = Opcode::Permute;
+        sxm.execute(inst, SxmUnit::Rotate, 0);
+    };
+    ASSERT_DEATH(body(), "dispatched to unit");
+}
+
+} // namespace
+} // namespace tsp

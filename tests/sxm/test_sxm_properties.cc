@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Algebraic properties of the SXM units, swept over random seeds:
+ * permutations compose and invert like the symmetric group, opposite
+ * lane shifts cancel up to their zero-fill, and identity maps are
+ * identities. These pin down the semantics the compiler's layout
+ * passes rely on when they reshape tensors through the SXM.
+ */
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arch/config.hh"
+#include "common/rng.hh"
+#include "mem/ecc.hh"
+#include "sxm/sxm_complex.hh"
+
+namespace tsp {
+namespace {
+
+class SxmProperty : public ::testing::TestWithParam<int>
+{
+  protected:
+    SxmProperty() : sxm_(Hemisphere::East, cfg_, fabric_) {}
+
+    Vec320
+    randomVec(Rng &rng) const
+    {
+        Vec320 v;
+        for (auto &b : v.bytes)
+            b = static_cast<std::uint8_t>(rng.intIn(0, 255));
+        return v;
+    }
+
+    static std::shared_ptr<std::vector<std::uint16_t>>
+    randomPermutation(Rng &rng, int n)
+    {
+        auto p = std::make_shared<std::vector<std::uint16_t>>(
+            static_cast<std::size_t>(n));
+        std::iota(p->begin(), p->end(), std::uint16_t{0});
+        for (int i = n - 1; i > 0; --i) {
+            std::swap((*p)[static_cast<std::size_t>(i)],
+                      (*p)[static_cast<std::size_t>(
+                          rng.intIn(0, i))]);
+        }
+        return p;
+    }
+
+    void
+    put(StreamId id, const Vec320 &v)
+    {
+        Vec320 x = v;
+        eccComputeVec(x);
+        fabric_.write({id, Direction::East}, sxm_.pos(), x);
+    }
+
+    Vec320
+    runOne(const Instruction &inst, SxmUnit unit)
+    {
+        sxm_.execute(inst, unit, fabric_.now());
+        const Cycle vis = fabric_.now() + opTiming(inst.op).dFunc;
+        while (fabric_.now() < vis)
+            fabric_.advance();
+        const Vec320 *v = fabric_.peek(inst.dst, sxm_.pos());
+        EXPECT_NE(v, nullptr);
+        return v ? *v : Vec320{};
+    }
+
+    Instruction
+    permuteInst(StreamId src, StreamId dst,
+                std::shared_ptr<std::vector<std::uint16_t>> map) const
+    {
+        Instruction inst;
+        inst.op = Opcode::Permute;
+        inst.srcA = {src, Direction::East};
+        inst.dst = {dst, Direction::East};
+        inst.map = std::move(map);
+        return inst;
+    }
+
+    ChipConfig cfg_;
+    StreamFabric fabric_;
+    SxmComplex sxm_;
+};
+
+TEST_P(SxmProperty, PermuteThenInverseIsIdentity)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const Vec320 in = randomVec(rng);
+    const auto sigma = randomPermutation(rng, kLanes);
+    // out[i] = in[sigma[i]], so the inverse map satisfies
+    // inv[sigma[i]] = i.
+    auto inv = std::make_shared<std::vector<std::uint16_t>>(
+        static_cast<std::size_t>(kLanes));
+    for (int i = 0; i < kLanes; ++i) {
+        (*inv)[(*sigma)[static_cast<std::size_t>(i)]] =
+            static_cast<std::uint16_t>(i);
+    }
+
+    put(0, in);
+    // The permuted vector is already flowing on stream 1 at the SXM
+    // when runOne returns, so the second op chains directly off it.
+    runOne(permuteInst(0, 1, sigma), SxmUnit::Permute);
+    const Vec320 out = runOne(permuteInst(1, 2, inv),
+                              SxmUnit::Permute);
+    EXPECT_EQ(out.bytes, in.bytes);
+}
+
+TEST_P(SxmProperty, PermutationsComposeAsFunctions)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+    const Vec320 in = randomVec(rng);
+    const auto sigma = randomPermutation(rng, kLanes);
+    const auto tau = randomPermutation(rng, kLanes);
+    // Applying sigma then tau reads lane tau[i] of the intermediate,
+    // i.e. lane sigma[tau[i]] of the input.
+    auto comp = std::make_shared<std::vector<std::uint16_t>>(
+        static_cast<std::size_t>(kLanes));
+    for (int i = 0; i < kLanes; ++i) {
+        (*comp)[static_cast<std::size_t>(i)] =
+            (*sigma)[(*tau)[static_cast<std::size_t>(i)]];
+    }
+
+    put(0, in);
+    runOne(permuteInst(0, 1, sigma), SxmUnit::Permute);
+    const Vec320 two_step = runOne(permuteInst(1, 2, tau),
+                                   SxmUnit::Permute);
+    put(3, in);
+    const Vec320 one_step = runOne(permuteInst(3, 4, comp),
+                                   SxmUnit::Permute);
+    EXPECT_EQ(two_step.bytes, one_step.bytes);
+}
+
+TEST_P(SxmProperty, IdentityPermuteAndDistributeAreIdentities)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 200);
+    const Vec320 in = randomVec(rng);
+
+    auto ident = std::make_shared<std::vector<std::uint16_t>>(
+        static_cast<std::size_t>(kLanes));
+    std::iota(ident->begin(), ident->end(), std::uint16_t{0});
+    put(0, in);
+    EXPECT_EQ(runOne(permuteInst(0, 1, ident), SxmUnit::Permute).bytes,
+              in.bytes);
+
+    Instruction dist;
+    dist.op = Opcode::Distribute;
+    dist.srcA = {0, Direction::East};
+    dist.dst = {2, Direction::East};
+    auto within = std::make_shared<std::vector<std::uint16_t>>(
+        static_cast<std::size_t>(kLanesPerSuperlane));
+    std::iota(within->begin(), within->end(), std::uint16_t{0});
+    dist.map = within;
+    put(0, in);
+    EXPECT_EQ(runOne(dist, SxmUnit::Distribute).bytes, in.bytes);
+}
+
+TEST_P(SxmProperty, OppositeShiftsCancelUpToZeroFill)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 300);
+    const Vec320 in = randomVec(rng);
+    const int k = GetParam(); // Shift distance = the seed, 1..8.
+
+    Instruction up;
+    up.op = Opcode::ShiftUp;
+    up.srcA = {0, Direction::East};
+    up.dst = {1, Direction::East};
+    up.imm0 = static_cast<std::uint32_t>(k);
+    put(0, in);
+    runOne(up, SxmUnit::ShiftNorth);
+
+    Instruction down;
+    down.op = Opcode::ShiftDown;
+    down.srcA = {1, Direction::East};
+    down.dst = {2, Direction::East};
+    down.imm0 = static_cast<std::uint32_t>(k);
+    const Vec320 out = runOne(down, SxmUnit::ShiftSouth);
+
+    for (int i = 0; i < kLanes; ++i) {
+        const std::uint8_t want =
+            i < kLanes - k ? in.bytes[static_cast<std::size_t>(i)]
+                           : 0;
+        EXPECT_EQ(out.bytes[static_cast<std::size_t>(i)], want)
+            << "lane " << i << " shift " << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SxmProperty, ::testing::Range(1, 9));
+
+} // namespace
+} // namespace tsp

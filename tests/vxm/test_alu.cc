@@ -1,0 +1,234 @@
+/**
+ * @file
+ * VXM ALU semantics: saturating vs modulo arithmetic (the paper's
+ * stateless exception handling, III.C), activation functions, the
+ * rounding shift, and conversions — element-level and through the
+ * full VxmUnit stream path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/config.hh"
+#include "mem/ecc.hh"
+#include "stream/fabric.hh"
+#include "vxm/alu_ops.hh"
+#include "vxm/vxm_unit.hh"
+
+namespace tsp {
+namespace {
+
+LaneValue
+iv(std::int64_t x)
+{
+    LaneValue v;
+    v.i = x;
+    return v;
+}
+
+LaneValue
+fv(float x)
+{
+    LaneValue v;
+    v.f = x;
+    return v;
+}
+
+TEST(AluOps, SaturatingVsModulo)
+{
+    // int8: 100 + 100 wraps to -56, saturates to 127.
+    EXPECT_EQ(aluBinary(Opcode::Add, DType::Int8, iv(100), iv(100)).i,
+              -56);
+    EXPECT_EQ(
+        aluBinary(Opcode::AddSat, DType::Int8, iv(100), iv(100)).i,
+        127);
+    EXPECT_EQ(
+        aluBinary(Opcode::SubSat, DType::Int8, iv(-100), iv(100)).i,
+        -128);
+    EXPECT_EQ(
+        aluBinary(Opcode::MulSat, DType::Int8, iv(50), iv(50)).i,
+        127);
+    EXPECT_EQ(aluBinary(Opcode::Mul, DType::Int8, iv(50), iv(50)).i,
+              static_cast<std::int8_t>(2500));
+    // int32 saturation.
+    EXPECT_EQ(aluBinary(Opcode::AddSat, DType::Int32,
+                        iv(2'000'000'000), iv(2'000'000'000))
+                  .i,
+              2'147'483'647);
+}
+
+TEST(AluOps, MinMaxNegAbsMaskRelu)
+{
+    EXPECT_EQ(aluBinary(Opcode::Max, DType::Int8, iv(-3), iv(9)).i, 9);
+    EXPECT_EQ(aluBinary(Opcode::Min, DType::Int8, iv(-3), iv(9)).i,
+              -3);
+    EXPECT_EQ(aluUnary(Opcode::Neg, DType::Int8, iv(7), 0).i, -7);
+    EXPECT_EQ(aluUnary(Opcode::Abs, DType::Int8, iv(-7), 0).i, 7);
+    EXPECT_EQ(aluUnary(Opcode::Abs, DType::Int8, iv(-128), 0).i,
+              127); // |INT8_MIN| saturates.
+    EXPECT_EQ(aluBinary(Opcode::Mask, DType::Int8, iv(5), iv(0)).i, 0);
+    EXPECT_EQ(aluBinary(Opcode::Mask, DType::Int8, iv(5), iv(1)).i, 5);
+    EXPECT_EQ(aluUnary(Opcode::Relu, DType::Int8, iv(-4), 0).i, 0);
+    EXPECT_EQ(aluUnary(Opcode::Relu, DType::Int8, iv(4), 0).i, 4);
+}
+
+TEST(AluOps, FloatActivations)
+{
+    EXPECT_FLOAT_EQ(aluUnary(Opcode::Tanh, DType::Fp32, fv(0.5f), 0).f,
+                    std::tanh(0.5f));
+    EXPECT_FLOAT_EQ(aluUnary(Opcode::Exp, DType::Fp32, fv(1.0f), 0).f,
+                    std::exp(1.0f));
+    EXPECT_FLOAT_EQ(
+        aluUnary(Opcode::Rsqrt, DType::Fp32, fv(4.0f), 0).f, 0.5f);
+}
+
+TEST(AluOps, RoundingShift)
+{
+    // Round-half-away-from-zero arithmetic shift.
+    EXPECT_EQ(aluUnary(Opcode::Shift, DType::Int32, iv(5), 1).i, 3);
+    EXPECT_EQ(aluUnary(Opcode::Shift, DType::Int32, iv(4), 1).i, 2);
+    EXPECT_EQ(aluUnary(Opcode::Shift, DType::Int32, iv(-5), 1).i,
+              -3); // -2.5 rounds away from zero.
+    EXPECT_EQ(aluUnary(Opcode::Shift, DType::Int32, iv(100), 4).i, 6);
+    EXPECT_EQ(aluUnary(Opcode::Shift, DType::Int32, iv(7), 0).i, 7);
+}
+
+TEST(AluOps, ConvertSaturatesAndRounds)
+{
+    // fp32 -> int8: round-to-nearest-even then saturate.
+    EXPECT_EQ(aluConvert(DType::Fp32, DType::Int8, fv(2.5f)).i, 2);
+    EXPECT_EQ(aluConvert(DType::Fp32, DType::Int8, fv(3.5f)).i, 4);
+    EXPECT_EQ(aluConvert(DType::Fp32, DType::Int8, fv(-2.5f)).i, -2);
+    EXPECT_EQ(aluConvert(DType::Fp32, DType::Int8, fv(300.0f)).i,
+              127);
+    EXPECT_EQ(aluConvert(DType::Fp32, DType::Int8, fv(-300.0f)).i,
+              -128);
+    // int32 -> fp32 widens exactly for small values.
+    EXPECT_FLOAT_EQ(
+        aluConvert(DType::Int32, DType::Fp32, iv(12345)).f, 12345.0f);
+    // int32 -> int8 narrows with saturation.
+    EXPECT_EQ(aluConvert(DType::Int32, DType::Int8, iv(1000)).i, 127);
+    // fp32 -> fp16 snaps to the fp16 grid.
+    const float v = 1.0009765625f; // 1 + 2^-10: exactly fp16.
+    EXPECT_EQ(aluConvert(DType::Fp32, DType::Fp16, fv(v)).f, v);
+}
+
+TEST(AluOps, LaneLoadStoreRoundTrip)
+{
+    std::uint8_t bytes[4];
+    for (const std::int64_t x : {-128ll, -1ll, 0ll, 127ll}) {
+        laneStore(bytes, DType::Int8, iv(x));
+        EXPECT_EQ(laneLoad(bytes, DType::Int8).i, x);
+    }
+    for (const std::int64_t x : {-2'000'000'000ll, 70'000ll}) {
+        laneStore(bytes, DType::Int32, iv(x));
+        EXPECT_EQ(laneLoad(bytes, DType::Int32).i, x);
+    }
+    laneStore(bytes, DType::Fp32, fv(3.25f));
+    EXPECT_FLOAT_EQ(laneLoad(bytes, DType::Fp32).f, 3.25f);
+    laneStore(bytes, DType::Fp16, fv(1.5f));
+    EXPECT_FLOAT_EQ(laneLoad(bytes, DType::Fp16).f, 1.5f);
+}
+
+/** Full-unit test: an int32 add over stream groups. */
+TEST(VxmUnit, StreamGroupAdd)
+{
+    ChipConfig cfg;
+    StreamFabric fabric;
+    VxmUnit vxm(cfg, fabric);
+
+    // Build two int32 operand groups visible at the VXM now.
+    Vec320 a[4], b[4];
+    for (int lane = 0; lane < kLanes; ++lane) {
+        const std::int32_t av = lane * 1000 - 7;
+        const std::int32_t bv = 5 - lane;
+        for (int k = 0; k < 4; ++k) {
+            a[k].bytes[static_cast<std::size_t>(lane)] =
+                static_cast<std::uint8_t>(
+                    (static_cast<std::uint32_t>(av) >> (8 * k)) &
+                    0xff);
+            b[k].bytes[static_cast<std::size_t>(lane)] =
+                static_cast<std::uint8_t>(
+                    (static_cast<std::uint32_t>(bv) >> (8 * k)) &
+                    0xff);
+        }
+    }
+    for (int k = 0; k < 4; ++k) {
+        eccComputeVec(a[k]);
+        eccComputeVec(b[k]);
+        fabric.write({static_cast<StreamId>(0 + k), Direction::East},
+                     Layout::vxm, a[k]);
+        fabric.write({static_cast<StreamId>(4 + k), Direction::East},
+                     Layout::vxm, b[k]);
+    }
+
+    Instruction inst;
+    inst.op = Opcode::AddSat;
+    inst.dtype = DType::Int32;
+    inst.srcA = {0, Direction::East};
+    inst.srcB = {4, Direction::East};
+    inst.dst = {8, Direction::West};
+    vxm.execute(inst, /*alu=*/0, fabric.now());
+
+    fabric.advance(); // Result visible at now + 1.
+    Vec320 out[4];
+    for (int k = 0; k < 4; ++k) {
+        const Vec320 *p = fabric.peek(
+            {static_cast<StreamId>(8 + k), Direction::West},
+            Layout::vxm);
+        ASSERT_NE(p, nullptr) << k;
+        out[k] = *p;
+    }
+    for (int lane = 0; lane < kLanes; ++lane) {
+        std::uint32_t u = 0;
+        for (int k = 0; k < 4; ++k) {
+            u |= static_cast<std::uint32_t>(
+                     out[k].bytes[static_cast<std::size_t>(lane)])
+                 << (8 * k);
+        }
+        EXPECT_EQ(static_cast<std::int32_t>(u),
+                  (lane * 1000 - 7) + (5 - lane))
+            << lane;
+    }
+    EXPECT_EQ(vxm.laneOps(), static_cast<std::uint64_t>(kLanes));
+}
+
+TEST(VxmUnitDeath, MisalignedGroupPanics)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    const auto body = [] {
+        ChipConfig cfg;
+        cfg.strictStreams = false;
+        StreamFabric fabric;
+        VxmUnit vxm(cfg, fabric);
+        Instruction inst;
+        inst.op = Opcode::Add;
+        inst.dtype = DType::Int32;
+        inst.srcA = {1, Direction::East}; // Not 4-aligned.
+        inst.srcB = {4, Direction::East};
+        inst.dst = {8, Direction::East};
+        vxm.execute(inst, 0, 0);
+    };
+    ASSERT_DEATH(body(), "aligned");
+}
+
+TEST(VxmUnitDeath, MissingOperandPanicsInStrictMode)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    const auto body = [] {
+        ChipConfig cfg; // strictStreams defaults true.
+        StreamFabric fabric;
+        VxmUnit vxm(cfg, fabric);
+        Instruction inst;
+        inst.op = Opcode::Relu;
+        inst.dtype = DType::Int8;
+        inst.srcA = {0, Direction::East};
+        inst.dst = {1, Direction::East};
+        vxm.execute(inst, 0, 0);
+    };
+    ASSERT_DEATH(body(), "no value flowing");
+}
+
+} // namespace
+} // namespace tsp

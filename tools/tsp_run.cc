@@ -1,0 +1,247 @@
+/**
+ * @file
+ * tsp-run: assemble and execute a Table I assembly listing on the
+ * simulated chip.
+ *
+ *   tsp-run PROGRAM.tsp [options]
+ *     --mem HEM:SLICE:ADDR=BYTE[,BYTE...]   preload a word (repeats)
+ *     --dump HEM:SLICE:ADDR                 print a word after the run
+ *     --max-cycles N                        abort limit (default 10M)
+ *     --trace                               print the dispatch trace
+ *     --trace-json FILE                     write a chrome://tracing file
+ *     --stats                               print chip statistics
+ *     --power                               print average power
+ *
+ * Example:
+ *   cat > add.tsp <<'EOF'
+ *   @MEM_W0:
+ *       nop 10
+ *       read 0x5, s16.e
+ *   @MEM_W1:
+ *       nop 9
+ *       read 0x6, s17.e
+ *   @VXM0:
+ *       nop 13
+ *       add.sat s16.e, s17.e, s29.w
+ *   @MEM_W2:
+ *       nop 17
+ *       write 0x7, s29.w
+ *   EOF
+ *   tsp-run add.tsp --mem W:0:0x5=30 --mem W:1:0x6=40 \
+ *           --dump W:2:0x7 --stats
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strutil.hh"
+#include "isa/assembler.hh"
+#include "mem/ecc.hh"
+#include "sim/chip.hh"
+#include "sim/trace_export.hh"
+
+namespace {
+
+using namespace tsp;
+
+struct MemSpec
+{
+    Hemisphere hem;
+    int slice;
+    MemAddr addr;
+    std::vector<std::uint8_t> bytes; // Empty for --dump.
+};
+
+bool
+parseLocation(const std::string &text, MemSpec &out)
+{
+    // "W:12:0x40" or "E:3:16".
+    const auto parts = split(text, ':');
+    if (parts.size() != 3)
+        return false;
+    if (iequals(parts[0], "w")) {
+        out.hem = Hemisphere::West;
+    } else if (iequals(parts[0], "e")) {
+        out.hem = Hemisphere::East;
+    } else {
+        return false;
+    }
+    long slice = 0, addr = 0;
+    if (!parseInt(parts[1], slice) || slice < 0 ||
+        slice >= kMemSlicesPerHem) {
+        return false;
+    }
+    if (!parseInt(parts[2], addr) || addr < 0 ||
+        addr >= kMemWordsPerSlice) {
+        return false;
+    }
+    out.slice = static_cast<int>(slice);
+    out.addr = static_cast<MemAddr>(addr);
+    return true;
+}
+
+bool
+parseMemArg(const std::string &text, MemSpec &out)
+{
+    const auto eq = text.find('=');
+    if (eq == std::string::npos)
+        return false;
+    if (!parseLocation(text.substr(0, eq), out))
+        return false;
+    for (const auto &b : split(text.substr(eq + 1), ',')) {
+        long v = 0;
+        if (!parseInt(b, v) || v < -128 || v > 255)
+            return false;
+        out.bytes.push_back(static_cast<std::uint8_t>(v & 0xff));
+    }
+    return !out.bytes.empty();
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: tsp-run PROGRAM.tsp [--mem H:S:A=b,b,...] "
+                 "[--dump H:S:A] [--max-cycles N] [--trace] "
+                 "[--stats] [--power]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+
+    std::vector<MemSpec> preloads, dumps;
+    Cycle max_cycles = 10'000'000;
+    bool want_trace = false, want_stats = false, want_power = false;
+    const char *trace_json = nullptr;
+    const char *path = nullptr;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--mem") {
+            MemSpec m;
+            if (!parseMemArg(next(), m)) {
+                std::fprintf(stderr, "bad --mem argument\n");
+                return 2;
+            }
+            preloads.push_back(std::move(m));
+        } else if (arg == "--dump") {
+            MemSpec m;
+            if (!parseLocation(next(), m)) {
+                std::fprintf(stderr, "bad --dump argument\n");
+                return 2;
+            }
+            dumps.push_back(std::move(m));
+        } else if (arg == "--max-cycles") {
+            long v = 0;
+            if (!parseInt(next(), v) || v <= 0) {
+                std::fprintf(stderr, "bad --max-cycles\n");
+                return 2;
+            }
+            max_cycles = static_cast<Cycle>(v);
+        } else if (arg == "--trace") {
+            want_trace = true;
+        } else if (arg == "--trace-json") {
+            trace_json = next();
+        } else if (arg == "--stats") {
+            want_stats = true;
+        } else if (arg == "--power") {
+            want_power = true;
+        } else if (!path) {
+            path = argv[i];
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (!path) {
+        usage();
+        return 2;
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    const AsmResult result = assemble(text.str());
+    if (!result.ok) {
+        std::fprintf(stderr, "%s:%d: %s\n", path, result.errorLine,
+                     result.error.c_str());
+        return 1;
+    }
+
+    ChipConfig cfg;
+    cfg.traceEnabled = want_trace || trace_json;
+    Chip chip(cfg);
+    for (const MemSpec &m : preloads) {
+        Vec320 v;
+        for (std::size_t b = 0;
+             b < m.bytes.size() && b < static_cast<std::size_t>(kLanes);
+             ++b) {
+            v.bytes[b] = m.bytes[b];
+        }
+        // Single-byte preloads broadcast across all lanes.
+        if (m.bytes.size() == 1)
+            v.bytes.fill(m.bytes[0]);
+        chip.mem(m.hem, m.slice).backdoorWrite(m.addr, v);
+    }
+
+    chip.loadProgram(result.program);
+    const Cycle cycles = chip.run(max_cycles);
+
+    std::printf("retired in %llu cycles (%.3f us at 1 GHz)\n",
+                static_cast<unsigned long long>(cycles),
+                static_cast<double>(cycles) * 1e-3);
+
+    if (want_trace) {
+        for (const TraceEvent &e : chip.trace()) {
+            std::printf("%8llu  %-12s %s\n",
+                        static_cast<unsigned long long>(e.cycle),
+                        e.icu.name().c_str(),
+                        e.inst.toString().c_str());
+        }
+    }
+    if (trace_json) {
+        if (!writeChromeTrace(chip, trace_json)) {
+            std::fprintf(stderr, "cannot write %s\n", trace_json);
+            return 1;
+        }
+        std::printf("wrote %s (open in chrome://tracing)\n",
+                    trace_json);
+    }
+    if (want_stats)
+        std::fputs(chip.stats().toString().c_str(), stdout);
+    if (want_power) {
+        std::printf("average power: %.1f W\n",
+                    chip.power().averagePowerW());
+    }
+    for (const MemSpec &m : dumps) {
+        const Vec320 v = chip.mem(m.hem, m.slice).backdoorRead(m.addr);
+        std::printf("%c%d:0x%04x:", m.hem == Hemisphere::East ? 'E'
+                                                              : 'W',
+                    m.slice, m.addr);
+        for (int b = 0; b < 16; ++b)
+            std::printf(" %02x", v.bytes[static_cast<std::size_t>(b)]);
+        std::printf(" ...\n");
+    }
+    return 0;
+}
