@@ -119,6 +119,22 @@ main()
                 "this simulator (1 GHz)", ips(r50),
                 static_cast<double>(r50) * 1e-3, "1.00x");
 
+    bench::writeJson(
+        "BENCH_resnet.json",
+        {{"resnet50_cycles", static_cast<double>(r50)},
+         {"resnet50_ips", ips(r50)},
+         {"resnet50_latency_us", static_cast<double>(r50) * 1e-3},
+         {"resnet101_cycles_projected", static_cast<double>(r101)},
+         {"resnet101_ips", ips(r101)},
+         {"resnet152_cycles_projected", static_cast<double>(r152)},
+         {"resnet152_ips", ips(r152)},
+         {"projection_error_pct",
+          100.0 *
+              (static_cast<double>(v_proj) -
+               static_cast<double>(v_sim)) /
+              static_cast<double>(v_sim)},
+         {"deterministic", again == r50 ? 1.0 : 0.0}});
+
     const double rel101 = ips(r101) / ips(r50);
     const double rel152 = ips(r152) / ips(r50);
     std::printf("\ndepth scaling (relative IPS): ours %.2f / %.2f, "

@@ -1,0 +1,167 @@
+#include "common/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace tsp {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+        const unsigned char u = static_cast<unsigned char>(ch);
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (u < 0x20)
+                out += strformat("\\u%04x", u);
+            else
+                out += ch;
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return;
+    }
+    TSP_ASSERT(stack_.empty() || stack_.back() == '[');
+    if (!first_)
+        out_ += ',';
+    first_ = false;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ += '{';
+    stack_.push_back('{');
+    first_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    TSP_ASSERT(!stack_.empty() && stack_.back() == '{' && !afterKey_);
+    stack_.pop_back();
+    out_ += '}';
+    first_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ += '[';
+    stack_.push_back('[');
+    first_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    TSP_ASSERT(!stack_.empty() && stack_.back() == '[' && !afterKey_);
+    stack_.pop_back();
+    out_ += ']';
+    first_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    TSP_ASSERT(!stack_.empty() && stack_.back() == '{' && !afterKey_);
+    if (!first_)
+        out_ += ',';
+    first_ = false;
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += "\":";
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (!std::isfinite(v)) {
+        // JSON has no Infinity/NaN; null is the conventional stand-in.
+        out_ += "null";
+        return *this;
+    }
+    // %.17g round-trips every double.
+    out_ += strformat("%.17g", v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    out_ += strformat("%llu", static_cast<unsigned long long>(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    out_ += strformat("%lld", static_cast<long long>(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    beforeValue();
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    TSP_ASSERT(stack_.empty() && !afterKey_);
+    return out_;
+}
+
+bool
+writeJsonFile(const std::string &path, const std::string &json)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << json << '\n';
+    return static_cast<bool>(out.flush());
+}
+
+} // namespace tsp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal JSON emission for machine-readable results: the serving
+ * layer's metrics dump and the benches' BENCH_*.json artifacts. Emit
+ * only — the repository never parses JSON, so there is no reader.
+ */
+
+#ifndef TSP_COMMON_JSON_HH
+#define TSP_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsp {
+
+/**
+ * A streaming JSON writer with an explicit container stack.
+ *
+ * Usage:
+ *   JsonWriter j;
+ *   j.beginObject().key("served").value(std::uint64_t{12})
+ *    .key("latency").beginObject()
+ *        .key("p50_us").value(1.06).endObject()
+ *    .endObject();
+ *   write j.str() somewhere.
+ *
+ * str() panics unless every container has been closed, so malformed
+ * output cannot escape silently.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emits an object key; the next call must emit its value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(bool v);
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v) { return value(std::string(v)); }
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    kv(const std::string &name, const T &v)
+    {
+        return key(name).value(v);
+    }
+
+    /** @return the finished document; panics if containers are open. */
+    const std::string &str() const;
+
+  private:
+    void beforeValue();
+
+    std::string out_;
+    std::vector<char> stack_; ///< '{' or '[' per open container.
+    bool first_ = true;       ///< No element yet in current container.
+    bool afterKey_ = false;   ///< A key was emitted, value pending.
+};
+
+/** Escapes a string for embedding in JSON (adds no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Writes @p json to @p path (truncating), with a trailing newline.
+ * @return false on I/O failure.
+ */
+bool writeJsonFile(const std::string &path, const std::string &json);
+
+} // namespace tsp
+
+#endif // TSP_COMMON_JSON_HH

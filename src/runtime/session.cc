@@ -5,11 +5,11 @@
 namespace tsp {
 
 InferenceSession::InferenceSession(Lowering &lw, ChipConfig cfg)
-    : chip_(std::make_unique<Chip>(std::move(cfg)))
+    : lw_(&lw), cfg_(cfg),
+      prog_(lw.program().toAsm(/*with_preamble=*/true)),
+      chip_(std::make_unique<Chip>(cfg))
 {
-    const AsmProgram prog =
-        lw.program().toAsm(/*with_preamble=*/true);
-    chip_->loadProgram(prog);
+    chip_->loadProgram(prog_);
     lw.image().applyTo(*chip_);
     dmaSeconds_ =
         static_cast<double>(lw.image().totalBytes()) / kPcieGen4Bps;
@@ -18,8 +18,41 @@ InferenceSession::InferenceSession(Lowering &lw, ChipConfig cfg)
 Cycle
 InferenceSession::run(Cycle max_cycles)
 {
-    cycles_ = chip_->run(max_cycles);
-    return cycles_;
+    const RunResult r = runBounded(max_cycles);
+    if (!r.completed) {
+        fatal("InferenceSession::run: cycle limit %llu reached — "
+              "program never completes",
+              static_cast<unsigned long long>(max_cycles));
+    }
+    return r.cycles;
+}
+
+RunResult
+InferenceSession::runBounded(Cycle max_cycles)
+{
+    // The chip clock is cumulative across reset() cycles, so the
+    // budget is applied relative to the current time.
+    const Cycle base = chip_->now();
+    RunResult r;
+    r.completed = chip_->runBounded(base + max_cycles);
+    timedOut_ = !r.completed;
+    r.cycles = chip_->now() - base;
+    cycles_ = r.cycles;
+    return r;
+}
+
+void
+InferenceSession::reset()
+{
+    if (timedOut_) {
+        // A half-executed program leaves queues, barriers and MXM
+        // sequencers in an arbitrary state; only a fresh chip is
+        // trustworthy.
+        chip_ = std::make_unique<Chip>(cfg_);
+        timedOut_ = false;
+    }
+    chip_->loadProgram(prog_);
+    lw_->image().applyTo(*chip_);
 }
 
 double
@@ -27,6 +60,46 @@ InferenceSession::latencySeconds() const
 {
     return static_cast<double>(cycles_) *
            chip_->config().cyclePeriodSec();
+}
+
+void
+InferenceSession::writeTensor(const LoweredTensor &t,
+                              const std::vector<std::int8_t> &data)
+{
+    const ActTensor &at = t.t;
+    TSP_ASSERT(static_cast<std::size_t>(at.height) * at.width *
+                   at.channels ==
+               data.size());
+    // Same traversal as Lowering::inputTensor's DMA manifest: every
+    // stored row of both engine parts, including the halo rows each
+    // side duplicates past the split boundary.
+    Vec320 v;
+    for (int e = 0; e < 2; ++e) {
+        const int y_lo = e == 0 ? 0 : at.storedLoY();
+        const int y_hi = e == 0 ? at.storedHiY() : at.height;
+        for (int y = y_lo; y < y_hi; ++y) {
+            for (int x = 0; x < at.width; ++x) {
+                for (int kg = 0; kg < at.kgCount; ++kg) {
+                    v.bytes.fill(0);
+                    const int c_lo = kg * kMxmDim;
+                    const int c_hi =
+                        std::min(at.channels, c_lo + kMxmDim);
+                    for (int c = c_lo; c < c_hi; ++c) {
+                        v.bytes[static_cast<std::size_t>(c - c_lo)] =
+                            static_cast<std::uint8_t>(
+                                data[(static_cast<std::size_t>(y) *
+                                          at.width +
+                                      x) *
+                                         at.channels +
+                                     c]);
+                    }
+                    const GlobalAddr a = at.addrOf(e, y, x, kg);
+                    chip_->mem(a.hem, a.slice)
+                        .backdoorWrite(a.addr, v);
+                }
+            }
+        }
+    }
 }
 
 ref::QTensor

@@ -4,6 +4,14 @@
  * manifest, loads the scheduled program (with its barrier preamble),
  * runs it to completion, and reads result tensors back — the host
  * interface duties of the paper's C2C/PCIe module (II item 6).
+ *
+ * Sessions are *reusable*: reset() reloads the program and re-applies
+ * the DMA image so the same chip serves inference after inference, and
+ * writeTensor() substitutes a fresh input between runs. Because the
+ * schedule is static, every run of the same compiled model consumes
+ * exactly the same number of cycles regardless of input values — the
+ * property the serving layer's admission control (src/serve) is built
+ * on.
  */
 
 #ifndef TSP_RUNTIME_SESSION_HH
@@ -20,18 +28,62 @@ namespace tsp {
 /** Usable PCIe Gen4 x16 bandwidth for the DMA-time model (bytes/s). */
 inline constexpr double kPcieGen4Bps = 32.0e9;
 
+/** Outcome of one bounded run. */
+struct RunResult
+{
+    /** True when the program retired within the cycle budget. */
+    bool completed = false;
+
+    /** Cycles consumed by this run (meaningless when !completed). */
+    Cycle cycles = 0;
+};
+
 /** One compiled model bound to one chip. */
 class InferenceSession
 {
   public:
     /**
      * Builds the chip, applies @p lw's DMA image and loads its
-     * program. The Lowering must be fully built (all layers added).
+     * program. The Lowering must be fully built (all layers added)
+     * and must outlive the session (reset() re-reads its image).
      */
     explicit InferenceSession(Lowering &lw, ChipConfig cfg = {});
 
-    /** Runs to completion; @return total cycles. */
+    /**
+     * Runs to completion; @return cycles consumed by this run.
+     * Calls fatal() if @p max_cycles elapse first — use runBounded()
+     * to observe exhaustion as a status instead.
+     */
     Cycle run(Cycle max_cycles = 500'000'000);
+
+    /**
+     * Runs for at most @p max_cycles (relative to the current chip
+     * clock) and reports exhaustion explicitly instead of exiting.
+     * After a timed-out run the chip is mid-program; the next
+     * reset() rebuilds it from scratch.
+     */
+    RunResult runBounded(Cycle max_cycles = 500'000'000);
+
+    /** @return true when the last run hit its cycle budget. */
+    bool timedOut() const { return timedOut_; }
+
+    /**
+     * Rearms the session for another inference: reloads the program
+     * and re-applies the DMA image (restoring weights, constants and
+     * the compile-time input). After a timed-out run the chip is
+     * rebuilt wholesale, since a half-executed program leaves queues
+     * and sequencers in an unknown state.
+     */
+    void reset();
+
+    /**
+     * Overwrites an activation tensor (typically the model input)
+     * with dense [h x w x c] int8 data — every stored row of both
+     * hemisphere parts, halos included, mirroring the compile-time
+     * DMA layout. Models the per-request host input transfer.
+     */
+    void writeTensor(const LoweredTensor &t,
+                     const std::vector<std::int8_t> &data);
 
     /** Reads a lowered tensor back into a dense reference tensor. */
     ref::QTensor readTensor(const LoweredTensor &t) const;
@@ -50,8 +102,12 @@ class InferenceSession
     double dmaSeconds() const { return dmaSeconds_; }
 
   private:
+    Lowering *lw_;
+    ChipConfig cfg_;
+    AsmProgram prog_; ///< Cached assembly (with barrier preamble).
     std::unique_ptr<Chip> chip_;
     Cycle cycles_ = 0;
+    bool timedOut_ = false;
     double dmaSeconds_ = 0.0;
 };
 

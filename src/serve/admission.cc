@@ -1,0 +1,75 @@
+#include "serve/admission.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tsp::serve {
+
+AdmissionController::AdmissionController(int workers,
+                                         Cycle service_cycles,
+                                         double cycle_period_sec)
+    : serviceCycles_(service_cycles),
+      serviceSec_(static_cast<double>(service_cycles) *
+                  cycle_period_sec)
+{
+    TSP_ASSERT(workers >= 1);
+    TSP_ASSERT(service_cycles > 0);
+    TSP_ASSERT(cycle_period_sec > 0.0);
+    freeAt_.assign(static_cast<std::size_t>(workers), 0.0);
+}
+
+int
+AdmissionController::earliestWorkerLocked() const
+{
+    return static_cast<int>(
+        std::min_element(freeAt_.begin(), freeAt_.end()) -
+        freeAt_.begin());
+}
+
+Admission
+AdmissionController::admit(double arrival_sec, double deadline_sec)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Admission a;
+    a.worker = earliestWorkerLocked();
+    const double free_at = freeAt_[static_cast<std::size_t>(a.worker)];
+    a.startSec = std::max(arrival_sec, free_at);
+    a.completionSec = a.startSec + serviceSec_;
+    if (deadline_sec > 0.0 && a.completionSec > deadline_sec) {
+        // Provably infeasible: the *best case* already misses. No
+        // booking, no queue slot, no chip cycles.
+        a.admitted = false;
+        ++rejected_;
+        return a;
+    }
+    a.admitted = true;
+    freeAt_[static_cast<std::size_t>(a.worker)] = a.completionSec;
+    ++admitted_;
+    return a;
+}
+
+double
+AdmissionController::earliestCompletion(double arrival_sec) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const double free_at =
+        freeAt_[static_cast<std::size_t>(earliestWorkerLocked())];
+    return std::max(arrival_sec, free_at) + serviceSec_;
+}
+
+std::uint64_t
+AdmissionController::admitted() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return admitted_;
+}
+
+std::uint64_t
+AdmissionController::rejected() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+}
+
+} // namespace tsp::serve

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deadline-aware admission control over a pool of identical chips.
+ *
+ * The TSP's schedule is fully static: a compiled program's cycle
+ * count is known *before* it runs (paper Eq. 4; IV.F; V.c — "the
+ * compiler knows the exact latency of every program"). For a serving
+ * tier this turns admission control from an estimation problem into
+ * arithmetic: with FIFO dispatch over W identical workers whose
+ * service time is a known constant, a new request's completion time
+ * is exactly
+ *
+ *   completion = max(arrival, earliest worker-free time) + service
+ *
+ * so a request that cannot meet its deadline is rejected *before a
+ * single chip cycle is spent on it*, and every admitted request's
+ * measured latency equals the admission-time booking. Contrast the
+ * cache-based baseline (src/baseline), where latency is only known
+ * after the fact and admission control must over-provision against
+ * the tail.
+ */
+
+#ifndef TSP_SERVE_ADMISSION_HH
+#define TSP_SERVE_ADMISSION_HH
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "arch/types.hh"
+
+namespace tsp::serve {
+
+/** Admission verdict plus the exact virtual-time booking. */
+struct Admission
+{
+    /** True when the request was admitted (booking committed). */
+    bool admitted = false;
+
+    /** Worker slot the booking assumed (informational). */
+    int worker = -1;
+
+    /** Exact service start, virtual seconds. */
+    double startSec = 0.0;
+
+    /** Exact completion, virtual seconds. */
+    double completionSec = 0.0;
+};
+
+/**
+ * Books exact per-worker busy intervals on the virtual timeline.
+ *
+ * Thread-safe; admit() is a single compare-and-book under a mutex.
+ * Rejected requests leave no trace in the booking state.
+ */
+class AdmissionController
+{
+  public:
+    /**
+     * @param workers identical chip workers in the pool (>= 1).
+     * @param service_cycles exact cycles of one inference (the
+     *        compiler's Lowering::finishCycle()).
+     * @param cycle_period_sec seconds per chip cycle.
+     */
+    AdmissionController(int workers, Cycle service_cycles,
+                        double cycle_period_sec);
+
+    /**
+     * Decides one request. @p deadline_sec <= 0 means no deadline
+     * (always admitted). On admission the chosen worker's free time
+     * advances to the booked completion; on rejection nothing
+     * changes.
+     */
+    Admission admit(double arrival_sec, double deadline_sec);
+
+    /** @return exact service seconds per request. */
+    double serviceSec() const { return serviceSec_; }
+
+    /** @return exact service cycles per request. */
+    Cycle serviceCycles() const { return serviceCycles_; }
+
+    /** @return requests admitted so far. */
+    std::uint64_t admitted() const;
+
+    /** @return requests rejected for provably-missed deadlines. */
+    std::uint64_t rejected() const;
+
+    /**
+     * @return the earliest possible completion for a request
+     * arriving at @p arrival_sec, without booking anything — what a
+     * client could poll to pick a feasible deadline.
+     */
+    double earliestCompletion(double arrival_sec) const;
+
+  private:
+    int earliestWorkerLocked() const;
+
+    const Cycle serviceCycles_;
+    const double serviceSec_;
+
+    mutable std::mutex mu_;
+    std::vector<double> freeAt_; ///< Per-worker busy-until, seconds.
+    std::uint64_t admitted_ = 0;
+    std::uint64_t rejected_ = 0;
+};
+
+} // namespace tsp::serve
+
+#endif // TSP_SERVE_ADMISSION_HH

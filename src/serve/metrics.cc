@@ -1,0 +1,97 @@
+#include "serve/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsp::serve {
+namespace {
+
+/** Histogram upper bound: worst feasible latency, with headroom. */
+double
+latencyBoundUs(double service_sec, int workers,
+               std::size_t queue_capacity)
+{
+    const double waits =
+        std::ceil(static_cast<double>(queue_capacity) /
+                  std::max(workers, 1));
+    return (waits + 2.0) * service_sec * 1e6;
+}
+
+void
+appendHistogramJson(JsonWriter &j, const Histogram &h)
+{
+    j.beginObject();
+    j.kv("count", h.count());
+    j.kv("mean", h.count() ? h.mean() : 0.0);
+    j.kv("min", h.count() ? h.minSample() : 0.0);
+    j.kv("max", h.count() ? h.maxSample() : 0.0);
+    j.kv("p50", h.count() ? h.quantile(0.50) : 0.0);
+    j.kv("p95", h.count() ? h.quantile(0.95) : 0.0);
+    j.kv("p99", h.count() ? h.quantile(0.99) : 0.0);
+    j.endObject();
+}
+
+} // namespace
+
+ServerMetrics::ServerMetrics(double service_sec, int workers,
+                             std::size_t queue_capacity)
+    : queueUs_(0.0, latencyBoundUs(service_sec, workers, queue_capacity),
+               512),
+      totalUs_(0.0, latencyBoundUs(service_sec, workers, queue_capacity),
+               512)
+{
+}
+
+void
+ServerMetrics::record(const Result &r)
+{
+    counters_.add("submitted");
+    counters_.add(outcomeName(r.outcome));
+    if (r.outcome == Outcome::Served ||
+        r.outcome == Outcome::DeadlineMissed) {
+        queueUs_.record(r.queueSec() * 1e6);
+        totalUs_.record(r.latencySec() * 1e6);
+        if (r.measuredCycles != r.predictedCycles)
+            ++mismatches_;
+        if (!any_ || r.arrivalSec < firstArrival_)
+            firstArrival_ = r.arrivalSec;
+        if (!any_ || r.completionSec > lastCompletion_)
+            lastCompletion_ = r.completionSec;
+        any_ = true;
+    }
+}
+
+double
+ServerMetrics::makespanSec() const
+{
+    return any_ ? lastCompletion_ - firstArrival_ : 0.0;
+}
+
+double
+ServerMetrics::throughputRps() const
+{
+    const double span = makespanSec();
+    if (span <= 0.0)
+        return 0.0;
+    return static_cast<double>(counters_.get("served")) / span;
+}
+
+void
+ServerMetrics::appendJson(JsonWriter &j) const
+{
+    j.beginObject();
+    j.key("counters").beginObject();
+    for (const auto &[name, v] : counters_.all())
+        j.kv(name, v);
+    j.endObject();
+    j.key("queue_us");
+    appendHistogramJson(j, queueUs_);
+    j.key("total_us");
+    appendHistogramJson(j, totalUs_);
+    j.kv("makespan_us", makespanSec() * 1e6);
+    j.kv("throughput_rps", throughputRps());
+    j.kv("prediction_mismatches", mismatches_);
+    j.endObject();
+}
+
+} // namespace tsp::serve

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Serving-layer metrics: per-outcome counters, queue/service/total
+ * latency distributions (virtual microseconds) and throughput over
+ * the virtual makespan, dumped as JSON for the bench trajectory.
+ *
+ * The latency histograms' upper bound is *computed, not guessed*:
+ * with a known constant service time, W workers and a queue of at
+ * most Q requests, no admitted request can wait longer than
+ * ceil(Q / W) service times — another consequence of deterministic
+ * execution (a conventional serving stack must clamp or resize).
+ */
+
+#ifndef TSP_SERVE_METRICS_HH
+#define TSP_SERVE_METRICS_HH
+
+#include <cstdint>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+#include "serve/request.hh"
+
+namespace tsp::serve {
+
+/** Aggregated serving statistics (value type; snapshot-copyable). */
+class ServerMetrics
+{
+  public:
+    /**
+     * @param service_sec exact per-request service time.
+     * @param workers pool size.
+     * @param queue_capacity bounded-queue capacity.
+     */
+    ServerMetrics(double service_sec, int workers,
+                  std::size_t queue_capacity);
+
+    /** Accounts one finished request (any outcome). */
+    void record(const Result &r);
+
+    /** @return named outcome/infrastructure counters. */
+    const StatGroup &counters() const { return counters_; }
+
+    /** @return queue-wait distribution, microseconds. */
+    const Histogram &queueUs() const { return queueUs_; }
+
+    /** @return arrival-to-completion distribution, microseconds. */
+    const Histogram &totalUs() const { return totalUs_; }
+
+    /** @return served requests per virtual second. */
+    double throughputRps() const;
+
+    /** @return virtual seconds from first arrival to last completion. */
+    double makespanSec() const;
+
+    /**
+     * @return how many served requests' measured cycles diverged
+     * from the admission-time prediction — zero by the determinism
+     * claim; nonzero means a simulator bug.
+     */
+    std::uint64_t predictionMismatches() const { return mismatches_; }
+
+    /** Appends this snapshot as a JSON object value to @p j. */
+    void appendJson(JsonWriter &j) const;
+
+  private:
+    StatGroup counters_;
+    Histogram queueUs_;
+    Histogram totalUs_;
+    std::uint64_t mismatches_ = 0;
+    double firstArrival_ = 0.0;
+    double lastCompletion_ = 0.0;
+    bool any_ = false;
+};
+
+} // namespace tsp::serve
+
+#endif // TSP_SERVE_METRICS_HH

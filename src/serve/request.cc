@@ -1,0 +1,18 @@
+#include "serve/request.hh"
+
+namespace tsp::serve {
+
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Served: return "served";
+      case Outcome::RejectedDeadline: return "rejected_deadline";
+      case Outcome::RejectedQueueFull: return "rejected_queue_full";
+      case Outcome::DeadlineMissed: return "deadline_missed";
+      case Outcome::Failed: return "failed";
+    }
+    return "unknown";
+}
+
+} // namespace tsp::serve

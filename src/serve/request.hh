@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Serving-layer request and result types.
+ *
+ * All timestamps are *modeled* (virtual) seconds of chip time at the
+ * configured clock, not host wall time: the simulator runs orders of
+ * magnitude slower than the silicon it models, so the serving layer
+ * keeps its own virtual timeline. The load generator stamps each
+ * request's arrival on that timeline, the admission controller books
+ * exact start/completion times on it (possible only because the
+ * compiled program's cycle count is known before it runs — paper
+ * Eq. 4, IV.F, V.c), and the worker's measured chip cycles are
+ * checked against the booking after the fact.
+ */
+
+#ifndef TSP_SERVE_REQUEST_HH
+#define TSP_SERVE_REQUEST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/types.hh"
+#include "ref/qnn.hh"
+
+namespace tsp::serve {
+
+/** Monotonically increasing per-server request identifier. */
+using RequestId = std::uint64_t;
+
+/** What happened to a request. */
+enum class Outcome : std::uint8_t {
+    /** Ran on a chip and met its deadline (or had none). */
+    Served,
+
+    /**
+     * Rejected at admission: the provably earliest completion time
+     * already exceeded the deadline, so not a single chip cycle was
+     * spent on it — the capability the deterministic schedule buys.
+     */
+    RejectedDeadline,
+
+    /** Rejected by queue backpressure (bounded queue was full). */
+    RejectedQueueFull,
+
+    /**
+     * Served, but completed after its deadline. With exact admission
+     * booking this cannot happen unless the measured cycle count
+     * diverges from the compiler's prediction (i.e. a simulator bug).
+     */
+    DeadlineMissed,
+
+    /** Execution failed (cycle budget exhausted — see RunResult). */
+    Failed,
+};
+
+/** @return a stable lower-case name for @p o. */
+const char *outcomeName(Outcome o);
+
+/** One inference request as submitted by a client. */
+struct Request
+{
+    RequestId id = 0;
+
+    /** Dense [h x w x c] int8 input, model-input shaped. */
+    std::vector<std::int8_t> input;
+
+    /** Arrival time on the virtual timeline, seconds. */
+    double arrivalSec = 0.0;
+
+    /**
+     * Absolute completion deadline on the virtual timeline, seconds;
+     * <= 0 means no deadline.
+     */
+    double deadlineSec = 0.0;
+};
+
+/** The serving layer's answer for one request. */
+struct Result
+{
+    RequestId id = 0;
+    Outcome outcome = Outcome::Failed;
+
+    /** Model output (valid only when outcome is Served). */
+    ref::QTensor output;
+
+    /** Cycles the admission controller predicted for service. */
+    Cycle predictedCycles = 0;
+
+    /** Cycles the chip actually consumed (0 if never scheduled). */
+    Cycle measuredCycles = 0;
+
+    /** Virtual-time bookings (valid unless rejected for queue-full). */
+    double arrivalSec = 0.0;
+    double startSec = 0.0;      ///< Service start.
+    double completionSec = 0.0; ///< Service end (admission-exact).
+
+    /** @return virtual seconds spent queued before service. */
+    double queueSec() const { return startSec - arrivalSec; }
+
+    /** @return virtual seconds from arrival to completion. */
+    double latencySec() const { return completionSec - arrivalSec; }
+};
+
+} // namespace tsp::serve
+
+#endif // TSP_SERVE_REQUEST_HH

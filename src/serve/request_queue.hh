@@ -1,0 +1,164 @@
+/**
+ * @file
+ * A thread-safe bounded FIFO queue — the serving layer's backpressure
+ * point. Producers either block until space frees (open-loop load
+ * generators that model backpressure as delay) or fail fast
+ * (tryPush, surfaced to clients as Outcome::RejectedQueueFull).
+ *
+ * This is the *host-side* queue in front of the chip pool; it is
+ * deliberately generic (template) so the unit tests can exercise the
+ * concurrency contract with trivial payloads.
+ */
+
+#ifndef TSP_SERVE_REQUEST_QUEUE_HH
+#define TSP_SERVE_REQUEST_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace tsp::serve {
+
+/** Bounded multi-producer multi-consumer FIFO. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /** @param capacity maximum queued elements; must be > 0. */
+    explicit BoundedQueue(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    /** @return maximum queued elements. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** @return current element count (racy between calls). */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return items_.size();
+    }
+
+    /** @return true when size() == capacity() (racy between calls). */
+    bool
+    full() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return items_.size() >= capacity_;
+    }
+
+    /**
+     * Enqueues without blocking.
+     * @return false when the queue is full or closed.
+     */
+    bool
+    tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Enqueues, blocking while the queue is full.
+     * @return false when the queue is (or becomes) closed.
+     */
+    bool
+    push(T item)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            notFull_.wait(lock, [&] {
+                return closed_ || items_.size() < capacity_;
+            });
+            if (closed_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeues the oldest element, blocking while empty.
+     * @return false when the queue is closed *and* drained — the
+     * consumer-side shutdown signal.
+     */
+    bool
+    pop(T &out)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            notEmpty_.wait(lock,
+                           [&] { return closed_ || !items_.empty(); });
+            if (items_.empty())
+                return false; // Closed and drained.
+            out = std::move(items_.front());
+            items_.pop_front();
+        }
+        notFull_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeues without blocking.
+     * @return false when the queue is empty.
+     */
+    bool
+    tryPop(T &out)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (items_.empty())
+                return false;
+            out = std::move(items_.front());
+            items_.pop_front();
+        }
+        notFull_.notify_one();
+        return true;
+    }
+
+    /**
+     * Closes the queue: pushes fail from now on; pops drain what is
+     * left and then return false. Idempotent.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    /** @return true once close() has been called. */
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return closed_;
+    }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace tsp::serve
+
+#endif // TSP_SERVE_REQUEST_QUEUE_HH

@@ -1,0 +1,256 @@
+#include "serve/server.hh"
+
+#include "common/logging.hh"
+
+namespace tsp::serve {
+
+InferenceServer::InferenceServer(Lowering &lw, LoweredTensor input,
+                                 LoweredTensor output,
+                                 ServerConfig cfg)
+    : lw_(lw), cfg_(cfg), inputSlot_(std::move(input)),
+      outputSlot_(std::move(output)),
+      admission_(cfg.workers, lw.finishCycle(),
+                 cfg.chip.cyclePeriodSec()),
+      queue_(cfg.queueCapacity), paused_(cfg.startPaused),
+      metrics_(admission_.serviceSec(), cfg.workers,
+               cfg.queueCapacity)
+{
+    TSP_ASSERT(cfg_.workers >= 1);
+    sessions_.reserve(static_cast<std::size_t>(cfg_.workers));
+    for (int w = 0; w < cfg_.workers; ++w) {
+        sessions_.push_back(
+            std::make_unique<InferenceSession>(lw_, cfg_.chip));
+    }
+    threads_.reserve(static_cast<std::size_t>(cfg_.workers));
+    for (int w = 0; w < cfg_.workers; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<Result>
+InferenceServer::rejectNow(Request req, Outcome outcome,
+                           const Admission &booking)
+{
+    Result r;
+    r.id = req.id;
+    r.outcome = outcome;
+    r.predictedCycles = admission_.serviceCycles();
+    r.arrivalSec = req.arrivalSec;
+    r.startSec = booking.startSec;
+    r.completionSec = booking.completionSec;
+    {
+        std::lock_guard<std::mutex> lock(doneMu_);
+        metrics_.record(r);
+    }
+    std::promise<Result> p;
+    std::future<Result> f = p.get_future();
+    p.set_value(std::move(r));
+    return f;
+}
+
+std::future<Result>
+InferenceServer::submit(std::vector<std::int8_t> input,
+                        double arrival_sec, double deadline_sec,
+                        OnFull on_full)
+{
+    Request req;
+    req.id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    req.input = std::move(input);
+    req.arrivalSec = arrival_sec;
+    req.deadlineSec = deadline_sec;
+
+    std::unique_lock<std::mutex> lock(submitMu_);
+    if (shutdown_)
+        return rejectNow(std::move(req), Outcome::RejectedQueueFull,
+                         Admission{});
+
+    // Backpressure check *before* booking so a full queue never
+    // leaves a phantom reservation in the admission state. Only
+    // submitters (serialized here) add to the queue, so a non-full
+    // observation cannot be invalidated before our push.
+    if (on_full == OnFull::Reject && queue_.full())
+        return rejectNow(std::move(req), Outcome::RejectedQueueFull,
+                         Admission{});
+
+    const Admission booking =
+        admission_.admit(arrival_sec, deadline_sec);
+    if (!booking.admitted)
+        return rejectNow(std::move(req), Outcome::RejectedDeadline,
+                         booking);
+
+    const RequestId id = req.id;
+    Job job;
+    job.req = std::move(req);
+    job.booking = booking;
+    std::future<Result> f = job.promise.get_future();
+
+    {
+        std::lock_guard<std::mutex> dl(doneMu_);
+        ++inflight_;
+    }
+    // push() may block (OnFull::Block) while workers drain; it only
+    // fails once the queue is closed, i.e. during shutdown. The
+    // booking is already committed, but the server is going away, so
+    // the stale reservation is harmless.
+    if (!queue_.push(std::move(job))) {
+        std::lock_guard<std::mutex> dl(doneMu_);
+        --inflight_;
+        Result r;
+        r.id = id;
+        r.outcome = Outcome::RejectedQueueFull;
+        // The original promise died with the rejected job.
+        std::promise<Result> p;
+        f = p.get_future();
+        p.set_value(std::move(r));
+    }
+    return f;
+}
+
+void
+InferenceServer::workerLoop(int w)
+{
+    InferenceSession &sess = *sessions_[static_cast<std::size_t>(w)];
+    const double period = cfg_.chip.cyclePeriodSec();
+    Job job;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(pauseMu_);
+            pauseCv_.wait(lock, [&] { return !paused_; });
+        }
+        if (!queue_.pop(job))
+            return; // Closed and drained.
+
+        Result r;
+        r.id = job.req.id;
+        r.predictedCycles = admission_.serviceCycles();
+        r.arrivalSec = job.req.arrivalSec;
+        r.startSec = job.booking.startSec;
+        r.completionSec = job.booking.completionSec;
+
+        sess.reset();
+        sess.writeTensor(inputSlot_, job.req.input);
+        const RunResult rr = sess.runBounded(cfg_.maxCyclesPerRun);
+        r.measuredCycles = rr.cycles;
+
+        if (!rr.completed) {
+            // Timeout propagates as an explicit failure; the session
+            // rebuilds its chip on the next reset().
+            r.outcome = Outcome::Failed;
+        } else {
+            r.output = sess.readTensor(outputSlot_);
+            if (rr.cycles == r.predictedCycles) {
+                r.outcome = Outcome::Served;
+            } else {
+                // Defensive path — determinism says this is dead
+                // code; if it ever fires, re-derive the completion
+                // from the measured cycles and re-check the deadline.
+                warn("serve: request %llu measured %llu cycles, "
+                     "predicted %llu",
+                     static_cast<unsigned long long>(r.id),
+                     static_cast<unsigned long long>(rr.cycles),
+                     static_cast<unsigned long long>(
+                         r.predictedCycles));
+                r.completionSec =
+                    r.startSec + static_cast<double>(rr.cycles) * period;
+                r.outcome = (job.req.deadlineSec > 0.0 &&
+                             r.completionSec > job.req.deadlineSec)
+                                ? Outcome::DeadlineMissed
+                                : Outcome::Served;
+            }
+        }
+        finish(job, std::move(r));
+    }
+}
+
+void
+InferenceServer::finish(Job &job, Result r)
+{
+    {
+        std::lock_guard<std::mutex> lock(doneMu_);
+        metrics_.record(r);
+        --inflight_;
+    }
+    doneCv_.notify_all();
+    job.promise.set_value(std::move(r));
+}
+
+void
+InferenceServer::resume()
+{
+    {
+        std::lock_guard<std::mutex> lock(pauseMu_);
+        paused_ = false;
+    }
+    pauseCv_.notify_all();
+}
+
+void
+InferenceServer::drain()
+{
+    std::unique_lock<std::mutex> lock(doneMu_);
+    doneCv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+void
+InferenceServer::shutdown()
+{
+    // Unpause before taking submitMu_: a submitter blocked in push()
+    // holds that mutex and needs the workers running to make space.
+    resume();
+    {
+        std::lock_guard<std::mutex> lock(submitMu_);
+        if (shutdown_)
+            return;
+        shutdown_ = true;
+    }
+    drain();
+    queue_.close();
+    for (auto &t : threads_) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+ServerMetrics
+InferenceServer::metricsSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(doneMu_);
+    return metrics_;
+}
+
+std::string
+InferenceServer::metricsJson() const
+{
+    const ServerMetrics snap = metricsSnapshot();
+    JsonWriter j;
+    j.beginObject();
+    j.key("config")
+        .beginObject()
+        .kv("workers", cfg_.workers)
+        .kv("queue_capacity",
+            static_cast<std::uint64_t>(cfg_.queueCapacity))
+        .kv("clock_hz", cfg_.chip.clockHz)
+        .endObject();
+    j.key("model")
+        .beginObject()
+        .kv("service_cycles",
+            static_cast<std::uint64_t>(serviceCycles()))
+        .kv("service_us", serviceSec() * 1e6)
+        .endObject();
+    j.key("metrics");
+    snap.appendJson(j);
+    j.endObject();
+    return j.str();
+}
+
+Cycle
+InferenceServer::totalChipCycles() const
+{
+    Cycle total = 0;
+    for (const auto &s : sessions_)
+        total += s->chip().now();
+    return total;
+}
+
+} // namespace tsp::serve

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * InferenceServer: a multi-chip serving tier over the host runtime.
+ *
+ * One compiled Lowering is shared by a pool of worker threads, each
+ * owning its own InferenceSession (one simulated chip). Requests
+ * flow through a deadline-aware admission controller (exact, because
+ * the schedule's cycle count is known before it runs — paper Eq. 4,
+ * IV.F, V.c), then a bounded FIFO queue with backpressure, and are
+ * executed by whichever worker frees up first. Per-request outcomes,
+ * latency distributions and throughput are aggregated in
+ * ServerMetrics and dumped as JSON.
+ *
+ * Timeline note: all latencies are *virtual* chip time (seconds at
+ * the configured clock). The host threads merely reproduce, slower,
+ * a timeline whose every event was already fixed at admission — the
+ * worker's measured cycle count is checked against the booking and
+ * any divergence is surfaced as a prediction mismatch.
+ */
+
+#ifndef TSP_SERVE_SERVER_HH
+#define TSP_SERVE_SERVER_HH
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/session.hh"
+#include "serve/admission.hh"
+#include "serve/metrics.hh"
+#include "serve/request.hh"
+#include "serve/request_queue.hh"
+
+namespace tsp::serve {
+
+/** Serving-tier configuration. */
+struct ServerConfig
+{
+    /** Worker threads == simulated chips (>= 1). */
+    int workers = 2;
+
+    /** Bounded request-queue capacity (backpressure point). */
+    std::size_t queueCapacity = 64;
+
+    /**
+     * Per-run cycle budget safety net. A valid compiled program
+     * always retires in exactly its predicted cycles; exhaustion is
+     * surfaced as Outcome::Failed (see InferenceSession::runBounded).
+     */
+    Cycle maxCyclesPerRun = 500'000'000;
+
+    /**
+     * Start with the worker pool gated: requests queue up (and the
+     * bounded queue exerts backpressure) until resume() is called.
+     * Deterministic backpressure tests depend on this.
+     */
+    bool startPaused = false;
+
+    /** Configuration applied to every worker's chip. */
+    ChipConfig chip{};
+};
+
+/** A pool of simulated TSP chips serving one compiled model. */
+class InferenceServer
+{
+  public:
+    /** What submit() does when the bounded queue is full. */
+    enum class OnFull : std::uint8_t {
+        Reject, ///< Fail fast with Outcome::RejectedQueueFull.
+        Block,  ///< Wait for a slot (open-loop generator backpressure).
+    };
+
+    /**
+     * Builds one chip per worker and emplaces @p lw on each.
+     *
+     * @param lw the fully built compiled model; must outlive the
+     *        server (sessions re-read its DMA image on reset).
+     * @param input the model's lowered input tensor (request data is
+     *        written here before each run).
+     * @param output the lowered output tensor read back per request.
+     */
+    InferenceServer(Lowering &lw, LoweredTensor input,
+                    LoweredTensor output, ServerConfig cfg = {});
+
+    /** Drains and joins the pool. */
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer &) = delete;
+    InferenceServer &operator=(const InferenceServer &) = delete;
+
+    /**
+     * Submits one request; never blocks on chip work (admission
+     * rejections and queue-full rejections resolve the returned
+     * future immediately; with OnFull::Block the call can wait for a
+     * queue slot).
+     *
+     * @param input dense [h x w x c] int8 model input.
+     * @param arrival_sec arrival stamp on the virtual timeline;
+     *        submissions must be monotone for FIFO semantics to
+     *        mirror the booking.
+     * @param deadline_sec absolute virtual deadline; <= 0 for none.
+     */
+    std::future<Result> submit(std::vector<std::int8_t> input,
+                               double arrival_sec,
+                               double deadline_sec = 0.0,
+                               OnFull on_full = OnFull::Reject);
+
+    /** Releases a startPaused pool (idempotent). */
+    void resume();
+
+    /** Blocks until every submitted request has resolved. */
+    void drain();
+
+    /**
+     * Drains, closes the queue and joins the workers. Called by the
+     * destructor; subsequent submits reject. Idempotent.
+     */
+    void shutdown();
+
+    /** @return exact cycles one inference consumes (compiler-known). */
+    Cycle serviceCycles() const { return admission_.serviceCycles(); }
+
+    /** @return exact virtual seconds one inference consumes. */
+    double serviceSec() const { return admission_.serviceSec(); }
+
+    /** @return pool width. */
+    int workers() const { return cfg_.workers; }
+
+    /** @return the admission controller (booking state + counters). */
+    const AdmissionController &admission() const { return admission_; }
+
+    /** @return a consistent snapshot of the aggregated metrics. */
+    ServerMetrics metricsSnapshot() const;
+
+    /**
+     * @return the full serving report (config, model, counters,
+     * latency percentiles, throughput) as a JSON document.
+     */
+    std::string metricsJson() const;
+
+    /**
+     * @return total chip cycles consumed across the pool. Only
+     * meaningful when idle (after drain()): proves rejected requests
+     * cost zero cycles, since the total is served * serviceCycles().
+     */
+    Cycle totalChipCycles() const;
+
+  private:
+    /** One queued unit of work. */
+    struct Job
+    {
+        Request req;
+        Admission booking;
+        std::promise<Result> promise;
+    };
+
+    void workerLoop(int w);
+    std::future<Result> rejectNow(Request req, Outcome outcome,
+                                  const Admission &booking);
+    void finish(Job &job, Result r);
+
+    Lowering &lw_;
+    const ServerConfig cfg_;
+    const LoweredTensor inputSlot_;
+    const LoweredTensor outputSlot_;
+
+    AdmissionController admission_;
+    BoundedQueue<Job> queue_;
+
+    std::vector<std::unique_ptr<InferenceSession>> sessions_;
+    std::vector<std::thread> threads_;
+
+    std::mutex submitMu_; ///< Serializes admission + enqueue.
+
+    std::mutex pauseMu_;
+    std::condition_variable pauseCv_;
+    bool paused_;
+
+    mutable std::mutex doneMu_; ///< Guards inflight_ and metrics_.
+    std::condition_variable doneCv_;
+    std::uint64_t inflight_ = 0;
+    ServerMetrics metrics_;
+
+    std::atomic<RequestId> nextId_{1};
+    bool shutdown_ = false; ///< Guarded by submitMu_.
+};
+
+} // namespace tsp::serve
+
+#endif // TSP_SERVE_SERVER_HH

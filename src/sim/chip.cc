@@ -253,15 +253,23 @@ Chip::done() const
 Cycle
 Chip::run(Cycle max_cycles)
 {
-    while (!done()) {
-        if (now() >= max_cycles) {
-            fatal("Chip::run: cycle limit %llu reached — program never "
-                  "completes",
-                  static_cast<unsigned long long>(max_cycles));
-        }
-        step();
+    if (!runBounded(max_cycles)) {
+        fatal("Chip::run: cycle limit %llu reached — program never "
+              "completes",
+              static_cast<unsigned long long>(max_cycles));
     }
     return now();
+}
+
+bool
+Chip::runBounded(Cycle cycle_limit)
+{
+    while (!done()) {
+        if (now() >= cycle_limit)
+            return false;
+        step();
+    }
+    return true;
 }
 
 std::uint64_t

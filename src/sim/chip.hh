@@ -62,6 +62,18 @@ class Chip
      */
     Cycle run(Cycle max_cycles = 100'000'000);
 
+    /**
+     * Like run(), but surfaces limit exhaustion as a status instead
+     * of calling fatal(): steps until done() or now() reaches
+     * @p cycle_limit (an *absolute* cycle, so reloaded programs can
+     * be bounded relative to the current clock).
+     *
+     * @return true when the program retired, false when the limit
+     * hit first (the chip is then mid-program; callers must discard
+     * or rebuild it before trusting further runs).
+     */
+    bool runBounded(Cycle cycle_limit);
+
     /** @return current cycle. */
     Cycle now() const { return fabric_.now(); }
 

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * JsonWriter: document shape, nesting, escaping, numeric formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "common/json.hh"
+
+namespace tsp {
+namespace {
+
+TEST(Json, FlatObject)
+{
+    JsonWriter j;
+    j.beginObject()
+        .kv("served", std::uint64_t{12})
+        .kv("rho", 1.5)
+        .kv("label", "load sweep")
+        .kv("ok", true)
+        .endObject();
+    EXPECT_EQ(j.str(), "{\"served\":12,\"rho\":1.5,"
+                       "\"label\":\"load sweep\",\"ok\":true}");
+}
+
+TEST(Json, NestedContainers)
+{
+    JsonWriter j;
+    j.beginObject()
+        .key("points")
+        .beginArray()
+        .beginObject().kv("w", 1).endObject()
+        .beginObject().kv("w", 2).endObject()
+        .endArray()
+        .kv("n", 2)
+        .endObject();
+    EXPECT_EQ(j.str(),
+              "{\"points\":[{\"w\":1},{\"w\":2}],\"n\":2}");
+}
+
+TEST(Json, EmptyContainers)
+{
+    JsonWriter a;
+    a.beginArray().endArray();
+    EXPECT_EQ(a.str(), "[]");
+
+    JsonWriter o;
+    o.beginObject().key("x").beginArray().endArray().endObject();
+    EXPECT_EQ(o.str(), "{\"x\":[]}");
+}
+
+TEST(Json, Escaping)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("line\nbreak\ttab"),
+              "line\\nbreak\\ttab");
+
+    JsonWriter j;
+    j.beginObject().kv("msg", "say \"hi\"").endObject();
+    EXPECT_EQ(j.str(), "{\"msg\":\"say \\\"hi\\\"\"}");
+}
+
+TEST(Json, NumericFormatting)
+{
+    JsonWriter j;
+    j.beginArray()
+        .value(-1)
+        .value(std::int64_t{-5000000000})
+        .value(0.5)
+        .value(1e100)
+        .endArray();
+    const std::string s = j.str();
+    EXPECT_NE(s.find("-1"), std::string::npos);
+    EXPECT_NE(s.find("-5000000000"), std::string::npos);
+    EXPECT_NE(s.find("0.5"), std::string::npos);
+    EXPECT_NE(s.find("1e+100"), std::string::npos);
+}
+
+TEST(Json, NonFiniteBecomesNull)
+{
+    JsonWriter j;
+    j.beginArray()
+        .value(std::numeric_limits<double>::infinity())
+        .value(std::numeric_limits<double>::quiet_NaN())
+        .endArray();
+    EXPECT_EQ(j.str(), "[null,null]");
+}
+
+TEST(Json, WriteJsonFileRoundTrip)
+{
+    const std::string path = "test_json_tmp.json";
+    ASSERT_TRUE(writeJsonFile(path, "{\"a\":1}"));
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "{\"a\":1}\n");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace tsp

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * tsp-serve: demo CLI for the deterministic-deadline serving layer.
+ *
+ * Compiles a model once, spins up a pool of simulated chips, replays
+ * an open-loop Poisson request stream against it and prints the
+ * serving report (per-outcome counts, latency percentiles on the
+ * virtual chip timeline, throughput), optionally as JSON.
+ *
+ *   tsp-serve [options]
+ *     --workers N       chips in the pool            (default 2)
+ *     --requests N      requests to submit           (default 200)
+ *     --rho R           offered load vs pool capacity (default 1.2)
+ *     --slack S         deadline = arrival + S * service; 0 = none
+ *                                                    (default 4)
+ *     --queue N         bounded queue capacity       (default 64)
+ *     --model-seed S    tiny-net weight seed         (default 3)
+ *     --seed S          request-stream seed          (default 1)
+ *     --json FILE       also write the report as JSON
+ *
+ * Example:
+ *   tsp-serve --workers 4 --requests 400 --rho 1.5 --slack 3 \
+ *             --json serve_report.json
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hh"
+#include "model/resnet.hh"
+#include "serve/server.hh"
+
+namespace {
+
+using namespace tsp;
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: tsp-serve [--workers N] [--requests N] "
+                 "[--rho R] [--slack S] [--queue N] "
+                 "[--model-seed S] [--seed S] [--json FILE]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int workers = 2;
+    int requests = 200;
+    double rho = 1.2;
+    double slack_services = 4.0;
+    std::size_t queue_cap = 64;
+    std::uint64_t model_seed = 3;
+    std::uint64_t seed = 1;
+    const char *json_path = nullptr;
+
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--workers")) {
+            workers = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--requests")) {
+            requests = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--rho")) {
+            rho = std::atof(next());
+        } else if (!std::strcmp(argv[i], "--slack")) {
+            slack_services = std::atof(next());
+        } else if (!std::strcmp(argv[i], "--queue")) {
+            queue_cap = static_cast<std::size_t>(std::atol(next()));
+        } else if (!std::strcmp(argv[i], "--model-seed")) {
+            model_seed =
+                static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (!std::strcmp(argv[i], "--seed")) {
+            seed = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (!std::strcmp(argv[i], "--json")) {
+            json_path = next();
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (workers < 1 || requests < 1 || rho <= 0.0) {
+        usage();
+        return 2;
+    }
+
+    // Compile once; the pool shares the lowered program and image.
+    const int h = 8, w = 8, c = 4;
+    Graph g = model::buildTinyNet(model_seed, h, w, c);
+    Rng rng(seed);
+    std::vector<std::int8_t> warm(
+        static_cast<std::size_t>(h) * w * c);
+    for (auto &v : warm)
+        v = static_cast<std::int8_t>(rng.intIn(-100, 100));
+    Lowering lw(/*pipelined=*/true);
+    const auto tensors = g.lower(lw, warm);
+
+    serve::ServerConfig cfg;
+    cfg.workers = workers;
+    cfg.queueCapacity = queue_cap;
+    serve::InferenceServer server(lw, tensors.at(0),
+                                  tensors.at(g.outputNode()), cfg);
+
+    std::printf("compiled model: %llu cycles = %.3f us per "
+                "inference, known before execution\n",
+                static_cast<unsigned long long>(
+                    server.serviceCycles()),
+                server.serviceSec() * 1e6);
+    std::printf("pool: %d chip%s, queue capacity %zu, offered load "
+                "%.2f x capacity%s\n\n",
+                workers, workers == 1 ? "" : "s", queue_cap, rho,
+                slack_services > 0.0 ? "" : ", no deadlines");
+
+    const double service = server.serviceSec();
+    const double mean_gap =
+        service / (rho * static_cast<double>(workers));
+    double now = 0.0;
+    std::vector<std::future<serve::Result>> futures;
+    futures.reserve(static_cast<std::size_t>(requests));
+    for (int i = 0; i < requests; ++i) {
+        now += -std::log(1.0 - rng.nextDouble()) * mean_gap;
+        std::vector<std::int8_t> data(
+            static_cast<std::size_t>(h) * w * c);
+        for (auto &v : data)
+            v = static_cast<std::int8_t>(rng.intIn(-100, 100));
+        const double deadline =
+            slack_services > 0.0
+                ? now + slack_services * service
+                : 0.0;
+        futures.push_back(server.submit(
+            std::move(data), now, deadline,
+            serve::InferenceServer::OnFull::Block));
+    }
+    server.drain();
+
+    // A few sample requests, then the aggregate report.
+    std::printf("sample of outcomes:\n");
+    const std::size_t step =
+        std::max<std::size_t>(1, futures.size() / 8);
+    for (std::size_t i = 0; i < futures.size(); i += step) {
+        const serve::Result r = futures[i].get();
+        std::printf("  req %4llu  %-19s wait %7.3f us  total "
+                    "%7.3f us  cycles %llu/%llu\n",
+                    static_cast<unsigned long long>(r.id),
+                    serve::outcomeName(r.outcome),
+                    r.queueSec() * 1e6, r.latencySec() * 1e6,
+                    static_cast<unsigned long long>(
+                        r.measuredCycles),
+                    static_cast<unsigned long long>(
+                        r.predictedCycles));
+    }
+
+    const auto snap = server.metricsSnapshot();
+    std::printf("\nreport:\n");
+    for (const auto &[name, v] : snap.counters().all()) {
+        std::printf("  %-22s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(v));
+    }
+    if (snap.totalUs().count() > 0) {
+        std::printf("  latency p50/p95/p99    %.2f / %.2f / %.2f us\n",
+                    snap.totalUs().quantile(0.50),
+                    snap.totalUs().quantile(0.95),
+                    snap.totalUs().quantile(0.99));
+        std::printf("  queue wait p50/p99     %.2f / %.2f us\n",
+                    snap.queueUs().quantile(0.50),
+                    snap.queueUs().quantile(0.99));
+        std::printf("  throughput             %.0f req/s (virtual)\n",
+                    snap.throughputRps());
+    }
+    std::printf("  prediction mismatches  %llu\n",
+                static_cast<unsigned long long>(
+                    snap.predictionMismatches()));
+
+    if (json_path) {
+        if (!writeJsonFile(json_path, server.metricsJson())) {
+            std::fprintf(stderr, "cannot write %s\n", json_path);
+            return 1;
+        }
+        std::printf("\nwrote %s\n", json_path);
+    }
+    return snap.predictionMismatches() == 0 ? 0 : 1;
+}
