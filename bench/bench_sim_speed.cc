@@ -4,13 +4,39 @@
  * simulator itself runs — fabric hops, ECC codec, MXM matvec tick,
  * and a full chip cycle — for anyone profiling or extending the
  * model. These measure the *simulator*, not the simulated chip.
+ *
+ * After the microbenchmarks, main() runs an end-to-end full-program
+ * comparison: the same compiled schedule simulated with the legacy
+ * per-cycle stepper and with the event-driven fast-forward core,
+ * reporting simulated cycles per wall-clock second for both and the
+ * speedup, and asserting the two executions are identical (cycles
+ * and stats). Two variants run: the dense compiled schedule as-is,
+ * and a NOP-dominated variant — the same program padded with a long
+ * trailing NOP on an unused queue, modeling a deadline-padded
+ * serving slot where the chip idles until the next batch window
+ * (paper VI: deterministic deadlines). The padded speedup is the
+ * headline number. Results land in BENCH_sim_speed.json.
+ *
+ * Flags: --e2e=resnet50 (default) | tiny | off selects the
+ * end-to-end workload (CI smoke uses tiny); all other flags pass
+ * through to google-benchmark.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "arch/layout.hh"
+#include "bench_util.hh"
 #include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "graph/graph.hh"
 #include "mem/ecc.hh"
+#include "model/resnet.hh"
 #include "mxm/mxm_plane.hh"
+#include "runtime/session.hh"
 #include "sim/chip.hh"
 #include "stream/fabric.hh"
 
@@ -103,7 +129,195 @@ BM_ChipIdleCycle(benchmark::State &state)
 }
 BENCHMARK(BM_ChipIdleCycle);
 
+void
+BM_FabricAdvanceBy64(benchmark::State &state)
+{
+    // The fast-forward path's bulk hop: 64 idle cycles in one call.
+    StreamFabric fabric;
+    Vec320 v;
+    for (auto _ : state) {
+        fabric.write({3, Direction::East}, 0, v);
+        fabric.advanceBy(64);
+        benchmark::DoNotOptimize(fabric.totalHops());
+    }
+}
+BENCHMARK(BM_FabricAdvanceBy64);
+
+/** One timed end-to-end simulation of @p lw. */
+struct E2eRun
+{
+    Cycle cycles = 0;
+    double wallSec = 0.0;
+    std::string stats;
+};
+
+E2eRun
+timedRun(Lowering &lw, bool fast_forward)
+{
+    ChipConfig cfg;
+    cfg.fastForwardEnabled = fast_forward;
+    InferenceSession sess(lw, cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    const Cycle cycles = sess.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    E2eRun r;
+    r.cycles = cycles;
+    r.wallSec = std::chrono::duration<double>(t1 - t0).count();
+    const StatGroup stats = sess.chip().stats();
+    for (const auto &[name, val] : stats.all())
+        r.stats += name + "=" + std::to_string(val) + ";";
+    return r;
+}
+
+/** Runs @p prog on a bare chip seeded from @p lw, timed. */
+E2eRun
+timedChipRun(const AsmProgram &prog, Lowering &lw, bool fast_forward)
+{
+    ChipConfig cfg;
+    cfg.fastForwardEnabled = fast_forward;
+    Chip chip(cfg);
+    chip.loadProgram(prog);
+    lw.image().applyTo(chip);
+    const auto t0 = std::chrono::steady_clock::now();
+    const Cycle cycles = chip.run(/*max_cycles=*/1ull << 40);
+    const auto t1 = std::chrono::steady_clock::now();
+    E2eRun r;
+    r.cycles = cycles;
+    r.wallSec = std::chrono::duration<double>(t1 - t0).count();
+    const StatGroup stats = chip.stats();
+    for (const auto &[name, val] : stats.all())
+        r.stats += name + "=" + std::to_string(val) + ";";
+    return r;
+}
+
+/** A legacy/fast pair over one workload variant. */
+struct E2ePair
+{
+    double legacyCps = 0.0;
+    double fastCps = 0.0;
+    double speedup = 0.0;
+    bool identical = false;
+    Cycle cycles = 0;
+    E2eRun legacy, fast;
+};
+
+template <typename Runner>
+E2ePair
+comparePair(const char *label, Runner &&run)
+{
+    E2ePair p;
+    p.legacy = run(false);
+    p.fast = run(true);
+    p.legacyCps =
+        static_cast<double>(p.legacy.cycles) / p.legacy.wallSec;
+    p.fastCps = static_cast<double>(p.fast.cycles) / p.fast.wallSec;
+    p.speedup = p.fastCps / p.legacyCps;
+    p.identical = p.legacy.cycles == p.fast.cycles &&
+                  p.legacy.stats == p.fast.stats;
+    p.cycles = p.legacy.cycles;
+    std::printf("  %-22s per-cycle %10llu cyc %8.3f s %12.0f c/s | "
+                "fast-forward %8.3f s %12.0f c/s | %5.2fx %s\n",
+                label, static_cast<unsigned long long>(p.legacy.cycles),
+                p.legacy.wallSec, p.legacyCps, p.fast.wallSec, p.fastCps,
+                p.speedup,
+                p.identical ? "(identical)" : "MISMATCH!");
+    return p;
+}
+
+int
+runEndToEnd(const std::string &workload)
+{
+    Graph g = workload == "resnet50"
+                  ? model::buildResNetBlocks(
+                        (const int[4]){3, 4, 6, 3}, /*seed=*/42)
+                  : model::buildTinyNet(/*seed=*/42, 12, 12, 8);
+    std::vector<std::int8_t> input;
+    if (workload == "resnet50") {
+        input = model::im2colStem(model::makeImage(7));
+    } else {
+        Rng rng(7);
+        input.resize(12 * 12 * 8);
+        for (auto &v : input)
+            v = static_cast<std::int8_t>(rng.intIn(-100, 100));
+    }
+    Lowering lw(/*pipelined=*/true);
+    g.lower(lw, input);
+
+    std::printf("\nend-to-end full-program simulation (%s "
+                "schedule):\n",
+                workload.c_str());
+    const E2ePair dense = comparePair(
+        "dense", [&](bool ff) { return timedRun(lw, ff); });
+
+    // NOP-dominated variant: the compiled program plus one long NOP
+    // on an otherwise unused C2C queue — the chip sits provably idle
+    // until the deadline, exactly the span the event core elides.
+    const Cycle pad =
+        workload == "resnet50" ? 25'000'000 : 2'000'000;
+    AsmProgram padded = lw.program().toAsm(/*with_preamble=*/true);
+    Instruction deadline;
+    deadline.op = Opcode::Nop;
+    deadline.imm0 = static_cast<std::uint32_t>(pad);
+    Instruction wake; // A queue retires at its last *dispatch*, so a
+    wake.op = Opcode::Nop;
+    wake.imm0 = 1; // trailing 1-cycle NOP pins the end of the pad.
+    auto &pad_queue = padded.queues[IcuId::c2c(kC2cLinks - 1).id];
+    pad_queue.push_back(deadline);
+    pad_queue.push_back(wake);
+    const E2ePair nop = comparePair(
+        "nop-padded (deadline)",
+        [&](bool ff) { return timedChipRun(padded, lw, ff); });
+
+    const bool identical = dense.identical && nop.identical;
+    std::printf("  headline speedup on the NOP-dominated schedule: "
+                "%.2fx (%s)\n",
+                nop.speedup,
+                identical ? "all runs identical"
+                          : "MISMATCH — fast-forward bug!");
+
+    bench::writeJson(
+        "BENCH_sim_speed.json",
+        {{"workload_is_resnet50", workload == "resnet50" ? 1.0 : 0.0},
+         {"simulated_cycles", static_cast<double>(dense.cycles)},
+         {"legacy_wall_sec", dense.legacy.wallSec},
+         {"legacy_cycles_per_sec", dense.legacyCps},
+         {"fast_forward_wall_sec", dense.fast.wallSec},
+         {"fast_forward_cycles_per_sec", dense.fastCps},
+         {"dense_speedup", dense.speedup},
+         {"nop_padded_cycles", static_cast<double>(nop.cycles)},
+         {"nop_padded_legacy_wall_sec", nop.legacy.wallSec},
+         {"nop_padded_legacy_cycles_per_sec", nop.legacyCps},
+         {"nop_padded_fast_forward_wall_sec", nop.fast.wallSec},
+         {"nop_padded_fast_forward_cycles_per_sec", nop.fastCps},
+         {"speedup", nop.speedup},
+         {"identical_results", identical ? 1.0 : 0.0}});
+    return identical ? 0 : 1;
+}
+
 } // namespace
 } // namespace tsp
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip our --e2e flag before google-benchmark parses the rest.
+    std::string workload = "resnet50";
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--e2e=", 6) == 0)
+            workload = argv[i] + 6;
+        else
+            argv[out++] = argv[i];
+    }
+    argc = out;
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    if (workload == "off")
+        return 0;
+    return tsp::runEndToEnd(workload);
+}

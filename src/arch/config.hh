@@ -81,6 +81,17 @@ struct ChipConfig
     /** Record per-instruction execution events for schedule dumps. */
     bool traceEnabled = false;
 
+    /**
+     * Let run()/runBounded() fast-forward over provably idle spans
+     * (the event-driven core). Results are bit-identical to per-cycle
+     * stepping — same cycle counts, stats, memory and stream contents
+     * — because the static schedule makes every idle span provable.
+     * Disable to force the legacy per-cycle stepper (differential
+     * testing); runs with powerTraceEnabled fall back to per-cycle
+     * stepping automatically so the trace keeps one entry per cycle.
+     */
+    bool fastForwardEnabled = true;
+
     /** Power-model coefficients. */
     PowerParams power{};
 

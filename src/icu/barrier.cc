@@ -1,25 +1,45 @@
 #include "icu/barrier.hh"
 
+#include <algorithm>
+
+#include "common/logging.hh"
+
 namespace tsp {
 
 void
 BarrierController::notify(Cycle now)
 {
+    TSP_ASSERT(notifies_.empty() || notifies_.back() <= now);
     notifies_.push_back(now);
+    ++totalNotifies_;
 }
 
 std::optional<Cycle>
 BarrierController::releaseTime(Cycle parked_at) const
 {
-    std::optional<Cycle> best;
-    for (const Cycle tn : notifies_) {
-        const Cycle arrival = tn + kBarrierLatency;
-        if (arrival < parked_at)
-            continue; // Broadcast passed before this Sync parked.
-        if (!best || arrival < *best)
-            best = arrival;
-    }
-    return best;
+    // Issue times are sorted, so the first broadcast whose arrival
+    // reaches the parked Sync is also the earliest such arrival.
+    const Cycle min_tn =
+        parked_at < kBarrierLatency ? 0 : parked_at - kBarrierLatency;
+    const auto it =
+        std::lower_bound(notifies_.begin(), notifies_.end(), min_tn);
+    if (it == notifies_.end())
+        return std::nullopt;
+    return *it + kBarrierLatency;
+}
+
+void
+BarrierController::prune(Cycle parked_floor)
+{
+    // A broadcast arriving before parked_floor can satisfy neither a
+    // currently parked Sync (all parked at >= parked_floor) nor a
+    // future one (which parks at >= parked_floor by definition).
+    const Cycle min_tn = parked_floor < kBarrierLatency
+                             ? 0
+                             : parked_floor - kBarrierLatency;
+    const auto it =
+        std::lower_bound(notifies_.begin(), notifies_.end(), min_tn);
+    notifies_.erase(notifies_.begin(), it);
 }
 
 } // namespace tsp

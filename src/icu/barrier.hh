@@ -11,6 +11,7 @@
 #ifndef TSP_ICU_BARRIER_HH
 #define TSP_ICU_BARRIER_HH
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -25,7 +26,7 @@ inline constexpr Cycle kBarrierLatency = 35;
 class BarrierController
 {
   public:
-    /** Records a Notify issued at cycle @p now. */
+    /** Records a Notify issued at cycle @p now (non-decreasing). */
     void notify(Cycle now);
 
     /**
@@ -38,11 +39,29 @@ class BarrierController
      */
     std::optional<Cycle> releaseTime(Cycle parked_at) const;
 
-    /** @return total Notify instructions observed. */
+    /**
+     * Drops broadcasts whose arrival precedes @p parked_floor — the
+     * earliest park time any present or future Sync can still query
+     * (the minimum parkedAt over currently parked queues, or the
+     * current cycle when none are parked). Such broadcasts can never
+     * satisfy another Sync, so retaining them only grows memory and
+     * slows releaseTime() across long runs and session reuse.
+     */
+    void prune(Cycle parked_floor);
+
+    /** Forgets all broadcasts (between program loads). */
+    void clear() { notifies_.clear(); }
+
+    /** @return total Notify instructions observed (survives prune). */
+    std::size_t totalNotifies() const { return totalNotifies_; }
+
+    /** @return Notify broadcasts currently retained. */
     std::size_t notifyCount() const { return notifies_.size(); }
 
   private:
+    /** Issue cycles in non-decreasing order (notify() asserts). */
     std::vector<Cycle> notifies_;
+    std::size_t totalNotifies_ = 0;
 };
 
 } // namespace tsp

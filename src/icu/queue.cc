@@ -32,6 +32,44 @@ InstructionQueue::done() const
     return pc_ >= program_.size() && !parked_ && repeatsLeft_ == 0;
 }
 
+Cycle
+InstructionQueue::nextEventCycle(Cycle now) const
+{
+    if (repeatsLeft_ > 0)
+        return nextRepeatAt_ > now ? nextRepeatAt_ : now;
+    if (parked_) {
+        const auto release = barrier_.releaseTime(parkedAt_);
+        if (!release)
+            return kNoEventCycle;
+        return *release > now ? *release : now;
+    }
+    if (now < busyUntil_)
+        return busyUntil_;
+    if (pc_ >= program_.size())
+        return kNoEventCycle;
+    return now;
+}
+
+void
+InstructionQueue::skipIdle(Cycle now, Cycle target)
+{
+    TSP_ASSERT(target >= now);
+    const Cycle n = target - now;
+    if (repeatsLeft_ > 0)
+        return; // Waiting between re-issues touches no counter.
+    if (parked_) {
+        parkedCycles_ += n;
+        return;
+    }
+    if (now < busyUntil_) {
+        // target <= nextEventCycle(now) == busyUntil_ by contract.
+        TSP_ASSERT(target <= busyUntil_);
+        nopCycles_ += n;
+        return;
+    }
+    // Retired queue: per-cycle ticks would return without counting.
+}
+
 int
 InstructionQueue::tick(Cycle now, const Instruction *out[2])
 {

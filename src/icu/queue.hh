@@ -51,11 +51,36 @@ class InstructionQueue
      */
     int tick(Cycle now, const Instruction *out[2]);
 
+    /**
+     * @return the earliest cycle >= @p now at which tick() could
+     * dispatch or change state: the pending Repeat re-issue, the
+     * Sync release (when a qualifying Notify broadcast exists), the
+     * end of a NOP delay, or @p now itself when an instruction is
+     * ready. kNoEventCycle when the queue is retired or parked with
+     * no qualifying broadcast (a later Notify creates the event).
+     *
+     * Mirrors tick()'s branch order exactly: ticking every cycle in
+     * [now, nextEventCycle(now)) dispatches nothing and only
+     * accumulates idle counters — the span skipIdle() accounts for.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Fast-forwards this queue over the provably idle span
+     * [@p now, @p target), crediting the NOP / parked cycle counters
+     * exactly as per-cycle tick() calls would have. @p target must
+     * not exceed nextEventCycle(now).
+     */
+    void skipIdle(Cycle now, Cycle target);
+
     /** @return true once every instruction has retired. */
     bool done() const;
 
     /** @return true if parked on a Sync right now. */
     bool parked() const { return parked_; }
+
+    /** @return the cycle this queue parked (valid while parked()). */
+    Cycle parkedSince() const { return parkedAt_; }
 
     /** @return queue identity. */
     IcuId id() const { return id_; }

@@ -70,6 +70,11 @@ Chip::loadProgram(const AsmProgram &program)
         queues_[static_cast<std::size_t>(icu_id)].loadProgram(insts);
     }
     fabric_.clear();
+    // Stale broadcasts must not leak into the next program's barrier
+    // preamble: a reloaded chip starts from the same barrier state as
+    // a fresh one (session reuse determinism).
+    barrier_.clear();
+    lastStepQuiet_ = true;
 }
 
 void
@@ -80,6 +85,10 @@ Chip::dispatchMem(const IcuId &icu, const Instruction &inst)
     const SlicePos pos = slice.pos();
     const Cycle now = fabric_.now();
     const Cycle when = now + opTiming(inst.op).dFunc;
+
+    // Every MEM opcode below uses exactly one SRAM port access;
+    // counting here keeps the power sample free of slice scans.
+    ++sramAccesses_;
 
     switch (inst.op) {
       case Opcode::Read: {
@@ -137,9 +146,20 @@ Chip::dispatch(const IcuId &icu, const Instruction &inst)
 
     // ICU-common instructions may issue from any queue.
     switch (inst.op) {
-      case Opcode::Notify:
+      case Opcode::Notify: {
         barrier_.notify(now);
+        // Broadcasts that arrived before the earliest still-parked
+        // Sync can never satisfy another queue (future Syncs park at
+        // >= now): drop them so long runs and reused sessions don't
+        // accumulate them without bound.
+        Cycle parked_floor = now;
+        for (const auto &q : queues_) {
+            if (q.parked() && q.parkedSince() < parked_floor)
+                parked_floor = q.parkedSince();
+        }
+        barrier_.prune(parked_floor);
         return;
+      }
       case Opcode::Config:
         // Low-power mode: recorded for the power model; geometry is
         // fixed per program in this model (ChipConfig sets VL).
@@ -203,37 +223,87 @@ Chip::step()
         }
     }
 
-    // MXM sequencers stream activations/results every cycle.
-    for (auto &plane : mxm_)
+    // MXM sequencers stream activations/results every cycle. Note
+    // whether any plane was active *before* ticking so the final
+    // cycle of a window still reaches the delta scan below.
+    bool mxm_busy = false;
+    for (auto &plane : mxm_) {
+        mxm_busy = mxm_busy || plane->busy();
         plane->tick(now);
+    }
 
-    // Power accounting from activity deltas.
-    std::uint64_t macc = 0;
-    for (const auto &plane : mxm_)
-        macc += plane->maccOps();
-    std::uint64_t sxm_bytes = 0;
-    for (const auto &s : sxm_)
-        sxm_bytes += s->bytesSwitched();
-    std::uint64_t sram = 0;
-    for (const auto &m : memSlices_)
-        sram += m.reads() + m.writes();
-
+    // Power accounting from activity deltas. Unit counters only move
+    // on a cycle with a dispatch or an active MXM sequencer — every
+    // other cycle contributes stream hops and static power alone, so
+    // the per-cycle scans collapse to incremental counters.
     ActivitySample act;
-    act.maccOps = macc - prevMacc_;
-    act.vxmLaneOps = vxm_->laneOps() - prevVxmOps_;
-    act.sxmBytes = sxm_bytes - prevSxmBytes_;
-    act.sramWords =
-        (sram - prevSramAccesses_) * kSuperlanes; // 20 words/access.
+    if (dispatchesThisCycle_ > 0 || mxm_busy) {
+        std::uint64_t macc = 0;
+        for (const auto &plane : mxm_)
+            macc += plane->maccOps();
+        std::uint64_t sxm_bytes = 0;
+        for (const auto &s : sxm_)
+            sxm_bytes += s->bytesSwitched();
+
+        act.maccOps = macc - prevMacc_;
+        act.vxmLaneOps = vxm_->laneOps() - prevVxmOps_;
+        act.sxmBytes = sxm_bytes - prevSxmBytes_;
+        act.sramWords = (sramAccesses_ - prevSramAccesses_) *
+                        kSuperlanes; // 20 words/access.
+
+        prevMacc_ = macc;
+        prevVxmOps_ = vxm_->laneOps();
+        prevSxmBytes_ = sxm_bytes;
+        prevSramAccesses_ = sramAccesses_;
+    }
     act.streamHops = fabric_.validEntries();
     act.icuDispatches = dispatchesThisCycle_;
     power_->sample(act);
 
-    prevMacc_ = macc;
-    prevVxmOps_ = vxm_->laneOps();
-    prevSxmBytes_ = sxm_bytes;
-    prevSramAccesses_ = sram;
-
+    lastStepQuiet_ = dispatchesThisCycle_ == 0 && !mxm_busy;
     fabric_.advance();
+}
+
+Cycle
+Chip::nextEventCycle() const
+{
+    const Cycle now = fabric_.now();
+    // An active MXM sequencer consumes or produces every cycle.
+    for (const auto &plane : mxm_) {
+        if (plane->busy())
+            return now;
+    }
+    Cycle ev = fabric_.earliestPendingCycle();
+    for (const auto &q : queues_) {
+        const Cycle e = q.nextEventCycle(now);
+        if (e <= now)
+            return now;
+        if (e < ev)
+            ev = e;
+    }
+    return ev;
+}
+
+void
+Chip::advanceTo(Cycle target)
+{
+    const Cycle now = fabric_.now();
+    TSP_ASSERT(target > now);
+    const Cycle span = target - now;
+
+    // Idle accounting each queue would have accumulated per cycle.
+    for (auto &q : queues_)
+        q.skipIdle(now, target);
+
+    // Nothing dispatches or executes inside the span, so the only
+    // dynamic activity is vectors hopping along the fabric: the span
+    // hop total is exactly the fabric's closed-form accumulation.
+    const std::uint64_t hops_before = fabric_.totalHops();
+    fabric_.advanceBy(span);
+
+    ActivitySample act;
+    act.streamHops = fabric_.totalHops() - hops_before;
+    power_->sampleSpan(act, span);
 }
 
 bool
@@ -264,9 +334,20 @@ Chip::run(Cycle max_cycles)
 bool
 Chip::runBounded(Cycle cycle_limit)
 {
+    // The event-driven core jumps over idle spans; the power trace
+    // needs one sample per cycle, so it forces per-cycle stepping.
+    const bool fast_forward =
+        cfg_.fastForwardEnabled && !cfg_.powerTraceEnabled;
     while (!done()) {
         if (now() >= cycle_limit)
             return false;
+        if (fast_forward && lastStepQuiet_) {
+            const Cycle ev = nextEventCycle();
+            if (ev > now()) {
+                advanceTo(ev < cycle_limit ? ev : cycle_limit);
+                continue;
+            }
+        }
         step();
     }
     return true;
@@ -301,6 +382,16 @@ Chip::stats() const
     g.set("stream_hops", fabric_.totalHops());
     g.set("stream_writes", fabric_.totalWrites());
     g.set("ifetches", ifetches_);
+    g.set("notifies",
+          static_cast<std::uint64_t>(barrier_.totalNotifies()));
+
+    std::uint64_t nop_cycles = 0, parked_cycles = 0;
+    for (const auto &q : queues_) {
+        nop_cycles += q.nopCycles();
+        parked_cycles += q.parkedCycles();
+    }
+    g.set("nop_cycles", nop_cycles);
+    g.set("parked_cycles", parked_cycles);
 
     std::uint64_t reads = 0, writes = 0, corrected = 0, uncorrectable = 0;
     for (const auto &m : memSlices_) {

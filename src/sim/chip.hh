@@ -54,6 +54,26 @@ class Chip
     void step();
 
     /**
+     * @return the earliest cycle >= now() at which any unit can act:
+     * the min over instruction-queue events (dispatch, NOP expiry,
+     * Repeat re-issue, Sync release), MXM sequencer activity, and
+     * pending stream-fabric writes. now() when something happens this
+     * cycle; kNoEventCycle when nothing can ever happen again without
+     * a new program.
+     */
+    Cycle nextEventCycle() const;
+
+    /**
+     * Fast-forwards to @p target (> now()) in one jump. Every cycle
+     * in [now(), target) must be event-free (the caller jumps to
+     * nextEventCycle() or earlier); queues accumulate their idle
+     * counters in closed form, the fabric bulk-advances, and the
+     * power model integrates the span — all bit-identical to stepping
+     * cycle by cycle.
+     */
+    void advanceTo(Cycle target);
+
+    /**
      * Runs until every queue has retired and all MXM sequencers are
      * idle, or @p max_cycles elapse.
      *
@@ -149,7 +169,25 @@ class Chip
     std::uint64_t ifetches_ = 0;
     std::uint64_t dispatchesThisCycle_ = 0;
 
-    // Previous totals for per-cycle power deltas.
+    /**
+     * True when the last step() dispatched nothing and no MXM
+     * sequencer was streaming. A skippable idle span always begins
+     * with such a cycle, so runBounded() consults the (O(queues))
+     * event scan only after a quiet step — dense schedule regions
+     * pay nothing for fast-forward support.
+     */
+    bool lastStepQuiet_ = true;
+
+    /**
+     * Timed SRAM accesses, counted incrementally at MEM dispatch
+     * (read/write/gather/scatter each use one port access) so the
+     * per-cycle power sample never rescans all 88 slices.
+     */
+    std::uint64_t sramAccesses_ = 0;
+
+    // Previous totals for per-cycle power deltas. Only updated on
+    // cycles with dispatch or MXM activity — no unit's counters can
+    // move on any other cycle.
     std::uint64_t prevMacc_ = 0;
     std::uint64_t prevVxmOps_ = 0;
     std::uint64_t prevSxmBytes_ = 0;

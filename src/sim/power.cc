@@ -7,8 +7,10 @@ namespace tsp {
 PowerModel::PowerModel(const ChipConfig &cfg) : cfg_(cfg) {}
 
 void
-PowerModel::sample(const ActivitySample &activity)
+PowerModel::sampleSpan(const ActivitySample &activity, Cycle span)
 {
+    if (span == 0)
+        return;
     const PowerParams &p = cfg_.power;
     const double pj =
         static_cast<double>(activity.maccOps) * p.mxmMaccPj +
@@ -23,12 +25,17 @@ PowerModel::sample(const ActivitySample &activity)
         p.uncoreStaticW +
         p.superlaneStaticW * cfg_.activeSuperlanes;
     const double cycle_s = cfg_.cyclePeriodSec();
-    const double joules = pj * 1e-12 + static_w * cycle_s;
+    const double joules =
+        pj * 1e-12 + static_w * cycle_s * static_cast<double>(span);
 
     energyJ_ += joules;
-    ++cycles_;
-    if (cfg_.powerTraceEnabled)
-        trace_.push_back(static_cast<float>(joules / cycle_s));
+    cycles_ += span;
+    if (cfg_.powerTraceEnabled) {
+        const double per_cycle_w =
+            joules / (cycle_s * static_cast<double>(span));
+        for (Cycle c = 0; c < span; ++c)
+            trace_.push_back(static_cast<float>(per_cycle_w));
+    }
 }
 
 double

@@ -20,7 +20,10 @@
 
 namespace tsp {
 
-/** One cycle's activity deltas. */
+/**
+ * Activity deltas for one cycle — or, via sampleSpan(), totals over a
+ * multi-cycle span the event-driven core fast-forwarded in one jump.
+ */
 struct ActivitySample
 {
     std::uint64_t maccOps = 0;
@@ -38,7 +41,25 @@ class PowerModel
     explicit PowerModel(const ChipConfig &cfg);
 
     /** Accounts one cycle of activity. */
-    void sample(const ActivitySample &activity);
+    void
+    sample(const ActivitySample &activity)
+    {
+        sampleSpan(activity, 1);
+    }
+
+    /**
+     * Accounts @p span cycles in one call: @p activity carries the
+     * activity *totals* over the whole span (the dynamic-energy sum is
+     * linear in the deltas, so the aggregate integrates to exactly the
+     * same energy as per-cycle sampling, up to floating-point
+     * association) plus @p span cycles of static power. Used by the
+     * fast-forward core for idle spans, where the only nonzero field
+     * is streamHops. With the per-cycle trace enabled the span's
+     * average power is recorded for each cycle; callers that need the
+     * exact per-cycle trace must sample cycle by cycle (the chip
+     * disables fast-forward when powerTraceEnabled).
+     */
+    void sampleSpan(const ActivitySample &activity, Cycle span);
 
     /** @return total energy in joules so far. */
     double totalEnergyJ() const { return energyJ_; }

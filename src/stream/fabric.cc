@@ -4,7 +4,9 @@
 
 namespace tsp {
 
-StreamFabric::StreamFabric() : rings_(kNumRings)
+StreamFabric::StreamFabric()
+    : rings_(kNumRings),
+      pendingRing_(static_cast<std::size_t>(kPendingHorizon))
 {
     for (auto &ring : rings_)
         ring.slots.resize(kPositions);
@@ -45,7 +47,33 @@ StreamFabric::scheduleWrite(StreamRef s, SlicePos pos, const Vec320 &vec,
         applyWrite(s, pos, vec, writer);
         return;
     }
-    pending_[when].emplace_back(s, pos, vec, writer);
+    if (when - cycle_ >= kPendingHorizon) {
+        // No architectural delay reaches this far; keep correctness
+        // anyway via the ordered overflow map.
+        overflow_[when].push_back({s, pos, vec, writer});
+        return;
+    }
+    PendingBatch &b =
+        pendingRing_[static_cast<std::size_t>(when % kPendingHorizon)];
+    if (b.writes.empty()) {
+        b.when = when;
+        pendingCycles_.push(when);
+    } else {
+        TSP_ASSERT(b.when == when);
+    }
+    b.writes.push_back({s, pos, vec, writer});
+    ++pendingCount_;
+}
+
+Cycle
+StreamFabric::earliestPendingCycle() const
+{
+    Cycle earliest = kNoEventCycle;
+    if (!pendingCycles_.empty())
+        earliest = pendingCycles_.top();
+    if (!overflow_.empty() && overflow_.begin()->first < earliest)
+        earliest = overflow_.begin()->first;
+    return earliest;
 }
 
 const Vec320 *
@@ -56,6 +84,33 @@ StreamFabric::peek(StreamRef s, SlicePos pos) const
     const Entry &e =
         ring.slots[static_cast<std::size_t>(slotOf(s.dir, pos))];
     return e.valid ? &e.vec : nullptr;
+}
+
+void
+StreamFabric::applyPendingNow()
+{
+    if (!pendingCycles_.empty() && pendingCycles_.top() == cycle_) {
+        pendingCycles_.pop();
+        PendingBatch &b = pendingRing_[static_cast<std::size_t>(
+            cycle_ % kPendingHorizon)];
+        TSP_ASSERT(b.when == cycle_ && !b.writes.empty());
+        for (const PendingWrite &w : b.writes)
+            applyWrite(w.s, w.pos, w.vec, w.writer);
+        pendingCount_ -= b.writes.size();
+        b.writes.clear(); // Capacity retained for reuse.
+    }
+    // Drain-order invariant: nothing pending at or before now.
+    TSP_ASSERT(pendingCycles_.empty() ||
+               pendingCycles_.top() > cycle_);
+    if (!overflow_.empty()) {
+        const auto it = overflow_.begin();
+        TSP_ASSERT(it->first >= cycle_);
+        if (it->first == cycle_) {
+            for (const PendingWrite &w : it->second)
+                applyWrite(w.s, w.pos, w.vec, w.writer);
+            overflow_.erase(it);
+        }
+    }
 }
 
 void
@@ -86,12 +141,56 @@ StreamFabric::advance()
     }
 
     // Apply writes that become visible this cycle.
-    auto it = pending_.find(cycle_);
-    if (it != pending_.end()) {
-        for (auto &[s, pos, vec, writer] : it->second)
-            applyWrite(s, pos, vec, writer);
-        pending_.erase(it);
+    applyPendingNow();
+}
+
+void
+StreamFabric::advanceBy(Cycle n)
+{
+    if (n == 0)
+        return;
+    // Fast-forward legality: no write may become visible strictly
+    // inside the span (it would flow from the wrong cycle).
+    TSP_ASSERT(earliestPendingCycle() >= cycle_ + n);
+
+    // Per ring, hop totals and edge fall-off in closed form: an
+    // eastward value at position p contributes one hop per advance
+    // until the advance that wraps it past position N-1 — exactly
+    // N - p hops — and symmetrically p + 1 hops westward. Empty
+    // rings (the common case in idle spans) cost nothing.
+    const long t = static_cast<long>(cycle_ % kPositions);
+    std::uint64_t hops = 0;
+    for (int r = 0; r < kNumRings; ++r) {
+        Ring &ring = rings_[static_cast<std::size_t>(r)];
+        if (ring.validInRing == 0)
+            continue;
+        const bool east = r < kStreamsPerDir;
+        for (int idx = 0; idx < kPositions; ++idx) {
+            Entry &e = ring.slots[static_cast<std::size_t>(idx)];
+            if (!e.valid)
+                continue;
+            long pos = east ? (idx + t) % kPositions
+                            : (idx - t) % kPositions;
+            if (pos < 0)
+                pos += kPositions;
+            const Cycle remaining = east
+                                        ? static_cast<Cycle>(
+                                              kPositions - pos)
+                                        : static_cast<Cycle>(pos + 1);
+            hops += remaining < n ? remaining : n;
+            if (remaining <= n) {
+                e.valid = false;
+                --ring.validInRing;
+                --validCount_;
+            }
+        }
     }
+    totalHops_ += hops;
+    cycle_ += n;
+
+    // Writes scheduled for the arrival cycle become visible now, in
+    // the same edge-falloff-then-apply order as advance().
+    applyPendingNow();
 }
 
 void
@@ -103,7 +202,11 @@ StreamFabric::clear()
         ring.validInRing = 0;
     }
     validCount_ = 0;
-    pending_.clear();
+    for (auto &b : pendingRing_)
+        b.writes.clear();
+    pendingCycles_ = {};
+    pendingCount_ = 0;
+    overflow_.clear();
 }
 
 } // namespace tsp

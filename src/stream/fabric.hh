@@ -12,14 +12,21 @@
  * Implementation: each (direction, stream) pair owns a ring buffer
  * over the 95 stream-register positions. Advancing the clock is O(1)
  * index arithmetic plus invalidation of the slot that wrapped past the
- * chip edge; no vector data is copied as it "flows".
+ * chip edge; no vector data is copied as it "flows". Writes scheduled
+ * for future cycles live in a calendar ring indexed by cycle (every
+ * producer delay is a small architectural constant) with a min-heap of
+ * distinct pending cycles answering earliestPendingCycle() in O(1) —
+ * the hook the event-driven chip core uses to fast-forward, via
+ * advanceBy(), over spans where nothing dispatches.
  */
 
 #ifndef TSP_STREAM_FABRIC_HH
 #define TSP_STREAM_FABRIC_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <queue>
 #include <vector>
 
 #include "arch/layout.hh"
@@ -43,6 +50,22 @@ class StreamFabric
      * the new cycle become visible.
      */
     void advance();
+
+    /**
+     * Bulk-advances @p n cycles in one jump. Equivalent to calling
+     * advance() @p n times provided no write is pending strictly
+     * inside the span (asserted): hop accounting and edge fall-off
+     * are computed arithmetically per ring, and writes scheduled for
+     * the arrival cycle are applied on arrival. totalHops() and all
+     * validity state end bit-identical to the per-cycle path.
+     */
+    void advanceBy(Cycle n);
+
+    /**
+     * @return the cycle of the earliest scheduled-but-unapplied write,
+     * or kNoEventCycle when none is pending.
+     */
+    Cycle earliestPendingCycle() const;
 
     /**
      * @return the vector visible on stream @p s at position @p pos in
@@ -95,8 +118,32 @@ class StreamFabric
         int validInRing = 0;
     };
 
+    /** One write waiting for its visibility cycle. */
+    struct PendingWrite
+    {
+        StreamRef s{};
+        SlicePos pos = 0;
+        Vec320 vec{};
+        const char *writer = "?";
+    };
+
+    /** One calendar slot: all writes landing in the same cycle. */
+    struct PendingBatch
+    {
+        Cycle when = 0;
+        std::vector<PendingWrite> writes; ///< Capacity is reused.
+    };
+
     static constexpr int kNumRings = 2 * kStreamsPerDir;
     static constexpr int kPositions = Layout::numPositions;
+
+    /**
+     * Calendar depth. Producer delays are architectural constants
+     * (the largest is Send's 22-cycle serialization), so every
+     * in-flight write lands well inside this horizon; scheduleWrite
+     * falls back to an ordered overflow map beyond it.
+     */
+    static constexpr Cycle kPendingHorizon = 128;
 
     static int
     ringIndex(StreamRef s)
@@ -122,14 +169,26 @@ class StreamFabric
     void applyWrite(StreamRef s, SlicePos pos, const Vec320 &vec,
                     const char *writer);
 
+    /** Applies (and empties) the batch scheduled for @p cycle_. */
+    void applyPendingNow();
+
     std::vector<Ring> rings_;
     Cycle cycle_ = 0;
 
-    /** Writes scheduled for future cycles, applied on advance(). */
-    std::map<Cycle,
-             std::vector<std::tuple<StreamRef, SlicePos, Vec320,
-                                    const char *>>>
-        pending_;
+    /**
+     * Calendar ring of pending batches indexed by when % horizon,
+     * valid when non-empty and batch.when matches. pendingCycles_
+     * holds each distinct pending cycle once (pushed when its batch
+     * first becomes non-empty), so the earliest key is O(1) away.
+     */
+    std::vector<PendingBatch> pendingRing_;
+    std::priority_queue<Cycle, std::vector<Cycle>,
+                        std::greater<Cycle>>
+        pendingCycles_;
+    std::size_t pendingCount_ = 0;
+
+    /** Writes beyond the calendar horizon (empty in practice). */
+    std::map<Cycle, std::vector<PendingWrite>> overflow_;
 
     std::uint64_t validCount_ = 0;
     std::uint64_t totalHops_ = 0;

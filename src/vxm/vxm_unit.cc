@@ -1,8 +1,175 @@
 #include "vxm/vxm_unit.hh"
 
+#include <type_traits>
+
 #include "common/logging.hh"
 
 namespace tsp {
+
+namespace {
+
+/**
+ * The lane loops below are instantiated once per (dtype, opcode)
+ * pair and dispatched to with two switches per *instruction* instead
+ * of several per *lane*: with both parameters compile-time constant,
+ * the inline alu_ops bodies collapse to straight-line arithmetic.
+ * Semantics are those of the shared alu_ops functions — the same
+ * code, merely specialized.
+ */
+
+/** Calls @p fn with @p t lifted to a compile-time constant. */
+template <typename Fn>
+void
+withDType(DType t, Fn &&fn)
+{
+    switch (t) {
+      case DType::Int8:
+        fn(std::integral_constant<DType, DType::Int8>{});
+        return;
+      case DType::Int16:
+        fn(std::integral_constant<DType, DType::Int16>{});
+        return;
+      case DType::Int32:
+        fn(std::integral_constant<DType, DType::Int32>{});
+        return;
+      case DType::Fp16:
+        fn(std::integral_constant<DType, DType::Fp16>{});
+        return;
+      case DType::Fp32:
+        fn(std::integral_constant<DType, DType::Fp32>{});
+        return;
+    }
+    panic("VXM: bad dtype %d", static_cast<int>(t));
+}
+
+/** Calls @p fn with a point-wise binary @p op lifted to a constant. */
+template <typename Fn>
+void
+withBinaryOp(Opcode op, Fn &&fn)
+{
+    switch (op) {
+      case Opcode::Add:
+        fn(std::integral_constant<Opcode, Opcode::Add>{});
+        return;
+      case Opcode::Sub:
+        fn(std::integral_constant<Opcode, Opcode::Sub>{});
+        return;
+      case Opcode::Mul:
+        fn(std::integral_constant<Opcode, Opcode::Mul>{});
+        return;
+      case Opcode::AddSat:
+        fn(std::integral_constant<Opcode, Opcode::AddSat>{});
+        return;
+      case Opcode::SubSat:
+        fn(std::integral_constant<Opcode, Opcode::SubSat>{});
+        return;
+      case Opcode::MulSat:
+        fn(std::integral_constant<Opcode, Opcode::MulSat>{});
+        return;
+      case Opcode::Max:
+        fn(std::integral_constant<Opcode, Opcode::Max>{});
+        return;
+      case Opcode::Min:
+        fn(std::integral_constant<Opcode, Opcode::Min>{});
+        return;
+      case Opcode::Mask:
+        fn(std::integral_constant<Opcode, Opcode::Mask>{});
+        return;
+      default:
+        panic("aluBinary: not a binary op: %s", opcodeName(op));
+    }
+}
+
+/** Calls @p fn with a point-wise unary @p op lifted to a constant. */
+template <typename Fn>
+void
+withUnaryOp(Opcode op, Fn &&fn)
+{
+    switch (op) {
+      case Opcode::Neg:
+        fn(std::integral_constant<Opcode, Opcode::Neg>{});
+        return;
+      case Opcode::Abs:
+        fn(std::integral_constant<Opcode, Opcode::Abs>{});
+        return;
+      case Opcode::Relu:
+        fn(std::integral_constant<Opcode, Opcode::Relu>{});
+        return;
+      case Opcode::Tanh:
+        fn(std::integral_constant<Opcode, Opcode::Tanh>{});
+        return;
+      case Opcode::Exp:
+        fn(std::integral_constant<Opcode, Opcode::Exp>{});
+        return;
+      case Opcode::Rsqrt:
+        fn(std::integral_constant<Opcode, Opcode::Rsqrt>{});
+        return;
+      case Opcode::Shift:
+        fn(std::integral_constant<Opcode, Opcode::Shift>{});
+        return;
+      default:
+        panic("aluUnary: not a unary op: %s", opcodeName(op));
+    }
+}
+
+template <DType T, Opcode OP>
+void
+binaryLanes(const Vec320 *a, const Vec320 *b, Vec320 *out, int lanes)
+{
+    constexpr int g = dtypeBytes(T);
+    std::uint8_t ab[4], bb[4], ob[4];
+    for (int l = 0; l < lanes; ++l) {
+        const auto sl = static_cast<std::size_t>(l);
+        for (int k = 0; k < g; ++k) {
+            ab[k] = a[k].bytes[sl];
+            bb[k] = b[k].bytes[sl];
+        }
+        const LaneValue r = aluBinary(OP, T, laneLoad(ab, T),
+                                      laneLoad(bb, T));
+        laneStore(ob, T, r);
+        for (int k = 0; k < g; ++k)
+            out[k].bytes[sl] = ob[k];
+    }
+}
+
+template <DType T, Opcode OP>
+void
+unaryLanes(const Vec320 *a, Vec320 *out, int lanes,
+           std::uint32_t shift_amount)
+{
+    constexpr int g = dtypeBytes(T);
+    std::uint8_t ab[4], ob[4];
+    for (int l = 0; l < lanes; ++l) {
+        const auto sl = static_cast<std::size_t>(l);
+        for (int k = 0; k < g; ++k)
+            ab[k] = a[k].bytes[sl];
+        const LaneValue r = aluUnary(OP, T, laneLoad(ab, T),
+                                     shift_amount);
+        laneStore(ob, T, r);
+        for (int k = 0; k < g; ++k)
+            out[k].bytes[sl] = ob[k];
+    }
+}
+
+template <DType FROM, DType TO>
+void
+convertLanes(const Vec320 *in, Vec320 *out, int lanes)
+{
+    constexpr int gi = dtypeBytes(FROM);
+    constexpr int go = dtypeBytes(TO);
+    std::uint8_t ibytes[4], obytes[4];
+    for (int l = 0; l < lanes; ++l) {
+        const auto sl = static_cast<std::size_t>(l);
+        for (int k = 0; k < gi; ++k)
+            ibytes[k] = in[k].bytes[sl];
+        const LaneValue r = aluConvert(FROM, TO, laneLoad(ibytes, FROM));
+        laneStore(obytes, TO, r);
+        for (int k = 0; k < go; ++k)
+            out[k].bytes[sl] = obytes[k];
+    }
+}
+
+} // namespace
 
 VxmUnit::VxmUnit(const ChipConfig &cfg, StreamFabric &fabric)
     : cfg_(cfg), io_(cfg, fabric, "VXM")
@@ -58,16 +225,12 @@ VxmUnit::execute(const Instruction &inst, int alu, Cycle now)
 
         Vec320 in[4], out[4];
         loadGroup(inst.srcA, gi, in);
-        std::uint8_t ibytes[4], obytes[4];
-        for (int l = 0; l < lanes; ++l) {
-            for (int k = 0; k < gi; ++k)
-                ibytes[k] = in[k].bytes[static_cast<std::size_t>(l)];
-            const LaneValue a = laneLoad(ibytes, from);
-            const LaneValue r = aluConvert(from, to, a);
-            laneStore(obytes, to, r);
-            for (int k = 0; k < go; ++k)
-                out[k].bytes[static_cast<std::size_t>(l)] = obytes[k];
-        }
+        withDType(from, [&](auto fromc) {
+            withDType(to, [&](auto toc) {
+                convertLanes<decltype(fromc)::value,
+                             decltype(toc)::value>(in, out, lanes);
+            });
+        });
         storeGroup(inst.dst, go, out, when);
         laneOps_ += static_cast<std::uint64_t>(lanes);
         return;
@@ -80,30 +243,22 @@ VxmUnit::execute(const Instruction &inst, int alu, Cycle now)
 
     Vec320 a[4], b[4], out[4];
     loadGroup(inst.srcA, g, a);
-    const bool binary = isVxmBinary(inst.op);
-    if (binary) {
+    if (isVxmBinary(inst.op)) {
         checkAlignment(inst.srcB, g);
         loadGroup(inst.srcB, g, b);
-    }
-
-    std::uint8_t abytes[4], bbytes[4], obytes[4];
-    for (int l = 0; l < lanes; ++l) {
-        for (int k = 0; k < g; ++k) {
-            abytes[k] = a[k].bytes[static_cast<std::size_t>(l)];
-            if (binary)
-                bbytes[k] = b[k].bytes[static_cast<std::size_t>(l)];
-        }
-        const LaneValue av = laneLoad(abytes, t);
-        LaneValue r;
-        if (binary) {
-            const LaneValue bv = laneLoad(bbytes, t);
-            r = aluBinary(inst.op, t, av, bv);
-        } else {
-            r = aluUnary(inst.op, t, av, inst.imm0);
-        }
-        laneStore(obytes, t, r);
-        for (int k = 0; k < g; ++k)
-            out[k].bytes[static_cast<std::size_t>(l)] = obytes[k];
+        withDType(t, [&](auto tc) {
+            withBinaryOp(inst.op, [&](auto opc) {
+                binaryLanes<decltype(tc)::value, decltype(opc)::value>(
+                    a, b, out, lanes);
+            });
+        });
+    } else {
+        withDType(t, [&](auto tc) {
+            withUnaryOp(inst.op, [&](auto opc) {
+                unaryLanes<decltype(tc)::value, decltype(opc)::value>(
+                    a, out, lanes, inst.imm0);
+            });
+        });
     }
     storeGroup(inst.dst, g, out, when);
     laneOps_ += static_cast<std::uint64_t>(lanes);

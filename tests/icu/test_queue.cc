@@ -168,6 +168,77 @@ TEST(Queue, StatsTrackNopAndParkCycles)
     EXPECT_EQ(q.dispatched(), 1u);
 }
 
+TEST(Queue, NextEventCycleMirrorsTickStates)
+{
+    BarrierController barrier;
+    InstructionQueue q(IcuId::mem(Hemisphere::East, 4), barrier);
+    Instruction sync;
+    sync.op = Opcode::Sync;
+    q.loadProgram({nop(10), readInst(1), sync, readInst(2)});
+
+    const Instruction *out[2];
+    // Ready instruction: the event is now.
+    EXPECT_EQ(q.nextEventCycle(0), Cycle{0});
+    tick(q, 0, out); // NOP; idle until 10.
+    EXPECT_EQ(q.nextEventCycle(1), Cycle{10});
+    EXPECT_EQ(q.nextEventCycle(9), Cycle{10});
+    tick(q, 10, out); // Read dispatches.
+    tick(q, 11, out); // Sync parks; no broadcast pending.
+    EXPECT_TRUE(q.parked());
+    EXPECT_EQ(q.nextEventCycle(12), kNoEventCycle);
+    barrier.notify(20); // Release at 55.
+    EXPECT_EQ(q.nextEventCycle(12), Cycle{55});
+    tick(q, 55, out); // Unparks and dispatches.
+    EXPECT_EQ(tick(q, 56, out), 0);
+    EXPECT_TRUE(q.done());
+    EXPECT_EQ(q.nextEventCycle(57), kNoEventCycle);
+}
+
+TEST(Queue, NextEventCycleTracksRepeatGaps)
+{
+    BarrierController barrier;
+    InstructionQueue q(IcuId::mem(Hemisphere::West, 7), barrier);
+    Instruction rep;
+    rep.op = Opcode::Repeat;
+    rep.imm0 = 2;
+    rep.imm1 = 4;
+    q.loadProgram({readInst(3), rep});
+
+    const Instruction *out[2];
+    tick(q, 0, out); // Original read.
+    tick(q, 1, out); // Repeat dispatches; first re-issue fires.
+    // One re-issue left, due at 5.
+    EXPECT_EQ(q.nextEventCycle(2), Cycle{5});
+    EXPECT_EQ(q.nextEventCycle(4), Cycle{5});
+    tick(q, 5, out);
+    EXPECT_TRUE(q.done());
+}
+
+TEST(Queue, SkipIdleCreditsCountersLikePerCycleTicks)
+{
+    // Two identical queues: one ticked per cycle through an idle
+    // span, one fast-forwarded with skipIdle. Counters must match.
+    BarrierController barrier;
+    InstructionQueue slow(IcuId::mem(Hemisphere::East, 5), barrier);
+    InstructionQueue fast(IcuId::mem(Hemisphere::East, 6), barrier);
+    const std::vector<Instruction> prog{nop(50), readInst(1)};
+    slow.loadProgram(prog);
+    fast.loadProgram(prog);
+
+    const Instruction *out[2];
+    tick(slow, 0, out);
+    tick(fast, 0, out);
+    for (Cycle t = 1; t < 50; ++t)
+        tick(slow, t, out);
+    fast.skipIdle(1, 50);
+    EXPECT_EQ(fast.nopCycles(), slow.nopCycles());
+    tick(slow, 50, out);
+    tick(fast, 50, out);
+    EXPECT_EQ(fast.dispatched(), slow.dispatched());
+    EXPECT_TRUE(slow.done());
+    EXPECT_TRUE(fast.done());
+}
+
 TEST(Barrier, ReleaseTimeSemantics)
 {
     BarrierController b;
@@ -180,6 +251,55 @@ TEST(Barrier, ReleaseTimeSemantics)
     EXPECT_FALSE(b.releaseTime(136).has_value());
     b.notify(200);
     EXPECT_EQ(*b.releaseTime(136), 235u);
+}
+
+TEST(Barrier, PruneDropsOnlyUnreachableBroadcasts)
+{
+    BarrierController b;
+    b.notify(0);   // Arrives 35.
+    b.notify(100); // Arrives 135.
+    b.notify(200); // Arrives 235.
+    EXPECT_EQ(b.notifyCount(), 3u);
+
+    // A queue parked at 120 still needs the 135 arrival; pruning with
+    // that floor drops only the cycle-35 broadcast.
+    b.prune(120);
+    EXPECT_EQ(b.notifyCount(), 2u);
+    EXPECT_EQ(b.totalNotifies(), 3u);
+    ASSERT_TRUE(b.releaseTime(120).has_value());
+    EXPECT_EQ(*b.releaseTime(120), 135u);
+    EXPECT_EQ(*b.releaseTime(150), 235u);
+
+    // Nothing parked, clock at 300: every past broadcast is useless
+    // for present *and* future Syncs except the one arriving >= 265.
+    b.prune(300);
+    EXPECT_EQ(b.notifyCount(), 0u);
+    EXPECT_EQ(b.totalNotifies(), 3u);
+    EXPECT_FALSE(b.releaseTime(300).has_value());
+}
+
+TEST(Barrier, ClearForgetsBroadcasts)
+{
+    BarrierController b;
+    b.notify(10);
+    ASSERT_TRUE(b.releaseTime(10).has_value());
+    b.clear();
+    EXPECT_FALSE(b.releaseTime(10).has_value());
+    EXPECT_EQ(b.notifyCount(), 0u);
+}
+
+TEST(Barrier, NotifiesStayBoundedUnderSteadyTraffic)
+{
+    // The regression the prune exists for: a long-running serving
+    // loop issuing a Notify per request must not accumulate
+    // broadcasts without bound.
+    BarrierController b;
+    for (Cycle t = 0; t < 10'000; ++t) {
+        b.notify(t * 100);
+        b.prune(t * 100); // Nothing parked: floor = current cycle.
+    }
+    EXPECT_EQ(b.totalNotifies(), 10'000u);
+    EXPECT_LE(b.notifyCount(), 2u);
 }
 
 } // namespace

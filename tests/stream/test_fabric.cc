@@ -133,6 +133,69 @@ TEST(FabricDeath, TwoProducersSameSlotPanic)
     ASSERT_DEATH(body(), "two producers");
 }
 
+TEST(Fabric, AdvanceByMatchesPerCycleAdvance)
+{
+    // Bulk advance must leave the fabric in exactly the state N
+    // single advances produce: same positions, same validity, same
+    // hop totals — for entries that survive and entries that fall
+    // off the edge mid-span.
+    StreamFabric a, b;
+    for (StreamFabric *f : {&a, &b}) {
+        f->write({4, Direction::East}, 10, mark(7));
+        f->write({4, Direction::East}, 90, mark(8)); // Falls off.
+        f->write({0, Direction::West}, 3, mark(9));  // Falls off.
+        f->write({11, Direction::West}, 80, mark(4));
+    }
+    const Cycle n = 20;
+    for (Cycle i = 0; i < n; ++i)
+        a.advance();
+    b.advanceBy(n);
+
+    EXPECT_EQ(a.now(), b.now());
+    EXPECT_EQ(a.totalHops(), b.totalHops());
+    EXPECT_EQ(a.validEntries(), b.validEntries());
+    ASSERT_NE(b.peek({4, Direction::East}, 30), nullptr);
+    EXPECT_EQ(b.peek({4, Direction::East}, 30)->bytes[0], 7);
+    ASSERT_NE(b.peek({11, Direction::West}, 60), nullptr);
+    EXPECT_EQ(b.peek({11, Direction::West}, 60)->bytes[0], 4);
+}
+
+TEST(Fabric, AdvanceByAppliesWritesDueAtTarget)
+{
+    // A pending write due exactly at the jump target is applied when
+    // the jump lands (the fabric applies writes for the new cycle),
+    // matching what per-cycle advance() does on arrival.
+    StreamFabric f;
+    const StreamRef s{2, Direction::East};
+    f.scheduleWrite(s, 20, mark(5), /*when=*/8);
+    EXPECT_EQ(f.earliestPendingCycle(), Cycle{8});
+    f.advanceBy(8);
+    EXPECT_EQ(f.now(), Cycle{8});
+    ASSERT_NE(f.peek(s, 20), nullptr);
+    EXPECT_EQ(f.peek(s, 20)->bytes[0], 5);
+    EXPECT_EQ(f.earliestPendingCycle(), kNoEventCycle);
+}
+
+TEST(Fabric, EarliestPendingCycleTracksSchedule)
+{
+    StreamFabric f;
+    EXPECT_EQ(f.earliestPendingCycle(), kNoEventCycle);
+    f.scheduleWrite({1, Direction::East}, 10, mark(1), 12);
+    f.scheduleWrite({2, Direction::East}, 11, mark(2), 5);
+    // Far beyond the pending ring horizon: exercises the overflow map.
+    f.scheduleWrite({3, Direction::East}, 12, mark(3), 500);
+    EXPECT_EQ(f.earliestPendingCycle(), Cycle{5});
+    for (int i = 0; i < 5; ++i)
+        f.advance();
+    EXPECT_EQ(f.earliestPendingCycle(), Cycle{12});
+    for (int i = 0; i < 7; ++i)
+        f.advance();
+    EXPECT_EQ(f.earliestPendingCycle(), Cycle{500});
+    f.advanceBy(488);
+    EXPECT_EQ(f.earliestPendingCycle(), kNoEventCycle);
+    ASSERT_NE(f.peek({3, Direction::East}, 12), nullptr);
+}
+
 TEST(Fabric, FullTraversalTiming)
 {
     // A value written at the west edge reaches the east edge after
