@@ -1,8 +1,23 @@
 #include "arch/config.hh"
 
+#include "arch/layout.hh"
 #include "common/logging.hh"
 
 namespace tsp {
+
+namespace {
+
+void
+checkRate(const char *name, double rate)
+{
+    if (rate < 0.0 || rate > 1.0) {
+        fatal("ChipConfig: fault.%s must be a probability in [0, 1] "
+              "(got %g)",
+              name, rate);
+    }
+}
+
+} // namespace
 
 void
 ChipConfig::validate() const
@@ -12,6 +27,20 @@ ChipConfig::validate() const
     if (activeSuperlanes < 1 || activeSuperlanes > kSuperlanes) {
         fatal("ChipConfig: activeSuperlanes must be in [1, %d] (got %d)",
               kSuperlanes, activeSuperlanes);
+    }
+    checkRate("memReadRate", fault.memReadRate);
+    checkRate("memWriteRate", fault.memWriteRate);
+    checkRate("streamRate", fault.streamRate);
+    checkRate("doubleBitFraction", fault.doubleBitFraction);
+    for (const FaultEvent &e : fault.events) {
+        if (e.slice < 0 || e.slice >= kMemSlices ||
+            e.addr >= static_cast<MemAddr>(kMemWordsPerSlice) ||
+            e.chunk < 0 || e.chunk >= kSuperlanes || e.bit < 0 ||
+            e.bit >= kWordBytes * 8 + kEccBits) {
+            fatal("ChipConfig: fault event out of range (slice %d, "
+                  "addr 0x%x, chunk %d, bit %d)",
+                  e.slice, e.addr, e.chunk, e.bit);
+        }
     }
 }
 

@@ -13,10 +13,82 @@
 #define TSP_ARCH_CONFIG_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "arch/types.hh"
 
 namespace tsp {
+
+/**
+ * One explicitly scheduled soft error: when the chip clock reaches
+ * @p cycle, flip one bit of the stored SRAM word at (@p slice,
+ * @p addr). The bit is addressed in SECDED-codeword space so check
+ * bits are injectable too. Scheduled faults are *events* to the
+ * event-driven core: fast-forward never jumps over one, so per-cycle
+ * and fast-forwarded runs observe the identical upset history.
+ */
+struct FaultEvent
+{
+    /** Chip cycle at which the bit flips. */
+    Cycle cycle = 0;
+
+    /** Global MEM slice index: W0..43 are 0..43, E0..43 are 44..87. */
+    int slice = 0;
+
+    /** Word address within the slice. */
+    MemAddr addr = 0;
+
+    /** Superlane word (ECC chunk) 0..19 within the 320-byte word. */
+    int chunk = 0;
+
+    /** Codeword bit: 0..127 flip a data bit, 128..136 a check bit. */
+    int bit = 0;
+};
+
+/**
+ * Deterministic fault-injection configuration (paper II.D exercises:
+ * SECDED covers SRAM soft errors and datapath upsets; this is how we
+ * create them on demand). All randomness is drawn from one seeded
+ * generator *per access*, never per cycle, so the upset sequence is a
+ * pure function of the access sequence — identical under per-cycle
+ * stepping and event-driven fast-forward.
+ */
+struct FaultConfig
+{
+    /** Seed for the per-chip fault RNG. */
+    std::uint64_t seed = 0x5eedf001u;
+
+    /** P(strike) per timed MEM read: transient read-path upset. */
+    double memReadRate = 0.0;
+
+    /** P(strike) per timed MEM write, before the consumer-side check. */
+    double memWriteRate = 0.0;
+
+    /** P(strike) per operand consumed at any slice's stream port. */
+    double streamRate = 0.0;
+
+    /**
+     * Fraction of strikes that flip two distinct bits of the same
+     * 128+9-bit chunk — uncorrectable by construction, the trigger
+     * for machine checks. The remainder flip a single (correctable)
+     * bit anywhere in the chunk, check bits included.
+     */
+    double doubleBitFraction = 0.0;
+
+    /** Explicit, reproducible (cycle, site, bit) fault list. */
+    std::vector<FaultEvent> events;
+
+    /** @return true when any per-access rate is positive. */
+    bool
+    haveRates() const
+    {
+        return memReadRate > 0.0 || memWriteRate > 0.0 ||
+               streamRate > 0.0;
+    }
+
+    /** @return true when this config can inject anything at all. */
+    bool enabled() const { return haveRates() || !events.empty(); }
+};
 
 /**
  * Per-operation energy coefficients in picojoules, used by the
@@ -94,6 +166,15 @@ struct ChipConfig
 
     /** Power-model coefficients. */
     PowerParams power{};
+
+    /**
+     * Deterministic fault injection (off by default). With a rate or
+     * an event list set, the chip flips bits in SRAM words, consumed
+     * stream operands and check bits; every injected upset is either
+     * corrected (single-bit) or raises a chip-level machine check
+     * (double-bit), never silently consumed.
+     */
+    FaultConfig fault{};
 
     /** @return active vector length in bytes. */
     int

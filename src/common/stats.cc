@@ -26,7 +26,13 @@ StatGroup::toString() const
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), buckets_(buckets, 0)
 {
-    TSP_ASSERT(hi > lo && buckets > 0);
+    // A zero (or negative) bucket width would make record() divide by
+    // zero: NaN cast to long is UB. Widen instead of panicking — the
+    // histogram stays usable and the damage is visible as overflow.
+    if (!(hi_ > lo_))
+        hi_ = lo_ + 1.0;
+    if (buckets_.empty())
+        buckets_.resize(1, 0);
 }
 
 void
@@ -40,6 +46,11 @@ Histogram::record(double sample)
     }
     ++count_;
     sum_ += sample;
+
+    if (sample < lo_)
+        ++underflow_;
+    else if (sample >= hi_)
+        ++overflow_;
 
     const double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
     auto idx = static_cast<long>((sample - lo_) / width);
@@ -63,12 +74,18 @@ Histogram::quantile(double p) const
         static_cast<std::uint64_t>(p * static_cast<double>(count_ - 1));
     std::uint64_t seen = 0;
     const double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+    double q = hi_;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         seen += buckets_[i];
-        if (seen > target)
-            return lo_ + (static_cast<double>(i) + 0.5) * width;
+        if (seen > target) {
+            q = lo_ + (static_cast<double>(i) + 0.5) * width;
+            break;
+        }
     }
-    return hi_;
+    // Out-of-range samples clamp into the edge buckets, whose
+    // midpoints are values no sample may have had; the true order
+    // statistic always lies within the observed sample range.
+    return std::clamp(q, min_, max_);
 }
 
 } // namespace tsp

@@ -73,7 +73,12 @@ class Histogram
   public:
     /**
      * @param lo inclusive lower bound of the first bucket.
-     * @param hi exclusive upper bound of the last bucket.
+     * @param hi exclusive upper bound of the last bucket. A degenerate
+     *        range (hi <= lo) is widened to one unit above lo, and
+     *        zero buckets become one, so a misconfigured histogram
+     *        records safely (with every sample counted as overflow)
+     *        instead of dividing by a zero bucket width (NaN -> long
+     *        cast is UB).
      * @param buckets number of equal-width buckets.
      */
     Histogram(double lo, double hi, std::size_t buckets);
@@ -91,7 +96,19 @@ class Histogram
     double minSample() const { return min_; }
     double maxSample() const { return max_; }
 
-    /** @return the approximate p-quantile (0 <= p <= 1) from buckets. */
+    /** @return samples recorded below lo (clamped into bucket 0). */
+    std::uint64_t underflow() const { return underflow_; }
+
+    /** @return samples recorded at/above hi (clamped into the last
+     *  bucket). Nonzero overflow means upper quantiles saturate at
+     *  maxSample() rather than resolving within the bucket range. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /**
+     * @return the approximate p-quantile (0 <= p <= 1) from buckets,
+     * clamped to [minSample, maxSample] so clamped out-of-range
+     * samples can never make a quantile report a value no sample had.
+     */
     double quantile(double p) const;
 
     /** @return per-bucket counts. */
@@ -102,6 +119,8 @@ class Histogram
     double hi_;
     std::vector<std::uint64_t> buckets_;
     std::uint64_t count_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;

@@ -1,0 +1,86 @@
+#include "mem/fault.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "mem/mem_slice.hh"
+
+namespace tsp {
+
+void
+MachineCheckSink::raise(Cycle cycle, const std::string &unit,
+                        std::string detail)
+{
+    if (raises_ == 0) {
+        info_.cycle = cycle;
+        info_.unit = unit;
+        info_.detail = std::move(detail);
+    }
+    ++raises_;
+}
+
+FaultInjector::FaultInjector(const FaultConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed), events_(cfg.events)
+{
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.cycle < b.cycle;
+                     });
+}
+
+Cycle
+FaultInjector::nextScheduledCycle() const
+{
+    return hasScheduled() ? events_[nextEvent_].cycle : kNoEventCycle;
+}
+
+void
+FaultInjector::applyScheduled(Cycle now, std::vector<MemSlice> &slices)
+{
+    while (hasScheduled() && events_[nextEvent_].cycle <= now) {
+        const FaultEvent &e = events_[nextEvent_];
+        slices[e.slice].injectCodewordFlip(e.addr, e.chunk, e.bit);
+        ++scheduledFlips_;
+        ++nextEvent_;
+    }
+}
+
+void
+FaultInjector::maybeStrike(Vec320 &vec, double rate,
+                           std::uint64_t &counter)
+{
+    if (rate <= 0.0 || rng_.nextDouble() >= rate)
+        return;
+
+    constexpr int kCodewordBits = kWordBytes * 8 + kEccBits;
+    int chunk = static_cast<int>(rng_.nextBelow(kSuperlanes));
+    int bit = static_cast<int>(rng_.nextBelow(kCodewordBits));
+    flipCodewordBit(vec, chunk, bit);
+    ++counter;
+
+    if (cfg_.doubleBitFraction > 0.0 &&
+        rng_.nextDouble() < cfg_.doubleBitFraction) {
+        // A second distinct bit in the same chunk: uncorrectable by
+        // SECDED construction.
+        int second =
+            static_cast<int>(rng_.nextBelow(kCodewordBits - 1));
+        if (second >= bit)
+            ++second;
+        flipCodewordBit(vec, chunk, second);
+        ++counter;
+    }
+}
+
+void
+FaultInjector::flipCodewordBit(Vec320 &vec, int chunk, int bit)
+{
+    if (bit < kWordBytes * 8) {
+        vec.bytes[chunk * kWordBytes + bit / 8] ^=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+    } else {
+        vec.ecc[chunk] ^=
+            static_cast<std::uint16_t>(1u << (bit - kWordBytes * 8));
+    }
+}
+
+} // namespace tsp

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
+#include "mem/fault.hh"
 
 namespace tsp {
 
@@ -16,10 +17,33 @@ GlobalAddr::toString() const
                      slice, addr);
 }
 
-MemSlice::MemSlice(Hemisphere hem, int index, bool ecc_enabled)
-    : hem_(hem), index_(index), eccEnabled_(ecc_enabled)
+MemSlice::MemSlice(Hemisphere hem, int index, bool ecc_enabled,
+                   FaultInjector *faults, MachineCheckSink *mc)
+    : hem_(hem), index_(index), eccEnabled_(ecc_enabled),
+      faults_(faults), mc_(mc)
 {
     TSP_ASSERT(index >= 0 && index < kMemSlicesPerHem);
+}
+
+std::string
+MemSlice::name() const
+{
+    return strformat("MEM_%c%d", hem_ == Hemisphere::East ? 'E' : 'W',
+                     index_);
+}
+
+void
+MemSlice::reportUncorrectable(Cycle now, const char *what, MemAddr addr)
+{
+    ++uncorrectable_;
+    if (mc_) {
+        mc_->raise(now, name(),
+                   strformat("uncorrectable error %s at 0x%x", what,
+                             addr));
+    } else {
+        warn("%s: uncorrectable error %s at 0x%x", name().c_str(),
+             what, addr);
+    }
 }
 
 MemSlice::Word *
@@ -107,6 +131,11 @@ MemSlice::read(MemAddr addr, Cycle now)
         // Untouched SRAM reads as zero with valid (zero) ECC.
         eccComputeVec(out);
     }
+    if (faults_) {
+        // Transient read-path upset: corrupts the read-out copy, not
+        // the stored word. The downstream consumer's check catches it.
+        faults_->onMemRead(out);
+    }
     return out;
 }
 
@@ -117,6 +146,8 @@ MemSlice::write(MemAddr addr, const Vec320 &vec, Cycle now)
     ++writes_;
 
     Vec320 v = vec;
+    if (faults_)
+        faults_->onMemWrite(v);
     if (eccEnabled_) {
         // Consumer-side check before commit (paper II.D).
         switch (eccCheckVec(v)) {
@@ -126,10 +157,7 @@ MemSlice::write(MemAddr addr, const Vec320 &vec, Cycle now)
             ++corrected_;
             break;
           case EccStatus::Uncorrectable:
-            ++uncorrectable_;
-            warn("MEM_%s%d: uncorrectable stream error written at "
-                 "0x%x",
-                 hem_ == Hemisphere::East ? "E" : "W", index_, addr);
+            reportUncorrectable(now, "on write", addr);
             break;
         }
     }
@@ -173,6 +201,8 @@ MemSlice::gather(const std::array<MemAddr, kSuperlanes> &addrs,
             }
         }
     }
+    if (faults_)
+        faults_->onMemRead(out);
     return out;
 }
 
@@ -184,6 +214,8 @@ MemSlice::scatter(const std::array<MemAddr, kSuperlanes> &addrs,
     ++writes_;
 
     Vec320 v = vec;
+    if (faults_)
+        faults_->onMemWrite(v);
     if (eccEnabled_) {
         switch (eccCheckVec(v)) {
           case EccStatus::Ok:
@@ -192,9 +224,7 @@ MemSlice::scatter(const std::array<MemAddr, kSuperlanes> &addrs,
             ++corrected_;
             break;
           case EccStatus::Uncorrectable:
-            ++uncorrectable_;
-            warn("MEM_%s%d: uncorrectable stream error scattered",
-                 hem_ == Hemisphere::East ? "E" : "W", index_);
+            reportUncorrectable(now, "on scatter", addrs[0]);
             break;
         }
     }
@@ -246,6 +276,20 @@ MemSlice::injectBitFlip(MemAddr addr, int byte, int bit)
     w.bytes[static_cast<std::size_t>(byte)] =
         static_cast<std::uint8_t>(
             w.bytes[static_cast<std::size_t>(byte)] ^ (1u << bit));
+}
+
+void
+MemSlice::injectCodewordFlip(MemAddr addr, int chunk, int bit)
+{
+    TSP_ASSERT(chunk >= 0 && chunk < kSuperlanes && bit >= 0 &&
+               bit < kWordBytes * 8 + kEccBits);
+    if (bit < kWordBytes * 8) {
+        injectBitFlip(addr, chunk * kWordBytes + bit / 8, bit % 8);
+    } else {
+        Word &w = wordAt(addr);
+        w.ecc[static_cast<std::size_t>(chunk)] ^=
+            static_cast<std::uint16_t>(1u << (bit - kWordBytes * 8));
+    }
 }
 
 } // namespace tsp

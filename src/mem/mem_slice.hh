@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "arch/config.hh"
 #include "arch/types.hh"
@@ -21,6 +22,9 @@
 #include "mem/ecc.hh"
 
 namespace tsp {
+
+class FaultInjector;
+class MachineCheckSink;
 
 /** One of the 88 on-chip MEM slices. */
 class MemSlice
@@ -30,8 +34,14 @@ class MemSlice
      * @param hem hemisphere this slice belongs to.
      * @param index slice number 0..43 within the hemisphere.
      * @param ecc_enabled maintain/verify SECDED codes on words.
+     * @param faults optional fault injector striking timed accesses.
+     * @param mc optional machine-check sink; with one attached, an
+     *   uncorrectable error raises a chip-level machine check instead
+     *   of a warn-and-continue.
      */
-    MemSlice(Hemisphere hem, int index, bool ecc_enabled);
+    MemSlice(Hemisphere hem, int index, bool ecc_enabled,
+             FaultInjector *faults = nullptr,
+             MachineCheckSink *mc = nullptr);
 
     /** @return bank (0/1) of a word address: address bit 12. */
     static int
@@ -82,6 +92,16 @@ class MemSlice
     /** Flips one stored bit — soft-error injection for ECC tests. */
     void injectBitFlip(MemAddr addr, int byte, int bit);
 
+    /**
+     * Flips one stored bit addressed in SECDED-codeword space:
+     * @p bit 0..127 hits the data word of @p chunk, 128..136 its
+     * check bits. Used by scheduled FaultEvents.
+     */
+    void injectCodewordFlip(MemAddr addr, int chunk, int bit);
+
+    /** @return unit name for diagnostics, e.g. "MEM_W3". */
+    std::string name() const;
+
     /** @return total timed reads serviced. */
     std::uint64_t reads() const { return reads_; }
 
@@ -119,9 +139,14 @@ class MemSlice
 
     void checkPort(MemAddr addr, bool is_write, Cycle now);
 
+    /** Raises a machine check (or warns without a sink). */
+    void reportUncorrectable(Cycle now, const char *what, MemAddr addr);
+
     Hemisphere hem_;
     int index_;
     bool eccEnabled_;
+    FaultInjector *faults_;
+    MachineCheckSink *mc_;
 
     /** Two banks of 4096 words, allocated on first touch. */
     mutable std::array<std::unique_ptr<Word[]>, kMemBanks> banks_{};

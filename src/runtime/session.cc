@@ -4,6 +4,20 @@
 
 namespace tsp {
 
+const char *
+runStatusName(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::Completed:
+        return "completed";
+      case RunStatus::CycleLimit:
+        return "cycle_limit";
+      case RunStatus::MachineCheck:
+        return "machine_check";
+    }
+    return "?";
+}
+
 InferenceSession::InferenceSession(Lowering &lw, ChipConfig cfg)
     : lw_(&lw), cfg_(cfg),
       prog_(lw.program().toAsm(/*with_preamble=*/true)),
@@ -19,6 +33,12 @@ Cycle
 InferenceSession::run(Cycle max_cycles)
 {
     const RunResult r = runBounded(max_cycles);
+    if (r.status == RunStatus::MachineCheck) {
+        fatal("InferenceSession::run: machine check at cycle %llu, "
+              "%s: %s",
+              static_cast<unsigned long long>(lastMc_.cycle),
+              lastMc_.unit.c_str(), lastMc_.detail.c_str());
+    }
     if (!r.completed) {
         fatal("InferenceSession::run: cycle limit %llu reached — "
               "program never completes",
@@ -35,7 +55,16 @@ InferenceSession::runBounded(Cycle max_cycles)
     const Cycle base = chip_->now();
     RunResult r;
     r.completed = chip_->runBounded(base + max_cycles);
-    timedOut_ = !r.completed;
+    machineChecked_ = chip_->machineCheck();
+    timedOut_ = !r.completed && !machineChecked_;
+    if (r.completed) {
+        r.status = RunStatus::Completed;
+    } else if (machineChecked_) {
+        r.status = RunStatus::MachineCheck;
+        lastMc_ = chip_->machineCheckInfo();
+    } else {
+        r.status = RunStatus::CycleLimit;
+    }
     r.cycles = chip_->now() - base;
     cycles_ = r.cycles;
     return r;
@@ -44,12 +73,23 @@ InferenceSession::runBounded(Cycle max_cycles)
 void
 InferenceSession::reset()
 {
-    if (timedOut_) {
+    if (timedOut_ || machineChecked_) {
         // A half-executed program leaves queues, barriers and MXM
-        // sequencers in an arbitrary state; only a fresh chip is
-        // trustworthy.
-        chip_ = std::make_unique<Chip>(cfg_);
+        // sequencers in an arbitrary state, and a machine-checked
+        // chip is condemned; only a fresh chip is trustworthy.
+        // Soft errors are environmental, not part of the schedule, so
+        // the rebuilt chip draws a derived fault seed — a retry of the
+        // same request must not deterministically replay the upset
+        // that killed it. (Explicit FaultEvents *do* replay: they
+        // model a fault wired to a cycle, and bounded retries against
+        // them end in FailedMachineCheck by design.)
+        ++rebuilds_;
+        ChipConfig cfg = cfg_;
+        cfg.fault.seed =
+            cfg_.fault.seed + static_cast<std::uint64_t>(rebuilds_);
+        chip_ = std::make_unique<Chip>(cfg);
         timedOut_ = false;
+        machineChecked_ = false;
     }
     chip_->loadProgram(prog_);
     lw_->image().applyTo(*chip_);

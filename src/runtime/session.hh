@@ -28,11 +28,25 @@ namespace tsp {
 /** Usable PCIe Gen4 x16 bandwidth for the DMA-time model (bytes/s). */
 inline constexpr double kPcieGen4Bps = 32.0e9;
 
+/** How one bounded run ended. */
+enum class RunStatus : std::uint8_t
+{
+    Completed,    ///< Program retired within the cycle budget.
+    CycleLimit,   ///< Budget exhausted mid-program.
+    MachineCheck, ///< Uncorrectable error condemned the chip.
+};
+
+/** @return stable lower-case name for @p s. */
+const char *runStatusName(RunStatus s);
+
 /** Outcome of one bounded run. */
 struct RunResult
 {
     /** True when the program retired within the cycle budget. */
     bool completed = false;
+
+    /** Why the run ended. */
+    RunStatus status = RunStatus::Completed;
 
     /** Cycles consumed by this run (meaningless when !completed). */
     Cycle cycles = 0;
@@ -66,6 +80,19 @@ class InferenceSession
 
     /** @return true when the last run hit its cycle budget. */
     bool timedOut() const { return timedOut_; }
+
+    /** @return true when the last run ended in a machine check. */
+    bool machineChecked() const { return machineChecked_; }
+
+    /**
+     * @return first-error context of the most recent machine check
+     * (valid once machineChecked(); survives reset() so callers can
+     * report it after the retry).
+     */
+    const MachineCheckInfo &lastMachineCheck() const { return lastMc_; }
+
+    /** @return chips rebuilt after timeouts/machine checks. */
+    int rebuilds() const { return rebuilds_; }
 
     /**
      * Rearms the session for another inference: reloads the program
@@ -108,6 +135,9 @@ class InferenceSession
     std::unique_ptr<Chip> chip_;
     Cycle cycles_ = 0;
     bool timedOut_ = false;
+    bool machineChecked_ = false;
+    MachineCheckInfo lastMc_{};
+    int rebuilds_ = 0;
     double dmaSeconds_ = 0.0;
 };
 

@@ -28,6 +28,10 @@ appendHistogramJson(JsonWriter &j, const Histogram &h)
     j.kv("p50", h.count() ? h.quantile(0.50) : 0.0);
     j.kv("p95", h.count() ? h.quantile(0.95) : 0.0);
     j.kv("p99", h.count() ? h.quantile(0.99) : 0.0);
+    // Nonzero means the bucket range was exceeded and upper
+    // quantiles saturate at max rather than resolving in-range.
+    j.kv("underflow", h.underflow());
+    j.kv("overflow", h.overflow());
     j.endObject();
 }
 
@@ -47,6 +51,11 @@ ServerMetrics::record(const Result &r)
 {
     counters_.add("submitted");
     counters_.add(outcomeName(r.outcome));
+    // Reliability counters exist (as zero) even on clean runs so the
+    // JSON schema is stable across fault configs.
+    counters_.add("machine_checks", r.machineChecks);
+    counters_.add("retries", r.retries);
+    counters_.add("ecc_corrected", r.correctedErrors);
     if (r.outcome == Outcome::Served ||
         r.outcome == Outcome::DeadlineMissed) {
         queueUs_.record(r.queueSec() * 1e6);

@@ -11,6 +11,7 @@ outcomeName(Outcome o)
       case Outcome::RejectedQueueFull: return "rejected_queue_full";
       case Outcome::DeadlineMissed: return "deadline_missed";
       case Outcome::Failed: return "failed";
+      case Outcome::FailedMachineCheck: return "failed_machine_check";
     }
     return "unknown";
 }

@@ -51,6 +51,15 @@ enum class Outcome : std::uint8_t {
 
     /** Execution failed (cycle budget exhausted — see RunResult). */
     Failed,
+
+    /**
+     * An uncorrectable error machine-checked the chip and every
+     * permitted retry (bounded by ServerConfig::maxRetries and the
+     * request's deadline) machine-checked too. The output is never
+     * populated from a machine-checked run — corrupted data cannot
+     * reach a client as a silent success.
+     */
+    FailedMachineCheck,
 };
 
 /** @return a stable lower-case name for @p o. */
@@ -88,6 +97,15 @@ struct Result
 
     /** Cycles the chip actually consumed (0 if never scheduled). */
     Cycle measuredCycles = 0;
+
+    /** Re-runs after machine checks (0 = served on first attempt). */
+    std::uint32_t retries = 0;
+
+    /** Uncorrectable errors raised across this request's attempts. */
+    std::uint64_t machineChecks = 0;
+
+    /** Single-bit errors corrected across this request's attempts. */
+    std::uint64_t correctedErrors = 0;
 
     /** Virtual-time bookings (valid unless rejected for queue-full). */
     double arrivalSec = 0.0;

@@ -128,20 +128,48 @@ InferenceServer::workerLoop(int w)
         r.startSec = job.booking.startSec;
         r.completionSec = job.booking.completionSec;
 
-        sess.reset();
-        sess.writeTensor(inputSlot_, job.req.input);
-        const RunResult rr = sess.runBounded(cfg_.maxCyclesPerRun);
-        r.measuredCycles = rr.cycles;
+        const double service = admission_.serviceSec();
+        RunResult rr;
+        for (;;) {
+            // reset() rebuilds a condemned (or timed-out) chip, with
+            // a derived fault seed so a retry does not replay the
+            // identical environmental upset.
+            sess.reset();
+            sess.writeTensor(inputSlot_, job.req.input);
+            const std::uint64_t cor0 =
+                sess.chip().stats().get("ecc_corrected");
+            rr = sess.runBounded(cfg_.maxCyclesPerRun);
+            r.measuredCycles = rr.cycles;
+            r.correctedErrors +=
+                sess.chip().stats().get("ecc_corrected") - cor0;
+            if (rr.status != RunStatus::MachineCheck)
+                break;
+            r.machineChecks += sess.chip().machineCheckCount();
+            // Retry only while another full service time still fits
+            // ahead of the deadline and the retry budget holds.
+            const double retry_completion =
+                r.startSec +
+                static_cast<double>(r.retries + 2) * service;
+            if (static_cast<int>(r.retries) >= cfg_.maxRetries ||
+                (job.req.deadlineSec > 0.0 &&
+                 retry_completion > job.req.deadlineSec)) {
+                break;
+            }
+            ++r.retries;
+        }
 
-        if (!rr.completed) {
+        if (rr.status == RunStatus::MachineCheck) {
+            // Every permitted attempt machine-checked. The output is
+            // never read from a condemned chip.
+            r.outcome = Outcome::FailedMachineCheck;
+        } else if (!rr.completed) {
             // Timeout propagates as an explicit failure; the session
             // rebuilds its chip on the next reset().
             r.outcome = Outcome::Failed;
         } else {
             r.output = sess.readTensor(outputSlot_);
-            if (rr.cycles == r.predictedCycles) {
-                r.outcome = Outcome::Served;
-            } else {
+            bool recheck = false;
+            if (rr.cycles != r.predictedCycles) {
                 // Defensive path — determinism says this is dead
                 // code; if it ever fires, re-derive the completion
                 // from the measured cycles and re-check the deadline.
@@ -151,12 +179,21 @@ InferenceServer::workerLoop(int w)
                      static_cast<unsigned long long>(rr.cycles),
                      static_cast<unsigned long long>(
                          r.predictedCycles));
+                recheck = true;
+            }
+            if (r.retries > 0 || recheck) {
+                // Each machine-checked attempt burned one service
+                // time before the successful re-run.
                 r.completionSec =
-                    r.startSec + static_cast<double>(rr.cycles) * period;
+                    r.startSec +
+                    static_cast<double>(r.retries) * service +
+                    static_cast<double>(rr.cycles) * period;
                 r.outcome = (job.req.deadlineSec > 0.0 &&
                              r.completionSec > job.req.deadlineSec)
                                 ? Outcome::DeadlineMissed
                                 : Outcome::Served;
+            } else {
+                r.outcome = Outcome::Served;
             }
         }
         finish(job, std::move(r));

@@ -59,6 +59,14 @@ struct ServerConfig
      */
     bool startPaused = false;
 
+    /**
+     * Re-runs allowed after a machine check (on a rebuilt chip with a
+     * derived fault seed — see InferenceSession::reset). A retry is
+     * taken only while the request's deadline still admits another
+     * full service time; exhaustion yields FailedMachineCheck.
+     */
+    int maxRetries = 2;
+
     /** Configuration applied to every worker's chip. */
     ChipConfig chip{};
 };

@@ -8,11 +8,21 @@ Chip::Chip(ChipConfig cfg) : cfg_(std::move(cfg))
 {
     cfg_.validate();
 
+    // The sink always exists: an uncorrectable error condemns the
+    // chip whether it came from the injector or from a test's manual
+    // bit flip. The injector only exists when configured, so the
+    // default build does zero extra work per access.
+    mcheck_ = std::make_unique<MachineCheckSink>();
+    if (cfg_.fault.enabled())
+        faults_ = std::make_unique<FaultInjector>(cfg_.fault);
+    fabric_.attachFaultHooks(faults_.get(), mcheck_.get());
+
     memSlices_.reserve(kMemSlices);
     for (int h = 0; h < 2; ++h) {
         for (int i = 0; i < kMemSlicesPerHem; ++i) {
             memSlices_.emplace_back(static_cast<Hemisphere>(h), i,
-                                    cfg_.eccEnabled);
+                                    cfg_.eccEnabled, faults_.get(),
+                                    mcheck_.get());
         }
     }
 
@@ -212,6 +222,12 @@ Chip::step()
     const Cycle now = fabric_.now();
     dispatchesThisCycle_ = 0;
 
+    // Scheduled SRAM upsets land before any access this cycle. These
+    // are events to nextEventCycle(), so fast-forward stops exactly
+    // here and both stepping modes observe the same upset history.
+    if (faults_ && faults_->hasScheduled())
+        faults_->applyScheduled(now, memSlices_);
+
     for (auto &q : queues_) {
         const Instruction *insts[2] = {nullptr, nullptr};
         const int n = q.tick(now, insts);
@@ -274,6 +290,13 @@ Chip::nextEventCycle() const
             return now;
     }
     Cycle ev = fabric_.earliestPendingCycle();
+    if (faults_) {
+        const Cycle f = faults_->nextScheduledCycle();
+        if (f <= now)
+            return now;
+        if (f < ev)
+            ev = f;
+    }
     for (const auto &q : queues_) {
         const Cycle e = q.nextEventCycle(now);
         if (e <= now)
@@ -324,6 +347,12 @@ Cycle
 Chip::run(Cycle max_cycles)
 {
     if (!runBounded(max_cycles)) {
+        if (machineCheck()) {
+            const MachineCheckInfo &mc = machineCheckInfo();
+            fatal("Chip::run: machine check at cycle %llu, %s: %s",
+                  static_cast<unsigned long long>(mc.cycle),
+                  mc.unit.c_str(), mc.detail.c_str());
+        }
         fatal("Chip::run: cycle limit %llu reached — program never "
               "completes",
               static_cast<unsigned long long>(max_cycles));
@@ -339,6 +368,10 @@ Chip::runBounded(Cycle cycle_limit)
     const bool fast_forward =
         cfg_.fastForwardEnabled && !cfg_.powerTraceEnabled;
     while (!done()) {
+        // A raised machine check halts the clock after the cycle that
+        // detected it: no further dispatch can consume corrupted data.
+        if (mcheck_->raised())
+            return false;
         if (now() >= cycle_limit)
             return false;
         if (fast_forward && lastStepQuiet_) {
@@ -350,7 +383,9 @@ Chip::runBounded(Cycle cycle_limit)
         }
         step();
     }
-    return true;
+    // A machine check on the program's very last cycle still fails
+    // the run: the retiring store may have committed corrupted data.
+    return !mcheck_->raised();
 }
 
 std::uint64_t
@@ -393,30 +428,52 @@ Chip::stats() const
     g.set("nop_cycles", nop_cycles);
     g.set("parked_cycles", parked_cycles);
 
-    std::uint64_t reads = 0, writes = 0, corrected = 0, uncorrectable = 0;
+    std::uint64_t reads = 0, writes = 0;
+    std::uint64_t sram_cor = 0, sram_unc = 0;
     for (const auto &m : memSlices_) {
         reads += m.reads();
         writes += m.writes();
-        corrected += m.correctedErrors();
-        uncorrectable += m.uncorrectableErrors();
+        sram_cor += m.correctedErrors();
+        sram_unc += m.uncorrectableErrors();
     }
     g.set("mem_reads", reads);
     g.set("mem_writes", writes);
 
-    corrected += memIo_->correctedErrors() +
-                 vxm_->io().correctedErrors();
-    uncorrectable += memIo_->uncorrectableErrors() +
-                     vxm_->io().uncorrectableErrors();
+    // Per-unit SECDED breakdown (the hardware's per-consumer CSRs),
+    // plus chip-wide totals kept under the original names.
+    std::uint64_t sxm_cor = 0, sxm_unc = 0;
     for (const auto &s : sxm_) {
-        corrected += s->io().correctedErrors();
-        uncorrectable += s->io().uncorrectableErrors();
+        sxm_cor += s->io().correctedErrors();
+        sxm_unc += s->io().uncorrectableErrors();
     }
+    std::uint64_t mxm_cor = 0, mxm_unc = 0;
     for (const auto &p : mxm_) {
-        corrected += p->io().correctedErrors();
-        uncorrectable += p->io().uncorrectableErrors();
+        mxm_cor += p->io().correctedErrors();
+        mxm_unc += p->io().uncorrectableErrors();
     }
-    g.set("ecc_corrected", corrected);
-    g.set("ecc_uncorrectable", uncorrectable);
+    g.set("ecc_corrected_mem_sram", sram_cor);
+    g.set("ecc_uncorrectable_mem_sram", sram_unc);
+    g.set("ecc_corrected_mem_port", memIo_->correctedErrors());
+    g.set("ecc_uncorrectable_mem_port", memIo_->uncorrectableErrors());
+    g.set("ecc_corrected_vxm", vxm_->io().correctedErrors());
+    g.set("ecc_uncorrectable_vxm", vxm_->io().uncorrectableErrors());
+    g.set("ecc_corrected_sxm", sxm_cor);
+    g.set("ecc_uncorrectable_sxm", sxm_unc);
+    g.set("ecc_corrected_mxm", mxm_cor);
+    g.set("ecc_uncorrectable_mxm", mxm_unc);
+    g.set("ecc_corrected", sram_cor + memIo_->correctedErrors() +
+                               vxm_->io().correctedErrors() + sxm_cor +
+                               mxm_cor);
+    g.set("ecc_uncorrectable",
+          sram_unc + memIo_->uncorrectableErrors() +
+              vxm_->io().uncorrectableErrors() + sxm_unc + mxm_unc);
+
+    g.set("machine_checks", mcheck_->raises());
+    if (faults_) {
+        g.set("faults_injected_mem", faults_->memFlips());
+        g.set("faults_injected_stream", faults_->streamFlips());
+        g.set("faults_injected_scheduled", faults_->scheduledFlips());
+    }
 
     std::uint64_t sxm_bytes = 0;
     for (const auto &s : sxm_)

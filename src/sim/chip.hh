@@ -21,6 +21,7 @@
 #include "icu/barrier.hh"
 #include "icu/queue.hh"
 #include "isa/assembler.hh"
+#include "mem/fault.hh"
 #include "mem/mem_slice.hh"
 #include "mxm/mxm_plane.hh"
 #include "sim/power.hh"
@@ -89,10 +90,28 @@ class Chip
      * be bounded relative to the current clock).
      *
      * @return true when the program retired, false when the limit
-     * hit first (the chip is then mid-program; callers must discard
-     * or rebuild it before trusting further runs).
+     * hit first or a machine check was raised (distinguish with
+     * machineCheck()). In either failure the chip is mid-program;
+     * callers must discard or rebuild it before trusting further
+     * runs — a machine-checked chip stays condemned until rebuilt.
      */
     bool runBounded(Cycle cycle_limit);
+
+    /** @return true once any uncorrectable error condemned the chip. */
+    bool machineCheck() const { return mcheck_->raised(); }
+
+    /** @return first-error context (valid when machineCheck()). */
+    const MachineCheckInfo &
+    machineCheckInfo() const
+    {
+        return mcheck_->info();
+    }
+
+    /** @return total uncorrectable errors raised chip-wide. */
+    std::uint64_t machineCheckCount() const { return mcheck_->raises(); }
+
+    /** @return the fault injector, or nullptr when injection is off. */
+    const FaultInjector *faultInjector() const { return faults_.get(); }
 
     /** @return current cycle. */
     Cycle now() const { return fabric_.now(); }
@@ -154,6 +173,11 @@ class Chip
     ChipConfig cfg_;
     StreamFabric fabric_;
     BarrierController barrier_;
+
+    // Constructed before (destroyed after) the units holding raw
+    // pointers to them.
+    std::unique_ptr<FaultInjector> faults_;    // Null: injection off.
+    std::unique_ptr<MachineCheckSink> mcheck_;
 
     std::vector<MemSlice> memSlices_;          // 88: W0..43, E0..43
     std::unique_ptr<VxmUnit> vxm_;

@@ -35,6 +35,9 @@
 
 namespace tsp {
 
+class FaultInjector;
+class MachineCheckSink;
+
 /** The streaming register file spanning all superlanes. */
 class StreamFabric
 {
@@ -43,6 +46,25 @@ class StreamFabric
 
     /** @return the current cycle. */
     Cycle now() const { return cycle_; }
+
+    /**
+     * Attaches the chip's fault injector and machine-check sink. The
+     * fabric itself never dereferences them; it is the distribution
+     * point every StreamIo consults, so consume-path injection and
+     * machine-check raising need no per-unit plumbing.
+     */
+    void
+    attachFaultHooks(FaultInjector *faults, MachineCheckSink *mc)
+    {
+        faults_ = faults;
+        mc_ = mc;
+    }
+
+    /** @return the attached fault injector, or nullptr. */
+    FaultInjector *faultInjector() const { return faults_; }
+
+    /** @return the attached machine-check sink, or nullptr. */
+    MachineCheckSink *machineCheckSink() const { return mc_; }
 
     /**
      * Advances one core clock: values move one hop in their direction
@@ -189,6 +211,9 @@ class StreamFabric
 
     /** Writes beyond the calendar horizon (empty in practice). */
     std::map<Cycle, std::vector<PendingWrite>> overflow_;
+
+    FaultInjector *faults_ = nullptr;
+    MachineCheckSink *mc_ = nullptr;
 
     std::uint64_t validCount_ = 0;
     std::uint64_t totalHops_ = 0;

@@ -1,7 +1,9 @@
 #include "stream/stream_io.hh"
 
 #include "common/logging.hh"
+#include "common/strutil.hh"
 #include "mem/ecc.hh"
+#include "mem/fault.hh"
 
 namespace tsp {
 
@@ -39,6 +41,11 @@ StreamIo::tryConsume(StreamRef s, SlicePos pos, Vec320 &out)
     }
     out = *v;
     ++consumed_;
+    if (FaultInjector *fi = fabric_.faultInjector()) {
+        // Stream-hop upset on the consumed copy; the check below is
+        // the consumer-side SECDED check that must catch it.
+        fi->onStreamConsume(out);
+    }
     if (cfg_.eccEnabled) {
         switch (eccCheckVec(out)) {
           case EccStatus::Ok:
@@ -48,8 +55,17 @@ StreamIo::tryConsume(StreamRef s, SlicePos pos, Vec320 &out)
             break;
           case EccStatus::Uncorrectable:
             ++uncorrectable_;
-            warn("%s: uncorrectable stream error on %s at pos %d",
-                 owner_.c_str(), s.toString().c_str(), pos);
+            if (MachineCheckSink *mc = fabric_.machineCheckSink()) {
+                // Condemn the chip: corrupted data must never flow
+                // into a result as a silent success.
+                mc->raise(fabric_.now(), owner_,
+                          strformat("uncorrectable stream error on "
+                                    "%s at pos %d",
+                                    s.toString().c_str(), pos));
+            } else {
+                warn("%s: uncorrectable stream error on %s at pos %d",
+                     owner_.c_str(), s.toString().c_str(), pos);
+            }
             break;
         }
     }

@@ -85,6 +85,65 @@ TEST(Histogram, QuantilesAndBounds)
     EXPECT_EQ(h.buckets().front(), 2u);
 }
 
+TEST(Histogram, OutOfRangeSamplesAreCountedAndQuantilesClamped)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.record(5.0);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+
+    h.record(-3.0);  // Below lo: clamps into bucket 0, counted.
+    h.record(250.0); // At/above hi: clamps into the last bucket.
+    h.record(10.0);  // Exactly hi is outside the half-open range.
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(), 4u);
+
+    for (const double p : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0}) {
+        const double q = h.quantile(p);
+        EXPECT_GE(q, h.minSample()) << p;
+        EXPECT_LE(q, h.maxSample()) << p;
+    }
+
+    // Every sample beyond hi: the old code reported the last bucket's
+    // midpoint (9.5) — below every recorded sample — for any p. The
+    // clamp pins quantiles inside the observed range.
+    Histogram sat(0.0, 10.0, 10);
+    sat.record(100.0);
+    sat.record(200.0);
+    EXPECT_EQ(sat.overflow(), 2u);
+    EXPECT_EQ(sat.quantile(0.5), 100.0);
+    EXPECT_EQ(sat.quantile(0.99), 100.0);
+}
+
+TEST(Histogram, DegenerateRangeIsGuarded)
+{
+    // hi <= lo used to make the bucket width zero: (sample - lo) /
+    // width is NaN, and NaN -> long is UB. The guarded histogram
+    // widens the range and keeps recording safely.
+    Histogram h(5.0, 5.0, 4);
+    h.record(5.0);
+    h.record(7.0);
+    h.record(3.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.minSample(), 3.0);
+    EXPECT_EQ(h.maxSample(), 7.0);
+    const double q = h.quantile(0.5);
+    EXPECT_GE(q, 3.0);
+    EXPECT_LE(q, 7.0);
+
+    Histogram inverted(10.0, -10.0, 8);
+    inverted.record(0.0);
+    EXPECT_EQ(inverted.count(), 1u);
+
+    Histogram no_buckets(0.0, 1.0, 0);
+    no_buckets.record(0.5);
+    EXPECT_EQ(no_buckets.count(), 1u);
+    EXPECT_EQ(no_buckets.buckets().size(), 1u);
+}
+
 TEST(StrUtil, TrimSplitParse)
 {
     EXPECT_EQ(trim("  a b  "), "a b");

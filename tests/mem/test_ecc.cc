@@ -115,6 +115,70 @@ TEST(Ecc, DataPlusCheckDoubleDetected)
     }
 }
 
+TEST(Ecc, ExhaustiveAllPairsDoubleBitNeverMiscorrects)
+{
+    // Every one of the C(137,2) = 9316 distinct double flips across
+    // the full codeword (128 data + 9 check bits) must come back
+    // Uncorrectable — and, critically, must never *miscorrect*: an
+    // Uncorrectable result leaves word and code exactly as presented,
+    // so no consumer can be handed plausibly-repaired garbage.
+    Rng rng(7);
+    const Word orig = randomWord(rng);
+    const std::uint16_t code = eccCompute(orig.data());
+
+    auto flip = [](Word &w, std::uint16_t &c, int bit) {
+        if (bit < 128) {
+            w[static_cast<std::size_t>(bit / 8)] ^=
+                static_cast<std::uint8_t>(1u << (bit % 8));
+        } else {
+            c = static_cast<std::uint16_t>(c ^ (1u << (bit - 128)));
+        }
+    };
+
+    for (int b1 = 0; b1 < 137; ++b1) {
+        for (int b2 = b1 + 1; b2 < 137; ++b2) {
+            Word w = orig;
+            std::uint16_t c = code;
+            flip(w, c, b1);
+            flip(w, c, b2);
+            const Word damaged = w;
+            const std::uint16_t damaged_code = c;
+            ASSERT_EQ(eccCheckCorrect(w.data(), c),
+                      EccStatus::Uncorrectable)
+                << b1 << "," << b2;
+            ASSERT_EQ(w, damaged) << b1 << "," << b2;
+            ASSERT_EQ(c, damaged_code) << b1 << "," << b2;
+        }
+    }
+}
+
+TEST(Ecc, VectorRoundTripOnRandomVectors)
+{
+    // eccComputeVec / eccCheckVec round-trip: freshly coded random
+    // vectors always check Ok with data untouched, and a single flip
+    // in any superlane is restored to the original bytes.
+    Rng rng(8);
+    for (int trial = 0; trial < 100; ++trial) {
+        Vec320 v;
+        for (auto &b : v.bytes)
+            b = static_cast<std::uint8_t>(rng.nextBelow(256));
+        eccComputeVec(v);
+        const Vec320 orig = v;
+        ASSERT_EQ(eccCheckVec(v), EccStatus::Ok);
+        ASSERT_EQ(v.bytes, orig.bytes);
+        ASSERT_EQ(v.ecc, orig.ecc);
+
+        const int sl = static_cast<int>(rng.nextBelow(kSuperlanes));
+        const int bit = static_cast<int>(rng.nextBelow(128));
+        Vec320 hit = orig;
+        hit.bytes[static_cast<std::size_t>(sl * 16 + bit / 8)] ^=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+        ASSERT_EQ(eccCheckVec(hit), EccStatus::Corrected);
+        ASSERT_EQ(hit.bytes, orig.bytes);
+        ASSERT_EQ(hit.ecc, orig.ecc);
+    }
+}
+
 TEST(Ecc, VectorHelpersCoverAllSuperlanes)
 {
     Rng rng(6);

@@ -11,6 +11,16 @@
  *     --trace-json FILE                     write a chrome://tracing file
  *     --stats                               print chip statistics
  *     --power                               print average power
+ *     --fault-rate R                        per-access bit-upset rate on
+ *                                           MEM reads/writes and stream
+ *                                           hops (default 0)
+ *     --fault-double F                      fraction of upsets striking a
+ *                                           second bit in the same word
+ *     --fault-seed S                        fault-injector seed
+ *
+ * Exit status: 0 on clean retirement, 1 on error or cycle-limit
+ * abort, 2 on usage errors, 3 on a machine check (uncorrectable
+ * error; the first-error context is printed).
  *
  * Example:
  *   cat > add.tsp <<'EOF'
@@ -105,7 +115,8 @@ usage()
     std::fprintf(stderr,
                  "usage: tsp-run PROGRAM.tsp [--mem H:S:A=b,b,...] "
                  "[--dump H:S:A] [--max-cycles N] [--trace] "
-                 "[--stats] [--power]\n");
+                 "[--stats] [--power] [--fault-rate R] "
+                 "[--fault-double F] [--fault-seed S]\n");
 }
 
 } // namespace
@@ -123,6 +134,10 @@ main(int argc, char **argv)
     bool want_trace = false, want_stats = false, want_power = false;
     const char *trace_json = nullptr;
     const char *path = nullptr;
+    double fault_rate = 0.0;
+    double fault_double = 0.0;
+    bool have_fault_seed = false;
+    std::uint64_t fault_seed = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -162,6 +177,26 @@ main(int argc, char **argv)
             want_stats = true;
         } else if (arg == "--power") {
             want_power = true;
+        } else if (arg == "--fault-rate") {
+            fault_rate = std::atof(next());
+            if (fault_rate < 0.0 || fault_rate > 1.0) {
+                std::fprintf(stderr, "bad --fault-rate\n");
+                return 2;
+            }
+        } else if (arg == "--fault-double") {
+            fault_double = std::atof(next());
+            if (fault_double < 0.0 || fault_double > 1.0) {
+                std::fprintf(stderr, "bad --fault-double\n");
+                return 2;
+            }
+        } else if (arg == "--fault-seed") {
+            long v = 0;
+            if (!parseInt(next(), v)) {
+                std::fprintf(stderr, "bad --fault-seed\n");
+                return 2;
+            }
+            fault_seed = static_cast<std::uint64_t>(v);
+            have_fault_seed = true;
         } else if (!path) {
             path = argv[i];
         } else {
@@ -191,6 +226,12 @@ main(int argc, char **argv)
 
     ChipConfig cfg;
     cfg.traceEnabled = want_trace || trace_json;
+    cfg.fault.memReadRate = fault_rate;
+    cfg.fault.memWriteRate = fault_rate;
+    cfg.fault.streamRate = fault_rate;
+    cfg.fault.doubleBitFraction = fault_double;
+    if (have_fault_seed)
+        cfg.fault.seed = fault_seed;
     Chip chip(cfg);
     for (const MemSpec &m : preloads) {
         Vec320 v;
@@ -206,11 +247,29 @@ main(int argc, char **argv)
     }
 
     chip.loadProgram(result.program);
-    const Cycle cycles = chip.run(max_cycles);
+    const bool retired = chip.runBounded(max_cycles);
+    const Cycle cycles = chip.now();
 
-    std::printf("retired in %llu cycles (%.3f us at 1 GHz)\n",
-                static_cast<unsigned long long>(cycles),
-                static_cast<double>(cycles) * 1e-3);
+    if (retired) {
+        std::printf("retired in %llu cycles (%.3f us at 1 GHz)\n",
+                    static_cast<unsigned long long>(cycles),
+                    static_cast<double>(cycles) * 1e-3);
+    } else if (chip.machineCheck()) {
+        const MachineCheckInfo &mc = chip.machineCheckInfo();
+        std::fprintf(stderr,
+                     "MACHINE CHECK at cycle %llu in %s: %s "
+                     "(%llu uncorrectable error%s total)\n",
+                     static_cast<unsigned long long>(mc.cycle),
+                     mc.unit.c_str(), mc.detail.c_str(),
+                     static_cast<unsigned long long>(
+                         chip.machineCheckCount()),
+                     chip.machineCheckCount() == 1 ? "" : "s");
+    } else {
+        std::fprintf(stderr,
+                     "cycle limit hit at %llu cycles; program did "
+                     "not retire\n",
+                     static_cast<unsigned long long>(cycles));
+    }
 
     if (want_trace) {
         for (const TraceEvent &e : chip.trace()) {
@@ -243,5 +302,7 @@ main(int argc, char **argv)
             std::printf(" %02x", v.bytes[static_cast<std::size_t>(b)]);
         std::printf(" ...\n");
     }
-    return 0;
+    if (chip.machineCheck())
+        return 3;
+    return retired ? 0 : 1;
 }

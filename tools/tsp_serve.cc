@@ -17,6 +17,14 @@
  *     --model-seed S    tiny-net weight seed         (default 3)
  *     --seed S          request-stream seed          (default 1)
  *     --json FILE       also write the report as JSON
+ *     --fault-rate R    per-access bit-upset rate on MEM reads,
+ *                       MEM writes and stream hops   (default 0)
+ *     --fault-double F  fraction of upsets that strike a second bit
+ *                       in the same word (uncorrectable)
+ *                                                    (default 0)
+ *     --fault-seed S    fault-injector seed          (default cfg)
+ *     --retries N       retry budget after a machine check
+ *                                                    (default 2)
  *
  * Example:
  *   tsp-serve --workers 4 --requests 400 --rho 1.5 --slack 3 \
@@ -43,7 +51,9 @@ usage()
     std::fprintf(stderr,
                  "usage: tsp-serve [--workers N] [--requests N] "
                  "[--rho R] [--slack S] [--queue N] "
-                 "[--model-seed S] [--seed S] [--json FILE]\n");
+                 "[--model-seed S] [--seed S] [--json FILE] "
+                 "[--fault-rate R] [--fault-double F] "
+                 "[--fault-seed S] [--retries N]\n");
 }
 
 } // namespace
@@ -59,6 +69,11 @@ main(int argc, char **argv)
     std::uint64_t model_seed = 3;
     std::uint64_t seed = 1;
     const char *json_path = nullptr;
+    double fault_rate = 0.0;
+    double fault_double = 0.0;
+    bool have_fault_seed = false;
+    std::uint64_t fault_seed = 0;
+    int retries = 2;
 
     for (int i = 1; i < argc; ++i) {
         auto next = [&]() -> const char * {
@@ -85,12 +100,24 @@ main(int argc, char **argv)
             seed = static_cast<std::uint64_t>(std::atoll(next()));
         } else if (!std::strcmp(argv[i], "--json")) {
             json_path = next();
+        } else if (!std::strcmp(argv[i], "--fault-rate")) {
+            fault_rate = std::atof(next());
+        } else if (!std::strcmp(argv[i], "--fault-double")) {
+            fault_double = std::atof(next());
+        } else if (!std::strcmp(argv[i], "--fault-seed")) {
+            fault_seed =
+                static_cast<std::uint64_t>(std::atoll(next()));
+            have_fault_seed = true;
+        } else if (!std::strcmp(argv[i], "--retries")) {
+            retries = std::atoi(next());
         } else {
             usage();
             return 2;
         }
     }
-    if (workers < 1 || requests < 1 || rho <= 0.0) {
+    if (workers < 1 || requests < 1 || rho <= 0.0 ||
+        fault_rate < 0.0 || fault_rate > 1.0 || fault_double < 0.0 ||
+        fault_double > 1.0 || retries < 0) {
         usage();
         return 2;
     }
@@ -109,6 +136,13 @@ main(int argc, char **argv)
     serve::ServerConfig cfg;
     cfg.workers = workers;
     cfg.queueCapacity = queue_cap;
+    cfg.maxRetries = retries;
+    cfg.chip.fault.memReadRate = fault_rate;
+    cfg.chip.fault.memWriteRate = fault_rate;
+    cfg.chip.fault.streamRate = fault_rate;
+    cfg.chip.fault.doubleBitFraction = fault_double;
+    if (have_fault_seed)
+        cfg.chip.fault.seed = fault_seed;
     serve::InferenceServer server(lw, tensors.at(0),
                                   tensors.at(g.outputNode()), cfg);
 
@@ -118,9 +152,15 @@ main(int argc, char **argv)
                     server.serviceCycles()),
                 server.serviceSec() * 1e6);
     std::printf("pool: %d chip%s, queue capacity %zu, offered load "
-                "%.2f x capacity%s\n\n",
+                "%.2f x capacity%s\n",
                 workers, workers == 1 ? "" : "s", queue_cap, rho,
                 slack_services > 0.0 ? "" : ", no deadlines");
+    if (fault_rate > 0.0) {
+        std::printf("fault injection: %.3g upsets/access, "
+                    "double-bit fraction %.3g, retry budget %d\n",
+                    fault_rate, fault_double, retries);
+    }
+    std::printf("\n");
 
     const double service = server.serviceSec();
     const double mean_gap =
