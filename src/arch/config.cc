@@ -31,6 +31,7 @@ ChipConfig::validate() const
     checkRate("memReadRate", fault.memReadRate);
     checkRate("memWriteRate", fault.memWriteRate);
     checkRate("streamRate", fault.streamRate);
+    checkRate("c2cRate", fault.c2cRate);
     checkRate("doubleBitFraction", fault.doubleBitFraction);
     for (const FaultEvent &e : fault.events) {
         if (e.slice < 0 || e.slice >= kMemSlices ||

@@ -68,6 +68,18 @@ struct FaultConfig
     double streamRate = 0.0;
 
     /**
+     * P(strike) per 320-byte vector in C2C link flight, applied on
+     * the receiver side as the vector lands in the link's elastic
+     * buffer. Each link direction draws from its own RNG stream
+     * (seeded from @ref seed and the link index), so the upset
+     * history is a pure function of the per-link arrival sequence —
+     * identical under lock-step pod stepping and the bounded
+     * fast-forward pod scheduler, whatever order the chips are
+     * advanced in.
+     */
+    double c2cRate = 0.0;
+
+    /**
      * Fraction of strikes that flip two distinct bits of the same
      * 128+9-bit chunk — uncorrectable by construction, the trigger
      * for machine checks. The remainder flip a single (correctable)
@@ -83,7 +95,7 @@ struct FaultConfig
     haveRates() const
     {
         return memReadRate > 0.0 || memWriteRate > 0.0 ||
-               streamRate > 0.0;
+               streamRate > 0.0 || c2cRate > 0.0;
     }
 
     /** @return true when this config can inject anything at all. */

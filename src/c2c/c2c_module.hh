@@ -47,11 +47,30 @@ class C2cModule
     /** Peer-side delivery (internal wiring; do not call directly). */
     void deliver(int link, const Vec320 &vec, Cycle arrival);
 
+    /**
+     * @return the earliest cycle > @p now at which this module's
+     * state changes on its own: a pending rx vector's arrival or a
+     * link's serializer going idle (txBusyUntil). kNoEventCycle when
+     * nothing is in flight. Folded into Chip::nextEventCycle() so
+     * the event-driven core never fast-forwards across a link event.
+     */
+    Cycle earliestEventCycle(Cycle now) const;
+
     /** @return vectors sent. */
     std::uint64_t sent() const { return sent_; }
 
     /** @return vectors received (consumed by Receive). */
     std::uint64_t received() const { return received_; }
+
+    /**
+     * @return non-strict Receives that found no arrived vector on
+     * @p link — each one is a scheduling bug that silently skipped a
+     * stream produce; see droppedReceives().
+     */
+    std::uint64_t droppedReceives(int link) const;
+
+    /** @return dropped receives summed over all links. */
+    std::uint64_t droppedReceives() const { return dropped_; }
 
     /** @return vectors waiting in link @p link's elastic buffer. */
     std::size_t pendingRx(int link) const;
@@ -68,16 +87,19 @@ class C2cModule
         bool deskewed = false;
         Cycle txBusyUntil = 0;
         std::deque<std::pair<Cycle, Vec320>> rx;
+        std::uint64_t droppedReceives = 0;
     };
 
     Link &linkAt(int link);
 
     const ChipConfig &cfg_;
+    StreamFabric &fabric_;
     StreamIo io_;
     std::vector<Link> links_;
 
     std::uint64_t sent_ = 0;
     std::uint64_t received_ = 0;
+    std::uint64_t dropped_ = 0;
 };
 
 } // namespace tsp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "arch/layout.hh"
 #include "common/logging.hh"
 #include "mem/mem_slice.hh"
 
@@ -46,24 +47,45 @@ FaultInjector::applyScheduled(Cycle now, std::vector<MemSlice> &slices)
 }
 
 void
-FaultInjector::maybeStrike(Vec320 &vec, double rate,
-                           std::uint64_t &counter)
+FaultInjector::onC2cDeliver(Vec320 &vec, int link)
 {
-    if (rate <= 0.0 || rng_.nextDouble() >= rate)
+    if (cfg_.c2cRate <= 0.0)
+        return;
+    if (linkRngs_.empty()) {
+        // One stream per link, derived from the chip seed. Built on
+        // first use so fault configs without C2C rates pay nothing.
+        linkRngs_.reserve(static_cast<std::size_t>(kC2cLinks));
+        for (int l = 0; l < kC2cLinks; ++l) {
+            linkRngs_.emplace_back(
+                cfg_.seed ^
+                (0xc2c0000000000000ull +
+                 static_cast<std::uint64_t>(l) * 0x9e3779b97f4a7c15ull));
+        }
+    }
+    TSP_ASSERT(link >= 0 && link < kC2cLinks);
+    maybeStrikeWith(linkRngs_[static_cast<std::size_t>(link)], vec,
+                    cfg_.c2cRate, c2cFlips_);
+}
+
+void
+FaultInjector::maybeStrikeWith(Rng &rng, Vec320 &vec, double rate,
+                               std::uint64_t &counter)
+{
+    if (rate <= 0.0 || rng.nextDouble() >= rate)
         return;
 
     constexpr int kCodewordBits = kWordBytes * 8 + kEccBits;
-    int chunk = static_cast<int>(rng_.nextBelow(kSuperlanes));
-    int bit = static_cast<int>(rng_.nextBelow(kCodewordBits));
+    int chunk = static_cast<int>(rng.nextBelow(kSuperlanes));
+    int bit = static_cast<int>(rng.nextBelow(kCodewordBits));
     flipCodewordBit(vec, chunk, bit);
     ++counter;
 
     if (cfg_.doubleBitFraction > 0.0 &&
-        rng_.nextDouble() < cfg_.doubleBitFraction) {
+        rng.nextDouble() < cfg_.doubleBitFraction) {
         // A second distinct bit in the same chunk: uncorrectable by
         // SECDED construction.
         int second =
-            static_cast<int>(rng_.nextBelow(kCodewordBits - 1));
+            static_cast<int>(rng.nextBelow(kCodewordBits - 1));
         if (second >= bit)
             ++second;
         flipCodewordBit(vec, chunk, second);

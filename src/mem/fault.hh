@@ -115,6 +115,16 @@ class FaultInjector
         maybeStrike(vec, cfg_.streamRate, streamFlips_);
     }
 
+    /**
+     * Link-flight upset on a vector landing in C2C link @p link's
+     * elastic buffer (receiver side, before the downstream
+     * consumer's ECC check sees it). Each link draws from a
+     * dedicated RNG stream so the strike history depends only on
+     * that link's arrival order — never on how chip execution is
+     * interleaved by the pod scheduler.
+     */
+    void onC2cDeliver(Vec320 &vec, int link);
+
     /** @return true when scheduled events remain unapplied. */
     bool hasScheduled() const { return nextEvent_ < events_.size(); }
 
@@ -138,6 +148,9 @@ class FaultInjector
     /** @return bits flipped on stream consume paths. */
     std::uint64_t streamFlips() const { return streamFlips_; }
 
+    /** @return bits flipped on vectors in C2C link flight. */
+    std::uint64_t c2cFlips() const { return c2cFlips_; }
+
     /** @return scheduled SRAM bits flipped so far. */
     std::uint64_t scheduledFlips() const { return scheduledFlips_; }
 
@@ -145,23 +158,33 @@ class FaultInjector
     std::uint64_t
     totalFlips() const
     {
-        return memFlips_ + streamFlips_ + scheduledFlips_;
+        return memFlips_ + streamFlips_ + c2cFlips_ + scheduledFlips_;
     }
 
   private:
     /** Draws the strike decision and flips 1 or 2 bits of one chunk. */
-    void maybeStrike(Vec320 &vec, double rate, std::uint64_t &counter);
+    void
+    maybeStrike(Vec320 &vec, double rate, std::uint64_t &counter)
+    {
+        maybeStrikeWith(rng_, vec, rate, counter);
+    }
+
+    /** maybeStrike() drawing from an explicit RNG stream. */
+    void maybeStrikeWith(Rng &rng, Vec320 &vec, double rate,
+                         std::uint64_t &counter);
 
     /** Flips codeword bit @p bit (0..136) of chunk @p chunk. */
     static void flipCodewordBit(Vec320 &vec, int chunk, int bit);
 
     FaultConfig cfg_;
     Rng rng_;
+    std::vector<Rng> linkRngs_; ///< One per C2C link (lazily built).
     std::vector<FaultEvent> events_; ///< Sorted by cycle.
     std::size_t nextEvent_ = 0;
 
     std::uint64_t memFlips_ = 0;
     std::uint64_t streamFlips_ = 0;
+    std::uint64_t c2cFlips_ = 0;
     std::uint64_t scheduledFlips_ = 0;
 };
 

@@ -1,0 +1,101 @@
+#include "runtime/pod_session.hh"
+
+#include "common/logging.hh"
+
+namespace tsp {
+
+PodSession::PodSession(int chips, Cycle wire_latency, ChipConfig cfg)
+    : chips_(chips), wireLatency_(wire_latency), cfg_(cfg),
+      pod_(std::make_unique<Pod>(chips, wire_latency, cfg))
+{
+}
+
+void
+PodSession::loadPrograms(std::vector<AsmProgram> programs)
+{
+    TSP_ASSERT(static_cast<int>(programs.size()) == chips_);
+    programs_ = std::move(programs);
+    for (int c = 0; c < chips_; ++c) {
+        pod_->chip(c).loadProgram(
+            programs_[static_cast<std::size_t>(c)]);
+    }
+}
+
+RunResult
+PodSession::runBounded(Cycle max_cycles)
+{
+    // Member clocks are cumulative across reset() cycles, so the
+    // budget applies relative to the current pod clock.
+    const Cycle base = pod_->now();
+    RunResult r;
+    r.completed = pod_->runAllBounded(base + max_cycles);
+    machineChecked_ = pod_->machineCheck();
+    timedOut_ = !r.completed && !machineChecked_;
+    if (r.completed) {
+        r.status = RunStatus::Completed;
+    } else if (machineChecked_) {
+        r.status = RunStatus::MachineCheck;
+        mcChip_ = pod_->machineCheckChip();
+        lastMc_ = pod_->chip(mcChip_).machineCheckInfo();
+    } else {
+        r.status = RunStatus::CycleLimit;
+    }
+    r.cycles = pod_->now() - base;
+    cycles_ = r.cycles;
+    return r;
+}
+
+void
+PodSession::reset()
+{
+    if (timedOut_ || machineChecked_) {
+        // A half-finished collective leaves members desynchronized,
+        // and one condemned chip poisons every downstream partial —
+        // only a whole fresh pod is trustworthy. As in
+        // InferenceSession::reset(), the rebuild draws a derived
+        // fault seed so a bounded retry does not deterministically
+        // replay the upset that killed the run.
+        ++rebuilds_;
+        ChipConfig cfg = cfg_;
+        cfg.fault.seed = cfg_.fault.seed +
+                         static_cast<std::uint64_t>(rebuilds_) *
+                             static_cast<std::uint64_t>(chips_);
+        pod_ = std::make_unique<Pod>(chips_, wireLatency_, cfg);
+        timedOut_ = false;
+        machineChecked_ = false;
+    }
+    TSP_ASSERT(!programs_.empty());
+    for (int c = 0; c < chips_; ++c) {
+        pod_->chip(c).loadProgram(
+            programs_[static_cast<std::size_t>(c)]);
+    }
+}
+
+void
+PodSession::writeWord(int chip, Hemisphere hem, int slice,
+                      MemAddr addr, const Vec320 &v)
+{
+    pod_->chip(chip).mem(hem, slice).backdoorWrite(addr, v);
+}
+
+Vec320
+PodSession::readWord(int chip, Hemisphere hem, int slice,
+                     MemAddr addr) const
+{
+    return pod_->chip(chip).mem(hem, slice).backdoorRead(addr);
+}
+
+StatGroup
+PodSession::stats() const
+{
+    StatGroup g;
+    for (int c = 0; c < chips_; ++c) {
+        const StatGroup cs = pod_->chip(c).stats();
+        for (const auto &[name, value] : cs.all())
+            g.add(name, value);
+    }
+    g.set("pod_chips", static_cast<std::uint64_t>(chips_));
+    return g;
+}
+
+} // namespace tsp

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Host runtime for a multi-chip pod: owns the ring, loads one
+ * statically scheduled program per member, runs the collective with
+ * the conservative-lookahead fast-forward scheduler, and surfaces
+ * the same RunResult/reset() lifecycle as the single-chip
+ * InferenceSession — so the serving layer can treat "a pod" as just
+ * another backend.
+ *
+ * Reliability semantics scale up from the chip: a machine check on
+ * *any* member condemns the *whole* pod (a collective's result is a
+ * function of every member's state), and reset() after a timeout or
+ * machine check rebuilds every member with a derived fault seed.
+ */
+
+#ifndef TSP_RUNTIME_POD_SESSION_HH
+#define TSP_RUNTIME_POD_SESSION_HH
+
+#include <memory>
+#include <vector>
+
+#include "c2c/pod.hh"
+#include "runtime/session.hh"
+
+namespace tsp {
+
+/** A reusable pod bound to one set of per-chip programs. */
+class PodSession
+{
+  public:
+    /** Builds the pod (see Pod's ctor for per-member fault seeds). */
+    PodSession(int chips, Cycle wire_latency, ChipConfig cfg = {});
+
+    /**
+     * Caches and loads one program per member chip (replacing any).
+     * reset() reloads the same programs.
+     */
+    void loadPrograms(std::vector<AsmProgram> programs);
+
+    /**
+     * Runs the pod for at most @p max_cycles (relative to the current
+     * pod clock) via Pod::runAllBounded(). After a failed run the pod
+     * is mid-collective; the next reset() rebuilds it wholesale.
+     */
+    RunResult runBounded(Cycle max_cycles = 500'000'000);
+
+    /**
+     * Rearms the pod for another collective: reloads the cached
+     * programs, rebuilding every member chip first when the last run
+     * timed out or machine checked (with a fault seed derived from
+     * the rebuild count, mirroring InferenceSession::reset()).
+     * Memory contents do NOT survive a rebuild; restage inputs after
+     * every reset().
+     */
+    void reset();
+
+    /** Backdoor-writes one word on member @p chip. */
+    void writeWord(int chip, Hemisphere hem, int slice, MemAddr addr,
+                   const Vec320 &v);
+
+    /** Backdoor-reads one word on member @p chip. */
+    Vec320 readWord(int chip, Hemisphere hem, int slice,
+                    MemAddr addr) const;
+
+    /** @return true when the last run hit its cycle budget. */
+    bool timedOut() const { return timedOut_; }
+
+    /** @return true when the last run ended in a machine check. */
+    bool machineChecked() const { return machineChecked_; }
+
+    /**
+     * @return first-error context of the most recent machine check
+     * (valid once machineChecked(); survives reset()).
+     */
+    const MachineCheckInfo &lastMachineCheck() const { return lastMc_; }
+
+    /**
+     * @return ring index of the member that raised the most recent
+     * machine check (-1 before any; survives reset()).
+     */
+    int machineCheckChip() const { return mcChip_; }
+
+    /** @return pods rebuilt after timeouts/machine checks. */
+    int rebuilds() const { return rebuilds_; }
+
+    /** @return cycles consumed by the last run. */
+    Cycle cycles() const { return cycles_; }
+
+    /** @return the pod. */
+    Pod &pod() { return *pod_; }
+    const Pod &pod() const { return *pod_; }
+
+    /** @return member-aggregated statistics (sums across chips). */
+    StatGroup stats() const;
+
+  private:
+    int chips_;
+    Cycle wireLatency_;
+    ChipConfig cfg_;
+    std::unique_ptr<Pod> pod_;
+    std::vector<AsmProgram> programs_;
+    Cycle cycles_ = 0;
+    bool timedOut_ = false;
+    bool machineChecked_ = false;
+    MachineCheckInfo lastMc_{};
+    int mcChip_ = -1;
+    int rebuilds_ = 0;
+};
+
+} // namespace tsp
+
+#endif // TSP_RUNTIME_POD_SESSION_HH

@@ -1,0 +1,160 @@
+#include "serve/backend.hh"
+
+#include "c2c/collective.hh"
+#include "common/logging.hh"
+
+namespace tsp::serve {
+
+SessionBackend::SessionBackend(Lowering &lw, LoweredTensor input,
+                               LoweredTensor output, ChipConfig cfg)
+    : inputSlot_(std::move(input)), outputSlot_(std::move(output)),
+      sess_(lw, cfg)
+{
+}
+
+void
+SessionBackend::writeInput(const std::vector<std::int8_t> &input)
+{
+    sess_.writeTensor(inputSlot_, input);
+}
+
+RunResult
+SessionBackend::runBounded(Cycle max_cycles)
+{
+    return sess_.runBounded(max_cycles);
+}
+
+ref::QTensor
+SessionBackend::readOutput() const
+{
+    return sess_.readTensor(outputSlot_);
+}
+
+std::uint64_t
+SessionBackend::correctedErrors() const
+{
+    return sess_.chip().stats().get("ecc_corrected");
+}
+
+std::uint64_t
+SessionBackend::machineCheckCount() const
+{
+    return sess_.chip().machineCheckCount();
+}
+
+Cycle
+SessionBackend::totalCycles() const
+{
+    return sess_.chip().now();
+}
+
+namespace {
+
+std::vector<AsmProgram>
+allReducePrograms(const Pod &pod)
+{
+    std::vector<ScheduledProgram> sched;
+    buildRingAllReduce(pod, sched);
+    std::vector<AsmProgram> progs;
+    progs.reserve(sched.size());
+    for (auto &p : sched)
+        progs.push_back(p.toAsm());
+    return progs;
+}
+
+} // namespace
+
+PodBackend::PodBackend(int chips, Cycle wire_latency, ChipConfig cfg)
+    : sess_(chips, wire_latency, cfg)
+{
+    sess_.loadPrograms(allReducePrograms(sess_.pod()));
+}
+
+Cycle
+PodBackend::serviceCycles(int chips, Cycle wire_latency,
+                          ChipConfig cfg)
+{
+    // A static schedule's cycle count is input- and fault-independent
+    // (injection flips data bits, never timing), so one fault-free
+    // calibration run is the exact booking for every future request.
+    cfg.fault = FaultConfig{};
+    PodSession calib(chips, wire_latency, cfg);
+    calib.loadPrograms(allReducePrograms(calib.pod()));
+    const RunResult r = calib.runBounded();
+    TSP_ASSERT(r.completed);
+    return r.cycles;
+}
+
+std::size_t
+PodBackend::inputBytes(int chips)
+{
+    return static_cast<std::size_t>(chips) *
+           static_cast<std::size_t>(kLanes);
+}
+
+void
+PodBackend::writeInput(const std::vector<std::int8_t> &input)
+{
+    const int n = sess_.pod().size();
+    TSP_ASSERT(input.size() == inputBytes(n));
+    Vec320 v;
+    for (int c = 0; c < n; ++c) {
+        for (int i = 0; i < kLanes; ++i) {
+            v.bytes[static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(
+                    input[static_cast<std::size_t>(c) * kLanes +
+                          static_cast<std::size_t>(i)]);
+        }
+        sess_.writeWord(c, Hemisphere::East, AllReducePlan::kSlice,
+                        AllReducePlan::kLocalAddr, v);
+    }
+}
+
+RunResult
+PodBackend::runBounded(Cycle max_cycles)
+{
+    return sess_.runBounded(max_cycles);
+}
+
+ref::QTensor
+PodBackend::readOutput() const
+{
+    // Every member holds the reduced vector after the broadcast;
+    // chip 0 is the designated reader.
+    const Vec320 v =
+        sess_.readWord(0, Hemisphere::East, AllReducePlan::kSlice,
+                       AllReducePlan::kResultAddr);
+    ref::QTensor out(1, 1, kLanes);
+    for (int i = 0; i < kLanes; ++i)
+        out.at(0, 0, i) = static_cast<std::int8_t>(
+            v.bytes[static_cast<std::size_t>(i)]);
+    return out;
+}
+
+std::uint64_t
+PodBackend::correctedErrors() const
+{
+    return sess_.stats().get("ecc_corrected");
+}
+
+std::uint64_t
+PodBackend::machineCheckCount() const
+{
+    std::uint64_t n = 0;
+    const Pod &pod = sess_.pod();
+    for (int c = 0; c < pod.size(); ++c)
+        n += pod.chip(c).machineCheckCount();
+    return n;
+}
+
+Cycle
+PodBackend::totalCycles() const
+{
+    Cycle total = 0;
+    const Pod &pod = sess_.pod();
+    for (int c = 0; c < pod.size(); ++c)
+        total += pod.chip(c).now();
+    return total;
+}
+
+} // namespace tsp::serve

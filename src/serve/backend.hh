@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The serving layer's execution-engine abstraction.
+ *
+ * A worker thread doesn't care what is behind a request: one chip
+ * running a compiled model (SessionBackend) or an N-chip pod running
+ * a statically scheduled collective (PodBackend). Both expose the
+ * same deterministic contract the admission controller relies on —
+ * a completed run always consumes exactly the same cycle count —
+ * plus the reliability surface (reset-rebuilds, machine-check and
+ * corrected-error counters) the retry policy drives.
+ */
+
+#ifndef TSP_SERVE_BACKEND_HH
+#define TSP_SERVE_BACKEND_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "compiler/lowering.hh"
+#include "ref/qnn.hh"
+#include "runtime/pod_session.hh"
+#include "runtime/session.hh"
+
+namespace tsp::serve {
+
+/** One worker's execution engine (a chip or a pod of chips). */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    /**
+     * Rearms for the next request: reloads programs and rebuilds the
+     * engine when the previous run timed out or machine checked
+     * (with a derived fault seed — retries must not replay the
+     * identical environmental upset).
+     */
+    virtual void reset() = 0;
+
+    /** Stages one request's dense int8 input (after reset()). */
+    virtual void writeInput(const std::vector<std::int8_t> &input) = 0;
+
+    /** Runs for at most @p max_cycles relative to the engine clock. */
+    virtual RunResult runBounded(Cycle max_cycles) = 0;
+
+    /** Reads the result (only after a completed run). */
+    virtual ref::QTensor readOutput() const = 0;
+
+    /**
+     * @return cumulative single-bit corrections on the *current*
+     * engine (resets to zero when reset() rebuilds it — sample
+     * before/after one run, never across a reset()).
+     */
+    virtual std::uint64_t correctedErrors() const = 0;
+
+    /** @return cumulative uncorrectable raises on the current engine. */
+    virtual std::uint64_t machineCheckCount() const = 0;
+
+    /** @return total chip cycles consumed (summed over members). */
+    virtual Cycle totalCycles() const = 0;
+
+    /** @return engines rebuilt after timeouts/machine checks. */
+    virtual int rebuilds() const = 0;
+};
+
+/** A single-chip backend over one compiled model. */
+class SessionBackend final : public Backend
+{
+  public:
+    /** @param lw must outlive the backend (image re-read on reset). */
+    SessionBackend(Lowering &lw, LoweredTensor input,
+                   LoweredTensor output, ChipConfig cfg);
+
+    void reset() override { sess_.reset(); }
+    void writeInput(const std::vector<std::int8_t> &input) override;
+    RunResult runBounded(Cycle max_cycles) override;
+    ref::QTensor readOutput() const override;
+    std::uint64_t correctedErrors() const override;
+    std::uint64_t machineCheckCount() const override;
+    Cycle totalCycles() const override;
+    int rebuilds() const override { return sess_.rebuilds(); }
+
+    /** @return the underlying session (tests). */
+    InferenceSession &session() { return sess_; }
+
+  private:
+    LoweredTensor inputSlot_;
+    LoweredTensor outputSlot_;
+    InferenceSession sess_;
+};
+
+/**
+ * An N-chip ring-pod backend serving the int8 ring all-reduce
+ * collective: the request input is the concatenation of every
+ * member's 320-byte local vector, the output is the saturating
+ * elementwise sum, read from chip 0.
+ */
+class PodBackend final : public Backend
+{
+  public:
+    PodBackend(int chips, Cycle wire_latency, ChipConfig cfg);
+
+    /**
+     * @return the exact cycle count of one all-reduce on an
+     * equivalent pod, measured on a fault-free calibration pod (the
+     * timing of a deterministic schedule is independent of fault
+     * injection, which only flips data bits). This is what the
+     * admission controller books against.
+     */
+    static Cycle serviceCycles(int chips, Cycle wire_latency,
+                               ChipConfig cfg);
+
+    /** @return bytes one request's input must have (chips * 320). */
+    static std::size_t inputBytes(int chips);
+
+    void reset() override { sess_.reset(); }
+    void writeInput(const std::vector<std::int8_t> &input) override;
+    RunResult runBounded(Cycle max_cycles) override;
+    ref::QTensor readOutput() const override;
+    std::uint64_t correctedErrors() const override;
+    std::uint64_t machineCheckCount() const override;
+    Cycle totalCycles() const override;
+    int rebuilds() const override { return sess_.rebuilds(); }
+
+    /** @return the underlying pod session (tests). */
+    PodSession &session() { return sess_; }
+
+  private:
+    PodSession sess_;
+};
+
+} // namespace tsp::serve
+
+#endif // TSP_SERVE_BACKEND_HH

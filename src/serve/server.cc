@@ -7,20 +7,29 @@ namespace tsp::serve {
 InferenceServer::InferenceServer(Lowering &lw, LoweredTensor input,
                                  LoweredTensor output,
                                  ServerConfig cfg)
-    : lw_(lw), cfg_(cfg), inputSlot_(std::move(input)),
-      outputSlot_(std::move(output)),
-      admission_(cfg.workers, lw.finishCycle(),
+    : InferenceServer(
+          [&lw, &input, &output, &cfg](int) {
+              return std::make_unique<SessionBackend>(
+                  lw, input, output, cfg.chip);
+          },
+          lw.finishCycle(), cfg)
+{
+}
+
+InferenceServer::InferenceServer(const BackendFactory &factory,
+                                 Cycle service_cycles,
+                                 ServerConfig cfg)
+    : cfg_(cfg),
+      admission_(cfg.workers, service_cycles,
                  cfg.chip.cyclePeriodSec()),
       queue_(cfg.queueCapacity), paused_(cfg.startPaused),
       metrics_(admission_.serviceSec(), cfg.workers,
                cfg.queueCapacity)
 {
     TSP_ASSERT(cfg_.workers >= 1);
-    sessions_.reserve(static_cast<std::size_t>(cfg_.workers));
-    for (int w = 0; w < cfg_.workers; ++w) {
-        sessions_.push_back(
-            std::make_unique<InferenceSession>(lw_, cfg_.chip));
-    }
+    backends_.reserve(static_cast<std::size_t>(cfg_.workers));
+    for (int w = 0; w < cfg_.workers; ++w)
+        backends_.push_back(factory(w));
     threads_.reserve(static_cast<std::size_t>(cfg_.workers));
     for (int w = 0; w < cfg_.workers; ++w)
         threads_.emplace_back([this, w] { workerLoop(w); });
@@ -110,7 +119,7 @@ InferenceServer::submit(std::vector<std::int8_t> input,
 void
 InferenceServer::workerLoop(int w)
 {
-    InferenceSession &sess = *sessions_[static_cast<std::size_t>(w)];
+    Backend &be = *backends_[static_cast<std::size_t>(w)];
     const double period = cfg_.chip.cyclePeriodSec();
     Job job;
     for (;;) {
@@ -131,20 +140,18 @@ InferenceServer::workerLoop(int w)
         const double service = admission_.serviceSec();
         RunResult rr;
         for (;;) {
-            // reset() rebuilds a condemned (or timed-out) chip, with
-            // a derived fault seed so a retry does not replay the
-            // identical environmental upset.
-            sess.reset();
-            sess.writeTensor(inputSlot_, job.req.input);
-            const std::uint64_t cor0 =
-                sess.chip().stats().get("ecc_corrected");
-            rr = sess.runBounded(cfg_.maxCyclesPerRun);
+            // reset() rebuilds a condemned (or timed-out) engine,
+            // with a derived fault seed so a retry does not replay
+            // the identical environmental upset.
+            be.reset();
+            be.writeInput(job.req.input);
+            const std::uint64_t cor0 = be.correctedErrors();
+            rr = be.runBounded(cfg_.maxCyclesPerRun);
             r.measuredCycles = rr.cycles;
-            r.correctedErrors +=
-                sess.chip().stats().get("ecc_corrected") - cor0;
+            r.correctedErrors += be.correctedErrors() - cor0;
             if (rr.status != RunStatus::MachineCheck)
                 break;
-            r.machineChecks += sess.chip().machineCheckCount();
+            r.machineChecks += be.machineCheckCount();
             // Retry only while another full service time still fits
             // ahead of the deadline and the retry budget holds.
             const double retry_completion =
@@ -160,14 +167,14 @@ InferenceServer::workerLoop(int w)
 
         if (rr.status == RunStatus::MachineCheck) {
             // Every permitted attempt machine-checked. The output is
-            // never read from a condemned chip.
+            // never read from a condemned engine.
             r.outcome = Outcome::FailedMachineCheck;
         } else if (!rr.completed) {
-            // Timeout propagates as an explicit failure; the session
-            // rebuilds its chip on the next reset().
+            // Timeout propagates as an explicit failure; the backend
+            // rebuilds its engine on the next reset().
             r.outcome = Outcome::Failed;
         } else {
-            r.output = sess.readTensor(outputSlot_);
+            r.output = be.readOutput();
             bool recheck = false;
             if (rr.cycles != r.predictedCycles) {
                 // Defensive path — determinism says this is dead
@@ -285,8 +292,8 @@ Cycle
 InferenceServer::totalChipCycles() const
 {
     Cycle total = 0;
-    for (const auto &s : sessions_)
-        total += s->chip().now();
+    for (const auto &b : backends_)
+        total += b->totalCycles();
     return total;
 }
 

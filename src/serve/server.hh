@@ -22,14 +22,15 @@
 #define TSP_SERVE_SERVER_HH
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "runtime/session.hh"
 #include "serve/admission.hh"
+#include "serve/backend.hh"
 #include "serve/metrics.hh"
 #include "serve/request.hh"
 #include "serve/request_queue.hh"
@@ -71,7 +72,11 @@ struct ServerConfig
     ChipConfig chip{};
 };
 
-/** A pool of simulated TSP chips serving one compiled model. */
+/** Builds one worker's execution engine (chip or pod). */
+using BackendFactory =
+    std::function<std::unique_ptr<Backend>(int worker)>;
+
+/** A pool of simulated TSP engines serving one compiled workload. */
 class InferenceServer
 {
   public:
@@ -92,6 +97,15 @@ class InferenceServer
      */
     InferenceServer(Lowering &lw, LoweredTensor input,
                     LoweredTensor output, ServerConfig cfg = {});
+
+    /**
+     * Generic form: one Backend per worker from @p factory, with
+     * @p service_cycles the exact per-request cycle count the
+     * admission controller books against (e.g.
+     * PodBackend::serviceCycles for a pod of chips).
+     */
+    InferenceServer(const BackendFactory &factory,
+                    Cycle service_cycles, ServerConfig cfg = {});
 
     /** Drains and joins the pool. */
     ~InferenceServer();
@@ -170,15 +184,12 @@ class InferenceServer
                                   const Admission &booking);
     void finish(Job &job, Result r);
 
-    Lowering &lw_;
     const ServerConfig cfg_;
-    const LoweredTensor inputSlot_;
-    const LoweredTensor outputSlot_;
 
     AdmissionController admission_;
     BoundedQueue<Job> queue_;
 
-    std::vector<std::unique_ptr<InferenceSession>> sessions_;
+    std::vector<std::unique_ptr<Backend>> backends_;
     std::vector<std::thread> threads_;
 
     std::mutex submitMu_; ///< Serializes admission + enqueue.

@@ -290,6 +290,15 @@ Chip::nextEventCycle() const
             return now;
     }
     Cycle ev = fabric_.earliestPendingCycle();
+    {
+        // Link events (pending rx arrivals, serializer drain) are
+        // conservative stop points: nothing dispatches at them, but
+        // they bound how far a span can be declared idle when this
+        // chip is a pod member.
+        const Cycle c = c2c_->earliestEventCycle(now);
+        if (c < ev)
+            ev = c;
+    }
     if (faults_) {
         const Cycle f = faults_->nextScheduledCycle();
         if (f <= now)
@@ -388,6 +397,25 @@ Chip::runBounded(Cycle cycle_limit)
     return !mcheck_->raised();
 }
 
+void
+Chip::runTo(Cycle target)
+{
+    const bool fast_forward =
+        cfg_.fastForwardEnabled && !cfg_.powerTraceEnabled;
+    while (now() < target) {
+        if (mcheck_->raised())
+            return;
+        if (fast_forward && lastStepQuiet_) {
+            const Cycle ev = nextEventCycle();
+            if (ev > now()) {
+                advanceTo(ev < target ? ev : target);
+                continue;
+            }
+        }
+        step();
+    }
+}
+
 std::uint64_t
 Chip::totalDispatched() const
 {
@@ -472,6 +500,7 @@ Chip::stats() const
     if (faults_) {
         g.set("faults_injected_mem", faults_->memFlips());
         g.set("faults_injected_stream", faults_->streamFlips());
+        g.set("faults_injected_c2c", faults_->c2cFlips());
         g.set("faults_injected_scheduled", faults_->scheduledFlips());
     }
 
@@ -482,6 +511,14 @@ Chip::stats() const
 
     g.set("c2c_sent", c2c_->sent());
     g.set("c2c_received", c2c_->received());
+    g.set("c2c_dropped_receives", c2c_->droppedReceives());
+    for (int link = 0; link < kC2cLinks; ++link) {
+        const std::uint64_t d = c2c_->droppedReceives(link);
+        if (d > 0) {
+            g.set("c2c_dropped_receives_link" + std::to_string(link),
+                  d);
+        }
+    }
     return g;
 }
 

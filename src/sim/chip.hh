@@ -97,6 +97,18 @@ class Chip
      */
     bool runBounded(Cycle cycle_limit);
 
+    /**
+     * Advances the clock to exactly @p target (absolute), done or
+     * not: a retired chip accumulates its idle/power accounting just
+     * as per-cycle stepping would, and scheduled fault events inside
+     * the span still land on their cycles. Used by the pod scheduler
+     * to equalize member clocks — lock-step stepping keeps stepping
+     * finished chips until the whole pod retires, so bit-identical
+     * stats require the same tail here. Stops early (clock halted)
+     * if a machine check is raised.
+     */
+    void runTo(Cycle target);
+
     /** @return true once any uncorrectable error condemned the chip. */
     bool machineCheck() const { return mcheck_->raised(); }
 
@@ -144,6 +156,7 @@ class Chip
 
     /** @return the chip-to-chip block. */
     C2cModule &c2c() { return *c2c_; }
+    const C2cModule &c2c() const { return *c2c_; }
 
     /** @return the power model. */
     const PowerModel &power() const { return *power_; }

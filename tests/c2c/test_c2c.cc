@@ -143,6 +143,183 @@ TEST(C2cDeath, ReceiveWithNothingArrivedPanics)
     ASSERT_DEATH(body(), "no arrived vector");
 }
 
+TEST(C2cDeath, ReceiveBeforeDeskewPanics)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    const auto body = [] {
+        ChipConfig cfg;
+        cfg.strictStreams = false; // Deskew check precedes strictness.
+        StreamFabric fa, fb;
+        C2cModule a(cfg, fa), b(cfg, fb);
+        a.connect(0, b, 0, 5);
+        Instruction recv;
+        recv.op = Opcode::Receive;
+        recv.imm0 = 0;
+        recv.dst = {0, Direction::East};
+        b.execute(recv, 0, 3);
+    };
+    ASSERT_DEATH(body(), "receive before deskew");
+}
+
+TEST(C2cDeath, SendOnUnconnectedLinkPanics)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    const auto body = [] {
+        ChipConfig cfg;
+        cfg.strictStreams = false;
+        StreamFabric fa;
+        C2cModule a(cfg, fa);
+        Instruction d;
+        d.op = Opcode::Deskew;
+        a.execute(d, 3, 0);
+        Instruction send;
+        send.op = Opcode::Send;
+        send.imm0 = 3;
+        send.srcA = {0, Direction::West};
+        a.execute(send, 3, 10);
+    };
+    ASSERT_DEATH(body(), "unconnected link");
+}
+
+TEST(C2c, NonStrictReceiveUnderflowIsCountedPerLink)
+{
+    // A Receive that finds nothing arrived is a schedule bug; in
+    // non-strict mode it must not vanish silently — the drop is
+    // counted on its link and chip-wide.
+    ChipConfig cfg;
+    cfg.strictStreams = false;
+    StreamFabric fa, fb;
+    C2cModule a(cfg, fa), b(cfg, fb);
+    a.connect(0, b, 0, 5);
+    Instruction d;
+    d.op = Opcode::Deskew;
+    b.execute(d, 0, 0);
+
+    Instruction recv;
+    recv.op = Opcode::Receive;
+    recv.imm0 = 0;
+    recv.dst = {0, Direction::East};
+    b.execute(recv, 0, 3); // Nothing ever sent.
+    EXPECT_EQ(b.received(), 0u);
+    EXPECT_EQ(b.droppedReceives(0), 1u);
+    EXPECT_EQ(b.droppedReceives(), 1u);
+
+    // A vector in flight but not yet arrived is still an underflow.
+    d.op = Opcode::Deskew;
+    a.execute(d, 0, 0);
+    Vec320 v;
+    v.bytes.fill(0x5a);
+    eccComputeVec(v);
+    fa.write({2, Direction::West}, IcuId::c2c(0).pos(), v);
+    Instruction send;
+    send.op = Opcode::Send;
+    send.imm0 = 0;
+    send.srcA = {2, Direction::West};
+    a.execute(send, 0, 4); // Arrives at 4 + 22 + 5 = 31.
+    b.execute(recv, 0, 10);
+    EXPECT_EQ(b.received(), 0u);
+    EXPECT_EQ(b.droppedReceives(0), 2u);
+    EXPECT_EQ(b.droppedReceives(), 2u);
+    EXPECT_EQ(b.pendingRx(0), 1u); // The in-flight vector survives.
+
+    // Other links are untouched.
+    EXPECT_EQ(b.droppedReceives(1), 0u);
+
+    // Once arrived, the receive consumes it normally.
+    while (fb.now() < 31) {
+        fa.advance();
+        fb.advance();
+    }
+    b.execute(recv, 0, fb.now());
+    EXPECT_EQ(b.received(), 1u);
+    EXPECT_EQ(b.pendingRx(0), 0u);
+    EXPECT_EQ(b.droppedReceives(), 2u);
+}
+
+TEST(C2c, PendingRxAccountingAcrossBackToBackSends)
+{
+    TwoChips t;
+    const SlicePos pa = IcuId::c2c(0).pos();
+    Instruction send;
+    send.op = Opcode::Send;
+    send.imm0 = 0;
+    send.srcA = {5, Direction::West};
+
+    Vec320 v;
+    v.bytes.fill(1);
+    eccComputeVec(v);
+    t.fa.write({5, Direction::West}, pa, v);
+    t.a.execute(send, 0, 0);
+    // Earliest legal back-to-back send: one serialization later.
+    while (t.fa.now() < kC2cSerializationCycles)
+        t.step();
+    v.bytes.fill(2);
+    eccComputeVec(v);
+    t.fa.write({5, Direction::West}, pa, v);
+    t.a.execute(send, 0, t.fa.now());
+    EXPECT_EQ(t.a.sent(), 2u);
+
+    // Delivery is eager: both entries queue at Send time, each
+    // carrying its own arrival cycle, one serialization apart.
+    EXPECT_EQ(t.b.pendingRx(0), 2u);
+    const Cycle second = 2 * kC2cSerializationCycles + 10;
+    while (t.fb.now() < second)
+        t.step();
+
+    Instruction recv;
+    recv.op = Opcode::Receive;
+    recv.imm0 = 0;
+    recv.dst = {6, Direction::East};
+    t.b.execute(recv, 0, t.fb.now());
+    EXPECT_EQ(t.b.pendingRx(0), 1u);
+    t.b.execute(recv, 0, t.fb.now());
+    EXPECT_EQ(t.b.pendingRx(0), 0u);
+    EXPECT_EQ(t.b.received(), 2u);
+    EXPECT_EQ(t.b.droppedReceives(), 0u);
+}
+
+TEST(C2c, EarliestEventCycleTracksLinkActivity)
+{
+    TwoChips t;
+    // Nothing in flight: no events ever.
+    EXPECT_EQ(t.a.earliestEventCycle(0), kNoEventCycle);
+    EXPECT_EQ(t.b.earliestEventCycle(0), kNoEventCycle);
+
+    const SlicePos pa = IcuId::c2c(0).pos();
+    Vec320 v;
+    v.bytes.fill(7);
+    eccComputeVec(v);
+    t.fa.write({5, Direction::West}, pa, v);
+    Instruction send;
+    send.op = Opcode::Send;
+    send.imm0 = 0;
+    send.srcA = {5, Direction::West};
+    t.a.execute(send, 0, 0);
+
+    // Sender: next event is the serializer going idle.
+    EXPECT_EQ(t.a.earliestEventCycle(0), kC2cSerializationCycles);
+    EXPECT_EQ(t.a.earliestEventCycle(kC2cSerializationCycles),
+              kNoEventCycle);
+
+    // Receiver: next event is the arrival (delivery is eager, so the
+    // rx entry carries its future arrival cycle).
+    const Cycle arrival = kC2cSerializationCycles + 10;
+    EXPECT_EQ(t.b.earliestEventCycle(0), arrival);
+    EXPECT_EQ(t.b.earliestEventCycle(arrival - 1), arrival);
+    // At (or past) the arrival the event is now, not in the future.
+    EXPECT_EQ(t.b.earliestEventCycle(arrival), kNoEventCycle);
+
+    // Consuming the vector clears the rx event.
+    while (t.fb.now() < arrival)
+        t.step();
+    Instruction recv;
+    recv.op = Opcode::Receive;
+    recv.imm0 = 0;
+    recv.dst = {6, Direction::East};
+    t.b.execute(recv, 0, t.fb.now());
+    EXPECT_EQ(t.b.earliestEventCycle(0), kNoEventCycle);
+}
+
 TEST(C2c, AggregateBandwidthMatchesPaper)
 {
     // 16 links x 4 lanes x 30 Gb/s x 2 directions = 3.84 Tb/s.

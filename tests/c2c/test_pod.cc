@@ -82,6 +82,61 @@ INSTANTIATE_TEST_SUITE_P(RingSizes, PodAllReduce,
                                     std::to_string(info.param);
                          });
 
+TEST(PodDeath, RunAllLimitIsAbsolute)
+{
+    // max_cycles bounds the pod *clock*, exactly like
+    // Chip::runBounded — not the number of additional loop
+    // iterations. A resumed pod whose clock already exceeds the
+    // budget must fatal instead of silently granting max_cycles more
+    // cycles (the old iteration-counting behaviour would have let
+    // this second collective finish).
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    Pod pod(2, 9);
+    for (int c = 0; c < 2; ++c) {
+        Vec320 v;
+        v.bytes.fill(static_cast<std::uint8_t>(c + 1));
+        pod.chip(c)
+            .mem(Hemisphere::East, AllReducePlan::kSlice)
+            .backdoorWrite(AllReducePlan::kLocalAddr, v);
+    }
+    std::vector<ScheduledProgram> programs;
+    buildRingAllReduce(pod, programs);
+    const Cycle first = runAllReduce(pod, programs);
+    ASSERT_GT(first, 100u);
+    // Reload and rerun with a budget only slightly past the current
+    // clock: the second collective needs ~first more cycles, far
+    // more than the 5 remaining in the absolute budget — yet under
+    // iteration counting, now() + 5 iterations would cover it.
+    for (int c = 0; c < 2; ++c) {
+        pod.chip(c).loadProgram(
+            programs[static_cast<std::size_t>(c)].toAsm());
+    }
+    ASSERT_DEATH(pod.runAll(pod.now() + 5), "cycle limit");
+}
+
+TEST(Pod, RunAllHonorsGenerousAbsoluteLimit)
+{
+    // The flip side of the absolute semantics: a resumed pod given a
+    // budget covering the second collective completes normally.
+    Pod pod(2, 9);
+    for (int c = 0; c < 2; ++c) {
+        Vec320 v;
+        v.bytes.fill(static_cast<std::uint8_t>(c + 1));
+        pod.chip(c)
+            .mem(Hemisphere::East, AllReducePlan::kSlice)
+            .backdoorWrite(AllReducePlan::kLocalAddr, v);
+    }
+    std::vector<ScheduledProgram> programs;
+    buildRingAllReduce(pod, programs);
+    const Cycle first = runAllReduce(pod, programs);
+    for (int c = 0; c < 2; ++c) {
+        pod.chip(c).loadProgram(
+            programs[static_cast<std::size_t>(c)].toAsm());
+    }
+    const Cycle second = pod.runAll(2 * first + 64);
+    EXPECT_EQ(second, 2 * first);
+}
+
 TEST(Pod, LockStepIsDeterministic)
 {
     Cycle first = 0;

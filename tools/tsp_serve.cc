@@ -8,7 +8,11 @@
  * virtual chip timeline, throughput), optionally as JSON.
  *
  *   tsp-serve [options]
- *     --workers N       chips in the pool            (default 2)
+ *     --workers N       engines in the pool          (default 2)
+ *     --pod N           each engine is an N-chip ring pod serving
+ *                       the int8 ring all-reduce collective instead
+ *                       of the compiled model (N >= 2; 0 = off)
+ *     --wire N          pod link wire latency, cycles (default 17)
  *     --requests N      requests to submit           (default 200)
  *     --rho R           offered load vs pool capacity (default 1.2)
  *     --slack S         deadline = arrival + S * service; 0 = none
@@ -18,7 +22,8 @@
  *     --seed S          request-stream seed          (default 1)
  *     --json FILE       also write the report as JSON
  *     --fault-rate R    per-access bit-upset rate on MEM reads,
- *                       MEM writes and stream hops   (default 0)
+ *                       MEM writes, stream hops and (with --pod)
+ *                       C2C link flight              (default 0)
  *     --fault-double F  fraction of upsets that strike a second bit
  *                       in the same word (uncorrectable)
  *                                                    (default 0)
@@ -35,6 +40,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hh"
@@ -49,7 +55,8 @@ void
 usage()
 {
     std::fprintf(stderr,
-                 "usage: tsp-serve [--workers N] [--requests N] "
+                 "usage: tsp-serve [--workers N] [--pod N] "
+                 "[--wire N] [--requests N] "
                  "[--rho R] [--slack S] [--queue N] "
                  "[--model-seed S] [--seed S] [--json FILE] "
                  "[--fault-rate R] [--fault-double F] "
@@ -62,6 +69,8 @@ int
 main(int argc, char **argv)
 {
     int workers = 2;
+    int pod_chips = 0;
+    Cycle wire_latency = 17;
     int requests = 200;
     double rho = 1.2;
     double slack_services = 4.0;
@@ -85,6 +94,10 @@ main(int argc, char **argv)
         };
         if (!std::strcmp(argv[i], "--workers")) {
             workers = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--pod")) {
+            pod_chips = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--wire")) {
+            wire_latency = static_cast<Cycle>(std::atol(next()));
         } else if (!std::strcmp(argv[i], "--requests")) {
             requests = std::atoi(next());
         } else if (!std::strcmp(argv[i], "--rho")) {
@@ -117,7 +130,8 @@ main(int argc, char **argv)
     }
     if (workers < 1 || requests < 1 || rho <= 0.0 ||
         fault_rate < 0.0 || fault_rate > 1.0 || fault_double < 0.0 ||
-        fault_double > 1.0 || retries < 0) {
+        fault_double > 1.0 || retries < 0 || pod_chips == 1 ||
+        pod_chips < 0) {
         usage();
         return 2;
     }
@@ -140,21 +154,57 @@ main(int argc, char **argv)
     cfg.chip.fault.memReadRate = fault_rate;
     cfg.chip.fault.memWriteRate = fault_rate;
     cfg.chip.fault.streamRate = fault_rate;
+    cfg.chip.fault.c2cRate = fault_rate;
     cfg.chip.fault.doubleBitFraction = fault_double;
     if (have_fault_seed)
         cfg.chip.fault.seed = fault_seed;
-    serve::InferenceServer server(lw, tensors.at(0),
-                                  tensors.at(g.outputNode()), cfg);
 
-    std::printf("compiled model: %llu cycles = %.3f us per "
-                "inference, known before execution\n",
-                static_cast<unsigned long long>(
-                    server.serviceCycles()),
-                server.serviceSec() * 1e6);
-    std::printf("pool: %d chip%s, queue capacity %zu, offered load "
-                "%.2f x capacity%s\n",
-                workers, workers == 1 ? "" : "s", queue_cap, rho,
-                slack_services > 0.0 ? "" : ", no deadlines");
+    std::unique_ptr<serve::InferenceServer> server_p;
+    if (pod_chips >= 2) {
+        // Each worker owns an N-chip ring pod serving the statically
+        // scheduled all-reduce; the collective's exact cycle count is
+        // calibrated once on a fault-free pod.
+        const Cycle service_cycles = serve::PodBackend::serviceCycles(
+            pod_chips, wire_latency, cfg.chip);
+        const ChipConfig chip_cfg = cfg.chip;
+        server_p = std::make_unique<serve::InferenceServer>(
+            [pod_chips, wire_latency,
+             chip_cfg](int) -> std::unique_ptr<serve::Backend> {
+                return std::make_unique<serve::PodBackend>(
+                    pod_chips, wire_latency, chip_cfg);
+            },
+            service_cycles, cfg);
+    } else {
+        server_p = std::make_unique<serve::InferenceServer>(
+            lw, tensors.at(0), tensors.at(g.outputNode()), cfg);
+    }
+    serve::InferenceServer &server = *server_p;
+
+    if (pod_chips >= 2) {
+        std::printf("collective: %d-chip ring all-reduce, wire "
+                    "latency %llu — %llu cycles = %.3f us per "
+                    "request, known before execution\n",
+                    pod_chips,
+                    static_cast<unsigned long long>(wire_latency),
+                    static_cast<unsigned long long>(
+                        server.serviceCycles()),
+                    server.serviceSec() * 1e6);
+        std::printf("pool: %d pod%s of %d chips, queue capacity %zu, "
+                    "offered load %.2f x capacity%s\n",
+                    workers, workers == 1 ? "" : "s", pod_chips,
+                    queue_cap, rho,
+                    slack_services > 0.0 ? "" : ", no deadlines");
+    } else {
+        std::printf("compiled model: %llu cycles = %.3f us per "
+                    "inference, known before execution\n",
+                    static_cast<unsigned long long>(
+                        server.serviceCycles()),
+                    server.serviceSec() * 1e6);
+        std::printf("pool: %d chip%s, queue capacity %zu, offered "
+                    "load %.2f x capacity%s\n",
+                    workers, workers == 1 ? "" : "s", queue_cap, rho,
+                    slack_services > 0.0 ? "" : ", no deadlines");
+    }
     if (fault_rate > 0.0) {
         std::printf("fault injection: %.3g upsets/access, "
                     "double-bit fraction %.3g, retry budget %d\n",
@@ -165,13 +215,15 @@ main(int argc, char **argv)
     const double service = server.serviceSec();
     const double mean_gap =
         service / (rho * static_cast<double>(workers));
+    const std::size_t input_len =
+        pod_chips >= 2 ? serve::PodBackend::inputBytes(pod_chips)
+                       : static_cast<std::size_t>(h) * w * c;
     double now = 0.0;
     std::vector<std::future<serve::Result>> futures;
     futures.reserve(static_cast<std::size_t>(requests));
     for (int i = 0; i < requests; ++i) {
         now += -std::log(1.0 - rng.nextDouble()) * mean_gap;
-        std::vector<std::int8_t> data(
-            static_cast<std::size_t>(h) * w * c);
+        std::vector<std::int8_t> data(input_len);
         for (auto &v : data)
             v = static_cast<std::int8_t>(rng.intIn(-100, 100));
         const double deadline =
