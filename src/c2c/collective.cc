@@ -36,10 +36,12 @@ emitReadToLink(ScheduledProgram &prog, MemAddr addr, StreamRef s,
 
 AllReducePlan
 buildRingAllReduce(const Pod &pod,
-                   std::vector<ScheduledProgram> &programs)
+                   std::vector<ScheduledProgram> &programs,
+                   int batch)
 {
     const int n = const_cast<Pod &>(pod).size();
     TSP_ASSERT(n >= 2);
+    TSP_ASSERT(batch >= 1 && batch <= AllReducePlan::kMaxBatch);
     programs.assign(static_cast<std::size_t>(n), {});
 
     AllReducePlan plan;
@@ -70,21 +72,30 @@ buildRingAllReduce(const Pod &pod,
     // its local vector (identity add with the zero at kResultAddr is
     // avoided by just sending kLocalAddr directly in phase 0).
     //
+    // Sample s's hops occupy slot s*(n+1) + p: pipelined batching
+    // with the collision-free offset proved in the header comment.
+    //
     // Reduce phases p = 0..n-2: chip p sends its partial (phase 0:
     // its local vector), chip p+1 receives, adds its local vector at
     // the VXM and commits to kResultAddr.
+    for (int s = 0; s < batch; ++s) {
+    const Cycle slot0 =
+        static_cast<Cycle>(s) * static_cast<Cycle>(n + 1);
+    const MemAddr local_a =
+        AllReducePlan::kLocalAddr + static_cast<MemAddr>(s);
+    const MemAddr result_a =
+        AllReducePlan::kResultAddr + static_cast<MemAddr>(s);
     for (int p = 0; p <= n - 2; ++p) {
         const int sender = p;
         const int receiver = p + 1;
         auto &ps = programs[static_cast<std::size_t>(sender)];
         auto &pr = programs[static_cast<std::size_t>(receiver)];
         const Cycle send_at =
-            plan.firstSend + static_cast<Cycle>(p) * plan.phase;
+            plan.firstSend +
+            (slot0 + static_cast<Cycle>(p)) * plan.phase;
 
-        emitReadToLink(ps,
-                       p == 0 ? AllReducePlan::kLocalAddr
-                              : AllReducePlan::kResultAddr,
-                       out_s, send_at);
+        emitReadToLink(ps, p == 0 ? local_a : result_a, out_s,
+                       send_at);
         Instruction send;
         send.op = Opcode::Send;
         send.imm0 = Pod::kRightLink;
@@ -108,7 +119,7 @@ buildRingAllReduce(const Pod &pod,
         // Local vector arrives the same cycle, flowing west.
         Instruction rd;
         rd.op = Opcode::Read;
-        rd.addr = AllReducePlan::kLocalAddr;
+        rd.addr = local_a;
         rd.dst = local_s;
         pr.emit(at_vxm - opTiming(Opcode::Read).dFunc -
                     Layout::transitDelay(slicePos(), kVxm),
@@ -127,7 +138,7 @@ buildRingAllReduce(const Pod &pod,
                            Layout::transitDelay(kVxm, slicePos());
         Instruction wr;
         wr.op = Opcode::Write;
-        wr.addr = AllReducePlan::kResultAddr;
+        wr.addr = result_a;
         wr.srcA = sum_s;
         pr.emit(w_at, mem, wr);
     }
@@ -141,10 +152,10 @@ buildRingAllReduce(const Pod &pod,
         auto &ps = programs[static_cast<std::size_t>(sender)];
         auto &pr = programs[static_cast<std::size_t>(receiver)];
         const Cycle send_at =
-            plan.firstSend + static_cast<Cycle>(p) * plan.phase;
+            plan.firstSend +
+            (slot0 + static_cast<Cycle>(p)) * plan.phase;
 
-        emitReadToLink(ps, AllReducePlan::kResultAddr, out_s,
-                       send_at);
+        emitReadToLink(ps, result_a, out_s, send_at);
         Instruction send;
         send.op = Opcode::Send;
         send.imm0 = Pod::kRightLink;
@@ -166,13 +177,17 @@ buildRingAllReduce(const Pod &pod,
                                                 slicePos());
         Instruction wr;
         wr.op = Opcode::Write;
-        wr.addr = AllReducePlan::kResultAddr;
+        wr.addr = result_a;
         wr.srcA = in_s;
         pr.emit(w_at, mem, wr);
     }
+    } // sample loop
 
-    plan.finish = plan.firstSend +
-                  static_cast<Cycle>(2 * n - 2) * plan.phase;
+    plan.finish =
+        plan.firstSend +
+        static_cast<Cycle>(2 * n - 2 +
+                           (batch - 1) * (n + 1)) *
+            plan.phase;
     return plan;
 }
 

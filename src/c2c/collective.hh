@@ -27,6 +27,8 @@ struct AllReducePlan
     static constexpr MemAddr kLocalAddr = 0x10;
     /** Word receiving the reduced result. */
     static constexpr MemAddr kResultAddr = 0x20;
+    /** Batched schedules address kLocalAddr+s / kResultAddr+s. */
+    static constexpr int kMaxBatch = 16;
 
     Cycle phase = 0;      ///< Cycles per ring hop.
     Cycle firstSend = 0;  ///< First Send's cycle.
@@ -38,12 +40,25 @@ struct AllReducePlan
  * one 320-byte vector: result = satadd(...satadd(V0, V1)..., Vn-1),
  * landed at kResultAddr on every chip.
  *
+ * With @p batch > 1 the schedule reduces @p batch independent vectors
+ * in one program: sample s lives at kLocalAddr+s / kResultAddr+s and
+ * its ring hops occupy send slots offset by s*(n+1) — the offset is
+ * collision-free because each chip's link slots within one sample are
+ * {c, c+n}, so a cross-sample clash would need ds*(n+1) in {0, n},
+ * which has no solution for 1 <= ds < batch. Samples pipeline through
+ * the ring (sample s+1 starts while s broadcasts), so cycles grow by
+ * (n+1) phases per extra sample instead of a full (2n-2)-phase pass
+ * plus program overhead: strictly sublinear in batch. toAsm() panics
+ * on any same-cycle ICU double-booking, so a bad offset cannot build.
+ *
  * @param pod the ring (provides size and wire latency).
  * @param programs out: one ScheduledProgram per chip.
+ * @param batch vectors reduced per program (1..16; address-limited).
  * @return the plan with the computed timing.
  */
 AllReducePlan buildRingAllReduce(
-    const Pod &pod, std::vector<ScheduledProgram> &programs);
+    const Pod &pod, std::vector<ScheduledProgram> &programs,
+    int batch = 1);
 
 /**
  * Loads the programs, runs the pod, and returns the cycle count.

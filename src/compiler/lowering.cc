@@ -23,6 +23,15 @@ constexpr Cycle kMxmToVxm = 46;                // delta(MXM, VXM)
 
 } // namespace
 
+struct Lowering::ConvCacheEntry
+{
+    std::uint64_t hash = 0;
+    ConvGeom g;
+    int outC = 0;
+    int inC = 0;
+    std::unique_ptr<PlacedConv> pc;
+};
+
 Cycle
 LoweredTensor::maxReady() const
 {
@@ -334,6 +343,60 @@ Lowering::inputTensor(int height, int width, int channels,
         }
     }
     return lt;
+}
+
+namespace {
+
+/** FNV-1a over the layer's full parameter content. */
+std::uint64_t
+convContentHash(const ConvGeom &g, const ConvWeights &w)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](const void *p, std::size_t n) {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 0x100000001b3ULL;
+        }
+    };
+    const int dims[6] = {w.outC, w.inC, g.kh,
+                         g.kw,   g.stride, g.pad};
+    mix(dims, sizeof(dims));
+    const unsigned char relu = g.relu ? 1 : 0;
+    mix(&relu, 1);
+    mix(w.w.data(), w.w.size() * sizeof(w.w[0]));
+    mix(w.bias.data(), w.bias.size() * sizeof(w.bias[0]));
+    mix(w.scale.data(), w.scale.size() * sizeof(w.scale[0]));
+    return h;
+}
+
+} // namespace
+
+const Lowering::PlacedConv &
+Lowering::placedConvFor(const ConvGeom &g, const ConvWeights &w)
+{
+    auto it = convCache_.find(&w);
+    if (it != convCache_.end()) {
+        const ConvCacheEntry &e = *it->second;
+        const bool same_geom =
+            e.g.kh == g.kh && e.g.kw == g.kw &&
+            e.g.stride == g.stride && e.g.pad == g.pad &&
+            e.g.relu == g.relu && e.outC == w.outC &&
+            e.inC == w.inC;
+        if (same_geom && e.hash == convContentHash(g, w))
+            return *e.pc;
+        convCache_.erase(it); // Recycled address or mutated weights.
+    }
+    auto entry = std::make_unique<ConvCacheEntry>();
+    entry->hash = convContentHash(g, w);
+    entry->g = g;
+    entry->outC = w.outC;
+    entry->inC = w.inC;
+    entry->pc = placeConv(g, w);
+    ++weightPlacements_;
+    const PlacedConv &pc = *entry->pc;
+    convCache_.emplace(&w, std::move(entry));
+    return pc;
 }
 
 std::unique_ptr<Lowering::PlacedConv>
@@ -758,7 +821,7 @@ Lowering::conv2d(const LoweredTensor &in, const ConvGeom &g,
         (in.t.width + 2 * g.pad - g.kw) / g.stride + 1;
     TSP_ASSERT(out_h >= 1 && out_w >= 1);
 
-    auto pc = placeConv(g, w);
+    const PlacedConv &pc = placedConvFor(g, w);
 
     Hemisphere hems[2] = {Hemisphere::West, Hemisphere::East};
     int avoid = 0;
@@ -769,7 +832,7 @@ Lowering::conv2d(const LoweredTensor &in, const ConvGeom &g,
 
     const Cycle begin = lastEvent_;
     for (int e = 0; e < 2; ++e)
-        convEngine(e, in, g, *pc, out);
+        convEngine(e, in, g, pc, out);
     recordLayer("conv2d", begin);
     return out;
 }

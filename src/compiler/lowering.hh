@@ -159,6 +159,15 @@ class Lowering
     /** @return cycle at which the whole program has finished. */
     Cycle finishCycle() const { return lastEvent_; }
 
+    /**
+     * @return conv layers whose weights were actually placed (SRAM
+     * tiles allocated + DMA entries emitted). Repeat lowerings of the
+     * same ConvWeights object reuse the first placement, so a batch-B
+     * program pays the weight install once: this counter stays at the
+     * model's layer count while conv2d() is called B times per layer.
+     */
+    std::uint64_t weightPlacements() const { return weightPlacements_; }
+
     /** One lowered layer's cycle span (for the per-layer power plot). */
     struct LayerSpan
     {
@@ -214,6 +223,17 @@ class Lowering
     struct PlacedConv;
     std::unique_ptr<PlacedConv> placeConv(const ConvGeom &g,
                                           const ConvWeights &w);
+
+    /**
+     * Returns the placement for (@p g, @p w), placing on first use and
+     * reusing the cached placement on repeats. Keyed by the weights
+     * object's address, validated against a content hash + geometry so
+     * a recycled address or mutated weights re-place instead of
+     * aliasing stale SRAM tiles. Reuse is sound because convEngine
+     * only ever *reads* the placed tiles/quads.
+     */
+    const PlacedConv &placedConvFor(const ConvGeom &g,
+                                    const ConvWeights &w);
 
     // --- MEM port reservation (no arbiters: compile-time proof) ---
     bool tryReserveRead(const GlobalAddr &a, Cycle c);
@@ -288,6 +308,13 @@ class Lowering
 
     /** (hem, slice, cycle) -> port usage bits. */
     std::unordered_map<std::uint64_t, std::uint8_t> ports_;
+
+    /** Cached conv placement + the key fields that validate reuse. */
+    struct ConvCacheEntry;
+    std::unordered_map<const ConvWeights *,
+                       std::unique_ptr<ConvCacheEntry>>
+        convCache_;
+    std::uint64_t weightPlacements_ = 0;
 };
 
 } // namespace tsp

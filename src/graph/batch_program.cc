@@ -1,0 +1,62 @@
+#include "graph/batch_program.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+#include "compiler/schedule.hh"
+
+namespace tsp {
+
+BatchProgramCache::BatchProgramCache(
+    Graph g, std::vector<std::int8_t> warm_input, int max_batch,
+    bool pipelined)
+    : g_(std::move(g))
+{
+    TSP_ASSERT(max_batch >= 1);
+    progs_.reserve(static_cast<std::size_t>(max_batch));
+    cycles_.reserve(static_cast<std::size_t>(max_batch));
+    for (int b = 1; b <= max_batch; ++b) {
+        auto bp = std::make_unique<BatchProgram>();
+        bp->batch = b;
+        bp->lw = std::make_unique<Lowering>(pipelined);
+        bp->inputs.reserve(static_cast<std::size_t>(b));
+        bp->outputs.reserve(static_cast<std::size_t>(b));
+        for (int s = 0; s < b; ++s) {
+            auto tensors = g_.lower(*bp->lw, warm_input);
+            bp->inputs.push_back(tensors.at(0));
+            bp->outputs.push_back(tensors.at(g_.outputNode()));
+        }
+        bp->cycles = bp->lw->finishCycle();
+        bp->prog = std::make_shared<const AsmProgram>(
+            bp->lw->program().toAsm(/*with_preamble=*/true));
+        // One weight placement per conv layer, not per sample: the
+        // whole point of the batch program.
+        if (!progs_.empty())
+            TSP_ASSERT(bp->lw->weightPlacements() ==
+                       progs_.front()->lw->weightPlacements());
+        cycles_.push_back(bp->cycles);
+        progs_.push_back(std::move(bp));
+    }
+    // cycles(B) must be exact and monotone; sublinearity is pinned by
+    // tests/bench, but a non-increasing step here is always a bug.
+    for (std::size_t i = 1; i < cycles_.size(); ++i)
+        TSP_ASSERT(cycles_[i] > cycles_[i - 1]);
+}
+
+BatchProgram &
+BatchProgramCache::get(int batch)
+{
+    TSP_ASSERT(batch >= 1 &&
+               batch <= static_cast<int>(progs_.size()));
+    return *progs_[static_cast<std::size_t>(batch - 1)];
+}
+
+const BatchProgram &
+BatchProgramCache::get(int batch) const
+{
+    TSP_ASSERT(batch >= 1 &&
+               batch <= static_cast<int>(progs_.size()));
+    return *progs_[static_cast<std::size_t>(batch - 1)];
+}
+
+} // namespace tsp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Batch-B compiled programs with amortized weight install.
+ *
+ * A batch-B program is built by lowering the same Graph B times into
+ * one Lowering: the conv placement cache makes every repeat reuse the
+ * first sample's weight tiles/bias/scale quads (placed once, DMA'd
+ * once), while each sample gets fresh activation tensors from the
+ * bump allocator — so per-sample outputs are independent and the
+ * whole batch shares a single weight image. The engine scheduling
+ * state persists across repeats, so sample s+1's first layer overlaps
+ * sample s's tail exactly like adjacent layers of one network: the
+ * compile-time finish cycle cycles(B) is exact and strictly sublinear
+ * in B versus B independent batch-1 replays (one barrier preamble,
+ * one schedule lead-in, one weight install, pipelined seams).
+ *
+ * The cache eagerly compiles batch sizes 1..maxBatch at construction
+ * and is immutable afterwards, so worker threads may read it without
+ * locks; cyclesByBatch() feeds the admission controller's exact
+ * feasibility arithmetic (paper V.c: deadlines are provable because
+ * the cycle count is known before execution).
+ */
+
+#ifndef TSP_GRAPH_BATCH_PROGRAM_HH
+#define TSP_GRAPH_BATCH_PROGRAM_HH
+
+#include <memory>
+#include <vector>
+
+#include "compiler/lowering.hh"
+#include "graph/graph.hh"
+#include "isa/assembler.hh"
+
+namespace tsp {
+
+/** One compiled batch size: program + per-sample tensor slots. */
+struct BatchProgram
+{
+    int batch = 1;
+    std::unique_ptr<Lowering> lw;
+    std::shared_ptr<const AsmProgram> prog;
+    /** inputs[s]/outputs[s]: sample s's staging/result tensors. */
+    std::vector<LoweredTensor> inputs;
+    std::vector<LoweredTensor> outputs;
+    /** Exact finish cycle of the batch-B schedule. */
+    Cycle cycles = 0;
+};
+
+/** Compiled lowerings for every batch size 1..maxBatch. */
+class BatchProgramCache
+{
+  public:
+    /**
+     * Compiles @p g for batch sizes 1..@p max_batch. @p warm_input is
+     * the placeholder input DMA'd with each sample slot (real inputs
+     * are staged by the runtime before every run).
+     */
+    BatchProgramCache(Graph g, std::vector<std::int8_t> warm_input,
+                      int max_batch, bool pipelined = true);
+
+    int maxBatch() const
+    {
+        return static_cast<int>(progs_.size());
+    }
+
+    /** @return the compiled program for @p batch (1-based). */
+    BatchProgram &get(int batch);
+    const BatchProgram &get(int batch) const;
+
+    /** cyclesByBatch()[b-1] = exact cycles(b). */
+    const std::vector<Cycle> &cyclesByBatch() const
+    {
+        return cycles_;
+    }
+
+    const Graph &graph() const { return g_; }
+
+  private:
+    Graph g_;
+    std::vector<std::unique_ptr<BatchProgram>> progs_;
+    std::vector<Cycle> cycles_;
+};
+
+} // namespace tsp
+
+#endif // TSP_GRAPH_BATCH_PROGRAM_HH

@@ -19,12 +19,32 @@ runStatusName(RunStatus s)
 }
 
 InferenceSession::InferenceSession(Lowering &lw, ChipConfig cfg)
-    : lw_(&lw), cfg_(cfg),
-      prog_(lw.program().toAsm(/*with_preamble=*/true)),
+    : InferenceSession(
+          lw,
+          std::make_shared<const AsmProgram>(
+              lw.program().toAsm(/*with_preamble=*/true)),
+          cfg)
+{
+}
+
+InferenceSession::InferenceSession(
+    Lowering &lw, std::shared_ptr<const AsmProgram> prog,
+    ChipConfig cfg)
+    : lw_(&lw), cfg_(cfg), prog_(std::move(prog)),
       chip_(std::make_unique<Chip>(cfg))
 {
-    chip_->loadProgram(prog_);
+    chip_->loadProgram(*prog_);
     lw.image().applyTo(*chip_);
+    dmaSeconds_ =
+        static_cast<double>(lw.image().totalBytes()) / kPcieGen4Bps;
+}
+
+void
+InferenceSession::bind(Lowering &lw,
+                       std::shared_ptr<const AsmProgram> prog)
+{
+    lw_ = &lw;
+    prog_ = std::move(prog);
     dmaSeconds_ =
         static_cast<double>(lw.image().totalBytes()) / kPcieGen4Bps;
 }
@@ -91,7 +111,7 @@ InferenceSession::reset()
         timedOut_ = false;
         machineChecked_ = false;
     }
-    chip_->loadProgram(prog_);
+    chip_->loadProgram(*prog_);
     lw_->image().applyTo(*chip_);
 }
 

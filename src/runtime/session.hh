@@ -64,6 +64,23 @@ class InferenceSession
     explicit InferenceSession(Lowering &lw, ChipConfig cfg = {});
 
     /**
+     * Same, but with a pre-assembled (shared) program — avoids
+     * re-running toAsm() when many sessions serve one compiled
+     * lowering, e.g. a worker pool over a BatchProgramCache.
+     */
+    InferenceSession(Lowering &lw,
+                     std::shared_ptr<const AsmProgram> prog,
+                     ChipConfig cfg = {});
+
+    /**
+     * Rebinds the session to another compiled lowering (typically a
+     * different batch size of the same model) without rebuilding the
+     * chip. Takes effect at the next reset(), which loads @p prog and
+     * applies @p lw's DMA image.
+     */
+    void bind(Lowering &lw, std::shared_ptr<const AsmProgram> prog);
+
+    /**
      * Runs to completion; @return cycles consumed by this run.
      * Calls fatal() if @p max_cycles elapse first — use runBounded()
      * to observe exhaustion as a status instead.
@@ -131,7 +148,8 @@ class InferenceSession
   private:
     Lowering *lw_;
     ChipConfig cfg_;
-    AsmProgram prog_; ///< Cached assembly (with barrier preamble).
+    /** Cached assembly (with barrier preamble); shareable. */
+    std::shared_ptr<const AsmProgram> prog_;
     std::unique_ptr<Chip> chip_;
     Cycle cycles_ = 0;
     bool timedOut_ = false;

@@ -9,13 +9,26 @@ namespace tsp::serve {
 AdmissionController::AdmissionController(int workers,
                                          Cycle service_cycles,
                                          double cycle_period_sec)
-    : serviceCycles_(service_cycles),
-      serviceSec_(static_cast<double>(service_cycles) *
-                  cycle_period_sec)
+    : AdmissionController(workers,
+                          std::vector<Cycle>{service_cycles},
+                          cycle_period_sec)
+{
+}
+
+AdmissionController::AdmissionController(
+    int workers, std::vector<Cycle> cycles_by_batch,
+    double cycle_period_sec)
+    : cyclesByBatch_(std::move(cycles_by_batch)),
+      periodSec_(cycle_period_sec)
 {
     TSP_ASSERT(workers >= 1);
-    TSP_ASSERT(service_cycles > 0);
     TSP_ASSERT(cycle_period_sec > 0.0);
+    TSP_ASSERT(!cyclesByBatch_.empty());
+    TSP_ASSERT(cyclesByBatch_[0] > 0);
+    // Strictly increasing: a bigger batch takes longer — but the
+    // batcher only wins when it is *sublinear*, which tests pin.
+    for (std::size_t i = 1; i < cyclesByBatch_.size(); ++i)
+        TSP_ASSERT(cyclesByBatch_[i] > cyclesByBatch_[i - 1]);
     freeAt_.assign(static_cast<std::size_t>(workers), 0.0);
 }
 
@@ -27,15 +40,48 @@ AdmissionController::earliestWorkerLocked() const
         freeAt_.begin());
 }
 
+double
+AdmissionController::serviceSecLocked(int b) const
+{
+    TSP_ASSERT(b >= 1 && b <= static_cast<int>(cyclesByBatch_.size()));
+    return static_cast<double>(
+               cyclesByBatch_[static_cast<std::size_t>(b - 1)]) *
+           periodSec_;
+}
+
+Cycle
+AdmissionController::serviceCycles(int b) const
+{
+    TSP_ASSERT(b >= 1 && b <= static_cast<int>(cyclesByBatch_.size()));
+    return cyclesByBatch_[static_cast<std::size_t>(b - 1)];
+}
+
+double
+AdmissionController::serviceSec(int b) const
+{
+    return serviceSecLocked(b);
+}
+
 Admission
 AdmissionController::admit(double arrival_sec, double deadline_sec)
 {
+    Admission a = open(arrival_sec, deadline_sec);
+    if (a.admitted)
+        seal();
+    return a;
+}
+
+Admission
+AdmissionController::open(double arrival_sec, double deadline_sec)
+{
     std::lock_guard<std::mutex> lock(mu_);
+    TSP_ASSERT(!open_.active);
     Admission a;
     a.worker = earliestWorkerLocked();
-    const double free_at = freeAt_[static_cast<std::size_t>(a.worker)];
+    const double free_at =
+        freeAt_[static_cast<std::size_t>(a.worker)];
     a.startSec = std::max(arrival_sec, free_at);
-    a.completionSec = a.startSec + serviceSec_;
+    a.completionSec = a.startSec + serviceSecLocked(1);
     if (deadline_sec > 0.0 && a.completionSec > deadline_sec) {
         // Provably infeasible: the *best case* already misses. No
         // booking, no queue slot, no chip cycles.
@@ -44,9 +90,87 @@ AdmissionController::admit(double arrival_sec, double deadline_sec)
         return a;
     }
     a.admitted = true;
+    a.batch = 1;
     freeAt_[static_cast<std::size_t>(a.worker)] = a.completionSec;
     ++admitted_;
+
+    open_.active = true;
+    open_.worker = a.worker;
+    open_.size = 1;
+    open_.baseFree = free_at;
+    open_.maxArrival = arrival_sec;
+    open_.minDeadline = deadline_sec > 0.0 ? deadline_sec : 0.0;
+    open_.startSec = a.startSec;
+    open_.completionSec = a.completionSec;
     return a;
+}
+
+Admission
+AdmissionController::tryJoin(double arrival_sec, double deadline_sec)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    TSP_ASSERT(open_.active);
+    Admission a;
+    a.worker = open_.worker;
+    const int k = open_.size + 1;
+    if (k > maxBatch()) {
+        a.admitted = false;
+        return a;
+    }
+    // The whole batch starts when its worker is free and its *last*
+    // member has arrived, and runs the exact batch-k program.
+    const double max_arrival =
+        std::max(open_.maxArrival, arrival_sec);
+    a.startSec = std::max(open_.baseFree, max_arrival);
+    a.completionSec = a.startSec + serviceSecLocked(k);
+    const bool members_ok =
+        open_.minDeadline <= 0.0 ||
+        a.completionSec <= open_.minDeadline;
+    const bool self_ok =
+        deadline_sec <= 0.0 || a.completionSec <= deadline_sec;
+    if (!members_ok || !self_ok) {
+        // Not counted as rejected: the caller seals this batch and
+        // retries the request as the opener of the next one.
+        a.admitted = false;
+        return a;
+    }
+    a.admitted = true;
+    a.batch = k;
+    open_.size = k;
+    open_.maxArrival = max_arrival;
+    if (deadline_sec > 0.0)
+        open_.minDeadline = open_.minDeadline <= 0.0
+                                ? deadline_sec
+                                : std::min(open_.minDeadline,
+                                           deadline_sec);
+    open_.startSec = a.startSec;
+    open_.completionSec = a.completionSec;
+    freeAt_[static_cast<std::size_t>(open_.worker)] =
+        a.completionSec;
+    ++admitted_;
+    return a;
+}
+
+Admission
+AdmissionController::seal()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    TSP_ASSERT(open_.active);
+    Admission a;
+    a.admitted = true;
+    a.worker = open_.worker;
+    a.batch = open_.size;
+    a.startSec = open_.startSec;
+    a.completionSec = open_.completionSec;
+    open_ = OpenBatch{};
+    return a;
+}
+
+bool
+AdmissionController::hasOpenBatch() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return open_.active;
 }
 
 double
@@ -55,7 +179,7 @@ AdmissionController::earliestCompletion(double arrival_sec) const
     std::lock_guard<std::mutex> lock(mu_);
     const double free_at =
         freeAt_[static_cast<std::size_t>(earliestWorkerLocked())];
-    return std::max(arrival_sec, free_at) + serviceSec_;
+    return std::max(arrival_sec, free_at) + serviceSecLocked(1);
 }
 
 std::uint64_t

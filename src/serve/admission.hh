@@ -18,6 +18,15 @@
  * cache-based baseline (src/baseline), where latency is only known
  * after the fact and admission control must over-provision against
  * the tail.
+ *
+ * Batching extends the same arithmetic: given the exact cycles(b)
+ * table of the compiled batch programs, joining a request to an open
+ * batch of size k re-books the batch as
+ *
+ *   completion = max(worker-free, latest member arrival) + service(k+1)
+ *
+ * and the join is *proved* feasible (every member still meets its
+ * deadline) or refused — the batcher never gambles on a window.
  */
 
 #ifndef TSP_SERVE_ADMISSION_HH
@@ -40,6 +49,9 @@ struct Admission
     /** Worker slot the booking assumed (informational). */
     int worker = -1;
 
+    /** Samples in the booked batch after this admission. */
+    int batch = 1;
+
     /** Exact service start, virtual seconds. */
     double startSec = 0.0;
 
@@ -51,7 +63,10 @@ struct Admission
  * Books exact per-worker busy intervals on the virtual timeline.
  *
  * Thread-safe; admit() is a single compare-and-book under a mutex.
- * Rejected requests leave no trace in the booking state.
+ * Rejected requests leave no trace in the booking state. The
+ * batch-forming flow (open / tryJoin / seal) must be serialized by
+ * the caller (the server's submit lock does this): only one batch may
+ * be open at a time.
  */
 class AdmissionController
 {
@@ -66,18 +81,59 @@ class AdmissionController
                         double cycle_period_sec);
 
     /**
-     * Decides one request. @p deadline_sec <= 0 means no deadline
-     * (always admitted). On admission the chosen worker's free time
-     * advances to the booked completion; on rejection nothing
-     * changes.
+     * Batch-capable controller: @p cycles_by_batch[b-1] is the exact
+     * cycle count of the compiled batch-b program (strictly
+     * increasing; maxBatch() = its size).
+     */
+    AdmissionController(int workers,
+                        std::vector<Cycle> cycles_by_batch,
+                        double cycle_period_sec);
+
+    /**
+     * Decides one request as a batch of one. @p deadline_sec <= 0
+     * means no deadline (always admitted). On admission the chosen
+     * worker's free time advances to the booked completion; on
+     * rejection nothing changes.
      */
     Admission admit(double arrival_sec, double deadline_sec);
 
-    /** @return exact service seconds per request. */
-    double serviceSec() const { return serviceSec_; }
+    /**
+     * Opens a new batch with its first member: books the earliest
+     * worker exactly like admit(), but leaves the batch open so
+     * later arrivals may join. Fails (nothing booked) only when the
+     * first member's own deadline is infeasible. At most one batch
+     * may be open; seal() the previous one first.
+     */
+    Admission open(double arrival_sec, double deadline_sec);
 
-    /** @return exact service cycles per request. */
-    Cycle serviceCycles() const { return serviceCycles_; }
+    /**
+     * Tries to grow the open batch by one member. The re-booked
+     * batch starts at max(worker-free, latest member arrival) and
+     * takes service(k+1); the join succeeds only if that completion
+     * meets every current member's deadline AND the candidate's —
+     * otherwise the open batch's booking is left untouched and the
+     * caller should seal it and open a new one. Requires an open
+     * batch.
+     */
+    Admission tryJoin(double arrival_sec, double deadline_sec);
+
+    /** Closes the open batch; @return its final booking. */
+    Admission seal();
+
+    /** @return true while a batch is open. */
+    bool hasOpenBatch() const;
+
+    /** @return largest compiled batch size. */
+    int maxBatch() const
+    {
+        return static_cast<int>(cyclesByBatch_.size());
+    }
+
+    /** @return exact service seconds for a batch of @p b. */
+    double serviceSec(int b = 1) const;
+
+    /** @return exact service cycles for a batch of @p b. */
+    Cycle serviceCycles(int b = 1) const;
 
     /** @return requests admitted so far. */
     std::uint64_t admitted() const;
@@ -86,7 +142,7 @@ class AdmissionController
     std::uint64_t rejected() const;
 
     /**
-     * @return the earliest possible completion for a request
+     * @return the earliest possible completion for a batch-1 request
      * arriving at @p arrival_sec, without booking anything — what a
      * client could poll to pick a feasible deadline.
      */
@@ -94,14 +150,30 @@ class AdmissionController
 
   private:
     int earliestWorkerLocked() const;
+    double serviceSecLocked(int b) const;
 
-    const Cycle serviceCycles_;
-    const double serviceSec_;
+    const std::vector<Cycle> cyclesByBatch_;
+    const double periodSec_;
 
     mutable std::mutex mu_;
     std::vector<double> freeAt_; ///< Per-worker busy-until, seconds.
     std::uint64_t admitted_ = 0;
     std::uint64_t rejected_ = 0;
+
+    /** The (single) open batch's booking state. */
+    struct OpenBatch
+    {
+        bool active = false;
+        int worker = -1;
+        int size = 0;
+        double baseFree = 0.0;    ///< Worker free time before open.
+        double maxArrival = 0.0;  ///< Latest member arrival.
+        double minDeadline = 0.0; ///< Tightest member deadline (0 =
+                                  ///< none have one).
+        double startSec = 0.0;
+        double completionSec = 0.0;
+    };
+    OpenBatch open_;
 };
 
 } // namespace tsp::serve

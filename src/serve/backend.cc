@@ -5,6 +5,19 @@
 
 namespace tsp::serve {
 
+RunResult
+Backend::serveBatch(
+    const std::vector<const std::vector<std::int8_t> *> &inputs,
+    Cycle max_cycles)
+{
+    const int b = static_cast<int>(inputs.size());
+    TSP_ASSERT(b >= 1 && b <= maxBatch());
+    resetBatch(b);
+    for (int s = 0; s < b; ++s)
+        writeSample(s, *inputs[static_cast<std::size_t>(s)]);
+    return runBounded(max_cycles);
+}
+
 SessionBackend::SessionBackend(Lowering &lw, LoweredTensor input,
                                LoweredTensor output, ChipConfig cfg)
     : inputSlot_(std::move(input)), outputSlot_(std::move(output)),
@@ -12,9 +25,43 @@ SessionBackend::SessionBackend(Lowering &lw, LoweredTensor input,
 {
 }
 
-void
-SessionBackend::writeInput(const std::vector<std::int8_t> &input)
+SessionBackend::SessionBackend(BatchProgramCache &cache,
+                               ChipConfig cfg)
+    : inputSlot_(cache.get(1).inputs[0]),
+      outputSlot_(cache.get(1).outputs[0]), cache_(&cache),
+      sess_(*cache.get(1).lw, cache.get(1).prog, cfg)
 {
+}
+
+int
+SessionBackend::maxBatch() const
+{
+    return cache_ ? cache_->maxBatch() : 1;
+}
+
+void
+SessionBackend::resetBatch(int batch)
+{
+    TSP_ASSERT(batch >= 1 && batch <= maxBatch());
+    if (cache_ && batch != bound_) {
+        BatchProgram &bp = cache_->get(batch);
+        sess_.bind(*bp.lw, bp.prog);
+        bound_ = batch;
+    }
+    sess_.reset();
+}
+
+void
+SessionBackend::writeSample(int sample,
+                            const std::vector<std::int8_t> &input)
+{
+    if (cache_) {
+        sess_.writeTensor(cache_->get(bound_).inputs[
+                              static_cast<std::size_t>(sample)],
+                          input);
+        return;
+    }
+    TSP_ASSERT(sample == 0);
     sess_.writeTensor(inputSlot_, input);
 }
 
@@ -25,8 +72,13 @@ SessionBackend::runBounded(Cycle max_cycles)
 }
 
 ref::QTensor
-SessionBackend::readOutput() const
+SessionBackend::readSample(int sample) const
 {
+    if (cache_) {
+        return sess_.readTensor(cache_->get(bound_).outputs[
+            static_cast<std::size_t>(sample)]);
+    }
+    TSP_ASSERT(sample == 0);
     return sess_.readTensor(outputSlot_);
 }
 
@@ -51,10 +103,10 @@ SessionBackend::totalCycles() const
 namespace {
 
 std::vector<AsmProgram>
-allReducePrograms(const Pod &pod)
+allReducePrograms(const Pod &pod, int batch)
 {
     std::vector<ScheduledProgram> sched;
-    buildRingAllReduce(pod, sched);
+    buildRingAllReduce(pod, sched, batch);
     std::vector<AsmProgram> progs;
     progs.reserve(sched.size());
     for (auto &p : sched)
@@ -64,25 +116,44 @@ allReducePrograms(const Pod &pod)
 
 } // namespace
 
-PodBackend::PodBackend(int chips, Cycle wire_latency, ChipConfig cfg)
+PodBackend::PodBackend(int chips, Cycle wire_latency, ChipConfig cfg,
+                       int max_batch)
     : sess_(chips, wire_latency, cfg)
 {
-    sess_.loadPrograms(allReducePrograms(sess_.pod()));
+    TSP_ASSERT(max_batch >= 1 &&
+               max_batch <= AllReducePlan::kMaxBatch);
+    progs_.reserve(static_cast<std::size_t>(max_batch));
+    for (int b = 1; b <= max_batch; ++b)
+        progs_.push_back(allReducePrograms(sess_.pod(), b));
+    sess_.loadPrograms(progs_[0]);
 }
 
 Cycle
 PodBackend::serviceCycles(int chips, Cycle wire_latency,
                           ChipConfig cfg)
 {
+    return serviceCyclesTable(chips, wire_latency, cfg, 1)[0];
+}
+
+std::vector<Cycle>
+PodBackend::serviceCyclesTable(int chips, Cycle wire_latency,
+                               ChipConfig cfg, int max_batch)
+{
     // A static schedule's cycle count is input- and fault-independent
     // (injection flips data bits, never timing), so one fault-free
-    // calibration run is the exact booking for every future request.
+    // calibration run per batch size is the exact booking for every
+    // future request.
     cfg.fault = FaultConfig{};
-    PodSession calib(chips, wire_latency, cfg);
-    calib.loadPrograms(allReducePrograms(calib.pod()));
-    const RunResult r = calib.runBounded();
-    TSP_ASSERT(r.completed);
-    return r.cycles;
+    std::vector<Cycle> table;
+    table.reserve(static_cast<std::size_t>(max_batch));
+    for (int b = 1; b <= max_batch; ++b) {
+        PodSession calib(chips, wire_latency, cfg);
+        calib.loadPrograms(allReducePrograms(calib.pod(), b));
+        const RunResult r = calib.runBounded();
+        TSP_ASSERT(r.completed);
+        table.push_back(r.cycles);
+    }
+    return table;
 }
 
 std::size_t
@@ -92,8 +163,29 @@ PodBackend::inputBytes(int chips)
            static_cast<std::size_t>(kLanes);
 }
 
+int
+PodBackend::maxBatch() const
+{
+    return static_cast<int>(progs_.size());
+}
+
 void
-PodBackend::writeInput(const std::vector<std::int8_t> &input)
+PodBackend::resetBatch(int batch)
+{
+    TSP_ASSERT(batch >= 1 && batch <= maxBatch());
+    // reset() first: it rebuilds a condemned/timed-out pod (derived
+    // fault seeds) before any program swap touches the members.
+    sess_.reset();
+    if (batch != bound_) {
+        sess_.loadPrograms(progs_[static_cast<std::size_t>(
+            batch - 1)]);
+        bound_ = batch;
+    }
+}
+
+void
+PodBackend::writeSample(int sample,
+                        const std::vector<std::int8_t> &input)
 {
     const int n = sess_.pod().size();
     TSP_ASSERT(input.size() == inputBytes(n));
@@ -106,7 +198,9 @@ PodBackend::writeInput(const std::vector<std::int8_t> &input)
                           static_cast<std::size_t>(i)]);
         }
         sess_.writeWord(c, Hemisphere::East, AllReducePlan::kSlice,
-                        AllReducePlan::kLocalAddr, v);
+                        AllReducePlan::kLocalAddr +
+                            static_cast<MemAddr>(sample),
+                        v);
     }
 }
 
@@ -117,13 +211,14 @@ PodBackend::runBounded(Cycle max_cycles)
 }
 
 ref::QTensor
-PodBackend::readOutput() const
+PodBackend::readSample(int sample) const
 {
     // Every member holds the reduced vector after the broadcast;
     // chip 0 is the designated reader.
     const Vec320 v =
         sess_.readWord(0, Hemisphere::East, AllReducePlan::kSlice,
-                       AllReducePlan::kResultAddr);
+                       AllReducePlan::kResultAddr +
+                           static_cast<MemAddr>(sample));
     ref::QTensor out(1, 1, kLanes);
     for (int i = 0; i < kLanes; ++i)
         out.at(0, 0, i) = static_cast<std::int8_t>(

@@ -9,6 +9,13 @@
  * a completed run always consumes exactly the same cycle count —
  * plus the reliability surface (reset-rebuilds, machine-check and
  * corrected-error counters) the retry policy drives.
+ *
+ * The interface is batch-native: resetBatch(b) arms the engine's
+ * compiled batch-b program, writeSample/readSample stage and extract
+ * per-sample data, and serveBatch() is the one-shot convenience the
+ * worker loop uses. maxBatch() == 1 backends (the default) are plain
+ * single-request engines; the legacy reset()/writeInput()/
+ * readOutput() wrappers are batch-1 shorthands.
  */
 
 #ifndef TSP_SERVE_BACKEND_HH
@@ -19,6 +26,7 @@
 #include <vector>
 
 #include "compiler/lowering.hh"
+#include "graph/batch_program.hh"
 #include "ref/qnn.hh"
 #include "runtime/pod_session.hh"
 #include "runtime/session.hh"
@@ -31,27 +39,33 @@ class Backend
   public:
     virtual ~Backend() = default;
 
+    /** @return largest batch this engine has a compiled program for. */
+    virtual int maxBatch() const { return 1; }
+
     /**
-     * Rearms for the next request: reloads programs and rebuilds the
+     * Rearms for the next run of the compiled batch-@p batch program
+     * (1 <= batch <= maxBatch()): reloads programs and rebuilds the
      * engine when the previous run timed out or machine checked
      * (with a derived fault seed — retries must not replay the
      * identical environmental upset).
      */
-    virtual void reset() = 0;
+    virtual void resetBatch(int batch) = 0;
 
-    /** Stages one request's dense int8 input (after reset()). */
-    virtual void writeInput(const std::vector<std::int8_t> &input) = 0;
+    /** Stages sample @p sample's dense int8 input (after
+     * resetBatch(); 0 <= sample < batch). */
+    virtual void writeSample(int sample,
+                             const std::vector<std::int8_t> &input) = 0;
 
     /** Runs for at most @p max_cycles relative to the engine clock. */
     virtual RunResult runBounded(Cycle max_cycles) = 0;
 
-    /** Reads the result (only after a completed run). */
-    virtual ref::QTensor readOutput() const = 0;
+    /** Reads sample @p sample's result (after a completed run). */
+    virtual ref::QTensor readSample(int sample) const = 0;
 
     /**
      * @return cumulative single-bit corrections on the *current*
-     * engine (resets to zero when reset() rebuilds it — sample
-     * before/after one run, never across a reset()).
+     * engine (resets to zero when resetBatch() rebuilds it — sample
+     * before/after one run, never across a reset).
      */
     virtual std::uint64_t correctedErrors() const = 0;
 
@@ -63,9 +77,30 @@ class Backend
 
     /** @return engines rebuilt after timeouts/machine checks. */
     virtual int rebuilds() const = 0;
+
+    // Batch-1 shorthands (legacy call sites and simple clients).
+    void reset() { resetBatch(1); }
+    void writeInput(const std::vector<std::int8_t> &input)
+    {
+        writeSample(0, input);
+    }
+    ref::QTensor readOutput() const { return readSample(0); }
+
+    /**
+     * One attempt at a whole batch: rearms the batch-|inputs|
+     * program, stages every sample, runs. Outputs (readSample) are
+     * only meaningful when the returned run completed.
+     */
+    RunResult serveBatch(
+        const std::vector<const std::vector<std::int8_t> *> &inputs,
+        Cycle max_cycles);
 };
 
-/** A single-chip backend over one compiled model. */
+/**
+ * A single-chip backend over one compiled model, optionally with a
+ * BatchProgramCache enabling multi-sample programs (weights installed
+ * once per batch, per-sample activations — see graph/batch_program).
+ */
 class SessionBackend final : public Backend
 {
   public:
@@ -73,10 +108,15 @@ class SessionBackend final : public Backend
     SessionBackend(Lowering &lw, LoweredTensor input,
                    LoweredTensor output, ChipConfig cfg);
 
-    void reset() override { sess_.reset(); }
-    void writeInput(const std::vector<std::int8_t> &input) override;
+    /** Batch-capable: @p cache must outlive the backend. */
+    SessionBackend(BatchProgramCache &cache, ChipConfig cfg);
+
+    int maxBatch() const override;
+    void resetBatch(int batch) override;
+    void writeSample(int sample,
+                     const std::vector<std::int8_t> &input) override;
     RunResult runBounded(Cycle max_cycles) override;
-    ref::QTensor readOutput() const override;
+    ref::QTensor readSample(int sample) const override;
     std::uint64_t correctedErrors() const override;
     std::uint64_t machineCheckCount() const override;
     Cycle totalCycles() const override;
@@ -88,19 +128,24 @@ class SessionBackend final : public Backend
   private:
     LoweredTensor inputSlot_;
     LoweredTensor outputSlot_;
+    BatchProgramCache *cache_ = nullptr;
+    int bound_ = 1; ///< Batch size the session is bound to.
     InferenceSession sess_;
 };
 
 /**
  * An N-chip ring-pod backend serving the int8 ring all-reduce
- * collective: the request input is the concatenation of every
+ * collective: each sample's input is the concatenation of every
  * member's 320-byte local vector, the output is the saturating
- * elementwise sum, read from chip 0.
+ * elementwise sum, read from chip 0. With max_batch > 1 the pod
+ * holds one compiled batched collective per batch size (samples
+ * pipelined around the ring — see c2c/collective.hh).
  */
 class PodBackend final : public Backend
 {
   public:
-    PodBackend(int chips, Cycle wire_latency, ChipConfig cfg);
+    PodBackend(int chips, Cycle wire_latency, ChipConfig cfg,
+               int max_batch = 1);
 
     /**
      * @return the exact cycle count of one all-reduce on an
@@ -112,13 +157,24 @@ class PodBackend final : public Backend
     static Cycle serviceCycles(int chips, Cycle wire_latency,
                                ChipConfig cfg);
 
-    /** @return bytes one request's input must have (chips * 320). */
+    /**
+     * @return exact cycles(b) for b = 1..max_batch, each measured on
+     * a fault-free calibration pod.
+     */
+    static std::vector<Cycle> serviceCyclesTable(int chips,
+                                                 Cycle wire_latency,
+                                                 ChipConfig cfg,
+                                                 int max_batch);
+
+    /** @return bytes one sample's input must have (chips * 320). */
     static std::size_t inputBytes(int chips);
 
-    void reset() override { sess_.reset(); }
-    void writeInput(const std::vector<std::int8_t> &input) override;
+    int maxBatch() const override;
+    void resetBatch(int batch) override;
+    void writeSample(int sample,
+                     const std::vector<std::int8_t> &input) override;
     RunResult runBounded(Cycle max_cycles) override;
-    ref::QTensor readOutput() const override;
+    ref::QTensor readSample(int sample) const override;
     std::uint64_t correctedErrors() const override;
     std::uint64_t machineCheckCount() const override;
     Cycle totalCycles() const override;
@@ -129,6 +185,9 @@ class PodBackend final : public Backend
 
   private:
     PodSession sess_;
+    /** progs_[b-1]: the compiled batch-b collective. */
+    std::vector<std::vector<AsmProgram>> progs_;
+    int bound_ = 1; ///< Batch size currently loaded.
 };
 
 } // namespace tsp::serve

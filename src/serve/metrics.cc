@@ -49,13 +49,35 @@ ServerMetrics::ServerMetrics(double service_sec, int workers,
 void
 ServerMetrics::record(const Result &r)
 {
+    recordOne(r, /*count_reliability=*/true);
+}
+
+void
+ServerMetrics::recordBatch(const std::vector<Result> &results)
+{
+    counters_.add("batches");
+    counters_.add("batch_samples", results.size());
+    bool reliability = true;
+    for (const Result &r : results) {
+        recordOne(r, reliability);
+        // The members shared one physical run; count its machine
+        // checks / retries / corrections once, not once per member.
+        reliability = false;
+    }
+}
+
+void
+ServerMetrics::recordOne(const Result &r, bool count_reliability)
+{
     counters_.add("submitted");
     counters_.add(outcomeName(r.outcome));
     // Reliability counters exist (as zero) even on clean runs so the
     // JSON schema is stable across fault configs.
-    counters_.add("machine_checks", r.machineChecks);
-    counters_.add("retries", r.retries);
-    counters_.add("ecc_corrected", r.correctedErrors);
+    counters_.add("machine_checks",
+                  count_reliability ? r.machineChecks : 0);
+    counters_.add("retries", count_reliability ? r.retries : 0);
+    counters_.add("ecc_corrected",
+                  count_reliability ? r.correctedErrors : 0);
     if (r.outcome == Outcome::Served ||
         r.outcome == Outcome::DeadlineMissed) {
         queueUs_.record(r.queueSec() * 1e6);
@@ -67,6 +89,14 @@ ServerMetrics::record(const Result &r)
         if (!any_ || r.completionSec > lastCompletion_)
             lastCompletion_ = r.completionSec;
         any_ = true;
+        if (r.outcome == Outcome::Served) {
+            if (!anyServed_ || r.arrivalSec < servedFirstArrival_)
+                servedFirstArrival_ = r.arrivalSec;
+            if (!anyServed_ ||
+                r.completionSec > servedLastCompletion_)
+                servedLastCompletion_ = r.completionSec;
+            anyServed_ = true;
+        }
     }
 }
 
@@ -79,7 +109,12 @@ ServerMetrics::makespanSec() const
 double
 ServerMetrics::throughputRps() const
 {
-    const double span = makespanSec();
+    // Served-only window: a trailing DeadlineMissed completion must
+    // not dilute (or inflate) the rate of requests that counted.
+    if (!anyServed_)
+        return 0.0;
+    const double span =
+        servedLastCompletion_ - servedFirstArrival_;
     if (span <= 0.0)
         return 0.0;
     return static_cast<double>(counters_.get("served")) / span;

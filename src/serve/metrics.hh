@@ -37,6 +37,16 @@ class ServerMetrics
     /** Accounts one finished request (any outcome). */
     void record(const Result &r);
 
+    /**
+     * Accounts one executed batch. Per-member outcomes and latencies
+     * are recorded individually, but the batch-shared reliability
+     * counters (machine checks, retries, ECC corrections) are
+     * recorded once — they describe the one physical run the members
+     * shared, and per-member recording would multiply-count them
+     * against the backend's own totals.
+     */
+    void recordBatch(const std::vector<Result> &results);
+
     /** @return named outcome/infrastructure counters. */
     const StatGroup &counters() const { return counters_; }
 
@@ -46,10 +56,17 @@ class ServerMetrics
     /** @return arrival-to-completion distribution, microseconds. */
     const Histogram &totalUs() const { return totalUs_; }
 
-    /** @return served requests per virtual second. */
+    /**
+     * @return served requests per virtual second: the `served` count
+     * over the window spanned by *served* completions only. Requests
+     * that completed past their deadline still extend makespanSec()
+     * (they occupied the pool) but are excluded here, keeping the
+     * numerator and the window consistent.
+     */
     double throughputRps() const;
 
-    /** @return virtual seconds from first arrival to last completion. */
+    /** @return virtual seconds from first arrival to last completion
+     * across every executed request (deadline misses included). */
     double makespanSec() const;
 
     /**
@@ -63,6 +80,8 @@ class ServerMetrics
     void appendJson(JsonWriter &j) const;
 
   private:
+    void recordOne(const Result &r, bool count_reliability);
+
     StatGroup counters_;
     Histogram queueUs_;
     Histogram totalUs_;
@@ -70,6 +89,10 @@ class ServerMetrics
     double firstArrival_ = 0.0;
     double lastCompletion_ = 0.0;
     bool any_ = false;
+    /** Served-only completion window for throughputRps(). */
+    double servedFirstArrival_ = 0.0;
+    double servedLastCompletion_ = 0.0;
+    bool anyServed_ = false;
 };
 
 } // namespace tsp::serve

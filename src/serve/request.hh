@@ -92,7 +92,11 @@ struct Result
     /** Model output (valid only when outcome is Served). */
     ref::QTensor output;
 
-    /** Cycles the admission controller predicted for service. */
+    /** Samples in the batch this request was served in. */
+    int batch = 1;
+
+    /** Cycles the admission controller predicted for service (the
+     * whole batch's exact cycles(batch)). */
     Cycle predictedCycles = 0;
 
     /** Cycles the chip actually consumed (0 if never scheduled). */

@@ -15,11 +15,20 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <utility>
 
 namespace tsp::serve {
+
+/** Why a non-blocking pop returned without an element. */
+enum class PopResult : std::uint8_t
+{
+    Item,   ///< An element was dequeued.
+    Empty,  ///< Momentarily empty; more may arrive.
+    Closed, ///< Closed *and* drained: no element will ever arrive.
+};
 
 /** Bounded multi-producer multi-consumer FIFO. */
 template <typename T>
@@ -52,11 +61,12 @@ class BoundedQueue
     }
 
     /**
-     * Enqueues without blocking.
+     * Enqueues without blocking. On failure @p item is left intact
+     * (not moved from), so the caller can still resolve it.
      * @return false when the queue is full or closed.
      */
     bool
-    tryPush(T item)
+    tryPush(T &&item)
     {
         {
             std::lock_guard<std::mutex> lock(mu_);
@@ -68,12 +78,20 @@ class BoundedQueue
         return true;
     }
 
+    bool
+    tryPush(const T &item)
+    {
+        return tryPush(T(item));
+    }
+
     /**
-     * Enqueues, blocking while the queue is full.
+     * Enqueues, blocking while the queue is full. close() wakes
+     * blocked pushers, which then fail. On failure @p item is left
+     * intact (not moved from), so the caller can still resolve it.
      * @return false when the queue is (or becomes) closed.
      */
     bool
-    push(T item)
+    push(T &&item)
     {
         {
             std::unique_lock<std::mutex> lock(mu_);
@@ -86,6 +104,12 @@ class BoundedQueue
         }
         notEmpty_.notify_one();
         return true;
+    }
+
+    bool
+    push(const T &item)
+    {
+        return push(T(item));
     }
 
     /**
@@ -110,21 +134,24 @@ class BoundedQueue
     }
 
     /**
-     * Dequeues without blocking.
-     * @return false when the queue is empty.
+     * Dequeues without blocking. Unlike a bare bool, the tri-state
+     * result lets a non-blocking consumer tell a momentary lull
+     * (Empty: spin/poll again) from shutdown (Closed: the queue is
+     * closed and drained; no element will ever arrive).
      */
-    bool
+    PopResult
     tryPop(T &out)
     {
         {
             std::lock_guard<std::mutex> lock(mu_);
             if (items_.empty())
-                return false;
+                return closed_ ? PopResult::Closed
+                               : PopResult::Empty;
             out = std::move(items_.front());
             items_.pop_front();
         }
         notFull_.notify_one();
-        return true;
+        return PopResult::Item;
     }
 
     /**

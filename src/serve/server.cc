@@ -1,5 +1,7 @@
 #include "serve/server.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace tsp::serve {
@@ -16,11 +18,30 @@ InferenceServer::InferenceServer(Lowering &lw, LoweredTensor input,
 {
 }
 
+InferenceServer::InferenceServer(BatchProgramCache &cache,
+                                 ServerConfig cfg)
+    : InferenceServer(
+          [&cache, &cfg](int) {
+              return std::make_unique<SessionBackend>(cache,
+                                                      cfg.chip);
+          },
+          cache.cyclesByBatch(), cfg)
+{
+}
+
 InferenceServer::InferenceServer(const BackendFactory &factory,
                                  Cycle service_cycles,
                                  ServerConfig cfg)
+    : InferenceServer(factory, std::vector<Cycle>{service_cycles},
+                      cfg)
+{
+}
+
+InferenceServer::InferenceServer(const BackendFactory &factory,
+                                 std::vector<Cycle> cycles_by_batch,
+                                 ServerConfig cfg)
     : cfg_(cfg),
-      admission_(cfg.workers, service_cycles,
+      admission_(cfg.workers, std::move(cycles_by_batch),
                  cfg.chip.cyclePeriodSec()),
       queue_(cfg.queueCapacity), paused_(cfg.startPaused),
       metrics_(admission_.serviceSec(), cfg.workers,
@@ -30,6 +51,10 @@ InferenceServer::InferenceServer(const BackendFactory &factory,
     backends_.reserve(static_cast<std::size_t>(cfg_.workers));
     for (int w = 0; w < cfg_.workers; ++w)
         backends_.push_back(factory(w));
+    effBatchMax_ =
+        std::max(1, std::min(cfg_.batchMax, admission_.maxBatch()));
+    for (const auto &b : backends_)
+        effBatchMax_ = std::min(effBatchMax_, b->maxBatch());
     threads_.reserve(static_cast<std::size_t>(cfg_.workers));
     for (int w = 0; w < cfg_.workers; ++w)
         threads_.emplace_back([this, w] { workerLoop(w); });
@@ -58,6 +83,42 @@ InferenceServer::rejectNow(Request req, Outcome outcome,
     return f;
 }
 
+void
+InferenceServer::sealOpenLocked()
+{
+    if (openMembers_.empty())
+        return;
+    BatchJob job;
+    job.members = std::move(openMembers_);
+    openMembers_.clear();
+    job.booking = admission_.seal();
+    // push() may block (only workers free space) but never loses the
+    // job: on failure — the queue was closed by shutdown() — the
+    // members are resolved as recorded queue-full rejections, booking
+    // fields intact, exactly like any other rejection.
+    if (queue_.push(std::move(job)))
+        return;
+    const Cycle predicted =
+        admission_.serviceCycles(job.booking.batch);
+    for (Member &m : job.members) {
+        Result r;
+        r.id = m.req.id;
+        r.outcome = Outcome::RejectedQueueFull;
+        r.batch = job.booking.batch;
+        r.predictedCycles = predicted;
+        r.arrivalSec = m.req.arrivalSec;
+        r.startSec = job.booking.startSec;
+        r.completionSec = job.booking.completionSec;
+        {
+            std::lock_guard<std::mutex> lock(doneMu_);
+            metrics_.record(r);
+            --inflight_;
+        }
+        doneCv_.notify_all();
+        m.promise.set_value(std::move(r));
+    }
+}
+
 std::future<Result>
 InferenceServer::submit(std::vector<std::int8_t> input,
                         double arrival_sec, double deadline_sec,
@@ -74,6 +135,33 @@ InferenceServer::submit(std::vector<std::int8_t> input,
         return rejectNow(std::move(req), Outcome::RejectedQueueFull,
                          Admission{});
 
+    // Try to join the open batch first: a joined request consumes no
+    // queue slot of its own and cannot be queue-full rejected.
+    if (!openMembers_.empty()) {
+        Admission joined{};
+        if (arrival_sec <=
+            openLeaderArrival_ + cfg_.batchWindowSec) {
+            joined = admission_.tryJoin(arrival_sec, deadline_sec);
+        }
+        if (joined.admitted) {
+            Member m;
+            m.req = std::move(req);
+            std::future<Result> f = m.promise.get_future();
+            {
+                std::lock_guard<std::mutex> dl(doneMu_);
+                ++inflight_;
+            }
+            openMembers_.push_back(std::move(m));
+            if (static_cast<int>(openMembers_.size()) >=
+                effBatchMax_)
+                sealOpenLocked();
+            return f;
+        }
+        // Window expired or the join was provably infeasible: this
+        // request starts the next batch.
+        sealOpenLocked();
+    }
+
     // Backpressure check *before* booking so a full queue never
     // leaves a phantom reservation in the admission state. Only
     // submitters (serialized here) add to the queue, so a non-full
@@ -83,36 +171,24 @@ InferenceServer::submit(std::vector<std::int8_t> input,
                          Admission{});
 
     const Admission booking =
-        admission_.admit(arrival_sec, deadline_sec);
-    if (!booking.admitted)
+        admission_.open(arrival_sec, deadline_sec);
+    if (!booking.admitted) {
+        // A failed open() books nothing and leaves no open batch.
         return rejectNow(std::move(req), Outcome::RejectedDeadline,
                          booking);
+    }
 
-    const RequestId id = req.id;
-    Job job;
-    job.req = std::move(req);
-    job.booking = booking;
-    std::future<Result> f = job.promise.get_future();
-
+    Member m;
+    m.req = std::move(req);
+    std::future<Result> f = m.promise.get_future();
     {
         std::lock_guard<std::mutex> dl(doneMu_);
         ++inflight_;
     }
-    // push() may block (OnFull::Block) while workers drain; it only
-    // fails once the queue is closed, i.e. during shutdown. The
-    // booking is already committed, but the server is going away, so
-    // the stale reservation is harmless.
-    if (!queue_.push(std::move(job))) {
-        std::lock_guard<std::mutex> dl(doneMu_);
-        --inflight_;
-        Result r;
-        r.id = id;
-        r.outcome = Outcome::RejectedQueueFull;
-        // The original promise died with the rejected job.
-        std::promise<Result> p;
-        f = p.get_future();
-        p.set_value(std::move(r));
-    }
+    openMembers_.push_back(std::move(m));
+    openLeaderArrival_ = arrival_sec;
+    if (effBatchMax_ <= 1)
+        sealOpenLocked();
     return f;
 }
 
@@ -121,7 +197,7 @@ InferenceServer::workerLoop(int w)
 {
     Backend &be = *backends_[static_cast<std::size_t>(w)];
     const double period = cfg_.chip.cyclePeriodSec();
-    Job job;
+    BatchJob job;
     for (;;) {
         {
             std::unique_lock<std::mutex> lock(pauseMu_);
@@ -130,93 +206,134 @@ InferenceServer::workerLoop(int w)
         if (!queue_.pop(job))
             return; // Closed and drained.
 
-        Result r;
-        r.id = job.req.id;
-        r.predictedCycles = admission_.serviceCycles();
-        r.arrivalSec = job.req.arrivalSec;
-        r.startSec = job.booking.startSec;
-        r.completionSec = job.booking.completionSec;
+        const int k = static_cast<int>(job.members.size());
+        const Cycle predicted = admission_.serviceCycles(k);
+        const double service = admission_.serviceSec(k);
 
-        const double service = admission_.serviceSec();
+        // The whole batch retries or fails together; a retry is
+        // taken only while the *tightest* member deadline still
+        // admits another full batch service time.
+        double min_deadline = 0.0;
+        for (const Member &m : job.members) {
+            if (m.req.deadlineSec <= 0.0)
+                continue;
+            min_deadline = min_deadline <= 0.0
+                               ? m.req.deadlineSec
+                               : std::min(min_deadline,
+                                          m.req.deadlineSec);
+        }
+
+        std::uint32_t retries = 0;
+        std::uint64_t machine_checks = 0;
+        std::uint64_t corrected = 0;
         RunResult rr;
         for (;;) {
-            // reset() rebuilds a condemned (or timed-out) engine,
-            // with a derived fault seed so a retry does not replay
-            // the identical environmental upset.
-            be.reset();
-            be.writeInput(job.req.input);
+            // resetBatch() rebuilds a condemned (or timed-out)
+            // engine, with a derived fault seed so a retry does not
+            // replay the identical environmental upset, and arms the
+            // compiled batch-k program.
+            be.resetBatch(k);
+            for (int s = 0; s < k; ++s)
+                be.writeSample(
+                    s,
+                    job.members[static_cast<std::size_t>(s)]
+                        .req.input);
             const std::uint64_t cor0 = be.correctedErrors();
             rr = be.runBounded(cfg_.maxCyclesPerRun);
-            r.measuredCycles = rr.cycles;
-            r.correctedErrors += be.correctedErrors() - cor0;
+            corrected += be.correctedErrors() - cor0;
             if (rr.status != RunStatus::MachineCheck)
                 break;
-            r.machineChecks += be.machineCheckCount();
-            // Retry only while another full service time still fits
-            // ahead of the deadline and the retry budget holds.
+            machine_checks += be.machineCheckCount();
             const double retry_completion =
-                r.startSec +
-                static_cast<double>(r.retries + 2) * service;
-            if (static_cast<int>(r.retries) >= cfg_.maxRetries ||
-                (job.req.deadlineSec > 0.0 &&
-                 retry_completion > job.req.deadlineSec)) {
+                job.booking.startSec +
+                static_cast<double>(retries + 2) * service;
+            if (static_cast<int>(retries) >= cfg_.maxRetries ||
+                (min_deadline > 0.0 &&
+                 retry_completion > min_deadline)) {
                 break;
             }
-            ++r.retries;
+            ++retries;
+        }
+
+        std::vector<Result> results(
+            static_cast<std::size_t>(k));
+        for (int s = 0; s < k; ++s) {
+            const Member &m =
+                job.members[static_cast<std::size_t>(s)];
+            Result &r = results[static_cast<std::size_t>(s)];
+            r.id = m.req.id;
+            r.batch = k;
+            r.predictedCycles = predicted;
+            r.measuredCycles = rr.cycles;
+            r.retries = retries;
+            r.machineChecks = machine_checks;
+            r.correctedErrors = corrected;
+            r.arrivalSec = m.req.arrivalSec;
+            r.startSec = job.booking.startSec;
+            r.completionSec = job.booking.completionSec;
         }
 
         if (rr.status == RunStatus::MachineCheck) {
-            // Every permitted attempt machine-checked. The output is
-            // never read from a condemned engine.
-            r.outcome = Outcome::FailedMachineCheck;
+            // Every permitted attempt machine-checked. No output is
+            // ever read from a condemned engine — a corrupted batch
+            // cannot reach clients as a partial success.
+            for (Result &r : results)
+                r.outcome = Outcome::FailedMachineCheck;
         } else if (!rr.completed) {
             // Timeout propagates as an explicit failure; the backend
-            // rebuilds its engine on the next reset().
-            r.outcome = Outcome::Failed;
+            // rebuilds its engine on the next reset.
+            for (Result &r : results)
+                r.outcome = Outcome::Failed;
         } else {
-            r.output = be.readOutput();
             bool recheck = false;
-            if (rr.cycles != r.predictedCycles) {
+            if (rr.cycles != predicted) {
                 // Defensive path — determinism says this is dead
                 // code; if it ever fires, re-derive the completion
-                // from the measured cycles and re-check the deadline.
-                warn("serve: request %llu measured %llu cycles, "
+                // from the measured cycles and re-check deadlines.
+                warn("serve: batch of %d measured %llu cycles, "
                      "predicted %llu",
-                     static_cast<unsigned long long>(r.id),
-                     static_cast<unsigned long long>(rr.cycles),
-                     static_cast<unsigned long long>(
-                         r.predictedCycles));
+                     k, static_cast<unsigned long long>(rr.cycles),
+                     static_cast<unsigned long long>(predicted));
                 recheck = true;
             }
-            if (r.retries > 0 || recheck) {
-                // Each machine-checked attempt burned one service
-                // time before the successful re-run.
-                r.completionSec =
-                    r.startSec +
-                    static_cast<double>(r.retries) * service +
-                    static_cast<double>(rr.cycles) * period;
-                r.outcome = (job.req.deadlineSec > 0.0 &&
-                             r.completionSec > job.req.deadlineSec)
-                                ? Outcome::DeadlineMissed
-                                : Outcome::Served;
-            } else {
-                r.outcome = Outcome::Served;
+            for (int s = 0; s < k; ++s) {
+                const Member &m =
+                    job.members[static_cast<std::size_t>(s)];
+                Result &r = results[static_cast<std::size_t>(s)];
+                r.output = be.readSample(s);
+                if (retries > 0 || recheck) {
+                    // Each machine-checked attempt burned one batch
+                    // service time before the successful re-run.
+                    r.completionSec =
+                        r.startSec +
+                        static_cast<double>(retries) * service +
+                        static_cast<double>(rr.cycles) * period;
+                    r.outcome =
+                        (m.req.deadlineSec > 0.0 &&
+                         r.completionSec > m.req.deadlineSec)
+                            ? Outcome::DeadlineMissed
+                            : Outcome::Served;
+                } else {
+                    r.outcome = Outcome::Served;
+                }
             }
         }
-        finish(job, std::move(r));
+        finishBatch(job, std::move(results));
     }
 }
 
 void
-InferenceServer::finish(Job &job, Result r)
+InferenceServer::finishBatch(BatchJob &job,
+                             std::vector<Result> results)
 {
     {
         std::lock_guard<std::mutex> lock(doneMu_);
-        metrics_.record(r);
-        --inflight_;
+        metrics_.recordBatch(results);
+        inflight_ -= results.size();
     }
     doneCv_.notify_all();
-    job.promise.set_value(std::move(r));
+    for (std::size_t i = 0; i < results.size(); ++i)
+        job.members[i].promise.set_value(std::move(results[i]));
 }
 
 void
@@ -232,6 +349,10 @@ InferenceServer::resume()
 void
 InferenceServer::drain()
 {
+    {
+        std::lock_guard<std::mutex> lock(submitMu_);
+        sealOpenLocked();
+    }
     std::unique_lock<std::mutex> lock(doneMu_);
     doneCv_.wait(lock, [&] { return inflight_ == 0; });
 }
@@ -239,17 +360,22 @@ InferenceServer::drain()
 void
 InferenceServer::shutdown()
 {
+    // Close the queue *first*: a submitter blocked in push() (full
+    // queue, OnFull::Block) must wake and resolve its members as
+    // recorded rejections — shutdown cannot wait for space that may
+    // never free. Everything below is idempotent.
+    queue_.close();
     // Unpause before taking submitMu_: a submitter blocked in push()
-    // holds that mutex and needs the workers running to make space.
+    // holds that mutex; close() has already woken it.
     resume();
     {
         std::lock_guard<std::mutex> lock(submitMu_);
-        if (shutdown_)
-            return;
         shutdown_ = true;
+        // Flush the open batch; with the queue closed its members
+        // resolve as recorded rejections.
+        sealOpenLocked();
     }
     drain();
-    queue_.close();
     for (auto &t : threads_) {
         if (t.joinable())
             t.join();
@@ -275,13 +401,19 @@ InferenceServer::metricsJson() const
         .kv("queue_capacity",
             static_cast<std::uint64_t>(cfg_.queueCapacity))
         .kv("clock_hz", cfg_.chip.clockHz)
+        .kv("batch_max", effBatchMax_)
+        .kv("batch_window_us", cfg_.batchWindowSec * 1e6)
         .endObject();
-    j.key("model")
-        .beginObject()
-        .kv("service_cycles",
-            static_cast<std::uint64_t>(serviceCycles()))
-        .kv("service_us", serviceSec() * 1e6)
-        .endObject();
+    j.key("model").beginObject();
+    j.kv("service_cycles",
+         static_cast<std::uint64_t>(serviceCycles()));
+    j.kv("service_us", serviceSec() * 1e6);
+    j.key("service_cycles_by_batch").beginArray();
+    for (int b = 1; b <= admission_.maxBatch(); ++b)
+        j.value(static_cast<std::uint64_t>(
+            admission_.serviceCycles(b)));
+    j.endArray();
+    j.endObject();
     j.key("metrics");
     snap.appendJson(j);
     j.endObject();

@@ -11,6 +11,20 @@
  * latency distributions and throughput are aggregated in
  * ServerMetrics and dumped as JSON.
  *
+ * Batching: with batchMax > 1 (and a batch-capable backend), submit()
+ * doubles as the batcher. The first admitted request *opens* a batch;
+ * later arrivals within batchWindowSec of the leader try to *join* —
+ * a join is committed only when the exact cycles(k+1) completion
+ * still meets every member's deadline (AdmissionController::tryJoin),
+ * so the batcher proves feasibility instead of gambling on a window.
+ * A batch seals (moves to the queue) when it is full, when an arrival
+ * falls outside the window or cannot feasibly join, or when drain()/
+ * shutdown() flushes it. Batches are formed at admission time under
+ * the submit lock, so the grouping is a deterministic function of the
+ * (monotone) arrival stamps. A mid-batch machine check condemns the
+ * engine and retries the *whole batch* under the usual retry/deadline
+ * policy; per-sample outputs are only read from a completed run.
+ *
  * Timeline note: all latencies are *virtual* chip time (seconds at
  * the configured clock). The host threads merely reproduce, slower,
  * a timeline whose every event was already fixed at admission — the
@@ -29,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "graph/batch_program.hh"
 #include "serve/admission.hh"
 #include "serve/backend.hh"
 #include "serve/metrics.hh"
@@ -63,10 +78,27 @@ struct ServerConfig
     /**
      * Re-runs allowed after a machine check (on a rebuilt chip with a
      * derived fault seed — see InferenceSession::reset). A retry is
-     * taken only while the request's deadline still admits another
-     * full service time; exhaustion yields FailedMachineCheck.
+     * taken only while every batch member's deadline still admits
+     * another full service time; exhaustion yields FailedMachineCheck.
      */
     int maxRetries = 2;
+
+    /**
+     * Largest batch submit() may form (clamped to what the admission
+     * table and every backend support). 1 disables batching and the
+     * server behaves exactly like the pre-batching tier.
+     */
+    int batchMax = 1;
+
+    /**
+     * How long (virtual seconds) after the batch leader's arrival a
+     * later request may still join its open batch. 0 batches only
+     * same-arrival-stamp requests. Sealing is driven by subsequent
+     * submissions and drain(); there is no wall-clock timer (the
+     * timeline is virtual), so call drain() to flush a trailing open
+     * batch.
+     */
+    double batchWindowSec = 0.0;
 
     /** Configuration applied to every worker's chip. */
     ChipConfig chip{};
@@ -99,6 +131,14 @@ class InferenceServer
                     LoweredTensor output, ServerConfig cfg = {});
 
     /**
+     * Batch-capable form: every worker serves @p cache's compiled
+     * batch programs and the admission controller books against the
+     * exact cycles(b) table. @p cache must outlive the server.
+     */
+    explicit InferenceServer(BatchProgramCache &cache,
+                             ServerConfig cfg = {});
+
+    /**
      * Generic form: one Backend per worker from @p factory, with
      * @p service_cycles the exact per-request cycle count the
      * admission controller books against (e.g.
@@ -106,6 +146,15 @@ class InferenceServer
      */
     InferenceServer(const BackendFactory &factory,
                     Cycle service_cycles, ServerConfig cfg = {});
+
+    /**
+     * Generic batch-capable form: @p cycles_by_batch[b-1] is the
+     * exact cycle count of the batch-b program every backend from
+     * @p factory can run (e.g. PodBackend::serviceCyclesTable).
+     */
+    InferenceServer(const BackendFactory &factory,
+                    std::vector<Cycle> cycles_by_batch,
+                    ServerConfig cfg = {});
 
     /** Drains and joins the pool. */
     ~InferenceServer();
@@ -133,23 +182,30 @@ class InferenceServer
     /** Releases a startPaused pool (idempotent). */
     void resume();
 
-    /** Blocks until every submitted request has resolved. */
+    /** Flushes the open batch (if any) and blocks until every
+     * submitted request has resolved. */
     void drain();
 
     /**
-     * Drains, closes the queue and joins the workers. Called by the
+     * Closes the queue (rejecting any submitter still blocked on a
+     * full queue — recorded like every other rejection), flushes the
+     * open batch, drains and joins the workers. Called by the
      * destructor; subsequent submits reject. Idempotent.
      */
     void shutdown();
 
-    /** @return exact cycles one inference consumes (compiler-known). */
+    /** @return exact cycles one batch-1 inference consumes. */
     Cycle serviceCycles() const { return admission_.serviceCycles(); }
 
-    /** @return exact virtual seconds one inference consumes. */
+    /** @return exact virtual seconds one batch-1 inference consumes. */
     double serviceSec() const { return admission_.serviceSec(); }
 
     /** @return pool width. */
     int workers() const { return cfg_.workers; }
+
+    /** @return the effective batch cap (config clamped to the
+     * admission table and every backend's maxBatch). */
+    int batchMax() const { return effBatchMax_; }
 
     /** @return the admission controller (booking state + counters). */
     const AdmissionController &admission() const { return admission_; }
@@ -166,33 +222,45 @@ class InferenceServer
     /**
      * @return total chip cycles consumed across the pool. Only
      * meaningful when idle (after drain()): proves rejected requests
-     * cost zero cycles, since the total is served * serviceCycles().
+     * cost zero cycles.
      */
     Cycle totalChipCycles() const;
 
   private:
-    /** One queued unit of work. */
-    struct Job
+    /** One request riding in a batch. */
+    struct Member
     {
         Request req;
-        Admission booking;
         std::promise<Result> promise;
+    };
+
+    /** One sealed batch: the queue's unit of work. */
+    struct BatchJob
+    {
+        std::vector<Member> members;
+        Admission booking; ///< Final sealed booking (whole batch).
     };
 
     void workerLoop(int w);
     std::future<Result> rejectNow(Request req, Outcome outcome,
                                   const Admission &booking);
-    void finish(Job &job, Result r);
+    /** Seals + enqueues the open batch (requires submitMu_). */
+    void sealOpenLocked();
+    void finishBatch(BatchJob &job, std::vector<Result> results);
 
     const ServerConfig cfg_;
 
     AdmissionController admission_;
-    BoundedQueue<Job> queue_;
+    BoundedQueue<BatchJob> queue_;
 
     std::vector<std::unique_ptr<Backend>> backends_;
     std::vector<std::thread> threads_;
+    int effBatchMax_ = 1;
 
-    std::mutex submitMu_; ///< Serializes admission + enqueue.
+    std::mutex submitMu_; ///< Serializes admission + batching + enqueue.
+    /** Open-batch accumulator (guarded by submitMu_). */
+    std::vector<Member> openMembers_;
+    double openLeaderArrival_ = 0.0;
 
     std::mutex pauseMu_;
     std::condition_variable pauseCv_;

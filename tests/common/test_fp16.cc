@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/fp16.hh"
 #include "common/rng.hh"
@@ -96,6 +97,118 @@ TEST(Fp16, ArithmeticMatchesSingleRounding)
                   Fp16(ha.toFloat() + hb.toFloat()).bits());
         EXPECT_EQ(fp16Mul(ha, hb).bits(),
                   Fp16(ha.toFloat() * hb.toFloat()).bits());
+    }
+}
+
+TEST(Fp16, RoundTripAllPatternsIncludingNaNs)
+{
+    // Exhaustive: every one of the 65,536 bit patterns. Finite values
+    // and infinities round-trip bit-exactly; NaNs widen to a float
+    // NaN of the same sign and narrow back to the canonical quiet
+    // NaN (sign | 0x7e00) — payloads are not preserved, NaN-ness is.
+    for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+        const Fp16 h = Fp16::fromBits(static_cast<std::uint16_t>(b));
+        const float f = h.toFloat();
+        const Fp16 back(f);
+        if (h.isNaN()) {
+            ASSERT_TRUE(std::isnan(f)) << "pattern " << b;
+            ASSERT_EQ(back.bits(), (b & 0x8000u) | 0x7e00u)
+                << "pattern " << b;
+        } else {
+            ASSERT_EQ(back.bits(), h.bits()) << "pattern " << b;
+            if (h.isInf()) {
+                ASSERT_TRUE(std::isinf(f)) << "pattern " << b;
+            }
+        }
+    }
+}
+
+TEST(Fp16, ExhaustiveWideningMatchesLadder)
+{
+    // Every finite pattern's widened value must equal the one built
+    // arithmetically from its fields: (-1)^s * 2^(e-15) * 1.m for
+    // normals, (-1)^s * 2^-14 * 0.m for subnormals.
+    for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+        const std::uint32_t exp = (b >> 10) & 0x1f;
+        if (exp == 0x1f)
+            continue; // Inf/NaN covered elsewhere.
+        const std::uint32_t frac = b & 0x3ff;
+        const float sign = (b & 0x8000) ? -1.0f : 1.0f;
+        float want;
+        if (exp == 0) {
+            want = sign * std::ldexp(static_cast<float>(frac), -24);
+        } else {
+            want = sign *
+                   std::ldexp(1.0f + static_cast<float>(frac) /
+                                         1024.0f,
+                              static_cast<int>(exp) - 15);
+        }
+        const float got =
+            Fp16::fromBits(static_cast<std::uint16_t>(b)).toFloat();
+        ASSERT_EQ(got, want) << "pattern " << b;
+    }
+}
+
+TEST(Fp16, SubnormalTiesRoundToEven)
+{
+    // Halfway between consecutive subnormals: RNE must pick the even
+    // significand in both directions.
+    const float ulp = std::ldexp(1.0f, -24); // Subnormal spacing.
+    // Exactly between 0x0001 (odd) and 0x0002 (even): up to even.
+    EXPECT_EQ(Fp16(1.5f * ulp).bits(), 0x0002);
+    // Exactly between 0x0002 (even) and 0x0003 (odd): down to even.
+    EXPECT_EQ(Fp16(2.5f * ulp).bits(), 0x0002);
+    EXPECT_EQ(Fp16(3.5f * ulp).bits(), 0x0004);
+    // Half the smallest subnormal ties to zero (even).
+    EXPECT_EQ(Fp16(0.5f * ulp).bits(), 0x0000);
+    // Just above the tie rounds away from zero.
+    EXPECT_EQ(Fp16(std::nextafter(0.5f * ulp, 1.0f)).bits(), 0x0001);
+    // The subnormal/normal seam: between 0x03ff and 0x0400.
+    EXPECT_EQ(Fp16(1023.5f * ulp).bits(), 0x0400);
+    // Negative mirror.
+    EXPECT_EQ(Fp16(-1.5f * ulp).bits(), 0x8002);
+    EXPECT_EQ(Fp16(-2.5f * ulp).bits(), 0x8002);
+}
+
+TEST(Fp16, OverflowBoundaryIsExact)
+{
+    // The rounding boundary between max-finite (65504) and infinity
+    // is 65520: below it rounds down, at and above rounds to inf
+    // (65520 is a tie whose even neighbour is the infinite one).
+    EXPECT_EQ(Fp16(std::nextafter(65520.0f, 0.0f)).bits(), 0x7bff);
+    EXPECT_EQ(Fp16(65520.0f).bits(), 0x7c00);
+    EXPECT_EQ(Fp16(std::nextafter(65520.0f, 1e9f)).bits(), 0x7c00);
+    EXPECT_EQ(Fp16(-65520.0f).bits(), 0xfc00);
+    EXPECT_EQ(Fp16(std::nextafter(-65520.0f, 0.0f)).bits(), 0xfbff);
+    // Infinity in, infinity out.
+    EXPECT_EQ(Fp16(std::numeric_limits<float>::infinity()).bits(),
+              0x7c00);
+    EXPECT_EQ(Fp16(-std::numeric_limits<float>::infinity()).bits(),
+              0xfc00);
+}
+
+TEST(Fp16, MaccMatchesDoublePrecisionReference)
+{
+    // The fp32 accumulator takes exactly one rounding per step (the
+    // fp16 product is exact in fp32). Check against a double
+    // reference that models precisely that: products exact, one
+    // float-rounding of (acc + product) per step.
+    Rng rng(11);
+    for (int trial = 0; trial < 200; ++trial) {
+        float acc = 0.0f;
+        double ref = 0.0;
+        for (int i = 0; i < 64; ++i) {
+            const Fp16 a(rng.uniform(-8.0f, 8.0f));
+            const Fp16 b(rng.uniform(-8.0f, 8.0f));
+            acc = fp16MaccToF32(a, b, acc);
+            // The fp16 product is exact in double too; the single
+            // rounding is the narrowing of the sum back to float.
+            ref = static_cast<float>(
+                ref + static_cast<double>(a.toFloat()) *
+                          static_cast<double>(b.toFloat()));
+            ASSERT_EQ(acc, static_cast<float>(ref))
+                << "trial " << trial << " step " << i;
+        }
     }
 }
 

@@ -43,10 +43,13 @@ TEST(BoundedQueue, FifoOrder)
         ASSERT_TRUE(q.tryPush(i));
     int v = -1;
     for (int i = 0; i < 100; ++i) {
-        ASSERT_TRUE(q.tryPop(v));
+        ASSERT_EQ(q.tryPop(v), serve::PopResult::Item);
         EXPECT_EQ(v, i);
     }
-    EXPECT_FALSE(q.tryPop(v));
+    // Open but momentarily empty: Empty, not Closed.
+    EXPECT_EQ(q.tryPop(v), serve::PopResult::Empty);
+    q.close();
+    EXPECT_EQ(q.tryPop(v), serve::PopResult::Closed);
 }
 
 TEST(BoundedQueue, TryPushBackpressure)
@@ -99,6 +102,31 @@ TEST(BoundedQueue, CloseDrainsThenStops)
     EXPECT_TRUE(q.pop(v));
     EXPECT_EQ(v, 2);
     EXPECT_FALSE(q.pop(v)); // ...then pop signals shutdown.
+}
+
+TEST(BoundedQueue, CloseWakesBlockedPush)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.tryPush(1)); // Full.
+    std::atomic<bool> returned{false};
+    std::atomic<bool> result{true};
+    std::thread producer([&] {
+        result.store(q.push(2)); // Blocks: no consumer will pop.
+        returned.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(returned.load());
+    // close() must wake the blocked pusher, which then fails —
+    // otherwise shutdown would deadlock behind a full queue.
+    q.close();
+    producer.join();
+    EXPECT_TRUE(returned.load());
+    EXPECT_FALSE(result.load());
+    // The queued element survives for draining.
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_FALSE(q.pop(v));
 }
 
 TEST(BoundedQueue, ConcurrentProducersConsumers)
@@ -361,6 +389,76 @@ TEST(Server, CycleBudgetExhaustionPropagatesAsFailure)
     const Result r = server.submit(m.randomInput(4), 0.0).get();
     EXPECT_EQ(r.outcome, Outcome::Failed);
     EXPECT_EQ(server.metricsSnapshot().counters().get("failed"), 1u);
+}
+
+TEST(Server, ShutdownRejectsBlockedSubmitterWithRecordedMetrics)
+{
+    // Regression: a submitter blocked on a full queue during
+    // shutdown used to fabricate its Result outside the metrics
+    // path — the rejection was invisible in the counters and carried
+    // no booking. It must be recorded like every other rejection.
+    Compiled m;
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 1;
+    cfg.startPaused = true; // Gate the worker so the queue stays full.
+    InferenceServer server(m.lw, m.in(), m.out(), cfg);
+
+    auto f1 = server.submit(m.randomInput(1), 0.0, 0.0,
+                            InferenceServer::OnFull::Block);
+    std::atomic<bool> submitted{false};
+    std::future<Result> f2;
+    std::thread blocked([&] {
+        // The queue is full and the pool is paused: this blocks
+        // inside submit() until shutdown() closes the queue.
+        f2 = server.submit(m.randomInput(2), 1e-7, 0.0,
+                           InferenceServer::OnFull::Block);
+        submitted.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(submitted.load());
+
+    server.shutdown(); // Wakes the blocked submitter (close first).
+    blocked.join();
+
+    const Result r1 = f1.get();
+    EXPECT_EQ(r1.outcome, Outcome::Served); // Queued work drains.
+    const Result r2 = f2.get();
+    EXPECT_EQ(r2.outcome, Outcome::RejectedQueueFull);
+    // The booking fields survive into the recorded result.
+    EXPECT_GT(r2.completionSec, 0.0);
+
+    const auto snap = server.metricsSnapshot();
+    EXPECT_EQ(snap.counters().get("submitted"), 2u);
+    EXPECT_EQ(snap.counters().get("served"), 1u);
+    EXPECT_EQ(snap.counters().get("rejected_queue_full"), 1u);
+}
+
+TEST(ServerMetrics, ThroughputWindowCountsOnlyServed)
+{
+    // Regression: throughputRps divided the served count by a window
+    // whose endpoints included DeadlineMissed completions — a late
+    // straggler diluted the rate of the requests that counted.
+    serve::ServerMetrics metrics(1.0, 1, 4);
+
+    Result served;
+    served.outcome = Outcome::Served;
+    served.arrivalSec = 0.0;
+    served.startSec = 0.0;
+    served.completionSec = 10.0;
+    metrics.record(served);
+
+    Result missed;
+    missed.outcome = Outcome::DeadlineMissed;
+    missed.arrivalSec = 0.0;
+    missed.startSec = 10.0;
+    missed.completionSec = 20.0;
+    metrics.record(missed);
+
+    // Numerator and window must agree: 1 served over [0, 10].
+    EXPECT_DOUBLE_EQ(metrics.throughputRps(), 0.1);
+    // The makespan keeps the all-completions semantics.
+    EXPECT_DOUBLE_EQ(metrics.makespanSec(), 20.0);
 }
 
 TEST(Server, MetricsJsonIsWellFormed)

@@ -30,6 +30,14 @@
  *     --fault-seed S    fault-injector seed          (default cfg)
  *     --retries N       retry budget after a machine check
  *                                                    (default 2)
+ *     --batch-max N     largest batch submit() may form; compiles
+ *                       one batch-b program per b = 1..N so the
+ *                       admission controller books the exact
+ *                       cycles(b) (default 1 = batching off)
+ *     --batch-window-us U
+ *                       how long (virtual us) after a batch
+ *                       leader's arrival later requests may still
+ *                       join its batch            (default 0)
  *
  * Example:
  *   tsp-serve --workers 4 --requests 400 --rho 1.5 --slack 3 \
@@ -43,6 +51,7 @@
 #include <memory>
 #include <vector>
 
+#include "c2c/collective.hh"
 #include "common/rng.hh"
 #include "model/resnet.hh"
 #include "serve/server.hh"
@@ -60,7 +69,8 @@ usage()
                  "[--rho R] [--slack S] [--queue N] "
                  "[--model-seed S] [--seed S] [--json FILE] "
                  "[--fault-rate R] [--fault-double F] "
-                 "[--fault-seed S] [--retries N]\n");
+                 "[--fault-seed S] [--retries N] "
+                 "[--batch-max N] [--batch-window-us U]\n");
 }
 
 } // namespace
@@ -83,6 +93,8 @@ main(int argc, char **argv)
     bool have_fault_seed = false;
     std::uint64_t fault_seed = 0;
     int retries = 2;
+    int batch_max = 1;
+    double batch_window_us = 0.0;
 
     for (int i = 1; i < argc; ++i) {
         auto next = [&]() -> const char * {
@@ -123,6 +135,10 @@ main(int argc, char **argv)
             have_fault_seed = true;
         } else if (!std::strcmp(argv[i], "--retries")) {
             retries = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--batch-max")) {
+            batch_max = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--batch-window-us")) {
+            batch_window_us = std::atof(next());
         } else {
             usage();
             return 2;
@@ -131,7 +147,8 @@ main(int argc, char **argv)
     if (workers < 1 || requests < 1 || rho <= 0.0 ||
         fault_rate < 0.0 || fault_rate > 1.0 || fault_double < 0.0 ||
         fault_double > 1.0 || retries < 0 || pod_chips == 1 ||
-        pod_chips < 0) {
+        pod_chips < 0 || batch_max < 1 || batch_window_us < 0.0 ||
+        (pod_chips >= 2 && batch_max > AllReducePlan::kMaxBatch)) {
         usage();
         return 2;
     }
@@ -151,6 +168,8 @@ main(int argc, char **argv)
     cfg.workers = workers;
     cfg.queueCapacity = queue_cap;
     cfg.maxRetries = retries;
+    cfg.batchMax = batch_max;
+    cfg.batchWindowSec = batch_window_us * 1e-6;
     cfg.chip.fault.memReadRate = fault_rate;
     cfg.chip.fault.memWriteRate = fault_rate;
     cfg.chip.fault.streamRate = fault_rate;
@@ -159,26 +178,45 @@ main(int argc, char **argv)
     if (have_fault_seed)
         cfg.chip.fault.seed = fault_seed;
 
+    std::unique_ptr<BatchProgramCache> cache;
     std::unique_ptr<serve::InferenceServer> server_p;
     if (pod_chips >= 2) {
         // Each worker owns an N-chip ring pod serving the statically
-        // scheduled all-reduce; the collective's exact cycle count is
-        // calibrated once on a fault-free pod.
-        const Cycle service_cycles = serve::PodBackend::serviceCycles(
-            pod_chips, wire_latency, cfg.chip);
+        // scheduled all-reduce; the collective's exact cycles(b) are
+        // calibrated once per batch size on a fault-free pod.
+        const std::vector<Cycle> table =
+            serve::PodBackend::serviceCyclesTable(
+                pod_chips, wire_latency, cfg.chip, batch_max);
         const ChipConfig chip_cfg = cfg.chip;
         server_p = std::make_unique<serve::InferenceServer>(
-            [pod_chips, wire_latency,
-             chip_cfg](int) -> std::unique_ptr<serve::Backend> {
+            [pod_chips, wire_latency, chip_cfg,
+             batch_max](int) -> std::unique_ptr<serve::Backend> {
                 return std::make_unique<serve::PodBackend>(
-                    pod_chips, wire_latency, chip_cfg);
+                    pod_chips, wire_latency, chip_cfg, batch_max);
             },
-            service_cycles, cfg);
+            table, cfg);
+    } else if (batch_max > 1) {
+        // Compile one batch-b program per b <= batch_max: weights
+        // install once per batch, per-sample activations repeat.
+        cache = std::make_unique<BatchProgramCache>(g, warm,
+                                                    batch_max);
+        server_p =
+            std::make_unique<serve::InferenceServer>(*cache, cfg);
     } else {
         server_p = std::make_unique<serve::InferenceServer>(
             lw, tensors.at(0), tensors.at(g.outputNode()), cfg);
     }
     serve::InferenceServer &server = *server_p;
+    if (server.batchMax() > 1) {
+        std::printf("batching: up to %d samples per batch, join "
+                    "window %.3f us; exact cycles(b):",
+                    server.batchMax(), batch_window_us);
+        for (int b = 1; b <= server.batchMax(); ++b)
+            std::printf(" %llu",
+                        static_cast<unsigned long long>(
+                            server.admission().serviceCycles(b)));
+        std::printf("\n");
+    }
 
     if (pod_chips >= 2) {
         std::printf("collective: %d-chip ring all-reduce, wire "
