@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/seed.hh"
 
 namespace tsp {
 
@@ -16,7 +17,8 @@ Pod::Pod(int chips, Cycle wire_latency, ChipConfig cfg)
         // Distinct upset sequences per member: identical seeds would
         // strike every chip at the same access index, which no real
         // pod exhibits.
-        cfg.fault.seed = base_seed + static_cast<std::uint64_t>(i);
+        cfg.fault.seed = deriveSeed(base_seed, SeedDomain::PodChip,
+                                    static_cast<std::uint64_t>(i));
         chips_.push_back(std::make_unique<Chip>(cfg));
     }
     for (int i = 0; i < chips; ++i) {

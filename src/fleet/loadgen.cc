@@ -1,0 +1,159 @@
+#include "fleet/loadgen.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/seed.hh"
+
+namespace tsp::fleet {
+
+const char *
+arrivalModelName(ArrivalModel m)
+{
+    switch (m) {
+      case ArrivalModel::Poisson: return "poisson";
+      case ArrivalModel::Bursty: return "bursty";
+      case ArrivalModel::Diurnal: return "diurnal";
+    }
+    return "unknown";
+}
+
+LoadGenerator::LoadGenerator(LoadGenConfig cfg)
+    : cfg_(cfg),
+      arrivals_(deriveSeed(cfg.seed, SeedDomain::Arrival)),
+      payload_(deriveSeed(cfg.seed, SeedDomain::Payload)),
+      burst_(deriveSeed(cfg.seed, SeedDomain::Burst))
+{
+    TSP_ASSERT(cfg_.rateRps > 0.0);
+    if (cfg_.model == ArrivalModel::Bursty) {
+        TSP_ASSERT(cfg_.burstFactor >= 1.0);
+        TSP_ASSERT(cfg_.burstFraction > 0.0 &&
+                   cfg_.burstFraction < 1.0);
+        // The base-state rate rate*(1 - f*factor)/(1 - f) must stay
+        // non-negative for the long-run mean to equal rateRps.
+        TSP_ASSERT(cfg_.burstFraction * cfg_.burstFactor <= 1.0);
+        TSP_ASSERT(cfg_.meanBurstSec > 0.0);
+    }
+    if (cfg_.model == ArrivalModel::Diurnal) {
+        TSP_ASSERT(cfg_.diurnalAmplitude >= 0.0 &&
+                   cfg_.diurnalAmplitude < 1.0);
+        TSP_ASSERT(cfg_.diurnalPeriodSec > 0.0);
+    }
+}
+
+double
+LoadGenerator::expGap(double rate)
+{
+    // Inverse-CDF draw; 1 - u is in (0, 1] so the log is finite.
+    const double u = arrivals_.nextDouble();
+    return -std::log(1.0 - u) / rate;
+}
+
+double
+LoadGenerator::nextPoisson()
+{
+    now_ += expGap(cfg_.rateRps);
+    return now_;
+}
+
+double
+LoadGenerator::nextBursty()
+{
+    // Two-state MMPP. State durations are exponential (mean
+    // meanBurstSec in burst, meanBurstSec*(1-f)/f in base, so the
+    // long-run burst-time fraction is f); rates are chosen so the
+    // time-weighted mean is exactly rateRps. Memorylessness lets us
+    // discard a gap that crosses a state boundary and redraw from
+    // the boundary in the new state.
+    const double f = cfg_.burstFraction;
+    const double burst_rate = cfg_.rateRps * cfg_.burstFactor;
+    const double base_rate =
+        cfg_.rateRps * (1.0 - f * cfg_.burstFactor) / (1.0 - f);
+    const double mean_base_sec =
+        cfg_.meanBurstSec * (1.0 - f) / f;
+    for (;;) {
+        if (now_ >= stateEndSec_) {
+            // First call starts in the base state; afterwards states
+            // alternate at each boundary.
+            if (stateEndSec_ == 0.0)
+                inBurst_ = false;
+            else
+                inBurst_ = !inBurst_;
+            const double mean =
+                inBurst_ ? cfg_.meanBurstSec : mean_base_sec;
+            const double u = burst_.nextDouble();
+            stateEndSec_ = now_ - std::log(1.0 - u) * mean;
+        }
+        const double rate = inBurst_ ? burst_rate : base_rate;
+        if (rate <= 0.0) {
+            // Degenerate derated base state (f*factor == 1): all
+            // traffic arrives in bursts; skip to the boundary.
+            now_ = stateEndSec_;
+            continue;
+        }
+        const double t = now_ + expGap(rate);
+        if (t <= stateEndSec_) {
+            now_ = t;
+            return now_;
+        }
+        now_ = stateEndSec_;
+    }
+}
+
+double
+LoadGenerator::nextDiurnal()
+{
+    // Thinning (Lewis-Shedler): draw from a Poisson stream at the
+    // peak rate and accept each candidate with probability
+    // lambda(t)/lambda_max.
+    const double lambda_max =
+        cfg_.rateRps * (1.0 + cfg_.diurnalAmplitude);
+    for (;;) {
+        now_ += expGap(lambda_max);
+        const double lambda =
+            cfg_.rateRps *
+            (1.0 + cfg_.diurnalAmplitude *
+                       std::sin(2.0 * M_PI * now_ /
+                                cfg_.diurnalPeriodSec));
+        if (arrivals_.nextDouble() * lambda_max <= lambda)
+            return now_;
+    }
+}
+
+double
+LoadGenerator::nextArrivalSec()
+{
+    switch (cfg_.model) {
+      case ArrivalModel::Poisson: return nextPoisson();
+      case ArrivalModel::Bursty: return nextBursty();
+      case ArrivalModel::Diurnal: return nextDiurnal();
+    }
+    return nextPoisson();
+}
+
+void
+LoadGenerator::fillPayload(std::vector<std::int8_t> &buf)
+{
+    buf.resize(cfg_.inputBytes);
+    // 8 bytes per draw keeps payload generation off the profile even
+    // at millions of requests.
+    std::size_t i = 0;
+    while (i + 8 <= buf.size()) {
+        std::uint64_t w = payload_.next();
+        for (int b = 0; b < 8; ++b) {
+            buf[i++] = static_cast<std::int8_t>(
+                static_cast<std::uint8_t>(w & 0xff));
+            w >>= 8;
+        }
+    }
+    if (i < buf.size()) {
+        std::uint64_t w = payload_.next();
+        while (i < buf.size()) {
+            buf[i++] = static_cast<std::int8_t>(
+                static_cast<std::uint8_t>(w & 0xff));
+            w >>= 8;
+        }
+    }
+}
+
+} // namespace tsp::fleet

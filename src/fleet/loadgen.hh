@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic open-loop load generation for fleet soak runs.
+ *
+ * Arrivals are stamped on the serving layer's *virtual* timeline and
+ * drawn from seeded streams (common/seed.hh domains), so a soak run
+ * with the same seed replays the identical arrival sequence and the
+ * identical request payloads — byte for byte — however fast the host
+ * happens to execute it. Three arrival models:
+ *
+ *  - Poisson: memoryless exponential gaps at a constant mean rate.
+ *  - Bursty: a two-state Markov-modulated Poisson process (MMPP).
+ *    The burst state fires at rate * burstFactor; the base-state
+ *    rate is derated so the long-run mean is still `rateRps`.
+ *  - Diurnal: a sinusoidally modulated rate lambda(t) =
+ *    rate * (1 + amplitude * sin(2 pi t / period)), realized by
+ *    thinning a Poisson stream at the peak rate — load that rises
+ *    and falls like a compressed day/night cycle, which is what the
+ *    autoscaler is for.
+ */
+
+#ifndef TSP_FLEET_LOADGEN_HH
+#define TSP_FLEET_LOADGEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace tsp::fleet {
+
+/** Arrival-process shape. */
+enum class ArrivalModel : std::uint8_t {
+    Poisson,
+    Bursty,
+    Diurnal,
+};
+
+/** @return a stable lower-case name for @p m. */
+const char *arrivalModelName(ArrivalModel m);
+
+/** Load-generator configuration. */
+struct LoadGenConfig
+{
+    ArrivalModel model = ArrivalModel::Poisson;
+
+    /** Long-run mean arrival rate, requests per virtual second. */
+    double rateRps = 1000.0;
+
+    /** Base seed; arrival, payload and burst streams are derived
+     * from it (SeedDomain::Arrival / Payload / Burst). */
+    std::uint64_t seed = 1;
+
+    /** Bytes per request payload (the model's input size). */
+    std::size_t inputBytes = 0;
+
+    // Bursty (MMPP) parameters.
+    /** Burst-state rate multiplier (> 1). */
+    double burstFactor = 4.0;
+    /** Long-run fraction of time spent in the burst state
+     * (0 < fraction and fraction * burstFactor <= 1 so the derated
+     * base rate stays non-negative). */
+    double burstFraction = 0.1;
+    /** Mean burst duration, virtual seconds. */
+    double meanBurstSec = 0.25;
+
+    // Diurnal parameters.
+    /** Modulation depth in [0, 1): peak rate = rate * (1 + A). */
+    double diurnalAmplitude = 0.5;
+    /** Full sine period, virtual seconds. */
+    double diurnalPeriodSec = 20.0;
+};
+
+/** A seeded open-loop arrival/payload stream. */
+class LoadGenerator
+{
+  public:
+    explicit LoadGenerator(LoadGenConfig cfg);
+
+    /**
+     * @return the next arrival stamp, virtual seconds. Monotone
+     * non-decreasing; the same seed yields the identical sequence.
+     */
+    double nextArrivalSec();
+
+    /** Fills @p buf (resized to inputBytes) with the next request's
+     * deterministic payload bytes. */
+    void fillPayload(std::vector<std::int8_t> &buf);
+
+    const LoadGenConfig &config() const { return cfg_; }
+
+  private:
+    double expGap(double rate);
+    double nextPoisson();
+    double nextBursty();
+    double nextDiurnal();
+
+    LoadGenConfig cfg_;
+    Rng arrivals_;
+    Rng payload_;
+    Rng burst_;
+    double now_ = 0.0;
+
+    // Bursty state: which MMPP state we are in and until when.
+    bool inBurst_ = false;
+    double stateEndSec_ = 0.0;
+};
+
+} // namespace tsp::fleet
+
+#endif // TSP_FLEET_LOADGEN_HH

@@ -4,6 +4,7 @@
 
 #include "arch/layout.hh"
 #include "common/logging.hh"
+#include "common/seed.hh"
 #include "mem/mem_slice.hh"
 
 namespace tsp {
@@ -57,9 +58,8 @@ FaultInjector::onC2cDeliver(Vec320 &vec, int link)
         linkRngs_.reserve(static_cast<std::size_t>(kC2cLinks));
         for (int l = 0; l < kC2cLinks; ++l) {
             linkRngs_.emplace_back(
-                cfg_.seed ^
-                (0xc2c0000000000000ull +
-                 static_cast<std::uint64_t>(l) * 0x9e3779b97f4a7c15ull));
+                deriveSeed(cfg_.seed, SeedDomain::C2cLink,
+                           static_cast<std::uint64_t>(l)));
         }
     }
     TSP_ASSERT(link >= 0 && link < kC2cLinks);

@@ -1,6 +1,7 @@
 #include "runtime/pod_session.hh"
 
 #include "common/logging.hh"
+#include "common/seed.hh"
 
 namespace tsp {
 
@@ -57,9 +58,9 @@ PodSession::reset()
         // replay the upset that killed the run.
         ++rebuilds_;
         ChipConfig cfg = cfg_;
-        cfg.fault.seed = cfg_.fault.seed +
-                         static_cast<std::uint64_t>(rebuilds_) *
-                             static_cast<std::uint64_t>(chips_);
+        cfg.fault.seed =
+            deriveSeed(cfg_.fault.seed, SeedDomain::EngineRebuild,
+                       static_cast<std::uint64_t>(rebuilds_));
         pod_ = std::make_unique<Pod>(chips_, wireLatency_, cfg);
         timedOut_ = false;
         machineChecked_ = false;

@@ -1,6 +1,7 @@
 #include "runtime/session.hh"
 
 #include "common/logging.hh"
+#include "common/seed.hh"
 
 namespace tsp {
 
@@ -106,7 +107,8 @@ InferenceSession::reset()
         ++rebuilds_;
         ChipConfig cfg = cfg_;
         cfg.fault.seed =
-            cfg_.fault.seed + static_cast<std::uint64_t>(rebuilds_);
+            deriveSeed(cfg_.fault.seed, SeedDomain::EngineRebuild,
+                       static_cast<std::uint64_t>(rebuilds_));
         chip_ = std::make_unique<Chip>(cfg);
         timedOut_ = false;
         machineChecked_ = false;

@@ -182,6 +182,30 @@ AdmissionController::earliestCompletion(double arrival_sec) const
     return std::max(arrival_sec, free_at) + serviceSecLocked(1);
 }
 
+int
+AdmissionController::earliestWorker() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return earliestWorkerLocked();
+}
+
+double
+AdmissionController::busyUntil() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return *std::max_element(freeAt_.begin(), freeAt_.end());
+}
+
+double
+AdmissionController::backlogSec(double now_sec) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    double total = 0.0;
+    for (const double f : freeAt_)
+        total += std::max(0.0, f - now_sec);
+    return total;
+}
+
 std::uint64_t
 AdmissionController::admitted() const
 {

@@ -144,9 +144,31 @@ class AdmissionController
     /**
      * @return the earliest possible completion for a batch-1 request
      * arriving at @p arrival_sec, without booking anything — what a
-     * client could poll to pick a feasible deadline.
+     * client could poll to pick a feasible deadline. This is also the
+     * fleet load-shedder's primitive: a request whose deadline is
+     * below every pod's earliest completion is provably infeasible
+     * and can be shed before it touches a queue.
      */
     double earliestCompletion(double arrival_sec) const;
+
+    /** @return the worker index the next open()/admit() would book
+     * (min free-time, lowest index on ties). */
+    int earliestWorker() const;
+
+    /** @return the latest booked completion across all workers —
+     * virtual seconds; a pod whose busyUntil() has passed has
+     * drained its entire booking. */
+    double busyUntil() const;
+
+    /**
+     * @return total booked-but-unfinished work at virtual time
+     * @p now_sec: sum over workers of max(0, freeAt - now). This is
+     * the *virtual* queue depth (in seconds of service) — unlike the
+     * host-side queue length it is a pure function of the admission
+     * history, so autoscaling decisions driven by it replay
+     * identically however the host threads are scheduled.
+     */
+    double backlogSec(double now_sec) const;
 
   private:
     int earliestWorkerLocked() const;

@@ -39,6 +39,15 @@ SessionBackend::maxBatch() const
     return cache_ ? cache_->maxBatch() : 1;
 }
 
+std::size_t
+SessionBackend::expectedInputBytes() const
+{
+    const ActTensor &t = inputSlot_.t;
+    return static_cast<std::size_t>(t.height) *
+           static_cast<std::size_t>(t.width) *
+           static_cast<std::size_t>(t.channels);
+}
+
 void
 SessionBackend::resetBatch(int batch)
 {
@@ -167,6 +176,12 @@ int
 PodBackend::maxBatch() const
 {
     return static_cast<int>(progs_.size());
+}
+
+std::size_t
+PodBackend::expectedInputBytes() const
+{
+    return inputBytes(sess_.pod().size());
 }
 
 void

@@ -43,6 +43,14 @@ class Backend
     virtual int maxBatch() const { return 1; }
 
     /**
+     * @return exact bytes one sample's dense input must have, or 0
+     * when the engine does not know (no validation possible). The
+     * server rejects mis-sized requests as RejectedInvalid before
+     * admission instead of faulting inside a worker thread.
+     */
+    virtual std::size_t expectedInputBytes() const { return 0; }
+
+    /**
      * Rearms for the next run of the compiled batch-@p batch program
      * (1 <= batch <= maxBatch()): reloads programs and rebuilds the
      * engine when the previous run timed out or machine checked
@@ -112,6 +120,7 @@ class SessionBackend final : public Backend
     SessionBackend(BatchProgramCache &cache, ChipConfig cfg);
 
     int maxBatch() const override;
+    std::size_t expectedInputBytes() const override;
     void resetBatch(int batch) override;
     void writeSample(int sample,
                      const std::vector<std::int8_t> &input) override;
@@ -170,6 +179,7 @@ class PodBackend final : public Backend
     static std::size_t inputBytes(int chips);
 
     int maxBatch() const override;
+    std::size_t expectedInputBytes() const override;
     void resetBatch(int batch) override;
     void writeSample(int sample,
                      const std::vector<std::int8_t> &input) override;

@@ -9,6 +9,7 @@ outcomeName(Outcome o)
       case Outcome::Served: return "served";
       case Outcome::RejectedDeadline: return "rejected_deadline";
       case Outcome::RejectedQueueFull: return "rejected_queue_full";
+      case Outcome::RejectedInvalid: return "rejected_invalid";
       case Outcome::DeadlineMissed: return "deadline_missed";
       case Outcome::Failed: return "failed";
       case Outcome::FailedMachineCheck: return "failed_machine_check";

@@ -43,6 +43,14 @@ enum class Outcome : std::uint8_t {
     RejectedQueueFull,
 
     /**
+     * Rejected before admission: the request is malformed for the
+     * compiled workload (e.g. its input length does not match the
+     * model's input tensor). Previously such a request would fault
+     * inside a worker thread; now it never reaches one.
+     */
+    RejectedInvalid,
+
+    /**
      * Served, but completed after its deadline. With exact admission
      * booking this cannot happen unless the measured cycle count
      * diverges from the compiler's prediction (i.e. a simulator bug).

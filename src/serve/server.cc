@@ -43,11 +43,20 @@ InferenceServer::InferenceServer(const BackendFactory &factory,
     : cfg_(cfg),
       admission_(cfg.workers, std::move(cycles_by_batch),
                  cfg.chip.cyclePeriodSec()),
-      queue_(cfg.queueCapacity), paused_(cfg.startPaused),
+      paused_(cfg.startPaused),
       metrics_(admission_.serviceSec(), cfg.workers,
                cfg.queueCapacity)
 {
     TSP_ASSERT(cfg_.workers >= 1);
+    // One shared work-stealing queue, or one FIFO per worker under
+    // pinned dispatch (each sealed batch goes to the worker its
+    // booking assumed, so the engine that serves a request is a pure
+    // function of the admission history).
+    const int nq = cfg_.pinnedDispatch ? cfg_.workers : 1;
+    queues_.reserve(static_cast<std::size_t>(nq));
+    for (int q = 0; q < nq; ++q)
+        queues_.push_back(std::make_unique<BoundedQueue<BatchJob>>(
+            cfg_.queueCapacity));
     backends_.reserve(static_cast<std::size_t>(cfg_.workers));
     for (int w = 0; w < cfg_.workers; ++w)
         backends_.push_back(factory(w));
@@ -55,6 +64,7 @@ InferenceServer::InferenceServer(const BackendFactory &factory,
         std::max(1, std::min(cfg_.batchMax, admission_.maxBatch()));
     for (const auto &b : backends_)
         effBatchMax_ = std::min(effBatchMax_, b->maxBatch());
+    expectedInput_ = backends_[0]->expectedInputBytes();
     threads_.reserve(static_cast<std::size_t>(cfg_.workers));
     for (int w = 0; w < cfg_.workers; ++w)
         threads_.emplace_back([this, w] { workerLoop(w); });
@@ -64,7 +74,8 @@ InferenceServer::~InferenceServer() { shutdown(); }
 
 std::future<Result>
 InferenceServer::rejectNow(Request req, Outcome outcome,
-                           const Admission &booking)
+                           const Admission &booking,
+                           bool want_future)
 {
     Result r;
     r.id = req.id;
@@ -77,10 +88,23 @@ InferenceServer::rejectNow(Request req, Outcome outcome,
         std::lock_guard<std::mutex> lock(doneMu_);
         metrics_.record(r);
     }
+    if (cfg_.onResult)
+        cfg_.onResult(r);
+    if (!want_future)
+        return {};
     std::promise<Result> p;
     std::future<Result> f = p.get_future();
     p.set_value(std::move(r));
     return f;
+}
+
+void
+InferenceServer::resolveMember(Member &m, Result r)
+{
+    if (cfg_.onResult)
+        cfg_.onResult(r);
+    if (m.promise)
+        m.promise->set_value(std::move(r));
 }
 
 void
@@ -96,7 +120,7 @@ InferenceServer::sealOpenLocked()
     // job: on failure — the queue was closed by shutdown() — the
     // members are resolved as recorded queue-full rejections, booking
     // fields intact, exactly like any other rejection.
-    if (queue_.push(std::move(job)))
+    if (queueFor(job.booking.worker).push(std::move(job)))
         return;
     const Cycle predicted =
         admission_.serviceCycles(job.booking.batch);
@@ -112,10 +136,13 @@ InferenceServer::sealOpenLocked()
         {
             std::lock_guard<std::mutex> lock(doneMu_);
             metrics_.record(r);
+        }
+        resolveMember(m, std::move(r));
+        {
+            std::lock_guard<std::mutex> lock(doneMu_);
             --inflight_;
         }
         doneCv_.notify_all();
-        m.promise.set_value(std::move(r));
     }
 }
 
@@ -124,16 +151,40 @@ InferenceServer::submit(std::vector<std::int8_t> input,
                         double arrival_sec, double deadline_sec,
                         OnFull on_full)
 {
+    return submitImpl(std::move(input), arrival_sec, deadline_sec,
+                      on_full, /*want_future=*/true);
+}
+
+void
+InferenceServer::submitDetached(std::vector<std::int8_t> input,
+                                double arrival_sec,
+                                double deadline_sec, OnFull on_full)
+{
+    submitImpl(std::move(input), arrival_sec, deadline_sec, on_full,
+               /*want_future=*/false);
+}
+
+std::future<Result>
+InferenceServer::submitImpl(std::vector<std::int8_t> input,
+                            double arrival_sec, double deadline_sec,
+                            OnFull on_full, bool want_future)
+{
     Request req;
     req.id = nextId_.fetch_add(1, std::memory_order_relaxed);
     req.input = std::move(input);
     req.arrivalSec = arrival_sec;
     req.deadlineSec = deadline_sec;
 
+    // Malformed input is refused before it can touch the admission
+    // state or fault inside a worker thread.
+    if (expectedInput_ != 0 && req.input.size() != expectedInput_)
+        return rejectNow(std::move(req), Outcome::RejectedInvalid,
+                         Admission{}, want_future);
+
     std::unique_lock<std::mutex> lock(submitMu_);
     if (shutdown_)
         return rejectNow(std::move(req), Outcome::RejectedQueueFull,
-                         Admission{});
+                         Admission{}, want_future);
 
     // Try to join the open batch first: a joined request consumes no
     // queue slot of its own and cannot be queue-full rejected.
@@ -146,7 +197,11 @@ InferenceServer::submit(std::vector<std::int8_t> input,
         if (joined.admitted) {
             Member m;
             m.req = std::move(req);
-            std::future<Result> f = m.promise.get_future();
+            std::future<Result> f;
+            if (want_future) {
+                m.promise.emplace();
+                f = m.promise->get_future();
+            }
             {
                 std::lock_guard<std::mutex> dl(doneMu_);
                 ++inflight_;
@@ -164,23 +219,30 @@ InferenceServer::submit(std::vector<std::int8_t> input,
 
     // Backpressure check *before* booking so a full queue never
     // leaves a phantom reservation in the admission state. Only
-    // submitters (serialized here) add to the queue, so a non-full
-    // observation cannot be invalidated before our push.
-    if (on_full == OnFull::Reject && queue_.full())
+    // submitters (serialized here) add to a queue, so a non-full
+    // observation cannot be invalidated before our push. Under
+    // pinned dispatch the relevant queue is the one this booking
+    // would land on: the earliest-free worker's.
+    if (on_full == OnFull::Reject &&
+        queueFor(admission_.earliestWorker()).full())
         return rejectNow(std::move(req), Outcome::RejectedQueueFull,
-                         Admission{});
+                         Admission{}, want_future);
 
     const Admission booking =
         admission_.open(arrival_sec, deadline_sec);
     if (!booking.admitted) {
         // A failed open() books nothing and leaves no open batch.
         return rejectNow(std::move(req), Outcome::RejectedDeadline,
-                         booking);
+                         booking, want_future);
     }
 
     Member m;
     m.req = std::move(req);
-    std::future<Result> f = m.promise.get_future();
+    std::future<Result> f;
+    if (want_future) {
+        m.promise.emplace();
+        f = m.promise->get_future();
+    }
     {
         std::lock_guard<std::mutex> dl(doneMu_);
         ++inflight_;
@@ -203,7 +265,7 @@ InferenceServer::workerLoop(int w)
             std::unique_lock<std::mutex> lock(pauseMu_);
             pauseCv_.wait(lock, [&] { return !paused_; });
         }
-        if (!queue_.pop(job))
+        if (!queueFor(w).pop(job))
             return; // Closed and drained.
 
         const int k = static_cast<int>(job.members.size());
@@ -329,11 +391,19 @@ InferenceServer::finishBatch(BatchJob &job,
     {
         std::lock_guard<std::mutex> lock(doneMu_);
         metrics_.recordBatch(results);
-        inflight_ -= results.size();
+    }
+    // Resolve (promises + onResult) *before* releasing the drain
+    // gate: once inflight_ hits zero, drain() may return and the
+    // caller may read aggregated state — every result must already
+    // be delivered by then.
+    const std::size_t n = results.size();
+    for (std::size_t i = 0; i < n; ++i)
+        resolveMember(job.members[i], std::move(results[i]));
+    {
+        std::lock_guard<std::mutex> lock(doneMu_);
+        inflight_ -= n;
     }
     doneCv_.notify_all();
-    for (std::size_t i = 0; i < results.size(); ++i)
-        job.members[i].promise.set_value(std::move(results[i]));
 }
 
 void
@@ -344,6 +414,22 @@ InferenceServer::resume()
         paused_ = false;
     }
     pauseCv_.notify_all();
+}
+
+void
+InferenceServer::flushOpenBatch()
+{
+    std::lock_guard<std::mutex> lock(submitMu_);
+    sealOpenLocked();
+}
+
+std::size_t
+InferenceServer::queueDepth() const
+{
+    std::size_t depth = 0;
+    for (const auto &q : queues_)
+        depth += q->size();
+    return depth;
 }
 
 void
@@ -360,11 +446,12 @@ InferenceServer::drain()
 void
 InferenceServer::shutdown()
 {
-    // Close the queue *first*: a submitter blocked in push() (full
+    // Close the queues *first*: a submitter blocked in push() (full
     // queue, OnFull::Block) must wake and resolve its members as
     // recorded rejections — shutdown cannot wait for space that may
     // never free. Everything below is idempotent.
-    queue_.close();
+    for (auto &q : queues_)
+        q->close();
     // Unpause before taking submitMu_: a submitter blocked in push()
     // holds that mutex; close() has already woken it.
     resume();

@@ -39,6 +39,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -99,6 +100,29 @@ struct ServerConfig
      * batch.
      */
     double batchWindowSec = 0.0;
+
+    /**
+     * Pinned dispatch: pin each sealed batch to the worker the admission
+     * controller booked it on (per-worker FIFO queues) instead of
+     * letting whichever worker frees up first take it. Throughput is
+     * unchanged (the booking already assumes the assignment), but the
+     * *physical* engine that executes each request becomes a pure
+     * function of the admission history — so with fault injection
+     * enabled, which request absorbs which upset replays identically
+     * run after run. The fleet soak layer requires this; default off
+     * preserves the legacy work-stealing behavior.
+     */
+    bool pinnedDispatch = false;
+
+    /**
+     * Called once for every resolved request (all outcomes), after
+     * it is recorded in the server metrics. Invoked from worker
+     * threads and from the submitting thread (admission rejections),
+     * possibly concurrently; must be thread-safe and must not call
+     * back into the server. Lets a fleet controller aggregate
+     * time-series without paying one std::future per request.
+     */
+    std::function<void(const Result &)> onResult;
 
     /** Configuration applied to every worker's chip. */
     ChipConfig chip{};
@@ -179,6 +203,27 @@ class InferenceServer
                                double deadline_sec = 0.0,
                                OnFull on_full = OnFull::Reject);
 
+    /**
+     * submit() without the future: the request resolves through
+     * ServerConfig::onResult (and the metrics) only. This is the
+     * fleet soak path — a million-request run must not allocate a
+     * million promise/future pairs it never reads.
+     */
+    void submitDetached(std::vector<std::int8_t> input,
+                        double arrival_sec, double deadline_sec = 0.0,
+                        OnFull on_full = OnFull::Reject);
+
+    /**
+     * Seals and enqueues the open batch, if any, without draining.
+     * The fleet controller calls this before snapshotting a pod's
+     * booked backlog so a trailing open batch is not invisible to
+     * the autoscaler.
+     */
+    void flushOpenBatch();
+
+    /** @return sealed batches currently queued (all worker queues). */
+    std::size_t queueDepth() const;
+
     /** Releases a startPaused pool (idempotent). */
     void resume();
 
@@ -231,7 +276,8 @@ class InferenceServer
     struct Member
     {
         Request req;
-        std::promise<Result> promise;
+        /** Unset for detached submissions (onResult-only). */
+        std::optional<std::promise<Result>> promise;
     };
 
     /** One sealed batch: the queue's unit of work. */
@@ -242,20 +288,37 @@ class InferenceServer
     };
 
     void workerLoop(int w);
+    std::future<Result>
+    submitImpl(std::vector<std::int8_t> input, double arrival_sec,
+               double deadline_sec, OnFull on_full, bool want_future);
     std::future<Result> rejectNow(Request req, Outcome outcome,
-                                  const Admission &booking);
+                                  const Admission &booking,
+                                  bool want_future);
+    /** Resolves one member: metrics hook already ran; fires the
+     * onResult callback, then the promise (if attached). */
+    void resolveMember(Member &m, Result r);
     /** Seals + enqueues the open batch (requires submitMu_). */
     void sealOpenLocked();
     void finishBatch(BatchJob &job, std::vector<Result> results);
+    /** @return the queue feeding worker @p w's batches. */
+    BoundedQueue<BatchJob> &queueFor(int w)
+    {
+        return *queues_[cfg_.pinnedDispatch
+                            ? static_cast<std::size_t>(w)
+                            : 0];
+    }
 
     const ServerConfig cfg_;
 
     AdmissionController admission_;
-    BoundedQueue<BatchJob> queue_;
+    /** One shared queue, or one per worker under pinnedDispatch. */
+    std::vector<std::unique_ptr<BoundedQueue<BatchJob>>> queues_;
 
     std::vector<std::unique_ptr<Backend>> backends_;
     std::vector<std::thread> threads_;
     int effBatchMax_ = 1;
+    /** Bytes a valid input must have (0 = backend can't say). */
+    std::size_t expectedInput_ = 0;
 
     std::mutex submitMu_; ///< Serializes admission + batching + enqueue.
     /** Open-batch accumulator (guarded by submitMu_). */

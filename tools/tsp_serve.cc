@@ -319,5 +319,25 @@ main(int argc, char **argv)
         }
         std::printf("\nwrote %s\n", json_path);
     }
+
+    // Exit nonzero when any request actually failed, not only on
+    // prediction mismatches: a run whose retry budget was exhausted
+    // by machine checks (or that hit a cycle-budget failure) must be
+    // visible to scripts and CI, not silently exit 0.
+    const std::uint64_t failed_mc =
+        snap.counters().get("failed_machine_check");
+    const std::uint64_t failed = snap.counters().get("failed");
+    if (failed_mc > 0 || failed > 0) {
+        std::fprintf(stderr,
+                     "\nFAILED: %llu request%s exhausted the "
+                     "machine-check retry budget, %llu failed "
+                     "outright (of %llu submitted)\n",
+                     static_cast<unsigned long long>(failed_mc),
+                     failed_mc == 1 ? "" : "s",
+                     static_cast<unsigned long long>(failed),
+                     static_cast<unsigned long long>(
+                         snap.counters().get("submitted")));
+        return 1;
+    }
     return snap.predictionMismatches() == 0 ? 0 : 1;
 }
