@@ -6,30 +6,39 @@
  * model. These measure the *simulator*, not the simulated chip.
  *
  * After the microbenchmarks, main() runs an end-to-end full-program
- * comparison: the same compiled schedule simulated with the legacy
- * per-cycle stepper and with the event-driven fast-forward core,
- * reporting simulated cycles per wall-clock second for both and the
- * speedup, and asserting the two executions are identical (cycles
- * and stats). Two variants run: the dense compiled schedule as-is,
- * and a NOP-dominated variant — the same program padded with a long
+ * comparison across the three execution tiers: the legacy per-cycle
+ * stepper, the event-driven fast-forward core, and trace replay
+ * (record the resolved micro-op sequence once, then re-execute only
+ * the numerics — see sim/exec_trace.hh), reporting simulated cycles
+ * per wall-clock second for each and asserting the executions are
+ * identical (cycles, and stats for the first two; the replay tier's
+ * full bit-identity is proven by tests/sim/test_replay.cc). Two
+ * variants run: the dense compiled schedule as-is, and a
+ * NOP-dominated variant — the same program padded with a long
  * trailing NOP on an unused queue, modeling a deadline-padded
  * serving slot where the chip idles until the next batch window
- * (paper VI: deterministic deadlines). The padded speedup is the
- * headline number. Results land in BENCH_sim_speed.json.
+ * (paper VI: deterministic deadlines). Results land in
+ * BENCH_sim_speed.json, with the active SIMD kernel tier recorded
+ * (scalar / avx2 / avx2+vnni; see common/cpu.hh).
  *
  * Flags: --e2e=resnet50 (default) | tiny | off selects the
- * end-to-end workload (CI smoke uses tiny); all other flags pass
- * through to google-benchmark.
+ * end-to-end workload (CI smoke uses tiny);
+ * --min-replay-over-ff=<x> exits nonzero unless the dense replay
+ * tier is at least x times faster than fast-forward (CI smoke);
+ * all other flags pass through to google-benchmark.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "arch/layout.hh"
 #include "bench_util.hh"
+#include "common/cpu.hh"
 #include "common/rng.hh"
 #include "isa/assembler.hh"
 #include "graph/graph.hh"
@@ -190,42 +199,103 @@ timedChipRun(const AsmProgram &prog, Lowering &lw, bool fast_forward)
     return r;
 }
 
-/** A legacy/fast pair over one workload variant. */
-struct E2ePair
+/** Timed replay of the compiled session: record once (untimed),
+ * then reset with fresh state and time the replayed run. */
+E2eRun
+timedReplayRun(Lowering &lw)
+{
+    ChipConfig cfg;
+    InferenceSession sess(lw, cfg);
+    sess.enableReplay();
+    sess.run(); // Recording run.
+    sess.reset();
+    const auto t0 = std::chrono::steady_clock::now();
+    const Cycle cycles = sess.run(); // Replays the trace.
+    const auto t1 = std::chrono::steady_clock::now();
+    if (sess.replayCount() != 1)
+        std::fprintf(stderr, "replay tier did not engage!\n");
+    E2eRun r;
+    r.cycles = cycles;
+    r.wallSec = std::chrono::duration<double>(t1 - t0).count();
+    return r;
+}
+
+/** Timed chip-level replay of @p prog (the padded variant). */
+E2eRun
+timedChipReplay(const AsmProgram &prog, Lowering &lw)
+{
+    ChipConfig cfg;
+    const auto mk = [&] {
+        auto chip = std::make_unique<Chip>(cfg);
+        chip->loadProgram(prog);
+        lw.image().applyTo(*chip);
+        return chip;
+    };
+    std::shared_ptr<const ExecutionTrace> trace;
+    {
+        auto recorded = mk();
+        TraceRecording rec({recorded.get()});
+        recorded->run(/*max_cycles=*/1ull << 40);
+        trace = rec.finish(/*completed=*/true);
+    }
+    auto chip = mk();
+    const auto t0 = std::chrono::steady_clock::now();
+    replayTrace(*trace, {chip.get()});
+    const auto t1 = std::chrono::steady_clock::now();
+    E2eRun r;
+    r.cycles = chip->now();
+    r.wallSec = std::chrono::duration<double>(t1 - t0).count();
+    return r;
+}
+
+/** A legacy/fast-forward/replay triple over one workload variant. */
+struct E2eTriple
 {
     double legacyCps = 0.0;
     double fastCps = 0.0;
-    double speedup = 0.0;
+    double replayCps = 0.0;
+    double speedup = 0.0;       ///< fast-forward over legacy.
+    double replaySpeedup = 0.0; ///< replay over legacy.
+    double replayOverFast = 0.0;
     bool identical = false;
     Cycle cycles = 0;
-    E2eRun legacy, fast;
+    E2eRun legacy, fast, replay;
 };
 
-template <typename Runner>
-E2ePair
-comparePair(const char *label, Runner &&run)
+template <typename Runner, typename ReplayRunner>
+E2eTriple
+compareTriple(const char *label, Runner &&run,
+              ReplayRunner &&replay_run)
 {
-    E2ePair p;
+    E2eTriple p;
     p.legacy = run(false);
     p.fast = run(true);
+    p.replay = replay_run();
     p.legacyCps =
         static_cast<double>(p.legacy.cycles) / p.legacy.wallSec;
     p.fastCps = static_cast<double>(p.fast.cycles) / p.fast.wallSec;
+    p.replayCps =
+        static_cast<double>(p.replay.cycles) / p.replay.wallSec;
     p.speedup = p.fastCps / p.legacyCps;
+    p.replaySpeedup = p.replayCps / p.legacyCps;
+    p.replayOverFast = p.replayCps / p.fastCps;
     p.identical = p.legacy.cycles == p.fast.cycles &&
-                  p.legacy.stats == p.fast.stats;
+                  p.legacy.stats == p.fast.stats &&
+                  p.replay.cycles == p.legacy.cycles;
     p.cycles = p.legacy.cycles;
-    std::printf("  %-22s per-cycle %10llu cyc %8.3f s %12.0f c/s | "
-                "fast-forward %8.3f s %12.0f c/s | %5.2fx %s\n",
-                label, static_cast<unsigned long long>(p.legacy.cycles),
-                p.legacy.wallSec, p.legacyCps, p.fast.wallSec, p.fastCps,
-                p.speedup,
-                p.identical ? "(identical)" : "MISMATCH!");
+    std::printf(
+        "  %-22s per-cycle %10llu cyc %8.3f s %12.0f c/s | "
+        "fast-forward %8.3f s %12.0f c/s %6.2fx | "
+        "replay %8.3f s %12.0f c/s %6.2fx (%5.2fx over ff) %s\n",
+        label, static_cast<unsigned long long>(p.legacy.cycles),
+        p.legacy.wallSec, p.legacyCps, p.fast.wallSec, p.fastCps,
+        p.speedup, p.replay.wallSec, p.replayCps, p.replaySpeedup,
+        p.replayOverFast, p.identical ? "(identical)" : "MISMATCH!");
     return p;
 }
 
 int
-runEndToEnd(const std::string &workload)
+runEndToEnd(const std::string &workload, double min_replay_over_ff)
 {
     Graph g = workload == "resnet50"
                   ? model::buildResNetBlocks(
@@ -244,10 +314,14 @@ runEndToEnd(const std::string &workload)
     g.lower(lw, input);
 
     std::printf("\nend-to-end full-program simulation (%s "
-                "schedule):\n",
-                workload.c_str());
-    const E2ePair dense = comparePair(
-        "dense", [&](bool ff) { return timedRun(lw, ff); });
+                "schedule, %s lane kernels):\n",
+                workload.c_str(),
+                !simdKernelsEnabled()  ? "scalar"
+                : cpuHasAvx512Vnni()   ? "avx2+vnni"
+                                       : "avx2");
+    const E2eTriple dense = compareTriple(
+        "dense", [&](bool ff) { return timedRun(lw, ff); },
+        [&] { return timedReplayRun(lw); });
 
     // NOP-dominated variant: the compiled program plus one long NOP
     // on an otherwise unused C2C queue — the chip sits provably idle
@@ -264,34 +338,53 @@ runEndToEnd(const std::string &workload)
     auto &pad_queue = padded.queues[IcuId::c2c(kC2cLinks - 1).id];
     pad_queue.push_back(deadline);
     pad_queue.push_back(wake);
-    const E2ePair nop = comparePair(
+    const E2eTriple nop = compareTriple(
         "nop-padded (deadline)",
-        [&](bool ff) { return timedChipRun(padded, lw, ff); });
+        [&](bool ff) { return timedChipRun(padded, lw, ff); },
+        [&] { return timedChipReplay(padded, lw); });
 
     const bool identical = dense.identical && nop.identical;
-    std::printf("  headline speedup on the NOP-dominated schedule: "
-                "%.2fx (%s)\n",
-                nop.speedup,
+    std::printf("  headline: replay %.2fx over per-cycle, %.2fx over "
+                "fast-forward on the dense schedule (%s)\n",
+                dense.replaySpeedup, dense.replayOverFast,
                 identical ? "all runs identical"
-                          : "MISMATCH — fast-forward bug!");
+                          : "MISMATCH — execution-tier bug!");
 
     bench::writeJson(
         "BENCH_sim_speed.json",
         {{"workload_is_resnet50", workload == "resnet50" ? 1.0 : 0.0},
+         {"simd_kernels_avx2", simdKernelsEnabled() ? 1.0 : 0.0},
          {"simulated_cycles", static_cast<double>(dense.cycles)},
          {"legacy_wall_sec", dense.legacy.wallSec},
          {"legacy_cycles_per_sec", dense.legacyCps},
          {"fast_forward_wall_sec", dense.fast.wallSec},
          {"fast_forward_cycles_per_sec", dense.fastCps},
          {"dense_speedup", dense.speedup},
+         {"replay_wall_sec", dense.replay.wallSec},
+         {"replay_cycles_per_sec", dense.replayCps},
+         {"replay_speedup", dense.replaySpeedup},
+         {"replay_over_fast_forward", dense.replayOverFast},
          {"nop_padded_cycles", static_cast<double>(nop.cycles)},
          {"nop_padded_legacy_wall_sec", nop.legacy.wallSec},
          {"nop_padded_legacy_cycles_per_sec", nop.legacyCps},
          {"nop_padded_fast_forward_wall_sec", nop.fast.wallSec},
          {"nop_padded_fast_forward_cycles_per_sec", nop.fastCps},
+         {"nop_padded_replay_wall_sec", nop.replay.wallSec},
+         {"nop_padded_replay_cycles_per_sec", nop.replayCps},
+         {"nop_padded_replay_speedup", nop.replaySpeedup},
          {"speedup", nop.speedup},
          {"identical_results", identical ? 1.0 : 0.0}});
-    return identical ? 0 : 1;
+    if (!identical)
+        return 1;
+    if (min_replay_over_ff > 0.0 &&
+        dense.replayOverFast < min_replay_over_ff) {
+        std::fprintf(stderr,
+                     "replay %.2fx over fast-forward, required "
+                     ">= %.2fx\n",
+                     dense.replayOverFast, min_replay_over_ff);
+        return 1;
+    }
+    return 0;
 }
 
 } // namespace
@@ -300,12 +393,16 @@ runEndToEnd(const std::string &workload)
 int
 main(int argc, char **argv)
 {
-    // Strip our --e2e flag before google-benchmark parses the rest.
+    // Strip our flags before google-benchmark parses the rest.
     std::string workload = "resnet50";
+    double min_replay_over_ff = 0.0;
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--e2e=", 6) == 0)
             workload = argv[i] + 6;
+        else if (std::strncmp(argv[i], "--min-replay-over-ff=",
+                              21) == 0)
+            min_replay_over_ff = std::atof(argv[i] + 21);
         else
             argv[out++] = argv[i];
     }
@@ -319,5 +416,5 @@ main(int argc, char **argv)
 
     if (workload == "off")
         return 0;
-    return tsp::runEndToEnd(workload);
+    return tsp::runEndToEnd(workload, min_replay_over_ff);
 }

@@ -76,6 +76,21 @@ class InstructionQueue
     /** @return true once every instruction has retired. */
     bool done() const;
 
+    /**
+     * Retires the loaded program without ticking (trace-replay tier:
+     * the recorded run retired it, and replay dispatches directly).
+     * Counters are preserved — the chip credits the recorded deltas.
+     */
+    void
+    retireForReplay()
+    {
+        pc_ = program_.size();
+        busyUntil_ = 0;
+        parked_ = false;
+        repeatInst_ = nullptr;
+        repeatsLeft_ = 0;
+    }
+
     /** @return true if parked on a Sync right now. */
     bool parked() const { return parked_; }
 

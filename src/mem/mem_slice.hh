@@ -83,6 +83,17 @@ class MemSlice
     void scatter(const std::array<MemAddr, kSuperlanes> &addrs,
                  const Vec320 &vec, Cycle now);
 
+    /**
+     * Trace-replay mode (Chip::beginReplay/finishReplay). Replay-path
+     * producers skip the SECDED encode — no replay consumer checks —
+     * so arriving vectors carry stale codes; while set, write() and
+     * scatter() regenerate codes at commit instead of checking them,
+     * keeping the stored image bit-identical to a live run. Sound
+     * because replay is only taken for fault-free recordings whose
+     * checks all came back Ok (zero CSR deltas either way).
+     */
+    void setReplayMode(bool on) { replay_ = on; }
+
     /** Untimed backdoor write used by host DMA; regenerates ECC. */
     void backdoorWrite(MemAddr addr, const Vec320 &vec);
 
@@ -145,6 +156,7 @@ class MemSlice
     Hemisphere hem_;
     int index_;
     bool eccEnabled_;
+    bool replay_ = false; ///< Regenerate (not check) ECC on commit.
     FaultInjector *faults_;
     MachineCheckSink *mc_;
 

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * AVX2 kernel for the MXM plane's int8 activation broadcast
+ * (MxmPlane::stepAbc) — the hottest loop in whole-chip simulation of
+ * dense networks (320x320 MACs per active plane per cycle).
+ *
+ * The kernel is bit-identical to the scalar loop: int32 accumulation
+ * wraps mod 2^32, so the reduction order is immaterial and the
+ * vectorized horizontal sum produces exactly the scalar result.
+ * Callers gate on tsp::simdKernelsEnabled() (common/cpu.hh); the
+ * definitions live in mxm_kernels_avx2.cc, the only TU in the target
+ * compiled with -mavx2.
+ */
+
+#ifndef TSP_MXM_MXM_KERNELS_HH
+#define TSP_MXM_MXM_KERNELS_HH
+
+#include <cstdint>
+
+namespace tsp::simd {
+
+/**
+ * One ABC cycle's dot products: for each row r < n,
+ *   acc[r] (+)= sum_{c<n} w[r*stride + c] * (int8)act[c]
+ * (accumulate selects += vs =), exactly as MxmPlane::stepAbc's scalar
+ * loop computes it.
+ *
+ * @return false when this (n) has no vector path (n % 32 != 0) — the
+ * caller must run the scalar loop instead.
+ */
+bool mxmAbcInt8Avx2(const std::int8_t *w, int stride,
+                    const std::uint8_t *act, std::int32_t *acc, int n,
+                    bool accumulate);
+
+/**
+ * AVX-512 VNNI variant of mxmAbcInt8Avx2: vpdpbusd needs one unsigned
+ * operand, so activations are biased by +128 (a XOR 0x80) and the
+ * per-row correction 128 * sum(w[r][*]) — precomputed by
+ * mxmRowSumsInt8Vnni at weight install — is subtracted, which is
+ * exact in wrapping int32 arithmetic. Callers additionally gate on
+ * tsp::cpuHasAvx512Vnni(); definitions live in mxm_kernels_vnni.cc,
+ * the only TU compiled with -mavx512vnni.
+ *
+ * @return false when (n) has no vector path (n % 64 != 0).
+ */
+bool mxmAbcInt8Vnni(const std::int8_t *w, int stride,
+                    const std::uint8_t *act,
+                    const std::int32_t *row_sums, std::int32_t *acc,
+                    int n, bool accumulate);
+
+/**
+ * Fills @p out[r] = sum_{c<n} w[r*stride + c] for r < n (the bias
+ * correction mxmAbcInt8Vnni needs). Same gating and n % 64 == 0
+ * contract as the kernel.
+ *
+ * @return false when (n) has no vector path.
+ */
+bool mxmRowSumsInt8Vnni(const std::int8_t *w, int stride, int n,
+                        std::int32_t *out);
+
+} // namespace tsp::simd
+
+#endif // TSP_MXM_MXM_KERNELS_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * AVX-512 VNNI kernel for the MXM int8 activation broadcast.
+ *
+ * vpdpbusd computes 64 u8*s8 products per instruction with exact
+ * int32 accumulation (no int16 saturation, unlike maddubs), but one
+ * operand must be unsigned. Activations are signed, so they are
+ * biased into u8 by XOR 0x80 (== +128) and the per-row excess
+ * 128 * sum(w[r][*]) is subtracted after the reduction. Every
+ * intermediate fits int32 (|dot| <= 320*255*127 < 2^31) and the
+ * correction is done in uint32 arithmetic, so the result equals the
+ * scalar loop's wrapping int32 sum bit-for-bit.
+ *
+ * This is the only TU compiled with -mavx512vnni; callers gate on
+ * tsp::simdKernelsEnabled() && tsp::cpuHasAvx512Vnni().
+ */
+
+#include "mxm/mxm_kernels.hh"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    defined(__AVX512VNNI__)
+
+#include <immintrin.h>
+
+namespace tsp::simd {
+
+namespace {
+
+/**
+ * Sum of the sixteen int32 elements, wrapping mod 2^32. Spills to the
+ * stack instead of a shuffle tree: gcc 12's 512->256 downcast
+ * intrinsics expand through _mm256_undefined_si256 and trip
+ * -Wmaybe-uninitialized, and the hsum runs once per 320-wide row so
+ * its cost is noise next to the dpbusd chain.
+ */
+inline std::int32_t
+hsumEpi32(__m512i v)
+{
+    alignas(64) std::int32_t lanes[16];
+    _mm512_store_si512(lanes, v);
+    std::uint32_t s = 0;
+    for (int i = 0; i < 16; ++i)
+        s += static_cast<std::uint32_t>(lanes[i]);
+    return static_cast<std::int32_t>(s);
+}
+
+} // namespace
+
+bool
+mxmAbcInt8Vnni(const std::int8_t *w, int stride,
+               const std::uint8_t *act, const std::int32_t *row_sums,
+               std::int32_t *acc, int n, bool accumulate)
+{
+    if (n % 64 != 0 || n > 320)
+        return false;
+
+    // Bias the activations once; every row reuses them.
+    const int blocks = n / 64;
+    __m512i a[5];
+    const __m512i bias = _mm512_set1_epi8(-128);
+    for (int i = 0; i < blocks; ++i) {
+        a[i] = _mm512_xor_si512(
+            _mm512_loadu_si512(
+                reinterpret_cast<const void *>(act + 64 * i)),
+            bias);
+    }
+
+    // Four independent accumulator chains per group of rows keep the
+    // dot-product unit busy across vpdpbusd's latency.
+    for (int r = 0; r < n; r += 4) {
+        const std::int8_t *w0 =
+            w + static_cast<std::size_t>(r) * stride;
+        const std::int8_t *w1 = w0 + stride;
+        const std::int8_t *w2 = w1 + stride;
+        const std::int8_t *w3 = w2 + stride;
+        __m512i s0 = _mm512_setzero_si512();
+        __m512i s1 = _mm512_setzero_si512();
+        __m512i s2 = _mm512_setzero_si512();
+        __m512i s3 = _mm512_setzero_si512();
+        for (int i = 0; i < blocks; ++i) {
+            const __m512i av = a[i];
+            s0 = _mm512_dpbusd_epi32(
+                s0, av,
+                _mm512_loadu_si512(
+                    reinterpret_cast<const void *>(w0 + 64 * i)));
+            s1 = _mm512_dpbusd_epi32(
+                s1, av,
+                _mm512_loadu_si512(
+                    reinterpret_cast<const void *>(w1 + 64 * i)));
+            s2 = _mm512_dpbusd_epi32(
+                s2, av,
+                _mm512_loadu_si512(
+                    reinterpret_cast<const void *>(w2 + 64 * i)));
+            s3 = _mm512_dpbusd_epi32(
+                s3, av,
+                _mm512_loadu_si512(
+                    reinterpret_cast<const void *>(w3 + 64 * i)));
+        }
+        std::int32_t sums[4];
+        sums[0] = hsumEpi32(s0);
+        sums[1] = hsumEpi32(s1);
+        sums[2] = hsumEpi32(s2);
+        sums[3] = hsumEpi32(s3);
+        for (int k = 0; k < 4; ++k) {
+            const auto dot = static_cast<std::int32_t>(
+                static_cast<std::uint32_t>(sums[k]) -
+                (static_cast<std::uint32_t>(row_sums[r + k]) << 7));
+            if (accumulate)
+                acc[r + k] += dot;
+            else
+                acc[r + k] = dot;
+        }
+    }
+    return true;
+}
+
+bool
+mxmRowSumsInt8Vnni(const std::int8_t *w, int stride, int n,
+                   std::int32_t *out)
+{
+    if (n % 64 != 0 || n > 320)
+        return false;
+
+    const int blocks = n / 64;
+    const __m512i ones = _mm512_set1_epi8(1);
+    for (int r = 0; r < n; ++r) {
+        const std::int8_t *wrow =
+            w + static_cast<std::size_t>(r) * stride;
+        __m512i s = _mm512_setzero_si512();
+        for (int i = 0; i < blocks; ++i) {
+            s = _mm512_dpbusd_epi32(
+                s, ones,
+                _mm512_loadu_si512(
+                    reinterpret_cast<const void *>(wrow + 64 * i)));
+        }
+        out[r] = hsumEpi32(s);
+    }
+    return true;
+}
+
+} // namespace tsp::simd
+
+#else // !x86 or the TU was built without -mavx512vnni
+
+namespace tsp::simd {
+
+bool
+mxmAbcInt8Vnni(const std::int8_t *, int, const std::uint8_t *,
+               const std::int32_t *, std::int32_t *, int, bool)
+{
+    return false;
+}
+
+bool
+mxmRowSumsInt8Vnni(const std::int8_t *, int, int, std::int32_t *)
+{
+    return false;
+}
+
+} // namespace tsp::simd
+
+#endif

@@ -1,8 +1,10 @@
 #include "mxm/mxm_plane.hh"
 
+#include "common/cpu.hh"
 #include "common/fp16.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
+#include "mxm/mxm_kernels.hh"
 
 namespace tsp {
 
@@ -13,7 +15,8 @@ MxmPlane::MxmPlane(int plane, const ChipConfig &cfg,
       wbuf_(static_cast<std::size_t>(kMxmDim) * kMxmDim, 0),
       winst_(static_cast<std::size_t>(kMxmDim) * kMxmDim, 0),
       wbufF_(static_cast<std::size_t>(kMxmDim) * kMxmDim, 0),
-      winstF_(static_cast<std::size_t>(kMxmDim) * kMxmDim, 0)
+      winstF_(static_cast<std::size_t>(kMxmDim) * kMxmDim, 0),
+      winstRowSum_(static_cast<std::size_t>(kMxmDim), 0)
 {
     TSP_ASSERT(plane >= 0 && plane < kMxmPlanes);
 }
@@ -127,6 +130,7 @@ MxmPlane::executeIw(const Instruction &inst, Cycle now)
     winst_ = wbuf_;
     winstF_ = wbufF_;
     installedType_ = weightType_;
+    rowSumsValid_ = false;
     fillRow_ = 0;
 }
 
@@ -193,19 +197,46 @@ MxmPlane::stepAbc(Cycle now)
         const Vec320 a = io_.consume(abc_.src, pos());
         auto &acc = accI_[idx];
         // Dot products against installed rows: y[r] = sum_c W[r][c]*a[c].
-        for (int r = 0; r < n; ++r) {
-            const std::int8_t *wrow =
-                &winst_[static_cast<std::size_t>(r) * kMxmDim];
-            std::int32_t sum = 0;
-            for (int c = 0; c < n; ++c) {
-                sum += static_cast<std::int32_t>(wrow[c]) *
-                       static_cast<std::int8_t>(
-                           a.bytes[static_cast<std::size_t>(c)]);
+        // Kernel ladder: AVX-512 VNNI (needs the per-install row
+        // sums), then AVX2, then scalar. Every tier computes the
+        // identical wrapping int32 sums; a kernel declines lane
+        // counts it can't chunk and the next tier takes over.
+        bool done = false;
+        if (simdKernelsEnabled()) {
+            if (cpuHasAvx512Vnni()) {
+                if (!rowSumsValid_) {
+                    rowSumsValid_ = simd::mxmRowSumsInt8Vnni(
+                        winst_.data(), kMxmDim, n,
+                        winstRowSum_.data());
+                }
+                done = rowSumsValid_ &&
+                       simd::mxmAbcInt8Vnni(
+                           winst_.data(), kMxmDim, a.bytes.data(),
+                           winstRowSum_.data(), acc.data(), n,
+                           abc_.accumulate);
             }
-            if (abc_.accumulate)
-                acc[static_cast<std::size_t>(r)] += sum;
-            else
-                acc[static_cast<std::size_t>(r)] = sum;
+            if (!done) {
+                done = simd::mxmAbcInt8Avx2(winst_.data(), kMxmDim,
+                                            a.bytes.data(),
+                                            acc.data(), n,
+                                            abc_.accumulate);
+            }
+        }
+        if (!done) {
+            for (int r = 0; r < n; ++r) {
+                const std::int8_t *wrow =
+                    &winst_[static_cast<std::size_t>(r) * kMxmDim];
+                std::int32_t sum = 0;
+                for (int c = 0; c < n; ++c) {
+                    sum += static_cast<std::int32_t>(wrow[c]) *
+                           static_cast<std::int8_t>(
+                               a.bytes[static_cast<std::size_t>(c)]);
+                }
+                if (abc_.accumulate)
+                    acc[static_cast<std::size_t>(r)] += sum;
+                else
+                    acc[static_cast<std::size_t>(r)] = sum;
+            }
         }
     } else if (abc_.atype == DType::Fp16) {
         StreamRef lo = abc_.src;

@@ -125,6 +125,13 @@ class MxmPlane
     /** fp16 bit patterns when in fp16 mode. */
     std::vector<std::uint16_t> wbufF_;
     std::vector<std::uint16_t> winstF_;
+    /**
+     * Per-row sums of the installed int8 weights, the bias correction
+     * for the VNNI kernel (mxm_kernels.hh). Recomputed lazily after
+     * each IW, and only on hosts taking the VNNI path.
+     */
+    std::vector<std::int32_t> winstRowSum_;
+    bool rowSumsValid_ = false;
     int fillRow_ = 0;
     DType weightType_ = DType::Int8;
     DType installedType_ = DType::Int8;

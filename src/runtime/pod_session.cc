@@ -20,10 +20,52 @@ PodSession::loadPrograms(std::vector<AsmProgram> programs)
         pod_->chip(c).loadProgram(
             programs_[static_cast<std::size_t>(c)]);
     }
+    // New programs (or a weight reinstall via new programs): any
+    // recorded trace is stale.
+    trace_.reset();
+    fresh_ = true;
+}
+
+std::vector<Chip *>
+PodSession::members()
+{
+    std::vector<Chip *> chips;
+    chips.reserve(static_cast<std::size_t>(chips_));
+    for (int c = 0; c < chips_; ++c)
+        chips.push_back(&pod_->chip(c));
+    return chips;
 }
 
 RunResult
 PodSession::runBounded(Cycle max_cycles)
+{
+    // Record/replay only engages from the freshly loaded program
+    // state a recording started from; any run consumes freshness.
+    const bool eligible = replayEnabled_ && fresh_ &&
+                          !cfg_.fault.enabled() && !cfg_.traceEnabled &&
+                          !cfg_.powerTraceEnabled;
+    fresh_ = false;
+    if (eligible && trace_ && trace_->span <= max_cycles) {
+        replayTrace(*trace_, members());
+        ++replays_;
+        timedOut_ = false;
+        machineChecked_ = false;
+        cycles_ = trace_->span;
+        return {true, RunStatus::Completed, trace_->span};
+    }
+    if (eligible && !trace_) {
+        TraceRecording rec(members());
+        const RunResult r = runRaw(max_cycles);
+        trace_ = rec.finish(r.completed);
+        if (trace_)
+            ++records_;
+        return r;
+    }
+    return runRaw(max_cycles);
+}
+
+RunResult
+PodSession::runRaw(Cycle max_cycles)
 {
     // Member clocks are cumulative across reset() cycles, so the
     // budget applies relative to the current pod clock.
@@ -70,6 +112,7 @@ PodSession::reset()
         pod_->chip(c).loadProgram(
             programs_[static_cast<std::size_t>(c)]);
     }
+    fresh_ = true;
 }
 
 void

@@ -93,7 +93,41 @@ class PodSession
     /** @return member-aggregated statistics (sums across chips). */
     StatGroup stats() const;
 
+    /**
+     * Enables the trace record/replay tier: the first complete
+     * collective after a reset()/loadPrograms() records every
+     * member's micro-op sequence, and subsequent fresh runs replay
+     * it (see sim/exec_trace.hh). Mirrors
+     * InferenceSession::enableReplay().
+     */
+    void enableReplay(bool on = true) { replayEnabled_ = on; }
+
+    /** @return the trace recorded for the loaded programs, if any. */
+    const std::shared_ptr<const ExecutionTrace> &
+    trace() const
+    {
+        return trace_;
+    }
+
+    /** Installs a trace recorded elsewhere for the loaded programs. */
+    void
+    setTrace(std::shared_ptr<const ExecutionTrace> t)
+    {
+        trace_ = std::move(t);
+    }
+
+    /** @return runs served by replaying a recorded trace. */
+    std::uint64_t replayCount() const { return replays_; }
+
+    /** @return runs that successfully recorded a trace. */
+    std::uint64_t recordCount() const { return records_; }
+
   private:
+    /** The original Pod::runAllBounded() path. */
+    RunResult runRaw(Cycle max_cycles);
+
+    /** @return every member chip, in ring order. */
+    std::vector<Chip *> members();
     int chips_;
     Cycle wireLatency_;
     ChipConfig cfg_;
@@ -105,6 +139,13 @@ class PodSession
     MachineCheckInfo lastMc_{};
     int mcChip_ = -1;
     int rebuilds_ = 0;
+
+    bool replayEnabled_ = false;
+    /** True between loadPrograms()/reset() and the next run. */
+    bool fresh_ = false;
+    std::shared_ptr<const ExecutionTrace> trace_;
+    std::uint64_t replays_ = 0;
+    std::uint64_t records_ = 0;
 };
 
 } // namespace tsp

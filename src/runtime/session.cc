@@ -48,6 +48,12 @@ InferenceSession::bind(Lowering &lw,
     prog_ = std::move(prog);
     dmaSeconds_ =
         static_cast<double>(lw.image().totalBytes()) / kPcieGen4Bps;
+    // The chip still holds the previous program and image until the
+    // next reset(): any recorded trace is for the wrong program (or
+    // the wrong weights after a reinstall), and no run before that
+    // reset may record or replay.
+    trace_.reset();
+    fresh_ = false;
 }
 
 Cycle
@@ -68,8 +74,44 @@ InferenceSession::run(Cycle max_cycles)
     return r.cycles;
 }
 
+bool
+InferenceSession::replayEligible() const
+{
+    // Fault injection mutates consumed values in ways the tape does
+    // not capture; the dispatch trace and the per-cycle power trace
+    // are artifacts only per-cycle execution populates.
+    return !cfg_.fault.enabled() && !cfg_.traceEnabled &&
+           !cfg_.powerTraceEnabled;
+}
+
 RunResult
 InferenceSession::runBounded(Cycle max_cycles)
+{
+    // Record/replay only engages from the freshly loaded program
+    // state a recording started from; any run consumes freshness.
+    const bool eligible = replayEnabled_ && fresh_ && replayEligible();
+    fresh_ = false;
+    if (eligible && trace_ && trace_->span <= max_cycles) {
+        replayTrace(*trace_, {chip_.get()});
+        ++replays_;
+        timedOut_ = false;
+        machineChecked_ = false;
+        cycles_ = trace_->span;
+        return {true, RunStatus::Completed, trace_->span};
+    }
+    if (eligible && !trace_) {
+        TraceRecording rec({chip_.get()});
+        const RunResult r = runRaw(max_cycles);
+        trace_ = rec.finish(r.completed);
+        if (trace_)
+            ++records_;
+        return r;
+    }
+    return runRaw(max_cycles);
+}
+
+RunResult
+InferenceSession::runRaw(Cycle max_cycles)
 {
     // The chip clock is cumulative across reset() cycles, so the
     // budget is applied relative to the current time.
@@ -115,6 +157,7 @@ InferenceSession::reset()
     }
     chip_->loadProgram(*prog_);
     lw_->image().applyTo(*chip_);
+    fresh_ = true;
 }
 
 double

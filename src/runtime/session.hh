@@ -136,6 +136,38 @@ class InferenceSession
     Chip &chip() { return *chip_; }
     const Chip &chip() const { return *chip_; }
 
+    /**
+     * Enables the trace record/replay tier: the first complete run
+     * after a reset() records the resolved micro-op sequence, and
+     * subsequent fresh runs of the same bound program replay it (see
+     * sim/exec_trace.hh). Runs with fault injection or a dispatch /
+     * power trace enabled always take the normal path.
+     */
+    void enableReplay(bool on = true) { replayEnabled_ = on; }
+
+    /** @return the trace recorded for the bound program, if any. */
+    const std::shared_ptr<const ExecutionTrace> &
+    trace() const
+    {
+        return trace_;
+    }
+
+    /** Installs a trace recorded elsewhere for the bound program. */
+    void
+    setTrace(std::shared_ptr<const ExecutionTrace> t)
+    {
+        trace_ = std::move(t);
+    }
+
+    /** @return runs served by replaying a recorded trace. */
+    std::uint64_t replayCount() const { return replays_; }
+
+    /** @return runs that successfully recorded a trace. */
+    std::uint64_t recordCount() const { return records_; }
+
+    /** @return the bound compiled program (serving-cache key). */
+    const AsmProgram *program() const { return prog_.get(); }
+
     /** @return cycles consumed by the last run(). */
     Cycle cycles() const { return cycles_; }
 
@@ -146,6 +178,12 @@ class InferenceSession
     double dmaSeconds() const { return dmaSeconds_; }
 
   private:
+    /** The original per-cycle / fast-forward run path. */
+    RunResult runRaw(Cycle max_cycles);
+
+    /** @return true when this config may ever record or replay. */
+    bool replayEligible() const;
+
     Lowering *lw_;
     ChipConfig cfg_;
     /** Cached assembly (with barrier preamble); shareable. */
@@ -157,6 +195,17 @@ class InferenceSession
     MachineCheckInfo lastMc_{};
     int rebuilds_ = 0;
     double dmaSeconds_ = 0.0;
+
+    bool replayEnabled_ = false;
+    /**
+     * True between reset()/construction and the next run: the chip
+     * is at the freshly loaded program state a recording started
+     * from, so a replay lands on identical footing.
+     */
+    bool fresh_ = true;
+    std::shared_ptr<const ExecutionTrace> trace_;
+    std::uint64_t replays_ = 0;
+    std::uint64_t records_ = 0;
 };
 
 } // namespace tsp

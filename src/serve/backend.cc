@@ -21,7 +21,7 @@ Backend::serveBatch(
 SessionBackend::SessionBackend(Lowering &lw, LoweredTensor input,
                                LoweredTensor output, ChipConfig cfg)
     : inputSlot_(std::move(input)), outputSlot_(std::move(output)),
-      sess_(lw, cfg)
+      sess_(lw, cfg), lwKey_(&lw)
 {
 }
 
@@ -74,10 +74,35 @@ SessionBackend::writeSample(int sample,
     sess_.writeTensor(inputSlot_, input);
 }
 
+void
+SessionBackend::attachTraceCache(std::shared_ptr<TraceCache> t)
+{
+    traces_ = std::move(t);
+    sess_.enableReplay(traces_ != nullptr);
+}
+
+const void *
+SessionBackend::traceKey() const
+{
+    return cache_ ? static_cast<const void *>(sess_.program())
+                  : static_cast<const void *>(lwKey_);
+}
+
 RunResult
 SessionBackend::runBounded(Cycle max_cycles)
 {
-    return sess_.runBounded(max_cycles);
+    if (!traces_)
+        return sess_.runBounded(max_cycles);
+    // Seed the session from the pool cache (another worker may have
+    // recorded this program already); publish a fresh recording back.
+    const void *key = traceKey();
+    if (!sess_.trace())
+        sess_.setTrace(traces_->find(key));
+    const bool had = sess_.trace() != nullptr;
+    const RunResult r = sess_.runBounded(max_cycles);
+    if (!had && sess_.trace())
+        traces_->insert(key, sess_.trace());
+    return r;
 }
 
 ref::QTensor
@@ -219,10 +244,29 @@ PodBackend::writeSample(int sample,
     }
 }
 
+void
+PodBackend::attachTraceCache(std::shared_ptr<TraceCache> t)
+{
+    traces_ = std::move(t);
+    sess_.enableReplay(traces_ != nullptr);
+}
+
 RunResult
 PodBackend::runBounded(Cycle max_cycles)
 {
-    return sess_.runBounded(max_cycles);
+    if (!traces_)
+        return sess_.runBounded(max_cycles);
+    // Keyed by this backend's compiled batch-b collective: the trace
+    // survives batch switches (loadPrograms drops the session's own
+    // copy) and LRU-competes with every other program in the pool.
+    const void *key = &progs_[static_cast<std::size_t>(bound_ - 1)];
+    if (!sess_.trace())
+        sess_.setTrace(traces_->find(key));
+    const bool had = sess_.trace() != nullptr;
+    const RunResult r = sess_.runBounded(max_cycles);
+    if (!had && sess_.trace())
+        traces_->insert(key, sess_.trace());
+    return r;
 }
 
 ref::QTensor

@@ -86,6 +86,20 @@ class Backend
     /** @return engines rebuilt after timeouts/machine checks. */
     virtual int rebuilds() const = 0;
 
+    /**
+     * Attaches a pool-shared execution-trace cache and enables the
+     * record/replay tier (see sim/exec_trace.hh): the first worker to
+     * run a compiled program records it, every worker replays it.
+     * Default: no-op (engine without replay support).
+     */
+    virtual void attachTraceCache(std::shared_ptr<TraceCache>) {}
+
+    /** @return runs served by replaying a recorded trace. */
+    virtual std::uint64_t replayCount() const { return 0; }
+
+    /** @return runs that recorded a trace. */
+    virtual std::uint64_t recordCount() const { return 0; }
+
     // Batch-1 shorthands (legacy call sites and simple clients).
     void reset() { resetBatch(1); }
     void writeInput(const std::vector<std::int8_t> &input)
@@ -130,6 +144,15 @@ class SessionBackend final : public Backend
     std::uint64_t machineCheckCount() const override;
     Cycle totalCycles() const override;
     int rebuilds() const override { return sess_.rebuilds(); }
+    void attachTraceCache(std::shared_ptr<TraceCache> t) override;
+    std::uint64_t replayCount() const override
+    {
+        return sess_.replayCount();
+    }
+    std::uint64_t recordCount() const override
+    {
+        return sess_.recordCount();
+    }
 
     /** @return the underlying session (tests). */
     InferenceSession &session() { return sess_; }
@@ -140,6 +163,17 @@ class SessionBackend final : public Backend
     BatchProgramCache *cache_ = nullptr;
     int bound_ = 1; ///< Batch size the session is bound to.
     InferenceSession sess_;
+    std::shared_ptr<TraceCache> traces_;
+    /**
+     * Cache key for the currently bound program. Batch-cache backends
+     * key by the cache's shared AsmProgram (one entry per batch size,
+     * shared by every worker over the same BatchProgramCache);
+     * Lowering-backed backends key by the Lowering, which every
+     * worker of a pool shares even though each session compiled its
+     * own (identical) program copy.
+     */
+    const void *traceKey() const;
+    const Lowering *lwKey_ = nullptr;
 };
 
 /**
@@ -189,6 +223,15 @@ class PodBackend final : public Backend
     std::uint64_t machineCheckCount() const override;
     Cycle totalCycles() const override;
     int rebuilds() const override { return sess_.rebuilds(); }
+    void attachTraceCache(std::shared_ptr<TraceCache> t) override;
+    std::uint64_t replayCount() const override
+    {
+        return sess_.replayCount();
+    }
+    std::uint64_t recordCount() const override
+    {
+        return sess_.recordCount();
+    }
 
     /** @return the underlying pod session (tests). */
     PodSession &session() { return sess_; }
@@ -198,6 +241,7 @@ class PodBackend final : public Backend
     /** progs_[b-1]: the compiled batch-b collective. */
     std::vector<std::vector<AsmProgram>> progs_;
     int bound_ = 1; ///< Batch size currently loaded.
+    std::shared_ptr<TraceCache> traces_;
 };
 
 } // namespace tsp::serve

@@ -60,6 +60,12 @@ InferenceServer::InferenceServer(const BackendFactory &factory,
     backends_.reserve(static_cast<std::size_t>(cfg_.workers));
     for (int w = 0; w < cfg_.workers; ++w)
         backends_.push_back(factory(w));
+    if (cfg_.traceCacheBytes > 0) {
+        traceCache_ =
+            std::make_shared<TraceCache>(cfg_.traceCacheBytes);
+        for (const auto &b : backends_)
+            b->attachTraceCache(traceCache_);
+    }
     effBatchMax_ =
         std::max(1, std::min(cfg_.batchMax, admission_.maxBatch()));
     for (const auto &b : backends_)
@@ -490,6 +496,15 @@ InferenceServer::metricsJson() const
         .kv("clock_hz", cfg_.chip.clockHz)
         .kv("batch_max", effBatchMax_)
         .kv("batch_window_us", cfg_.batchWindowSec * 1e6)
+        .kv("trace_cache_budget_bytes",
+            static_cast<std::uint64_t>(cfg_.traceCacheBytes))
+        .endObject();
+    j.key("trace_cache")
+        .beginObject()
+        .kv("entries", static_cast<std::uint64_t>(traceCacheSize()))
+        .kv("bytes", static_cast<std::uint64_t>(traceCacheBytes()))
+        .kv("replays", replayCount())
+        .kv("records", recordCount())
         .endObject();
     j.key("model").beginObject();
     j.kv("service_cycles",
@@ -514,6 +529,24 @@ InferenceServer::totalChipCycles() const
     for (const auto &b : backends_)
         total += b->totalCycles();
     return total;
+}
+
+std::uint64_t
+InferenceServer::replayCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &b : backends_)
+        n += b->replayCount();
+    return n;
+}
+
+std::uint64_t
+InferenceServer::recordCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &b : backends_)
+        n += b->recordCount();
+    return n;
 }
 
 } // namespace tsp::serve

@@ -124,6 +124,18 @@ struct ServerConfig
      */
     std::function<void(const Result &)> onResult;
 
+    /**
+     * Byte budget of the pool-shared execution-trace cache (LRU,
+     * see sim/exec_trace.hh). The first worker to run a compiled
+     * program records its micro-op trace; every later serve of that
+     * program — on any worker — replays it instead of re-simulating
+     * per cycle, bit-identically. 0 disables the replay tier
+     * entirely. Sessions self-gate when replay would be unsound
+     * (fault injection, dispatch tracing, power tracing), so leaving
+     * this on is always safe.
+     */
+    std::size_t traceCacheBytes = TraceCache::kDefaultBudget;
+
     /** Configuration applied to every worker's chip. */
     ChipConfig chip{};
 };
@@ -271,6 +283,24 @@ class InferenceServer
      */
     Cycle totalChipCycles() const;
 
+    /** @return recorded traces resident in the shared cache. */
+    std::size_t traceCacheSize() const
+    {
+        return traceCache_ ? traceCache_->size() : 0;
+    }
+
+    /** @return bytes those resident traces hold. */
+    std::size_t traceCacheBytes() const
+    {
+        return traceCache_ ? traceCache_->memoryBytes() : 0;
+    }
+
+    /** @return pool-wide runs served by trace replay. */
+    std::uint64_t replayCount() const;
+
+    /** @return pool-wide runs that recorded a trace. */
+    std::uint64_t recordCount() const;
+
   private:
     /** One request riding in a batch. */
     struct Member
@@ -315,6 +345,7 @@ class InferenceServer
     std::vector<std::unique_ptr<BoundedQueue<BatchJob>>> queues_;
 
     std::vector<std::unique_ptr<Backend>> backends_;
+    std::shared_ptr<TraceCache> traceCache_; ///< Null when disabled.
     std::vector<std::thread> threads_;
     int effBatchMax_ = 1;
     /** Bytes a valid input must have (0 = backend can't say). */

@@ -235,17 +235,26 @@ Chip::step()
             ++dispatchesThisCycle_;
             if (cfg_.traceEnabled)
                 trace_.push_back({now, q.id(), *insts[i]});
+            if (traceRec_)
+                traceRec_->onDispatch(traceChip_, q.id().id, *insts[i],
+                                      now);
             dispatch(q.id(), *insts[i]);
         }
     }
 
     // MXM sequencers stream activations/results every cycle. Note
     // whether any plane was active *before* ticking so the final
-    // cycle of a window still reaches the delta scan below.
+    // cycle of a window still reaches the delta scan below. A tick on
+    // an idle plane is a no-op, so only busy-plane ticks are recorded.
     bool mxm_busy = false;
-    for (auto &plane : mxm_) {
-        mxm_busy = mxm_busy || plane->busy();
-        plane->tick(now);
+    for (int p = 0; p < kMxmPlanes; ++p) {
+        MxmPlane &plane = *mxm_[static_cast<std::size_t>(p)];
+        if (plane.busy()) {
+            mxm_busy = true;
+            if (traceRec_)
+                traceRec_->onMxmTick(traceChip_, p, now);
+        }
+        plane.tick(now);
     }
 
     // Power accounting from activity deltas. Unit counters only move
@@ -419,10 +428,113 @@ Chip::runTo(Cycle target)
 std::uint64_t
 Chip::totalDispatched() const
 {
-    std::uint64_t total = 0;
+    std::uint64_t total = dispatchedAdjust_;
     for (const auto &q : queues_)
         total += q.dispatched();
     return total;
+}
+
+std::uint64_t
+Chip::totalNopCycles() const
+{
+    std::uint64_t total = nopAdjust_;
+    for (const auto &q : queues_)
+        total += q.nopCycles();
+    return total;
+}
+
+std::uint64_t
+Chip::totalParkedCycles() const
+{
+    std::uint64_t total = parkedAdjust_;
+    for (const auto &q : queues_)
+        total += q.parkedCycles();
+    return total;
+}
+
+void
+Chip::armTraceRecorder(TraceRecording *rec, int chip_index)
+{
+    TSP_ASSERT(traceRec_ == nullptr && rec != nullptr);
+    TSP_ASSERT(fabric_.tapeReplayer() == nullptr);
+    traceRec_ = rec;
+    traceChip_ = chip_index;
+    fabric_.attachTapeHooks(rec, nullptr);
+}
+
+void
+Chip::disarmTraceRecorder()
+{
+    traceRec_ = nullptr;
+    fabric_.attachTapeHooks(nullptr, nullptr);
+}
+
+void
+Chip::beginReplay(TapeReplayer *player)
+{
+    TSP_ASSERT(player != nullptr && traceRec_ == nullptr);
+    TSP_ASSERT(!mcheck_->raised());
+    // The chip is at the freshly loaded program state the recording
+    // started from (queues loaded, sequencers idle). A previous run
+    // can leave dead values still flowing; a reload would clear them,
+    // and replay never reads the fabric, so drop them here to let
+    // replayJumpTo() keep its emptiness invariant.
+    fabric_.clear();
+    fabric_.attachTapeHooks(nullptr, player);
+    for (auto &m : memSlices_)
+        m.setReplayMode(true);
+}
+
+void
+Chip::replayDispatch(int icu_id, const Instruction &inst, Cycle when)
+{
+    fabric_.replayJumpTo(when);
+    dispatch(IcuId{icu_id}, inst);
+}
+
+void
+Chip::replayMxmTick(int plane, Cycle when)
+{
+    TSP_ASSERT(plane >= 0 && plane < kMxmPlanes);
+    fabric_.replayJumpTo(when);
+    mxm_[static_cast<std::size_t>(plane)]->tick(when);
+}
+
+void
+Chip::finishReplay(const ExecutionTrace::ChipDeltas &d, Cycle start,
+                   Cycle end)
+{
+    TSP_ASSERT(fabric_.tapeReplayer() != nullptr && end >= start);
+    fabric_.replayJumpTo(end);
+    fabric_.replayCredit(d.fabricHops, d.fabricWrites);
+    fabric_.attachTapeHooks(nullptr, nullptr);
+    for (auto &m : memSlices_)
+        m.setReplayMode(false);
+
+    // The queues never ticked: retire them (the recorded run retired)
+    // and credit the dispatch/idle counters their scans would have
+    // accumulated.
+    for (auto &q : queues_)
+        q.retireForReplay();
+    dispatchedAdjust_ += d.dispatched;
+    nopAdjust_ += d.nopCycles;
+    parkedAdjust_ += d.parkedCycles;
+
+    // One span-sized sample integrates exactly what per-cycle
+    // sampling summed over the recorded run.
+    power_->sampleSpan(d.activity, end - start);
+
+    // Re-executed numerics moved the unit counters; resync the
+    // per-cycle delta baselines so the next real step() does not
+    // re-count replay's work.
+    prevMacc_ = totalMaccOps();
+    prevVxmOps_ = vxm_->laneOps();
+    std::uint64_t sxm_bytes = 0;
+    for (const auto &s : sxm_)
+        sxm_bytes += s->bytesSwitched();
+    prevSxmBytes_ = sxm_bytes;
+    prevSramAccesses_ = sramAccesses_;
+    lastStepQuiet_ = true;
 }
 
 std::uint64_t
@@ -448,13 +560,8 @@ Chip::stats() const
     g.set("notifies",
           static_cast<std::uint64_t>(barrier_.totalNotifies()));
 
-    std::uint64_t nop_cycles = 0, parked_cycles = 0;
-    for (const auto &q : queues_) {
-        nop_cycles += q.nopCycles();
-        parked_cycles += q.parkedCycles();
-    }
-    g.set("nop_cycles", nop_cycles);
-    g.set("parked_cycles", parked_cycles);
+    g.set("nop_cycles", totalNopCycles());
+    g.set("parked_cycles", totalParkedCycles());
 
     std::uint64_t reads = 0, writes = 0;
     std::uint64_t sram_cor = 0, sram_unc = 0;

@@ -24,6 +24,7 @@
 #include "mem/fault.hh"
 #include "mem/mem_slice.hh"
 #include "mxm/mxm_plane.hh"
+#include "sim/exec_trace.hh"
 #include "sim/power.hh"
 #include "stream/stream_io.hh"
 #include "sxm/sxm_complex.hh"
@@ -144,6 +145,7 @@ class Chip
 
     /** @return the stream fabric (tests and debugging). */
     StreamFabric &fabric() { return fabric_; }
+    const StreamFabric &fabric() const { return fabric_; }
 
     /** @return the vector processor. */
     const VxmUnit &vxm() const { return *vxm_; }
@@ -176,8 +178,53 @@ class Chip
     /** @return total MACC operations across the four planes. */
     std::uint64_t totalMaccOps() const;
 
+    /** @return cumulative NOP-idle cycles across all queues. */
+    std::uint64_t totalNopCycles() const;
+
+    /** @return cumulative Sync-parked cycles across all queues. */
+    std::uint64_t totalParkedCycles() const;
+
+    /** @return timed SRAM port accesses chip-wide (power stat). */
+    std::uint64_t sramAccessCount() const { return sramAccesses_; }
+
     /** @return Ifetch instructions observed (fetch-bandwidth stat). */
     std::uint64_t ifetchCount() const { return ifetches_; }
+
+    // --- Trace record/replay tier (see sim/exec_trace.hh) ---
+
+    /**
+     * Arms @p rec to observe this chip's dispatches, MXM ticks and
+     * stream exchanges for the duration of one run. @p chip_index is
+     * this chip's index within the recording's chip set.
+     */
+    void armTraceRecorder(TraceRecording *rec, int chip_index);
+
+    /** Detaches the recorder (recording sealed or abandoned). */
+    void disarmTraceRecorder();
+
+    /**
+     * Enters replay: the chip must be at the freshly loaded program
+     * state the recording started from (queues loaded, sequencers
+     * idle). Stream produces/consumes are redirected to @p player
+     * until finishReplay().
+     */
+    void beginReplay(TapeReplayer *player);
+
+    /** Re-executes one recorded dispatch at absolute cycle @p when. */
+    void replayDispatch(int icu_id, const Instruction &inst,
+                        Cycle when);
+
+    /** Re-executes one recorded MXM-plane tick at cycle @p when. */
+    void replayMxmTick(int plane, Cycle when);
+
+    /**
+     * Leaves replay: jumps the clock to @p end (= @p start + recorded
+     * span), credits the counters replay skipped from @p d, retires
+     * the queues, and integrates the span's power in one sample. The
+     * chip is left in the exact end-of-run state of a normal run.
+     */
+    void finishReplay(const ExecutionTrace::ChipDeltas &d, Cycle start,
+                      Cycle end);
 
   private:
     void dispatch(const IcuId &icu, const Instruction &inst);
@@ -205,6 +252,20 @@ class Chip
     std::vector<TraceEvent> trace_;
     std::uint64_t ifetches_ = 0;
     std::uint64_t dispatchesThisCycle_ = 0;
+
+    /** Armed recorder (record tier) and this chip's index in it. */
+    TraceRecording *traceRec_ = nullptr;
+    int traceChip_ = 0;
+
+    /**
+     * Counters replay credits wholesale because the machinery that
+     * would bump them per cycle is skipped (queue scans never run).
+     * Chip-lifetime cumulative, like the queue counters they shadow;
+     * never reset.
+     */
+    std::uint64_t dispatchedAdjust_ = 0;
+    std::uint64_t nopAdjust_ = 0;
+    std::uint64_t parkedAdjust_ = 0;
 
     /**
      * True when the last step() dispatched nothing and no MXM

@@ -14,7 +14,7 @@ StreamFabric::StreamFabric()
 
 void
 StreamFabric::applyWrite(StreamRef s, SlicePos pos, const Vec320 &vec,
-                         const char *writer)
+                         const char *writer, std::uint32_t tag)
 {
     TSP_ASSERT(pos >= 0 && pos < kPositions);
     Ring &ring = rings_[static_cast<std::size_t>(ringIndex(s))];
@@ -35,22 +35,24 @@ StreamFabric::applyWrite(StreamRef s, SlicePos pos, const Vec320 &vec,
     e.vec = vec;
     e.writtenAt = cycle_;
     e.writer = writer;
+    e.tag = tag;
     ++totalWrites_;
 }
 
 void
 StreamFabric::scheduleWrite(StreamRef s, SlicePos pos, const Vec320 &vec,
-                            Cycle when, const char *writer)
+                            Cycle when, const char *writer,
+                            std::uint32_t tag)
 {
     TSP_ASSERT(when >= cycle_);
     if (when == cycle_) {
-        applyWrite(s, pos, vec, writer);
+        applyWrite(s, pos, vec, writer, tag);
         return;
     }
     if (when - cycle_ >= kPendingHorizon) {
         // No architectural delay reaches this far; keep correctness
         // anyway via the ordered overflow map.
-        overflow_[when].push_back({s, pos, vec, writer});
+        overflow_[when].push_back({s, pos, vec, writer, tag});
         return;
     }
     PendingBatch &b =
@@ -61,7 +63,7 @@ StreamFabric::scheduleWrite(StreamRef s, SlicePos pos, const Vec320 &vec,
     } else {
         TSP_ASSERT(b.when == when);
     }
-    b.writes.push_back({s, pos, vec, writer});
+    b.writes.push_back({s, pos, vec, writer, tag});
     ++pendingCount_;
 }
 
@@ -86,6 +88,31 @@ StreamFabric::peek(StreamRef s, SlicePos pos) const
     return e.valid ? &e.vec : nullptr;
 }
 
+const Vec320 *
+StreamFabric::peek(StreamRef s, SlicePos pos,
+                   std::uint32_t *tag) const
+{
+    TSP_ASSERT(pos >= 0 && pos < kPositions);
+    const Ring &ring = rings_[static_cast<std::size_t>(ringIndex(s))];
+    const Entry &e =
+        ring.slots[static_cast<std::size_t>(slotOf(s.dir, pos))];
+    if (!e.valid)
+        return nullptr;
+    *tag = e.tag;
+    return &e.vec;
+}
+
+void
+StreamFabric::replayJumpTo(Cycle target)
+{
+    TSP_ASSERT(target >= cycle_);
+    // Replay keeps the registers empty: produces bypass the fabric
+    // (they go to the tape), so there is nothing to flow or fall off.
+    TSP_ASSERT(tapeRep_ != nullptr && validCount_ == 0 &&
+               pendingWrites() == 0);
+    cycle_ = target;
+}
+
 void
 StreamFabric::applyPendingNow()
 {
@@ -95,7 +122,7 @@ StreamFabric::applyPendingNow()
             cycle_ % kPendingHorizon)];
         TSP_ASSERT(b.when == cycle_ && !b.writes.empty());
         for (const PendingWrite &w : b.writes)
-            applyWrite(w.s, w.pos, w.vec, w.writer);
+            applyWrite(w.s, w.pos, w.vec, w.writer, w.tag);
         pendingCount_ -= b.writes.size();
         b.writes.clear(); // Capacity retained for reuse.
     }
@@ -107,7 +134,7 @@ StreamFabric::applyPendingNow()
         TSP_ASSERT(it->first >= cycle_);
         if (it->first == cycle_) {
             for (const PendingWrite &w : it->second)
-                applyWrite(w.s, w.pos, w.vec, w.writer);
+                applyWrite(w.s, w.pos, w.vec, w.writer, w.tag);
             overflow_.erase(it);
         }
     }

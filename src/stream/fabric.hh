@@ -32,6 +32,7 @@
 #include "arch/layout.hh"
 #include "arch/types.hh"
 #include "isa/instruction.hh"
+#include "stream/trace_tape.hh"
 
 namespace tsp {
 
@@ -67,6 +68,24 @@ class StreamFabric
     MachineCheckSink *machineCheckSink() const { return mc_; }
 
     /**
+     * Attaches the trace-replay tape hooks (at most one of the two
+     * non-null; see trace_tape.hh). Like the fault hooks, the fabric
+     * never dereferences them — StreamIo consults them per call.
+     */
+    void
+    attachTapeHooks(TapeRecorder *rec, TapeReplayer *rep)
+    {
+        tapeRec_ = rec;
+        tapeRep_ = rep;
+    }
+
+    /** @return the attached tape recorder, or nullptr. */
+    TapeRecorder *tapeRecorder() const { return tapeRec_; }
+
+    /** @return the attached tape replayer, or nullptr. */
+    TapeReplayer *tapeReplayer() const { return tapeRep_; }
+
+    /**
      * Advances one core clock: values move one hop in their direction
      * of flow, edge values fall off the chip, and writes scheduled for
      * the new cycle become visible.
@@ -97,13 +116,23 @@ class StreamFabric
     const Vec320 *peek(StreamRef s, SlicePos pos) const;
 
     /**
+     * Like peek(), additionally reporting the entry's provenance tag
+     * (kTapeUntagged for entries written outside any StreamIo) so a
+     * recording consume can cite the produce it sampled.
+     */
+    const Vec320 *peek(StreamRef s, SlicePos pos,
+                       std::uint32_t *tag) const;
+
+    /**
      * Makes @p vec visible on stream @p s at position @p pos starting
      * at cycle @p when (>= now), overwriting whatever would flow
      * through that register. This is how producers with functional
      * delay d_func deposit results: when = dispatch + d_func.
+     * @p tag is the recording provenance carried by the entry.
      */
     void scheduleWrite(StreamRef s, SlicePos pos, const Vec320 &vec,
-                       Cycle when, const char *writer = "?");
+                       Cycle when, const char *writer = "?",
+                       std::uint32_t tag = kTapeUntagged);
 
     /** Immediate write visible in the current cycle. */
     void
@@ -124,6 +153,29 @@ class StreamFabric
     /** @return count of scheduled writes applied so far. */
     std::uint64_t totalWrites() const { return totalWrites_; }
 
+    /** @return scheduled-but-unapplied write count (tests/replay). */
+    std::size_t pendingWrites() const
+    {
+        return pendingCount_ + overflow_.size();
+    }
+
+    /**
+     * Replay-tier clock jump: moves now() to @p target (>= now)
+     * without flowing anything. Legal only while a TapeReplayer is
+     * attached — no values are in flight (produces go to the tape,
+     * so validEntries() stays 0) and hop/write totals are credited
+     * wholesale from the recording via replayCredit().
+     */
+    void replayJumpTo(Cycle target);
+
+    /** Credits the recorded run's hop/write totals (replay tier). */
+    void
+    replayCredit(std::uint64_t hops, std::uint64_t writes)
+    {
+        totalHops_ += hops;
+        totalWrites_ += writes;
+    }
+
   private:
     struct Entry
     {
@@ -131,6 +183,7 @@ class StreamFabric
         bool valid = false;
         Cycle writtenAt = ~Cycle{0}; ///< Cycle of the last write.
         const char *writer = "?";    ///< Debug: who wrote it.
+        std::uint32_t tag = kTapeUntagged; ///< Recording provenance.
     };
 
     /** Ring of entries for one (direction, stream id). */
@@ -147,6 +200,7 @@ class StreamFabric
         SlicePos pos = 0;
         Vec320 vec{};
         const char *writer = "?";
+        std::uint32_t tag = kTapeUntagged;
     };
 
     /** One calendar slot: all writes landing in the same cycle. */
@@ -189,7 +243,7 @@ class StreamFabric
     }
 
     void applyWrite(StreamRef s, SlicePos pos, const Vec320 &vec,
-                    const char *writer);
+                    const char *writer, std::uint32_t tag);
 
     /** Applies (and empties) the batch scheduled for @p cycle_. */
     void applyPendingNow();
@@ -214,6 +268,8 @@ class StreamFabric
 
     FaultInjector *faults_ = nullptr;
     MachineCheckSink *mc_ = nullptr;
+    TapeRecorder *tapeRec_ = nullptr;
+    TapeReplayer *tapeRep_ = nullptr;
 
     std::uint64_t validCount_ = 0;
     std::uint64_t totalHops_ = 0;

@@ -32,7 +32,26 @@ StreamIo::consume(StreamRef s, SlicePos pos)
 bool
 StreamIo::tryConsume(StreamRef s, SlicePos pos, Vec320 &out)
 {
-    const Vec320 *v = fabric_.peek(s, pos);
+    if (TapeReplayer *rep = fabric_.tapeReplayer()) {
+        // Replay tier: the tape says which produce (if any) this
+        // consume sampled. The consumer-side ECC check is skipped —
+        // replay is only ever taken for fault-free recordings whose
+        // check came back clean on every operand.
+        const Vec320 *rv = rep->onConsume();
+        if (!rv) {
+            out = Vec320{};
+            if (cfg_.eccEnabled)
+                eccComputeVec(out);
+            return false;
+        }
+        out = *rv;
+        ++consumed_;
+        return true;
+    }
+    std::uint32_t tag = kTapeUntagged;
+    const Vec320 *v = fabric_.peek(s, pos, &tag);
+    if (TapeRecorder *rec = fabric_.tapeRecorder())
+        rec->onConsume(v ? tag : kTapeMiss);
     if (!v) {
         out = Vec320{};
         if (cfg_.eccEnabled)
@@ -75,9 +94,21 @@ StreamIo::tryConsume(StreamRef s, SlicePos pos, Vec320 &out)
 void
 StreamIo::produce(StreamRef s, SlicePos pos, Vec320 vec, Cycle when)
 {
+    if (TapeReplayer *rep = fabric_.tapeReplayer()) {
+        // Replay tier: skip the SECDED encode. No consumer on this
+        // path checks codes, and the MEM slices regenerate them at
+        // store time, so the encode's only observable effects are
+        // reproduced for free.
+        rep->onProduce(vec);
+        ++produced_;
+        return;
+    }
     if (cfg_.eccEnabled)
         eccComputeVec(vec);
-    fabric_.scheduleWrite(s, pos, vec, when, owner_.c_str());
+    std::uint32_t tag = kTapeUntagged;
+    if (TapeRecorder *rec = fabric_.tapeRecorder())
+        tag = rec->onProduce();
+    fabric_.scheduleWrite(s, pos, vec, when, owner_.c_str(), tag);
     ++produced_;
 }
 
@@ -85,7 +116,15 @@ void
 StreamIo::produceRaw(StreamRef s, SlicePos pos, const Vec320 &vec,
                      Cycle when)
 {
-    fabric_.scheduleWrite(s, pos, vec, when, owner_.c_str());
+    if (TapeReplayer *rep = fabric_.tapeReplayer()) {
+        rep->onProduce(vec);
+        ++produced_;
+        return;
+    }
+    std::uint32_t tag = kTapeUntagged;
+    if (TapeRecorder *rec = fabric_.tapeRecorder())
+        tag = rec->onProduce();
+    fabric_.scheduleWrite(s, pos, vec, when, owner_.c_str(), tag);
     ++produced_;
 }
 

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Record/replay tape interfaces for the stream fabric.
+ *
+ * The trace-replay execution tier (sim/exec_trace.hh) re-executes a
+ * recorded run's dispatches against the real functional units but
+ * routes every stream-fabric exchange through a tape instead of the
+ * flowing registers: during *recording*, each produce is numbered and
+ * each consume notes which produce (or a miss) it sampled; during
+ * *replay*, produces append their vectors to a log and consumes read
+ * the logged vector their recorded number points at. The fabric is
+ * the distribution point (mirroring attachFaultHooks): every
+ * StreamIo consults the attached hooks per call, so no per-unit
+ * plumbing is needed.
+ */
+
+#ifndef TSP_STREAM_TRACE_TAPE_HH
+#define TSP_STREAM_TRACE_TAPE_HH
+
+#include <cstdint>
+
+#include "arch/types.hh"
+
+namespace tsp {
+
+/** Consume-tape sentinel: nothing was flowing (missed operand). */
+inline constexpr std::uint32_t kTapeMiss = 0xffffffffu;
+
+/**
+ * Provenance tag of a fabric entry written outside any StreamIo
+ * (e.g. a test poking StreamFabric::write directly). Consuming such
+ * an entry while recording poisons the trace — replay could not
+ * reproduce the value.
+ */
+inline constexpr std::uint32_t kTapeUntagged = 0xfffffffeu;
+
+/** Recording-side hooks (implemented by sim::TraceRecording). */
+class TapeRecorder
+{
+  public:
+    virtual ~TapeRecorder() = default;
+
+    /** Numbers one produced vector. @return its provenance tag. */
+    virtual std::uint32_t onProduce() = 0;
+
+    /**
+     * Notes one consume: @p tag is the sampled entry's provenance
+     * (kTapeMiss when nothing was flowing, kTapeUntagged when the
+     * entry had no StreamIo producer).
+     */
+    virtual void onConsume(std::uint32_t tag) = 0;
+};
+
+/** Replay-side hooks (implemented by the trace replay driver). */
+class TapeReplayer
+{
+  public:
+    virtual ~TapeReplayer() = default;
+
+    /** Logs one produced vector (in produce-call order). */
+    virtual void onProduce(const Vec320 &vec) = 0;
+
+    /**
+     * @return the vector the recorded tape says this consume
+     * sampled, or nullptr for a recorded miss.
+     */
+    virtual const Vec320 *onConsume() = 0;
+};
+
+} // namespace tsp
+
+#endif // TSP_STREAM_TRACE_TAPE_HH

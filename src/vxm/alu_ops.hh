@@ -324,6 +324,10 @@ aluConvert(DType from, DType to, const LaneValue &a)
         r.f = static_cast<float>(wide);
         if (to == DType::Fp16)
             r.f = Fp16(r.f).toFloat(); // Single rounding to fp16 grid.
+    } else if (wide != wide) {
+        // NaN converts to zero (casting it would be UB; the hardware
+        // integer pipe has no NaN to propagate).
+        r.i = 0;
     } else {
         // Round to nearest (ties to even) then saturate.
         const double rounded = std::nearbyint(wide);

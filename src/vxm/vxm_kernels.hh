@@ -1,0 +1,53 @@
+/**
+ * @file
+ * AVX2 lane kernels for the VXM's point-wise operations.
+ *
+ * Each kernel reproduces the corresponding alu_ops.hh semantics
+ * bit-for-bit: two's-complement wrap, saturation clamps, and — for
+ * the fp32 paths — one IEEE operation per lane with no reassociation,
+ * plus compare/blend sequences whose NaN and signed-zero behavior
+ * matches the scalar ternaries exactly. fp16 and the libm unaries
+ * (Tanh/Exp/Rsqrt) stay scalar. Partial coverage by design: a kernel
+ * returns false for any (dtype, opcode, lanes) combination it does
+ * not handle and the caller falls back to the scalar template, so the
+ * differential tests exercise identical numerics either way.
+ *
+ * Definitions live in vxm_kernels_avx2.cc, compiled with -mavx2;
+ * callers gate on tsp::simdKernelsEnabled() (common/cpu.hh).
+ */
+
+#ifndef TSP_VXM_VXM_KERNELS_HH
+#define TSP_VXM_VXM_KERNELS_HH
+
+#include <cstdint>
+
+#include "arch/types.hh"
+#include "isa/opcode.hh"
+
+namespace tsp::simd {
+
+/**
+ * Point-wise binary op over @p lanes lane elements held in byte-plane
+ * stream groups (element byte k of lane l is vec k's bytes[l]).
+ *
+ * @return false when (t, op, lanes) has no vector path.
+ */
+bool vxmBinaryAvx2(DType t, Opcode op, const Vec320 *a, const Vec320 *b,
+                   Vec320 *out, int lanes);
+
+/** Point-wise unary op; same contract as vxmBinaryAvx2. */
+bool vxmUnaryAvx2(DType t, Opcode op, const Vec320 *a, Vec320 *out,
+                  int lanes);
+
+/**
+ * Element-type conversion (the requantization primitive): handles
+ * Int8/Int32 -> Fp32 and Fp32 -> Int8/Int32 with round-to-nearest-
+ * even and the scalar aluConvert's saturation and NaN-to-zero
+ * behavior. Same contract as vxmBinaryAvx2.
+ */
+bool vxmConvertAvx2(DType from, DType to, const Vec320 *in,
+                    Vec320 *out, int lanes);
+
+} // namespace tsp::simd
+
+#endif // TSP_VXM_VXM_KERNELS_HH

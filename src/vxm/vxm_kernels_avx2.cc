@@ -1,0 +1,480 @@
+#include "vxm/vxm_kernels.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace tsp::simd {
+
+namespace {
+
+// ---- int8: one byte plane, 32 lanes per vector ----------------------
+
+/** Wrapping int8 multiply: widen to int16, mullo, truncate low byte. */
+inline __m256i
+mulWrapEpi8(__m256i a, __m256i b)
+{
+    const __m256i alo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(a));
+    const __m256i ahi =
+        _mm256_cvtepi8_epi16(_mm256_extracti128_si256(a, 1));
+    const __m256i blo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(b));
+    const __m256i bhi =
+        _mm256_cvtepi8_epi16(_mm256_extracti128_si256(b, 1));
+    const __m256i mask = _mm256_set1_epi16(0x00ff);
+    const __m256i plo =
+        _mm256_and_si256(_mm256_mullo_epi16(alo, blo), mask);
+    const __m256i phi =
+        _mm256_and_si256(_mm256_mullo_epi16(ahi, bhi), mask);
+    // packus on 0..255 values is exact truncation; undo the 128-bit
+    // lane interleave packus introduces.
+    return _mm256_permute4x64_epi64(_mm256_packus_epi16(plo, phi),
+                                    0xd8);
+}
+
+/** Saturating int8 multiply: exact int16 product, signed pack. */
+inline __m256i
+mulSatEpi8(__m256i a, __m256i b)
+{
+    const __m256i alo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(a));
+    const __m256i ahi =
+        _mm256_cvtepi8_epi16(_mm256_extracti128_si256(a, 1));
+    const __m256i blo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(b));
+    const __m256i bhi =
+        _mm256_cvtepi8_epi16(_mm256_extracti128_si256(b, 1));
+    const __m256i plo = _mm256_mullo_epi16(alo, blo);
+    const __m256i phi = _mm256_mullo_epi16(ahi, bhi);
+    return _mm256_permute4x64_epi64(_mm256_packs_epi16(plo, phi),
+                                    0xd8);
+}
+
+// ---- int32: four byte planes, 8 lanes per vector --------------------
+
+/** Gathers 8 int32 lane elements starting at lane @p l. */
+inline __m256i
+loadLanes32(const Vec320 *p, int l)
+{
+    const auto sl = static_cast<std::size_t>(l);
+    const __m256i b0 = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(p[0].bytes.data() + sl)));
+    const __m256i b1 = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(p[1].bytes.data() + sl)));
+    const __m256i b2 = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(p[2].bytes.data() + sl)));
+    const __m256i b3 = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(p[3].bytes.data() + sl)));
+    return _mm256_or_si256(
+        _mm256_or_si256(b0, _mm256_slli_epi32(b1, 8)),
+        _mm256_or_si256(_mm256_slli_epi32(b2, 16),
+                        _mm256_slli_epi32(b3, 24)));
+}
+
+/** Packs the low byte of each int32 lane to 8 contiguous bytes. */
+inline void
+storeLowBytes(std::uint8_t *dst, __m256i v)
+{
+    const __m256i shuf = _mm256_setr_epi8(
+        0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, 0,
+        4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+    const __m256i packed = _mm256_shuffle_epi8(
+        _mm256_and_si256(v, _mm256_set1_epi32(0xff)), shuf);
+    const __m128i lo = _mm256_castsi256_si128(packed);
+    const __m128i hi = _mm256_extracti128_si256(packed, 1);
+    _mm_storel_epi64(reinterpret_cast<__m128i *>(dst),
+                     _mm_unpacklo_epi32(lo, hi));
+}
+
+/** Scatters 8 int32 lane elements back to the four byte planes. */
+inline void
+storeLanes32(Vec320 *p, int l, __m256i v)
+{
+    const auto sl = static_cast<std::size_t>(l);
+    for (int k = 0; k < 4; ++k)
+        storeLowBytes(p[k].bytes.data() + sl,
+                      _mm256_srli_epi32(v, 8 * k));
+}
+
+// ---- fp32: four byte planes, 8 lanes per vector ---------------------
+
+/** Gathers 8 fp32 lane elements starting at lane @p l. */
+inline __m256
+loadLanesF32(const Vec320 *p, int l)
+{
+    return _mm256_castsi256_ps(loadLanes32(p, l));
+}
+
+} // namespace
+
+bool
+vxmBinaryAvx2(DType t, Opcode op, const Vec320 *a, const Vec320 *b,
+              Vec320 *out, int lanes)
+{
+    if (t == DType::Int8) {
+        if (lanes % 32 != 0)
+            return false;
+        for (int l = 0; l < lanes; l += 32) {
+            const auto sl = static_cast<std::size_t>(l);
+            const __m256i av = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(a[0].bytes.data() +
+                                                  sl));
+            const __m256i bv = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(b[0].bytes.data() +
+                                                  sl));
+            __m256i r;
+            switch (op) {
+              case Opcode::Add:
+                r = _mm256_add_epi8(av, bv);
+                break;
+              case Opcode::Sub:
+                r = _mm256_sub_epi8(av, bv);
+                break;
+              case Opcode::Mul:
+                r = mulWrapEpi8(av, bv);
+                break;
+              case Opcode::AddSat:
+                r = _mm256_adds_epi8(av, bv);
+                break;
+              case Opcode::SubSat:
+                r = _mm256_subs_epi8(av, bv);
+                break;
+              case Opcode::MulSat:
+                r = mulSatEpi8(av, bv);
+                break;
+              case Opcode::Max:
+                r = _mm256_max_epi8(av, bv);
+                break;
+              case Opcode::Min:
+                r = _mm256_min_epi8(av, bv);
+                break;
+              case Opcode::Mask:
+                r = _mm256_andnot_si256(
+                    _mm256_cmpeq_epi8(bv, _mm256_setzero_si256()), av);
+                break;
+              default:
+                return false;
+            }
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(out[0].bytes.data() + sl),
+                r);
+        }
+        return true;
+    }
+
+    if (t == DType::Int32) {
+        if (lanes % 8 != 0)
+            return false;
+        for (int l = 0; l < lanes; l += 8) {
+            const __m256i av = loadLanes32(a, l);
+            const __m256i bv = loadLanes32(b, l);
+            __m256i r;
+            switch (op) {
+              case Opcode::Add:
+                r = _mm256_add_epi32(av, bv);
+                break;
+              case Opcode::Sub:
+                r = _mm256_sub_epi32(av, bv);
+                break;
+              case Opcode::Mul:
+                // Scalar wraps the int64 product to int32 == low 32
+                // bits, which is exactly mullo.
+                r = _mm256_mullo_epi32(av, bv);
+                break;
+              case Opcode::Max:
+                r = _mm256_max_epi32(av, bv);
+                break;
+              case Opcode::Min:
+                r = _mm256_min_epi32(av, bv);
+                break;
+              case Opcode::Mask:
+                r = _mm256_andnot_si256(
+                    _mm256_cmpeq_epi32(bv, _mm256_setzero_si256()),
+                    av);
+                break;
+              case Opcode::AddSat: {
+                // a+b overflows iff a,b share a sign and the wrapped
+                // sum's sign differs; saturate toward a's sign.
+                const __m256i s = _mm256_add_epi32(av, bv);
+                const __m256i ovf = _mm256_andnot_si256(
+                    _mm256_xor_si256(av, bv), _mm256_xor_si256(av, s));
+                const __m256i sat = _mm256_xor_si256(
+                    _mm256_srai_epi32(av, 31),
+                    _mm256_set1_epi32(0x7fffffff));
+                r = _mm256_blendv_epi8(s, sat,
+                                       _mm256_srai_epi32(ovf, 31));
+                break;
+              }
+              case Opcode::SubSat: {
+                // a-b overflows iff the signs differ and the wrapped
+                // difference's sign differs from a's.
+                const __m256i s = _mm256_sub_epi32(av, bv);
+                const __m256i ovf = _mm256_and_si256(
+                    _mm256_xor_si256(av, bv), _mm256_xor_si256(av, s));
+                const __m256i sat = _mm256_xor_si256(
+                    _mm256_srai_epi32(av, 31),
+                    _mm256_set1_epi32(0x7fffffff));
+                r = _mm256_blendv_epi8(s, sat,
+                                       _mm256_srai_epi32(ovf, 31));
+                break;
+              }
+              default:
+                // MulSat's 64-bit product stays scalar.
+                return false;
+            }
+            storeLanes32(out, l, r);
+        }
+        return true;
+    }
+
+    if (t == DType::Fp32) {
+        if (lanes % 8 != 0)
+            return false;
+        for (int l = 0; l < lanes; l += 8) {
+            const __m256 av = loadLanesF32(a, l);
+            const __m256 bv = loadLanesF32(b, l);
+            __m256 r;
+            switch (op) {
+              // One IEEE op per lane, no reassociation: bit-identical
+              // to the scalar expression. The saturating variants are
+              // the plain op for float (alu_ops.hh).
+              case Opcode::Add:
+              case Opcode::AddSat:
+                r = _mm256_add_ps(av, bv);
+                break;
+              case Opcode::Sub:
+              case Opcode::SubSat:
+                r = _mm256_sub_ps(av, bv);
+                break;
+              case Opcode::Mul:
+              case Opcode::MulSat:
+                r = _mm256_mul_ps(av, bv);
+                break;
+              case Opcode::Max:
+                // std::max(a,b) == (a < b) ? b : a, NaN/-0 included:
+                // ordered-quiet LT is false on NaN, keeping a.
+                r = _mm256_blendv_ps(
+                    av, bv, _mm256_cmp_ps(av, bv, _CMP_LT_OQ));
+                break;
+              case Opcode::Min:
+                // std::min(a,b) == (b < a) ? b : a.
+                r = _mm256_blendv_ps(
+                    av, bv, _mm256_cmp_ps(bv, av, _CMP_LT_OQ));
+                break;
+              case Opcode::Mask:
+                // b != 0 is an unordered compare: NaN masks pass.
+                r = _mm256_and_ps(
+                    av, _mm256_cmp_ps(bv, _mm256_setzero_ps(),
+                                      _CMP_NEQ_UQ));
+                break;
+              default:
+                return false;
+            }
+            storeLanes32(out, l, _mm256_castps_si256(r));
+        }
+        return true;
+    }
+
+    return false;
+}
+
+bool
+vxmUnaryAvx2(DType t, Opcode op, const Vec320 *a, Vec320 *out,
+             int lanes)
+{
+    if (t == DType::Int8) {
+        if (lanes % 32 != 0)
+            return false;
+        for (int l = 0; l < lanes; l += 32) {
+            const auto sl = static_cast<std::size_t>(l);
+            const __m256i av = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(a[0].bytes.data() +
+                                                  sl));
+            __m256i r;
+            switch (op) {
+              case Opcode::Neg:
+                r = _mm256_sub_epi8(_mm256_setzero_si256(), av);
+                break;
+              case Opcode::Abs:
+                // Scalar saturates |INT8_MIN| to 127; abs_epi8 keeps
+                // -128 (0x80), which min_epu8 maps to 127.
+                r = _mm256_min_epu8(_mm256_abs_epi8(av),
+                                    _mm256_set1_epi8(127));
+                break;
+              case Opcode::Relu:
+                r = _mm256_max_epi8(av, _mm256_setzero_si256());
+                break;
+              default:
+                // Shift's 64-bit rounding bias stays scalar.
+                return false;
+            }
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(out[0].bytes.data() + sl),
+                r);
+        }
+        return true;
+    }
+
+    if (t == DType::Int32) {
+        if (lanes % 8 != 0)
+            return false;
+        for (int l = 0; l < lanes; l += 8) {
+            const __m256i av = loadLanes32(a, l);
+            __m256i r;
+            switch (op) {
+              case Opcode::Neg:
+                r = _mm256_sub_epi32(_mm256_setzero_si256(), av);
+                break;
+              case Opcode::Abs:
+                r = _mm256_min_epu32(
+                    _mm256_abs_epi32(av),
+                    _mm256_set1_epi32(0x7fffffff));
+                break;
+              case Opcode::Relu:
+                r = _mm256_max_epi32(av, _mm256_setzero_si256());
+                break;
+              default:
+                return false;
+            }
+            storeLanes32(out, l, r);
+        }
+        return true;
+    }
+
+    if (t == DType::Fp32) {
+        if (lanes % 8 != 0)
+            return false;
+        const __m256 sign = _mm256_set1_ps(-0.0f);
+        for (int l = 0; l < lanes; l += 8) {
+            const __m256 av = loadLanesF32(a, l);
+            __m256 r;
+            switch (op) {
+              case Opcode::Neg:
+                // Scalar -a flips the sign bit, NaN included.
+                r = _mm256_xor_ps(av, sign);
+                break;
+              case Opcode::Abs:
+                r = _mm256_andnot_ps(sign, av);
+                break;
+              case Opcode::Relu:
+                // a > 0 ? a : 0 — ordered-quiet GT sends NaN and -0
+                // to +0, exactly as the scalar ternary does.
+                r = _mm256_and_ps(
+                    av, _mm256_cmp_ps(av, _mm256_setzero_ps(),
+                                      _CMP_GT_OQ));
+                break;
+              default:
+                // Tanh/Exp/Rsqrt call libm; they stay scalar.
+                return false;
+            }
+            storeLanes32(out, l, _mm256_castps_si256(r));
+        }
+        return true;
+    }
+
+    return false;
+}
+
+bool
+vxmConvertAvx2(DType from, DType to, const Vec320 *in, Vec320 *out,
+               int lanes)
+{
+    if (lanes % 8 != 0)
+        return false;
+
+    if (from == DType::Int32 && to == DType::Fp32) {
+        // cvtepi32_ps rounds to nearest-even, matching the scalar
+        // path's double-widen + float narrow (single rounding).
+        for (int l = 0; l < lanes; l += 8) {
+            storeLanes32(out, l,
+                         _mm256_castps_si256(_mm256_cvtepi32_ps(
+                             loadLanes32(in, l))));
+        }
+        return true;
+    }
+
+    if (from == DType::Int8 && to == DType::Fp32) {
+        // Every int8 is exactly representable: no rounding at all.
+        for (int l = 0; l < lanes; l += 8) {
+            const __m256i v = _mm256_cvtepi8_epi32(_mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(
+                    in[0].bytes.data() + static_cast<std::size_t>(l))));
+            storeLanes32(out, l,
+                         _mm256_castps_si256(_mm256_cvtepi32_ps(v)));
+        }
+        return true;
+    }
+
+    if (from == DType::Fp32 &&
+        (to == DType::Int8 || to == DType::Int32)) {
+        // cvtps_epi32 rounds to nearest-even like the scalar
+        // nearbyint, but returns 0x80000000 for NaN and out-of-range
+        // inputs; the blends below restore the scalar clamp (high
+        // side saturates, NaN becomes 0).
+        const __m256i nmax = _mm256_set1_epi32(
+            to == DType::Int8 ? 127 : 0x7fffffff);
+        const __m256 hi_thresh = _mm256_set1_ps(
+            to == DType::Int8 ? 127.0f : 2147483648.0f);
+        for (int l = 0; l < lanes; l += 8) {
+            const __m256 av = loadLanesF32(in, l);
+            __m256i r = _mm256_cvtps_epi32(av);
+            if (to == DType::Int8) {
+                r = _mm256_max_epi32(_mm256_min_epi32(r, nmax),
+                                     _mm256_set1_epi32(-128));
+                // Inputs above 127.0f (including +huge, which cvt
+                // collapsed to 0x80000000) saturate to 127.
+                r = _mm256_blendv_epi8(
+                    r, nmax,
+                    _mm256_castps_si256(
+                        _mm256_cmp_ps(av, hi_thresh, _CMP_GT_OQ)));
+            } else {
+                // Only inputs >= 2^31 need the high-side fix; the low
+                // side already lands on 0x80000000 == INT32_MIN.
+                r = _mm256_blendv_epi8(
+                    r, nmax,
+                    _mm256_castps_si256(
+                        _mm256_cmp_ps(av, hi_thresh, _CMP_GE_OQ)));
+            }
+            r = _mm256_andnot_si256(
+                _mm256_castps_si256(
+                    _mm256_cmp_ps(av, av, _CMP_UNORD_Q)),
+                r);
+            if (to == DType::Int8) {
+                storeLowBytes(out[0].bytes.data() +
+                                  static_cast<std::size_t>(l),
+                              r);
+            } else {
+                storeLanes32(out, l, r);
+            }
+        }
+        return true;
+    }
+
+    return false;
+}
+
+} // namespace tsp::simd
+
+#else // !x86
+
+namespace tsp::simd {
+
+bool
+vxmBinaryAvx2(DType, Opcode, const Vec320 *, const Vec320 *, Vec320 *,
+              int)
+{
+    return false;
+}
+
+bool
+vxmUnaryAvx2(DType, Opcode, const Vec320 *, Vec320 *, int)
+{
+    return false;
+}
+
+bool
+vxmConvertAvx2(DType, DType, const Vec320 *, Vec320 *, int)
+{
+    return false;
+}
+
+} // namespace tsp::simd
+
+#endif

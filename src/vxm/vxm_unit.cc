@@ -2,7 +2,9 @@
 
 #include <type_traits>
 
+#include "common/cpu.hh"
 #include "common/logging.hh"
+#include "vxm/vxm_kernels.hh"
 
 namespace tsp {
 
@@ -225,12 +227,15 @@ VxmUnit::execute(const Instruction &inst, int alu, Cycle now)
 
         Vec320 in[4], out[4];
         loadGroup(inst.srcA, gi, in);
-        withDType(from, [&](auto fromc) {
-            withDType(to, [&](auto toc) {
-                convertLanes<decltype(fromc)::value,
-                             decltype(toc)::value>(in, out, lanes);
+        if (!(simdKernelsEnabled() &&
+              simd::vxmConvertAvx2(from, to, in, out, lanes))) {
+            withDType(from, [&](auto fromc) {
+                withDType(to, [&](auto toc) {
+                    convertLanes<decltype(fromc)::value,
+                                 decltype(toc)::value>(in, out, lanes);
+                });
             });
-        });
+        }
         storeGroup(inst.dst, go, out, when);
         laneOps_ += static_cast<std::uint64_t>(lanes);
         return;
@@ -246,19 +251,30 @@ VxmUnit::execute(const Instruction &inst, int alu, Cycle now)
     if (isVxmBinary(inst.op)) {
         checkAlignment(inst.srcB, g);
         loadGroup(inst.srcB, g, b);
-        withDType(t, [&](auto tc) {
-            withBinaryOp(inst.op, [&](auto opc) {
-                binaryLanes<decltype(tc)::value, decltype(opc)::value>(
-                    a, b, out, lanes);
+        // The AVX2 kernels cover the integer (dtype, opcode) pairs and
+        // are bit-identical to the scalar templates; anything they
+        // decline falls through to the specialized scalar loop.
+        if (!(simdKernelsEnabled() &&
+              simd::vxmBinaryAvx2(t, inst.op, a, b, out, lanes))) {
+            withDType(t, [&](auto tc) {
+                withBinaryOp(inst.op, [&](auto opc) {
+                    binaryLanes<decltype(tc)::value,
+                                decltype(opc)::value>(a, b, out,
+                                                      lanes);
+                });
             });
-        });
+        }
     } else {
-        withDType(t, [&](auto tc) {
-            withUnaryOp(inst.op, [&](auto opc) {
-                unaryLanes<decltype(tc)::value, decltype(opc)::value>(
-                    a, out, lanes, inst.imm0);
+        if (!(simdKernelsEnabled() &&
+              simd::vxmUnaryAvx2(t, inst.op, a, out, lanes))) {
+            withDType(t, [&](auto tc) {
+                withUnaryOp(inst.op, [&](auto opc) {
+                    unaryLanes<decltype(tc)::value,
+                               decltype(opc)::value>(a, out, lanes,
+                                                     inst.imm0);
+                });
             });
-        });
+        }
     }
     storeGroup(inst.dst, g, out, when);
     laneOps_ += static_cast<std::uint64_t>(lanes);

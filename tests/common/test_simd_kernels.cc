@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Differential tests: every SIMD lane kernel against the scalar
+ * alu_ops / MXM reference it claims to reproduce bit-for-bit.
+ *
+ * Operands are pseudo-random byte planes with adversarial values
+ * written over the first lanes — NaNs, signed zeros, infinities,
+ * saturation boundaries, rounding ties — so the compare/blend
+ * sequences and clamp fixups are exercised where they can diverge.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cpu.hh"
+#include "mxm/mxm_kernels.hh"
+#include "vxm/alu_ops.hh"
+#include "vxm/vxm_kernels.hh"
+
+namespace tsp {
+namespace {
+
+constexpr int kLanes = 320;
+
+std::uint8_t
+nextByte(std::uint64_t &s)
+{
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint8_t>(s >> 56);
+}
+
+void
+fillPlanes(Vec320 *p, int g, std::uint64_t seed)
+{
+    for (int k = 0; k < g; ++k)
+        for (int l = 0; l < kLanes; ++l)
+            p[k].bytes[static_cast<std::size_t>(l)] = nextByte(seed);
+}
+
+void
+setLane32(Vec320 *p, int lane, std::uint32_t u)
+{
+    for (int k = 0; k < 4; ++k)
+        p[k].bytes[static_cast<std::size_t>(lane)] =
+            static_cast<std::uint8_t>(u >> (8 * k));
+}
+
+void
+setLaneF32(Vec320 *p, int lane, float f)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    setLane32(p, lane, u);
+}
+
+/** Floats that stress NaN/zero/rounding/saturation handling. */
+const float kSpecialF32[] = {
+    0.0f,
+    -0.0f,
+    __builtin_nanf(""),
+    -__builtin_nanf(""),
+    __builtin_inff(),
+    -__builtin_inff(),
+    1e-42f, // Denormal.
+    0.5f,
+    -0.5f,
+    1.5f,
+    2.5f, // Ties-to-even vs away-from-zero.
+    -1.5f,
+    -2.5f,
+    126.5f,
+    127.0f,
+    127.5f,
+    128.0f,
+    -127.5f,
+    -128.0f,
+    -128.5f,
+    -129.0f,
+    2147483520.0f, // Largest float < 2^31.
+    2147483648.0f, // == 2^31; saturates int32.
+    -2147483648.0f,
+    3e9f,
+    -3e9f,
+    1.0f,
+    -1.0f,
+};
+
+/** Int32 values that stress the saturating add/sub overflow blends. */
+const std::int32_t kSpecialI32[] = {
+    0,          1,           -1,          0x7fffffff, -0x7fffffff - 1,
+    0x7ffffffe, -0x7fffffff, 0x40000000,  -0x40000000, 123456789,
+    -123456789, 0x7fffff00,  -0x7fffff00,
+};
+
+void
+plantSpecials(Vec320 *a, Vec320 *b, DType t)
+{
+    if (t == DType::Fp32) {
+        const int n = static_cast<int>(std::size(kSpecialF32));
+        // Every special meets every special (n^2 <= 320 lanes is not
+        // guaranteed, so pair i with i and with a rotation).
+        for (int i = 0; i < n; ++i) {
+            setLaneF32(a, i, kSpecialF32[i]);
+            setLaneF32(b, i, kSpecialF32[(i * 7 + 3) % n]);
+            setLaneF32(a, n + i, kSpecialF32[(i * 5 + 1) % n]);
+            setLaneF32(b, n + i, kSpecialF32[i]);
+        }
+    } else if (t == DType::Int32) {
+        const int n = static_cast<int>(std::size(kSpecialI32));
+        for (int i = 0; i < n; ++i)
+            for (int j = 0; j < n; ++j) {
+                const int lane = i * n + j;
+                if (lane >= kLanes)
+                    return;
+                setLane32(a, lane,
+                          static_cast<std::uint32_t>(kSpecialI32[i]));
+                setLane32(b, lane,
+                          static_cast<std::uint32_t>(kSpecialI32[j]));
+            }
+    }
+    // Int8: 256 random bytes already cover the full value space.
+}
+
+void
+scalarBinary(DType t, Opcode op, const Vec320 *a, const Vec320 *b,
+             Vec320 *out)
+{
+    const int g = dtypeBytes(t);
+    std::uint8_t ab[4], bb[4], ob[4];
+    for (int l = 0; l < kLanes; ++l) {
+        const auto sl = static_cast<std::size_t>(l);
+        for (int k = 0; k < g; ++k) {
+            ab[k] = a[k].bytes[sl];
+            bb[k] = b[k].bytes[sl];
+        }
+        const LaneValue r =
+            aluBinary(op, t, laneLoad(ab, t), laneLoad(bb, t));
+        laneStore(ob, t, r);
+        for (int k = 0; k < g; ++k)
+            out[k].bytes[sl] = ob[k];
+    }
+}
+
+void
+scalarUnary(DType t, Opcode op, const Vec320 *a, Vec320 *out)
+{
+    const int g = dtypeBytes(t);
+    std::uint8_t ab[4], ob[4];
+    for (int l = 0; l < kLanes; ++l) {
+        const auto sl = static_cast<std::size_t>(l);
+        for (int k = 0; k < g; ++k)
+            ab[k] = a[k].bytes[sl];
+        const LaneValue r = aluUnary(op, t, laneLoad(ab, t), 0);
+        laneStore(ob, t, r);
+        for (int k = 0; k < g; ++k)
+            out[k].bytes[sl] = ob[k];
+    }
+}
+
+void
+scalarConvert(DType from, DType to, const Vec320 *in, Vec320 *out)
+{
+    const int gi = dtypeBytes(from);
+    const int go = dtypeBytes(to);
+    std::uint8_t ib[4], ob[4];
+    for (int l = 0; l < kLanes; ++l) {
+        const auto sl = static_cast<std::size_t>(l);
+        for (int k = 0; k < gi; ++k)
+            ib[k] = in[k].bytes[sl];
+        const LaneValue r = aluConvert(from, to, laneLoad(ib, from));
+        laneStore(ob, to, r);
+        for (int k = 0; k < go; ++k)
+            out[k].bytes[sl] = ob[k];
+    }
+}
+
+void
+expectPlanesEq(const Vec320 *want, const Vec320 *got, int g,
+               const char *what)
+{
+    for (int k = 0; k < g; ++k)
+        for (int l = 0; l < kLanes; ++l) {
+            const auto sl = static_cast<std::size_t>(l);
+            ASSERT_EQ(want[k].bytes[sl], got[k].bytes[sl])
+                << what << " plane " << k << " lane " << l;
+        }
+}
+
+void
+checkBinary(DType t, Opcode op, std::uint64_t seed)
+{
+    Vec320 a[4], b[4], simd_out[4], ref_out[4];
+    fillPlanes(a, dtypeBytes(t), seed);
+    fillPlanes(b, dtypeBytes(t), seed ^ 0x9e3779b97f4a7c15ull);
+    plantSpecials(a, b, t);
+    ASSERT_TRUE(simd::vxmBinaryAvx2(t, op, a, b, simd_out, kLanes))
+        << dtypeName(t) << " " << opcodeName(op);
+    scalarBinary(t, op, a, b, ref_out);
+    expectPlanesEq(ref_out, simd_out, dtypeBytes(t), opcodeName(op));
+}
+
+void
+checkUnary(DType t, Opcode op, std::uint64_t seed)
+{
+    Vec320 a[4], dummy[4], simd_out[4], ref_out[4];
+    fillPlanes(a, dtypeBytes(t), seed);
+    fillPlanes(dummy, dtypeBytes(t), seed + 1);
+    plantSpecials(a, dummy, t);
+    ASSERT_TRUE(simd::vxmUnaryAvx2(t, op, a, simd_out, kLanes))
+        << dtypeName(t) << " " << opcodeName(op);
+    scalarUnary(t, op, a, ref_out);
+    expectPlanesEq(ref_out, simd_out, dtypeBytes(t), opcodeName(op));
+}
+
+TEST(VxmSimd, Int8BinaryMatchesScalar)
+{
+    if (!cpuHasAvx2())
+        GTEST_SKIP() << "no AVX2 on this host";
+    const Opcode ops[] = {Opcode::Add,    Opcode::Sub,
+                          Opcode::Mul,    Opcode::AddSat,
+                          Opcode::SubSat, Opcode::MulSat,
+                          Opcode::Max,    Opcode::Min,
+                          Opcode::Mask};
+    std::uint64_t seed = 11;
+    for (Opcode op : ops)
+        checkBinary(DType::Int8, op, seed++);
+}
+
+TEST(VxmSimd, Int32BinaryMatchesScalar)
+{
+    if (!cpuHasAvx2())
+        GTEST_SKIP() << "no AVX2 on this host";
+    const Opcode ops[] = {Opcode::Add, Opcode::Sub,    Opcode::Mul,
+                          Opcode::Max, Opcode::Min,    Opcode::Mask,
+                          Opcode::AddSat, Opcode::SubSat};
+    std::uint64_t seed = 23;
+    for (Opcode op : ops)
+        checkBinary(DType::Int32, op, seed++);
+}
+
+TEST(VxmSimd, Fp32BinaryMatchesScalar)
+{
+    if (!cpuHasAvx2())
+        GTEST_SKIP() << "no AVX2 on this host";
+    const Opcode ops[] = {Opcode::Add,    Opcode::Sub,
+                          Opcode::Mul,    Opcode::AddSat,
+                          Opcode::SubSat, Opcode::MulSat,
+                          Opcode::Max,    Opcode::Min,
+                          Opcode::Mask};
+    std::uint64_t seed = 37;
+    for (Opcode op : ops)
+        checkBinary(DType::Fp32, op, seed++);
+}
+
+TEST(VxmSimd, UnaryMatchesScalar)
+{
+    if (!cpuHasAvx2())
+        GTEST_SKIP() << "no AVX2 on this host";
+    const Opcode ops[] = {Opcode::Neg, Opcode::Abs, Opcode::Relu};
+    std::uint64_t seed = 51;
+    for (DType t : {DType::Int8, DType::Int32, DType::Fp32})
+        for (Opcode op : ops)
+            checkUnary(t, op, seed++);
+}
+
+TEST(VxmSimd, ConvertMatchesScalar)
+{
+    if (!cpuHasAvx2())
+        GTEST_SKIP() << "no AVX2 on this host";
+    struct Pair
+    {
+        DType from, to;
+    };
+    const Pair pairs[] = {{DType::Int8, DType::Fp32},
+                          {DType::Int32, DType::Fp32},
+                          {DType::Fp32, DType::Int8},
+                          {DType::Fp32, DType::Int32}};
+    std::uint64_t seed = 71;
+    for (const Pair &pr : pairs) {
+        Vec320 in[4], dummy[4], simd_out[4], ref_out[4];
+        fillPlanes(in, dtypeBytes(pr.from), seed);
+        fillPlanes(dummy, dtypeBytes(pr.from), seed + 1);
+        plantSpecials(in, dummy, pr.from);
+        seed += 2;
+        ASSERT_TRUE(simd::vxmConvertAvx2(pr.from, pr.to, in, simd_out,
+                                         kLanes))
+            << dtypeName(pr.from) << "->" << dtypeName(pr.to);
+        scalarConvert(pr.from, pr.to, in, ref_out);
+        expectPlanesEq(ref_out, simd_out, dtypeBytes(pr.to),
+                       dtypeName(pr.to));
+    }
+}
+
+TEST(VxmSimd, DeclinesUncoveredShapes)
+{
+    if (!cpuHasAvx2())
+        GTEST_SKIP() << "no AVX2 on this host";
+    Vec320 a[4], b[4], out[4];
+    fillPlanes(a, 4, 7);
+    fillPlanes(b, 4, 9);
+    // Odd lane counts, scalar-only dtypes and opcodes all decline so
+    // the caller falls back to the scalar templates.
+    EXPECT_FALSE(simd::vxmBinaryAvx2(DType::Int8, Opcode::Add, a, b,
+                                     out, 33));
+    EXPECT_FALSE(simd::vxmBinaryAvx2(DType::Fp16, Opcode::Add, a, b,
+                                     out, kLanes));
+    EXPECT_FALSE(simd::vxmBinaryAvx2(DType::Int32, Opcode::MulSat, a,
+                                     b, out, kLanes));
+    EXPECT_FALSE(
+        simd::vxmUnaryAvx2(DType::Fp32, Opcode::Tanh, a, out, kLanes));
+    EXPECT_FALSE(simd::vxmConvertAvx2(DType::Fp32, DType::Fp16, a, out,
+                                      kLanes));
+}
+
+/** Scalar reference for one MXM int8 ABC broadcast cycle. */
+void
+mxmScalarRef(const std::int8_t *w, int stride,
+             const std::uint8_t *act, std::int32_t *acc, int n,
+             bool accumulate)
+{
+    for (int r = 0; r < n; ++r) {
+        std::int32_t sum = 0;
+        for (int c = 0; c < n; ++c) {
+            sum += static_cast<std::int32_t>(
+                       w[static_cast<std::size_t>(r) * stride + c]) *
+                   static_cast<std::int8_t>(act[c]);
+        }
+        if (accumulate)
+            acc[r] += sum;
+        else
+            acc[r] = sum;
+    }
+}
+
+TEST(MxmSimd, KernelsMatchScalar)
+{
+    if (!cpuHasAvx2())
+        GTEST_SKIP() << "no AVX2 on this host";
+    const int n = 320;
+    std::vector<std::int8_t> w(static_cast<std::size_t>(n) * n);
+    std::vector<std::uint8_t> act(static_cast<std::size_t>(n));
+    std::uint64_t seed = 97;
+    for (auto &v : w)
+        v = static_cast<std::int8_t>(nextByte(seed));
+    for (auto &v : act)
+        v = nextByte(seed);
+    // Extremes: rows of -128/+127 against -128/+127 activations.
+    for (int c = 0; c < n; ++c) {
+        w[static_cast<std::size_t>(c)] = -128;
+        w[static_cast<std::size_t>(n) + c] = 127;
+        act[static_cast<std::size_t>(c)] =
+            (c % 2) ? 0x80 : 0x7f;
+    }
+
+    std::vector<std::int32_t> ref(static_cast<std::size_t>(n), 5);
+    mxmScalarRef(w.data(), n, act.data(), ref.data(), n, true);
+
+    std::vector<std::int32_t> got(static_cast<std::size_t>(n), 5);
+    ASSERT_TRUE(simd::mxmAbcInt8Avx2(w.data(), n, act.data(),
+                                     got.data(), n, true));
+    EXPECT_EQ(ref, got) << "avx2";
+
+    if (cpuHasAvx512Vnni()) {
+        std::vector<std::int32_t> rs(static_cast<std::size_t>(n));
+        ASSERT_TRUE(
+            simd::mxmRowSumsInt8Vnni(w.data(), n, n, rs.data()));
+        for (int r = 0; r < n; ++r) {
+            std::int32_t s = 0;
+            for (int c = 0; c < n; ++c)
+                s += w[static_cast<std::size_t>(r) * n + c];
+            ASSERT_EQ(s, rs[static_cast<std::size_t>(r)])
+                << "row sum " << r;
+        }
+        std::vector<std::int32_t> vn(static_cast<std::size_t>(n), 5);
+        ASSERT_TRUE(simd::mxmAbcInt8Vnni(w.data(), n, act.data(),
+                                         rs.data(), vn.data(), n,
+                                         true));
+        EXPECT_EQ(ref, vn) << "vnni";
+    }
+}
+
+} // namespace
+} // namespace tsp
