@@ -78,6 +78,17 @@ class C2cModule
     /** @return the stream access point (CSR counters). */
     const StreamIo &io() const { return io_; }
 
+    /**
+     * Serializes per-link flight state (deskew, serializer busy-until,
+     * the elastic rx buffer with arrival cycles) and counters. Peer
+     * wiring (peer/peerLink/wireLatency) is topology, re-established
+     * by pod construction, not state.
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restores link flight state onto the existing wiring. */
+    void loadState(SnapshotReader &r);
+
   private:
     struct Link
     {

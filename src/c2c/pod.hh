@@ -37,6 +37,8 @@
 
 namespace tsp {
 
+struct PodSnapshot;
+
 /** A ring of TSP chips on one clock domain. */
 class Pod
 {
@@ -109,6 +111,18 @@ class Pod
     /** @return the highest member clock (== every member's clock
      *  after a successful runAll/runAllBounded). */
     Cycle now() const;
+
+    /**
+     * Serializes every member chip (in ring order) into @p out,
+     * including in-flight C2C link traffic. Take snapshots at
+     * equalized clocks (after stepAll() or a successful bounded run)
+     * so a restored pod resumes from a lock-step-consistent cut.
+     * Refusal semantics per chip as Chip::snapshot().
+     */
+    bool snapshot(PodSnapshot &out, std::string *err = nullptr) const;
+
+    /** Restores a PodSnapshot onto this pod (same size/topology). */
+    bool restore(const PodSnapshot &snap, std::string *err = nullptr);
 
   private:
     std::vector<std::unique_ptr<Chip>> chips_;

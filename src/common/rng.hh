@@ -11,6 +11,7 @@
 #ifndef TSP_COMMON_RNG_HH
 #define TSP_COMMON_RNG_HH
 
+#include <array>
 #include <cstdint>
 
 namespace tsp {
@@ -47,6 +48,24 @@ class Rng
 
     /** @return a uniform int in [lo, hi] inclusive. */
     int intIn(int lo, int hi);
+
+    /** Internal state word count (snapshot format constant). */
+    static constexpr int kStateWords = 4;
+
+    /** @return the raw generator state (snapshot/restore). */
+    std::array<std::uint64_t, kStateWords>
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    /** Overwrites the generator state (snapshot/restore). */
+    void
+    setState(const std::array<std::uint64_t, kStateWords> &s)
+    {
+        for (int i = 0; i < kStateWords; ++i)
+            state_[i] = s[static_cast<std::size_t>(i)];
+    }
 
   private:
     std::uint64_t state_[4];

@@ -1,0 +1,16 @@
+#include "common/snapshot_io.hh"
+
+namespace tsp {
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t n, std::uint64_t h)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace tsp

@@ -230,17 +230,21 @@ SoakTimeSeries::appendJson(JsonWriter &j) const
                           static_cast<double>(w.submitted));
     j.endArray();
 
+    // A window that served nothing has no latency population; emit
+    // the -1 sentinel — a value no real latency can take — instead of
+    // 0.0, which is indistinguishable from a legitimate (sub-bucket)
+    // near-zero quantile and read by dashboards as "infinitely fast".
     j.key("p50_us").beginArray();
     for (const Window &w : windows_)
         j.value(w.latency.count() == 0
-                    ? 0.0
+                    ? -1.0
                     : w.latency.quantile(0.50) * 1e6);
     j.endArray();
 
     j.key("p99_us").beginArray();
     for (const Window &w : windows_)
         j.value(w.latency.count() == 0
-                    ? 0.0
+                    ? -1.0
                     : w.latency.quantile(0.99) * 1e6);
     j.endArray();
     j.endObject();

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "arch/types.hh"
+#include "common/snapshot_io.hh"
 
 namespace tsp {
 
@@ -57,6 +58,28 @@ class BarrierController
 
     /** @return Notify broadcasts currently retained. */
     std::size_t notifyCount() const { return notifies_.size(); }
+
+    /** Serializes retained broadcasts and totals (snapshot). */
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.u64(notifies_.size());
+        for (const Cycle c : notifies_)
+            w.u64(c);
+        w.u64(totalNotifies_);
+    }
+
+    /** Restores retained broadcasts and totals (snapshot). */
+    void
+    loadState(SnapshotReader &r)
+    {
+        notifies_.clear();
+        const std::uint64_t n = r.u64();
+        notifies_.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n && r.ok(); ++i)
+            notifies_.push_back(r.u64());
+        totalNotifies_ = static_cast<std::size_t>(r.u64());
+    }
 
   private:
     /** Issue cycles in non-decreasing order (notify() asserts). */

@@ -26,6 +26,51 @@ InstructionQueue::appendInstructions(const std::vector<Instruction> &insts)
     program_.insert(program_.end(), insts.begin(), insts.end());
 }
 
+void
+InstructionQueue::saveState(SnapshotWriter &w) const
+{
+    w.u64(pc_);
+    w.u64(busyUntil_);
+    w.b(parked_);
+    w.u64(parkedAt_);
+    // The Repeat target points into program_; round-trip as index.
+    const std::uint64_t repeat_idx =
+        repeatInst_ != nullptr
+            ? static_cast<std::uint64_t>(repeatInst_ -
+                                         program_.data())
+            : ~std::uint64_t{0};
+    w.u64(repeat_idx);
+    w.u32(repeatsLeft_);
+    w.u32(repeatGap_);
+    w.u64(nextRepeatAt_);
+    w.u64(dispatched_);
+    w.u64(nopCycles_);
+    w.u64(parkedCycles_);
+}
+
+void
+InstructionQueue::loadState(SnapshotReader &r)
+{
+    pc_ = static_cast<std::size_t>(r.u64());
+    busyUntil_ = r.u64();
+    parked_ = r.b();
+    parkedAt_ = r.u64();
+    const std::uint64_t repeat_idx = r.u64();
+    if (repeat_idx == ~std::uint64_t{0}) {
+        repeatInst_ = nullptr;
+    } else {
+        TSP_ASSERT(repeat_idx < program_.size());
+        repeatInst_ =
+            &program_[static_cast<std::size_t>(repeat_idx)];
+    }
+    repeatsLeft_ = r.u32();
+    repeatGap_ = r.u32();
+    nextRepeatAt_ = r.u64();
+    dispatched_ = r.u64();
+    nopCycles_ = r.u64();
+    parkedCycles_ = r.u64();
+}
+
 bool
 InstructionQueue::done() const
 {

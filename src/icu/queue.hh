@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "arch/layout.hh"
+#include "common/snapshot_io.hh"
 #include "icu/barrier.hh"
 #include "isa/instruction.hh"
 
@@ -111,6 +112,20 @@ class InstructionQueue
 
     /** @return number of program instructions not yet retired. */
     std::size_t pendingCount() const { return program_.size() - pc_; }
+
+    /** @return the loaded program (snapshot content hashing). */
+    const std::vector<Instruction> &program() const { return program_; }
+
+    /**
+     * Serializes dispatch state and counters. The program itself is
+     * *not* serialized — restore requires the identical program to be
+     * loaded already (verified by content hash at the chip level);
+     * the Repeat target travels as an index into it.
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restores dispatch state over the already-loaded program. */
+    void loadState(SnapshotReader &r);
 
   private:
     IcuId id_;

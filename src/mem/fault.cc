@@ -48,6 +48,50 @@ FaultInjector::applyScheduled(Cycle now, std::vector<MemSlice> &slices)
 }
 
 void
+FaultInjector::saveState(SnapshotWriter &w) const
+{
+    for (const auto word : rng_.state())
+        w.u64(word);
+    w.u32(static_cast<std::uint32_t>(linkRngs_.size()));
+    for (const auto &rng : linkRngs_) {
+        for (const auto word : rng.state())
+            w.u64(word);
+    }
+    w.u64(nextEvent_);
+    w.u64(memFlips_);
+    w.u64(streamFlips_);
+    w.u64(c2cFlips_);
+    w.u64(scheduledFlips_);
+}
+
+void
+FaultInjector::loadState(SnapshotReader &r, bool restore_rng)
+{
+    std::array<std::uint64_t, Rng::kStateWords> state;
+    for (auto &word : state)
+        word = r.u64();
+    if (restore_rng)
+        rng_.setState(state);
+    const std::uint32_t n_links = r.u32();
+    for (std::uint32_t i = 0; i < n_links && r.ok(); ++i) {
+        for (auto &word : state)
+            word = r.u64();
+        if (!restore_rng)
+            continue;
+        // Lazily built on the source; mirror that here so link
+        // strike streams resume mid-sequence.
+        if (linkRngs_.size() <= i)
+            linkRngs_.emplace_back(0);
+        linkRngs_[i].setState(state);
+    }
+    nextEvent_ = static_cast<std::size_t>(r.u64());
+    memFlips_ = r.u64();
+    streamFlips_ = r.u64();
+    c2cFlips_ = r.u64();
+    scheduledFlips_ = r.u64();
+}
+
+void
 FaultInjector::onC2cDeliver(Vec320 &vec, int link)
 {
     if (cfg_.c2cRate <= 0.0)

@@ -34,6 +34,7 @@
 #include "arch/config.hh"
 #include "arch/types.hh"
 #include "common/rng.hh"
+#include "common/snapshot_io.hh"
 
 namespace tsp {
 
@@ -73,6 +74,26 @@ class MachineCheckSink
 
     /** @return first-error context (valid when raised()). */
     const MachineCheckInfo &info() const { return info_; }
+
+    /** Serializes the latch (snapshot/restore). */
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.u64(raises_);
+        w.u64(info_.cycle);
+        w.str(info_.unit);
+        w.str(info_.detail);
+    }
+
+    /** Restores the latch (snapshot/restore). */
+    void
+    loadState(SnapshotReader &r)
+    {
+        raises_ = r.u64();
+        info_.cycle = r.u64();
+        info_.unit = r.str();
+        info_.detail = r.str();
+    }
 
   private:
     std::uint64_t raises_ = 0;
@@ -160,6 +181,28 @@ class FaultInjector
     {
         return memFlips_ + streamFlips_ + c2cFlips_ + scheduledFlips_;
     }
+
+    /** @return the configured base seed. */
+    std::uint64_t seed() const { return cfg_.seed; }
+
+    /**
+     * Serializes RNG streams, the scheduled-event cursor and the flip
+     * counters. The fault *environment* (rates + events) is config,
+     * verified by hash at the chip level, not serialized.
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /**
+     * Restores injector state. With @p restore_rng the RNG streams
+     * resume exactly where the snapshot left them (same-seed restore:
+     * exact continuation, bit-identical to the uninterrupted run).
+     * Without it the streams keep this injector's fresh seeding —
+     * migration onto a rebuilt chip draws a new upset future instead
+     * of deterministically replaying the strike that condemned the
+     * source — while the event cursor and counters still restore so
+     * already-applied scheduled faults never reapply.
+     */
+    void loadState(SnapshotReader &r, bool restore_rng);
 
   private:
     /** Draws the strike decision and flips 1 or 2 bits of one chunk. */

@@ -279,6 +279,78 @@ MemSlice::backdoorRead(MemAddr addr) const
 }
 
 void
+MemSlice::saveState(SnapshotWriter &w) const
+{
+    for (int bank = 0; bank < kMemBanks; ++bank) {
+        const Word *store = bankStoreConst(bank);
+        std::uint32_t count = 0;
+        if (store) {
+            for (int i = 0; i < kWordsPerBank; ++i) {
+                const Word &word = store[static_cast<std::size_t>(i)];
+                bool nonzero = false;
+                for (const auto b : word.bytes)
+                    nonzero |= b != 0;
+                for (const auto e : word.ecc)
+                    nonzero |= e != 0;
+                count += nonzero ? 1 : 0;
+            }
+        }
+        w.u32(count);
+        if (!store)
+            continue;
+        for (int i = 0; i < kWordsPerBank; ++i) {
+            const Word &word = store[static_cast<std::size_t>(i)];
+            bool nonzero = false;
+            for (const auto b : word.bytes)
+                nonzero |= b != 0;
+            for (const auto e : word.ecc)
+                nonzero |= e != 0;
+            if (!nonzero)
+                continue;
+            w.u32(static_cast<std::uint32_t>(i));
+            w.bytes(word.bytes.data(), word.bytes.size());
+            for (const auto e : word.ecc)
+                w.u16(e);
+        }
+    }
+    w.u64(reads_);
+    w.u64(writes_);
+    w.u64(corrected_);
+    w.u64(uncorrectable_);
+    w.u64(lastCycle_);
+    w.i32(readBank_);
+    w.i32(writeBank_);
+}
+
+void
+MemSlice::loadState(SnapshotReader &r)
+{
+    for (int bank = 0; bank < kMemBanks; ++bank) {
+        banks_[static_cast<std::size_t>(bank)].reset();
+        const std::uint32_t count = r.u32();
+        if (count == 0 || !r.ok())
+            continue;
+        Word *store = bankStore(bank);
+        for (std::uint32_t n = 0; n < count && r.ok(); ++n) {
+            const std::uint32_t i = r.u32();
+            if (i >= static_cast<std::uint32_t>(kWordsPerBank))
+                break;
+            Word &word = store[i];
+            r.bytes(word.bytes.data(), word.bytes.size());
+            for (auto &e : word.ecc)
+                e = r.u16();
+        }
+    }
+    reads_ = r.u64();
+    writes_ = r.u64();
+    corrected_ = r.u64();
+    uncorrectable_ = r.u64();
+    lastCycle_ = r.u64();
+    readBank_ = r.i32();
+    writeBank_ = r.i32();
+}
+
+void
 MemSlice::injectBitFlip(MemAddr addr, int byte, int bit)
 {
     TSP_ASSERT(byte >= 0 && byte < kLanes && bit >= 0 && bit < 8);

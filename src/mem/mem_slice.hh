@@ -18,6 +18,7 @@
 
 #include "arch/config.hh"
 #include "arch/types.hh"
+#include "common/snapshot_io.hh"
 #include "mem/addr.hh"
 #include "mem/ecc.hh"
 
@@ -133,6 +134,18 @@ class MemSlice
 
     /** @return X position on the superlane. */
     SlicePos pos() const { return Layout::memPos(hem_, index_); }
+
+    /**
+     * Serializes the SRAM image (data + SECDED check bits), CSR
+     * counters and port-conflict tracking. Sparse: unallocated banks
+     * and all-zero words are skipped — an all-zero stored word is
+     * behaviorally identical to untouched SRAM (zero data carries a
+     * zero code).
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restores the SRAM image and counters, replacing all content. */
+    void loadState(SnapshotReader &r);
 
   private:
     struct Word

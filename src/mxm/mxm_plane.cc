@@ -340,4 +340,98 @@ MxmPlane::tick(Cycle now)
     stepAcc(now);
 }
 
+void
+MxmPlane::saveState(SnapshotWriter &w) const
+{
+    io_.saveState(w);
+    w.bytes(wbuf_.data(), wbuf_.size());
+    w.bytes(winst_.data(), winst_.size());
+    for (const auto v : wbufF_)
+        w.u16(v);
+    for (const auto v : winstF_)
+        w.u16(v);
+    w.i32(fillRow_);
+    w.u8(static_cast<std::uint8_t>(weightType_));
+    w.u8(static_cast<std::uint8_t>(installedType_));
+
+    w.b(abc_.active);
+    w.u8(abc_.src.id);
+    w.u8(abc_.src.dir == Direction::West ? 1 : 0);
+    w.u32(abc_.remaining);
+    w.u32(abc_.index);
+    w.b(abc_.accumulate);
+    w.u8(static_cast<std::uint8_t>(abc_.atype));
+
+    w.b(acc_.active);
+    w.u8(acc_.dst.id);
+    w.u8(acc_.dst.dir == Direction::West ? 1 : 0);
+    w.u32(acc_.remaining);
+    w.u32(acc_.index);
+
+    for (const auto &row : accI_) {
+        for (const auto v : row)
+            w.i32(v);
+    }
+    for (const auto &row : accF_) {
+        for (const auto v : row)
+            w.f32(v);
+    }
+    w.u64(generation_);
+    w.u64(accGen_);
+    for (const auto g : indexGen_)
+        w.u64(g);
+
+    w.u64(maccOps_);
+    w.u64(activeCycles_);
+    w.u64(weightBytes_);
+}
+
+void
+MxmPlane::loadState(SnapshotReader &r)
+{
+    io_.loadState(r);
+    r.bytes(wbuf_.data(), wbuf_.size());
+    r.bytes(winst_.data(), winst_.size());
+    for (auto &v : wbufF_)
+        v = r.u16();
+    for (auto &v : winstF_)
+        v = r.u16();
+    fillRow_ = r.i32();
+    weightType_ = static_cast<DType>(r.u8());
+    installedType_ = static_cast<DType>(r.u8());
+    // The VNNI bias cache is derived state; recompute on demand.
+    rowSumsValid_ = false;
+
+    abc_.active = r.b();
+    abc_.src.id = r.u8();
+    abc_.src.dir = r.u8() ? Direction::West : Direction::East;
+    abc_.remaining = r.u32();
+    abc_.index = r.u32();
+    abc_.accumulate = r.b();
+    abc_.atype = static_cast<DType>(r.u8());
+
+    acc_.active = r.b();
+    acc_.dst.id = r.u8();
+    acc_.dst.dir = r.u8() ? Direction::West : Direction::East;
+    acc_.remaining = r.u32();
+    acc_.index = r.u32();
+
+    for (auto &row : accI_) {
+        for (auto &v : row)
+            v = r.i32();
+    }
+    for (auto &row : accF_) {
+        for (auto &v : row)
+            v = r.f32();
+    }
+    generation_ = r.u64();
+    accGen_ = r.u64();
+    for (auto &g : indexGen_)
+        g = r.u64();
+
+    maccOps_ = r.u64();
+    activeCycles_ = r.u64();
+    weightBytes_ = r.u64();
+}
+
 } // namespace tsp

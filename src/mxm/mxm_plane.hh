@@ -106,6 +106,17 @@ class MxmPlane
     /** Test hook: reads the fp16 installed weight bits. */
     std::uint16_t installedWeightF16(int row, int col) const;
 
+    /**
+     * Serializes weight buffers (staging + installed), sequencer
+     * state, the accumulator banks with their generation stamps, and
+     * counters. The lazy VNNI row-sum cache is excluded — it is
+     * recomputed deterministically from the installed weights.
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restores plane state (invalidates the row-sum cache). */
+    void loadState(SnapshotReader &r);
+
   private:
     void executeLw(const Instruction &inst, Cycle now);
     void executeIw(const Instruction &inst, Cycle now);

@@ -64,15 +64,44 @@ PodSession::runBounded(Cycle max_cycles)
     return runRaw(max_cycles);
 }
 
+void
+PodSession::captureSnapshot()
+{
+    auto snap = std::make_unique<PodSnapshot>();
+    if (pod_->snapshot(*snap)) {
+        lastSnap_ = std::move(snap);
+        ++snapshots_;
+    }
+}
+
 RunResult
 PodSession::runRaw(Cycle max_cycles)
 {
     // Member clocks are cumulative across reset() cycles, so the
     // budget applies relative to the current pod clock.
     const Cycle base = pod_->now();
+    const Cycle limit = base + max_cycles;
     RunResult r;
-    r.completed = pod_->runAllBounded(base + max_cycles);
-    machineChecked_ = pod_->machineCheck();
+    if (snapshotEvery_ > 0) {
+        // Chunked run with a snapshot at each boundary; resuming a
+        // limit-stopped runAllBounded() is bit-identical because
+        // member evolution is independent of scheduler interleaving.
+        // A machine-checked chunk takes no snapshot.
+        for (;;) {
+            const Cycle next =
+                std::min(limit, pod_->now() + snapshotEvery_);
+            r.completed = pod_->runAllBounded(next);
+            machineChecked_ = pod_->machineCheck();
+            if (r.completed || machineChecked_ ||
+                pod_->now() >= limit) {
+                break;
+            }
+            captureSnapshot();
+        }
+    } else {
+        r.completed = pod_->runAllBounded(limit);
+        machineChecked_ = pod_->machineCheck();
+    }
     timedOut_ = !r.completed && !machineChecked_;
     if (r.completed) {
         r.status = RunStatus::Completed;
@@ -99,6 +128,8 @@ PodSession::reset()
         // fault seed so a bounded retry does not deterministically
         // replay the upset that killed the run.
         ++rebuilds_;
+        for (int c = 0; c < chips_; ++c)
+            retiredCycles_ += pod_->chip(c).now();
         ChipConfig cfg = cfg_;
         cfg.fault.seed =
             deriveSeed(cfg_.fault.seed, SeedDomain::EngineRebuild,
@@ -112,7 +143,44 @@ PodSession::reset()
         pod_->chip(c).loadProgram(
             programs_[static_cast<std::size_t>(c)]);
     }
+    lastSnap_.reset(); // A snapshot never outlives its batch.
     fresh_ = true;
+}
+
+RunResult
+PodSession::migrateAndResume(Cycle max_cycles)
+{
+    TSP_ASSERT(lastSnap_ != nullptr);
+    // Rebuild discipline as in reset(): one condemned member poisons
+    // the collective, so the whole pod is rebuilt, with derived fault
+    // seeds so the killing upset sequence is not replayed.
+    ++rebuilds_;
+    ++migrations_;
+    ChipConfig cfg = cfg_;
+    cfg.fault.seed =
+        deriveSeed(cfg_.fault.seed, SeedDomain::EngineRebuild,
+                   static_cast<std::uint64_t>(rebuilds_));
+    auto fresh = std::make_unique<Pod>(chips_, wireLatency_, cfg);
+    for (int c = 0; c < chips_; ++c) {
+        fresh->chip(c).loadProgram(
+            programs_[static_cast<std::size_t>(c)]);
+    }
+    std::string err;
+    if (!fresh->restore(*lastSnap_, &err))
+        return {false, RunStatus::MachineCheck, 0};
+    // Retire only the span the restored members will not re-cover:
+    // each resumes at its snapshot-time clock, so the (snapshot,
+    // fault] segment is re-executed and must not be double-counted.
+    for (int c = 0; c < chips_; ++c) {
+        const Cycle old_now = pod_->chip(c).now();
+        const Cycle new_now = fresh->chip(c).now();
+        retiredCycles_ += old_now - std::min(old_now, new_now);
+    }
+    pod_ = std::move(fresh);
+    machineChecked_ = false;
+    timedOut_ = false;
+    fresh_ = false; // Mid-collective: no record/replay footing.
+    return runRaw(max_cycles);
 }
 
 void
@@ -127,6 +195,15 @@ PodSession::readWord(int chip, Hemisphere hem, int slice,
                      MemAddr addr) const
 {
     return pod_->chip(chip).mem(hem, slice).backdoorRead(addr);
+}
+
+Cycle
+PodSession::totalCycles() const
+{
+    Cycle total = retiredCycles_;
+    for (int c = 0; c < chips_; ++c)
+        total += pod_->chip(c).now();
+    return total;
 }
 
 StatGroup

@@ -21,6 +21,7 @@
 
 #include "c2c/pod.hh"
 #include "runtime/session.hh"
+#include "sim/snapshot.hh"
 
 namespace tsp {
 
@@ -86,9 +87,52 @@ class PodSession
     /** @return cycles consumed by the last run. */
     Cycle cycles() const { return cycles_; }
 
+    /**
+     * @return member-summed chip cycles consumed over the session's
+     * lifetime, *including* cycles burned on pods later condemned
+     * and rebuilt (mirrors InferenceSession::totalCycles()).
+     */
+    Cycle totalCycles() const;
+
     /** @return the pod. */
     Pod &pod() { return *pod_; }
     const Pod &pod() const { return *pod_; }
+
+    // --- Periodic snapshots + mid-batch migration ---
+
+    /**
+     * Arms periodic pod snapshotting: bounded runs advance in chunks
+     * of @p every cycles, capturing a PodSnapshot at each chunk
+     * boundary (never after a machine check). 0 disables. A chunk
+     * boundary is a consistent cut even when member clocks differ by
+     * the conservative lookahead: every C2C vector is delivered into
+     * the receiver's link queue at send time, so per-chip state is
+     * the whole joint state. Mirrors
+     * InferenceSession::enableSnapshots().
+     */
+    void enableSnapshots(Cycle every) { snapshotEvery_ = every; }
+
+    /** @return the armed snapshot cadence (0 when disabled). */
+    Cycle snapshotEvery() const { return snapshotEvery_; }
+
+    /** @return the last captured snapshot, or nullptr. Cleared by
+     *  reset(). */
+    const PodSnapshot *lastSnapshot() const { return lastSnap_.get(); }
+
+    /** @return snapshots captured since construction. */
+    std::uint64_t snapshotCount() const { return snapshots_; }
+
+    /** @return machine-check recoveries served via migration. */
+    int migrations() const { return migrations_; }
+
+    /**
+     * Machine-check recovery without a full retry: rebuilds the whole
+     * pod (fresh derived fault seeds), reloads the programs, restores
+     * the last pre-fault snapshot and resumes for at most
+     * @p max_cycles more. Mirrors
+     * InferenceSession::migrateAndResume().
+     */
+    RunResult migrateAndResume(Cycle max_cycles = 500'000'000);
 
     /** @return member-aggregated statistics (sums across chips). */
     StatGroup stats() const;
@@ -126,6 +170,9 @@ class PodSession
     /** The original Pod::runAllBounded() path. */
     RunResult runRaw(Cycle max_cycles);
 
+    /** Captures a snapshot if every member permits one right now. */
+    void captureSnapshot();
+
     /** @return every member chip, in ring order. */
     std::vector<Chip *> members();
     int chips_;
@@ -139,6 +186,13 @@ class PodSession
     MachineCheckInfo lastMc_{};
     int mcChip_ = -1;
     int rebuilds_ = 0;
+    /** Member cycles consumed by pods already discarded. */
+    Cycle retiredCycles_ = 0;
+
+    Cycle snapshotEvery_ = 0;
+    std::unique_ptr<PodSnapshot> lastSnap_;
+    std::uint64_t snapshots_ = 0;
+    int migrations_ = 0;
 
     bool replayEnabled_ = false;
     /** True between loadPrograms()/reset() and the next run. */

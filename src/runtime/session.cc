@@ -110,15 +110,45 @@ InferenceSession::runBounded(Cycle max_cycles)
     return runRaw(max_cycles);
 }
 
+void
+InferenceSession::captureSnapshot()
+{
+    auto snap = std::make_unique<ChipSnapshot>();
+    if (chip_->snapshot(*snap)) {
+        lastSnap_ = std::move(snap);
+        ++snapshots_;
+    }
+}
+
 RunResult
 InferenceSession::runRaw(Cycle max_cycles)
 {
     // The chip clock is cumulative across reset() cycles, so the
     // budget is applied relative to the current time.
     const Cycle base = chip_->now();
+    const Cycle limit = base + max_cycles;
     RunResult r;
-    r.completed = chip_->runBounded(base + max_cycles);
-    machineChecked_ = chip_->machineCheck();
+    if (snapshotEvery_ > 0) {
+        // Chunked run with a snapshot at each boundary. runBounded()
+        // stops bit-identically at any absolute cycle (even inside a
+        // fast-forwarded idle span), so chunking never perturbs the
+        // simulation. A machine-checked chunk takes no snapshot: the
+        // last capture always precedes the first uncorrectable error.
+        for (;;) {
+            const Cycle next =
+                std::min(limit, chip_->now() + snapshotEvery_);
+            r.completed = chip_->runBounded(next);
+            machineChecked_ = chip_->machineCheck();
+            if (r.completed || machineChecked_ ||
+                chip_->now() >= limit) {
+                break;
+            }
+            captureSnapshot();
+        }
+    } else {
+        r.completed = chip_->runBounded(limit);
+        machineChecked_ = chip_->machineCheck();
+    }
     timedOut_ = !r.completed && !machineChecked_;
     if (r.completed) {
         r.status = RunStatus::Completed;
@@ -147,6 +177,7 @@ InferenceSession::reset()
         // model a fault wired to a cycle, and bounded retries against
         // them end in FailedMachineCheck by design.)
         ++rebuilds_;
+        retiredCycles_ += chip_->now();
         ChipConfig cfg = cfg_;
         cfg.fault.seed =
             deriveSeed(cfg_.fault.seed, SeedDomain::EngineRebuild,
@@ -157,7 +188,42 @@ InferenceSession::reset()
     }
     chip_->loadProgram(*prog_);
     lw_->image().applyTo(*chip_);
+    lastSnap_.reset(); // A snapshot never outlives its batch.
     fresh_ = true;
+}
+
+RunResult
+InferenceSession::migrateAndResume(Cycle max_cycles)
+{
+    TSP_ASSERT(lastSnap_ != nullptr);
+    // Same rebuild discipline as reset() after a machine check: only
+    // a fresh chip is trustworthy, and it draws a derived fault seed
+    // so the condemned chip's upset sequence is not replayed.
+    ++rebuilds_;
+    ++migrations_;
+    ChipConfig cfg = cfg_;
+    cfg.fault.seed =
+        deriveSeed(cfg_.fault.seed, SeedDomain::EngineRebuild,
+                   static_cast<std::uint64_t>(rebuilds_));
+    auto fresh = std::make_unique<Chip>(cfg);
+    fresh->loadProgram(*prog_);
+    std::string err;
+    if (!fresh->restore(*lastSnap_, &err)) {
+        // Same program, config and fault environment, so this cannot
+        // happen; if it somehow does, stay condemned and let the
+        // caller fall back to a full retry.
+        return {false, RunStatus::MachineCheck, 0};
+    }
+    // The condemned chip ran from 0 to its fault; the restored one
+    // resumes at the snapshot cycle. Only the span the new chip will
+    // not re-cover is retired, or lifetime cycles would double-count
+    // the (snapshot, fault] segment it replays.
+    retiredCycles_ += chip_->now() - std::min(chip_->now(), fresh->now());
+    chip_ = std::move(fresh);
+    machineChecked_ = false;
+    timedOut_ = false;
+    fresh_ = false; // Mid-program: no record/replay footing.
+    return runRaw(max_cycles);
 }
 
 double

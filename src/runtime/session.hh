@@ -22,6 +22,7 @@
 #include "compiler/lowering.hh"
 #include "ref/qnn.hh"
 #include "sim/chip.hh"
+#include "sim/snapshot.hh"
 
 namespace tsp {
 
@@ -136,6 +137,44 @@ class InferenceSession
     Chip &chip() { return *chip_; }
     const Chip &chip() const { return *chip_; }
 
+    // --- Periodic snapshots + mid-batch migration ---
+
+    /**
+     * Arms periodic snapshotting: bounded runs advance in chunks of
+     * @p every cycles and capture a ChipSnapshot at each chunk
+     * boundary (never after a machine check, so the last snapshot
+     * always precedes the first uncorrectable error). 0 disables.
+     * Capture is skipped silently whenever the chip refuses (e.g. a
+     * trace recording is in progress). Chunking itself is invisible:
+     * Chip::runBounded() stops bit-identically at any absolute cycle.
+     */
+    void enableSnapshots(Cycle every) { snapshotEvery_ = every; }
+
+    /** @return the armed snapshot cadence (0 when disabled). */
+    Cycle snapshotEvery() const { return snapshotEvery_; }
+
+    /** @return the last captured snapshot, or nullptr. Cleared by
+     *  reset() — a snapshot never outlives its batch. */
+    const ChipSnapshot *lastSnapshot() const { return lastSnap_.get(); }
+
+    /** @return snapshots captured since construction. */
+    std::uint64_t snapshotCount() const { return snapshots_; }
+
+    /** @return machine-check recoveries served via migration. */
+    int migrations() const { return migrations_; }
+
+    /**
+     * Machine-check recovery without a full retry: rebuilds the chip
+     * (fresh derived fault seed), reloads the program, restores the
+     * last pre-fault snapshot onto it and resumes the run for at most
+     * @p max_cycles more. The restored chip keeps its fresh RNG
+     * streams, so the upset that condemned the source is not replayed
+     * (scheduled FaultEvents do replay — they are wired to cycles).
+     * Requires lastSnapshot() != nullptr; if the restore is refused
+     * the session stays condemned and the result reads MachineCheck.
+     */
+    RunResult migrateAndResume(Cycle max_cycles = 500'000'000);
+
     /**
      * Enables the trace record/replay tier: the first complete run
      * after a reset() records the resolved micro-op sequence, and
@@ -171,6 +210,14 @@ class InferenceSession
     /** @return cycles consumed by the last run(). */
     Cycle cycles() const { return cycles_; }
 
+    /**
+     * @return chip cycles consumed over the session's lifetime,
+     * *including* cycles burned on engines later condemned and
+     * rebuilt — the honest compute cost of retries and migrations,
+     * which the current chip's clock alone under-reports.
+     */
+    Cycle totalCycles() const { return retiredCycles_ + chip_->now(); }
+
     /** @return compute latency of the last run in seconds. */
     double latencySeconds() const;
 
@@ -180,6 +227,9 @@ class InferenceSession
   private:
     /** The original per-cycle / fast-forward run path. */
     RunResult runRaw(Cycle max_cycles);
+
+    /** Captures a snapshot if the chip permits one right now. */
+    void captureSnapshot();
 
     /** @return true when this config may ever record or replay. */
     bool replayEligible() const;
@@ -195,6 +245,13 @@ class InferenceSession
     MachineCheckInfo lastMc_{};
     int rebuilds_ = 0;
     double dmaSeconds_ = 0.0;
+    /** Cycles consumed by chips already discarded (see totalCycles). */
+    Cycle retiredCycles_ = 0;
+
+    Cycle snapshotEvery_ = 0;
+    std::unique_ptr<ChipSnapshot> lastSnap_;
+    std::uint64_t snapshots_ = 0;
+    int migrations_ = 0;
 
     bool replayEnabled_ = false;
     /**

@@ -2,6 +2,7 @@
 
 #include "c2c/collective.hh"
 #include "common/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace tsp::serve {
 
@@ -81,11 +82,16 @@ SessionBackend::attachTraceCache(std::shared_ptr<TraceCache> t)
     sess_.enableReplay(traces_ != nullptr);
 }
 
-const void *
+TraceKey
 SessionBackend::traceKey() const
 {
-    return cache_ ? static_cast<const void *>(sess_.program())
-                  : static_cast<const void *>(lwKey_);
+    // Pointer identity alone would be an ABA hazard (a retired
+    // program's address can be reused by a different one); the chip's
+    // cached program content hash disambiguates.
+    const void *ptr = cache_
+                          ? static_cast<const void *>(sess_.program())
+                          : static_cast<const void *>(lwKey_);
+    return {ptr, sess_.chip().programHash()};
 }
 
 RunResult
@@ -95,7 +101,7 @@ SessionBackend::runBounded(Cycle max_cycles)
         return sess_.runBounded(max_cycles);
     // Seed the session from the pool cache (another worker may have
     // recorded this program already); publish a fresh recording back.
-    const void *key = traceKey();
+    const TraceKey key = traceKey();
     if (!sess_.trace())
         sess_.setTrace(traces_->find(key));
     const bool had = sess_.trace() != nullptr;
@@ -131,7 +137,9 @@ SessionBackend::machineCheckCount() const
 Cycle
 SessionBackend::totalCycles() const
 {
-    return sess_.chip().now();
+    // Lifetime accounting: the current chip's clock alone forgets
+    // cycles burned on engines condemned and rebuilt along the way.
+    return sess_.totalCycles();
 }
 
 namespace {
@@ -157,8 +165,15 @@ PodBackend::PodBackend(int chips, Cycle wire_latency, ChipConfig cfg,
     TSP_ASSERT(max_batch >= 1 &&
                max_batch <= AllReducePlan::kMaxBatch);
     progs_.reserve(static_cast<std::size_t>(max_batch));
-    for (int b = 1; b <= max_batch; ++b)
+    progHashes_.reserve(static_cast<std::size_t>(max_batch));
+    for (int b = 1; b <= max_batch; ++b) {
         progs_.push_back(allReducePrograms(sess_.pod(), b));
+        std::uint64_t h = 0;
+        for (const AsmProgram &p : progs_.back())
+            h ^= hashProgram(p) + 0x9e3779b97f4a7c15ull + (h << 6) +
+                 (h >> 2);
+        progHashes_.push_back(h);
+    }
     sess_.loadPrograms(progs_[0]);
 }
 
@@ -259,7 +274,9 @@ PodBackend::runBounded(Cycle max_cycles)
     // Keyed by this backend's compiled batch-b collective: the trace
     // survives batch switches (loadPrograms drops the session's own
     // copy) and LRU-competes with every other program in the pool.
-    const void *key = &progs_[static_cast<std::size_t>(bound_ - 1)];
+    // Content-fingerprinted against pointer reuse (ABA).
+    const std::size_t bi = static_cast<std::size_t>(bound_ - 1);
+    const TraceKey key(&progs_[bi], progHashes_[bi]);
     if (!sess_.trace())
         sess_.setTrace(traces_->find(key));
     const bool had = sess_.trace() != nullptr;
@@ -304,11 +321,8 @@ PodBackend::machineCheckCount() const
 Cycle
 PodBackend::totalCycles() const
 {
-    Cycle total = 0;
-    const Pod &pod = sess_.pod();
-    for (int c = 0; c < pod.size(); ++c)
-        total += pod.chip(c).now();
-    return total;
+    // Lifetime accounting across rebuilds, as in SessionBackend.
+    return sess_.totalCycles();
 }
 
 } // namespace tsp::serve

@@ -100,6 +100,44 @@ class Backend
     /** @return runs that recorded a trace. */
     virtual std::uint64_t recordCount() const { return 0; }
 
+    // --- Snapshot-based mid-batch migration (optional) ---
+
+    /**
+     * Arms periodic engine snapshotting with cadence @p every cycles
+     * (0 disables); see InferenceSession::enableSnapshots(). Default:
+     * no-op (engine without snapshot support).
+     */
+    virtual void enableSnapshots(Cycle /*every*/) {}
+
+    /**
+     * @return true when a clean pre-fault snapshot of the current
+     * batch exists, i.e. migrateAndResume() can recover it without a
+     * full retry.
+     */
+    virtual bool canMigrate() const { return false; }
+
+    /**
+     * Machine-check recovery: rebuilds the engine, restores the last
+     * pre-fault snapshot and resumes the batch for at most
+     * @p max_cycles more. Only meaningful after canMigrate().
+     */
+    virtual RunResult
+    migrateAndResume(Cycle /*max_cycles*/)
+    {
+        return {false, RunStatus::MachineCheck, 0};
+    }
+
+    /** @return batches recovered via migration. */
+    virtual int migrations() const { return 0; }
+
+    /**
+     * @return modeled host-side seconds to rebuild this engine and
+     * restage its image before a retry or migration resume (the DMA
+     * re-transfer for a chip; 0 when restaging is free). The retry
+     * policy books this on top of the recompute time.
+     */
+    virtual double rebuildPenaltySec() const { return 0.0; }
+
     // Batch-1 shorthands (legacy call sites and simple clients).
     void reset() { resetBatch(1); }
     void writeInput(const std::vector<std::int8_t> &input)
@@ -153,6 +191,23 @@ class SessionBackend final : public Backend
     {
         return sess_.recordCount();
     }
+    void enableSnapshots(Cycle every) override
+    {
+        sess_.enableSnapshots(every);
+    }
+    bool canMigrate() const override
+    {
+        return sess_.lastSnapshot() != nullptr;
+    }
+    RunResult migrateAndResume(Cycle max_cycles) override
+    {
+        return sess_.migrateAndResume(max_cycles);
+    }
+    int migrations() const override { return sess_.migrations(); }
+    double rebuildPenaltySec() const override
+    {
+        return sess_.dmaSeconds();
+    }
 
     /** @return the underlying session (tests). */
     InferenceSession &session() { return sess_; }
@@ -172,7 +227,7 @@ class SessionBackend final : public Backend
      * worker of a pool shares even though each session compiled its
      * own (identical) program copy.
      */
-    const void *traceKey() const;
+    TraceKey traceKey() const;
     const Lowering *lwKey_ = nullptr;
 };
 
@@ -232,6 +287,20 @@ class PodBackend final : public Backend
     {
         return sess_.recordCount();
     }
+    void enableSnapshots(Cycle every) override
+    {
+        sess_.enableSnapshots(every);
+    }
+    bool canMigrate() const override
+    {
+        return sess_.lastSnapshot() != nullptr;
+    }
+    RunResult migrateAndResume(Cycle max_cycles) override
+    {
+        return sess_.migrateAndResume(max_cycles);
+    }
+    int migrations() const override { return sess_.migrations(); }
+    // Pod inputs are backdoor-staged; rebuilds carry no modeled DMA.
 
     /** @return the underlying pod session (tests). */
     PodSession &session() { return sess_; }
@@ -240,6 +309,8 @@ class PodBackend final : public Backend
     PodSession sess_;
     /** progs_[b-1]: the compiled batch-b collective. */
     std::vector<std::vector<AsmProgram>> progs_;
+    /** progHashes_[b-1]: content fingerprint for the trace key. */
+    std::vector<std::uint64_t> progHashes_;
     int bound_ = 1; ///< Batch size currently loaded.
     std::shared_ptr<TraceCache> traces_;
 };

@@ -113,6 +113,10 @@ struct Result
     /** Re-runs after machine checks (0 = served on first attempt). */
     std::uint32_t retries = 0;
 
+    /** Machine-check recoveries served by snapshot migration rather
+     *  than a full retry (see ServerConfig::migrateOnMachineCheck). */
+    std::uint32_t migrations = 0;
+
     /** Uncorrectable errors raised across this request's attempts. */
     std::uint64_t machineChecks = 0;
 

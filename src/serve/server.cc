@@ -66,6 +66,16 @@ InferenceServer::InferenceServer(const BackendFactory &factory,
         for (const auto &b : backends_)
             b->attachTraceCache(traceCache_);
     }
+    if (cfg_.migrateOnMachineCheck || cfg_.snapshotEveryCycles > 0) {
+        // Default cadence: 8 snapshots per batch-1 service — cheap
+        // (serialization is tiny next to simulation) yet fine-grained
+        // enough that a migration re-executes at most ~1/8 of a run.
+        Cycle every = cfg_.snapshotEveryCycles;
+        if (every == 0)
+            every = std::max<Cycle>(1, admission_.serviceCycles(1) / 8);
+        for (const auto &b : backends_)
+            b->enableSnapshots(every);
+    }
     effBatchMax_ =
         std::max(1, std::min(cfg_.batchMax, admission_.maxBatch()));
     for (const auto &b : backends_)
@@ -291,9 +301,18 @@ InferenceServer::workerLoop(int w)
                                           m.req.deadlineSec);
         }
 
+        // Engine rebuilds are not free: each retry (and each
+        // migration resume) first re-stages the engine image over
+        // the host link. Booking retries against service time alone
+        // under-estimates the completion and admits retries that
+        // cannot make their deadline.
+        const double rebuild = be.rebuildPenaltySec();
+
         std::uint32_t retries = 0;
+        int migrations = 0;
         std::uint64_t machine_checks = 0;
         std::uint64_t corrected = 0;
+        double migratedSec = 0.0; // Burned by pre-migration segments.
         RunResult rr;
         for (;;) {
             // resetBatch() rebuilds a condemned (or timed-out)
@@ -309,12 +328,33 @@ InferenceServer::workerLoop(int w)
             const std::uint64_t cor0 = be.correctedErrors();
             rr = be.runBounded(cfg_.maxCyclesPerRun);
             corrected += be.correctedErrors() - cor0;
+            // Mid-batch migration: restore the last pre-fault
+            // snapshot onto a rebuilt engine and resume, instead of
+            // burning a full retry. Only when a clean snapshot
+            // precedes the first uncorrectable error; otherwise fall
+            // through to the full-retry policy.
+            while (rr.status == RunStatus::MachineCheck &&
+                   cfg_.migrateOnMachineCheck && be.canMigrate() &&
+                   migrations < cfg_.maxMigrations) {
+                machine_checks += be.machineCheckCount();
+                migratedSec +=
+                    static_cast<double>(rr.cycles) * period + rebuild;
+                ++migrations;
+                const std::uint64_t mcor0 = be.correctedErrors();
+                rr = be.migrateAndResume(cfg_.maxCyclesPerRun);
+                const std::uint64_t mcor1 = be.correctedErrors();
+                // The restored engine's counter rewinds to the
+                // snapshot-time value; only count forward progress.
+                if (mcor1 > mcor0)
+                    corrected += mcor1 - mcor0;
+            }
             if (rr.status != RunStatus::MachineCheck)
                 break;
             machine_checks += be.machineCheckCount();
             const double retry_completion =
-                job.booking.startSec +
-                static_cast<double>(retries + 2) * service;
+                job.booking.startSec + migratedSec +
+                static_cast<double>(retries + 2) * service +
+                static_cast<double>(retries + 1) * rebuild;
             if (static_cast<int>(retries) >= cfg_.maxRetries ||
                 (min_deadline > 0.0 &&
                  retry_completion > min_deadline)) {
@@ -334,6 +374,7 @@ InferenceServer::workerLoop(int w)
             r.predictedCycles = predicted;
             r.measuredCycles = rr.cycles;
             r.retries = retries;
+            r.migrations = static_cast<std::uint32_t>(migrations);
             r.machineChecks = machine_checks;
             r.correctedErrors = corrected;
             r.arrivalSec = m.req.arrivalSec;
@@ -354,7 +395,11 @@ InferenceServer::workerLoop(int w)
                 r.outcome = Outcome::Failed;
         } else {
             bool recheck = false;
-            if (rr.cycles != predicted) {
+            // After a migration rr.cycles spans only the resumed
+            // segment, so a mismatch with the whole-run prediction is
+            // expected — the migration accounting below already
+            // re-derives the completion from measured time.
+            if (rr.cycles != predicted && migrations == 0) {
                 // Defensive path — determinism says this is dead
                 // code; if it ever fires, re-derive the completion
                 // from the measured cycles and re-check deadlines.
@@ -369,12 +414,16 @@ InferenceServer::workerLoop(int w)
                     job.members[static_cast<std::size_t>(s)];
                 Result &r = results[static_cast<std::size_t>(s)];
                 r.output = be.readSample(s);
-                if (retries > 0 || recheck) {
+                if (retries > 0 || migrations > 0 || recheck) {
                     // Each machine-checked attempt burned one batch
-                    // service time before the successful re-run.
+                    // service time plus an engine rebuild, and each
+                    // migration burned its failed segment plus a
+                    // rebuild, before the successful (re)run.
                     r.completionSec =
                         r.startSec +
-                        static_cast<double>(retries) * service +
+                        static_cast<double>(retries) *
+                            (service + rebuild) +
+                        migratedSec +
                         static_cast<double>(rr.cycles) * period;
                     r.outcome =
                         (m.req.deadlineSec > 0.0 &&

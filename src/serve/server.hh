@@ -85,6 +85,29 @@ struct ServerConfig
     int maxRetries = 2;
 
     /**
+     * Periodic engine-snapshot cadence in cycles (0 disables). With
+     * migrateOnMachineCheck and 0 here, the server derives a default
+     * of serviceCycles/8. See Backend::enableSnapshots().
+     */
+    Cycle snapshotEveryCycles = 0;
+
+    /**
+     * Recover a machine-checked batch by restoring its last pre-fault
+     * snapshot onto a rebuilt engine and resuming (mid-batch
+     * migration), instead of burning a full retry. Falls back to the
+     * retry path when no clean snapshot precedes the first
+     * uncorrectable error. Implies periodic snapshotting.
+     */
+    bool migrateOnMachineCheck = false;
+
+    /**
+     * Migration attempts permitted per batch (a resumed run can
+     * machine-check again under sustained fault rates); exhaustion
+     * falls back to the full-retry policy.
+     */
+    int maxMigrations = 8;
+
+    /**
      * Largest batch submit() may form (clamped to what the admission
      * table and every backend support). 1 disables batching and the
      * server behaves exactly like the pre-batching tier.

@@ -1,6 +1,7 @@
 #include "sim/chip.hh"
 
 #include "common/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace tsp {
 
@@ -85,6 +86,7 @@ Chip::loadProgram(const AsmProgram &program)
     // a fresh one (session reuse determinism).
     barrier_.clear();
     lastStepQuiet_ = true;
+    programHash_ = hashProgram(program);
 }
 
 void

@@ -32,6 +32,8 @@
 
 namespace tsp {
 
+struct ChipSnapshot;
+
 /** One instruction-dispatch trace event (for schedule dumps). */
 struct TraceEvent
 {
@@ -190,6 +192,29 @@ class Chip
     /** @return Ifetch instructions observed (fetch-bandwidth stat). */
     std::uint64_t ifetchCount() const { return ifetches_; }
 
+    // --- Snapshot/restore (see sim/snapshot.hh) ---
+
+    /**
+     * Serializes the full architectural state into @p out at the
+     * current quiesce point (between steps). Refuses — returning
+     * false with @p err set — while a trace recorder is armed, a
+     * replay is in progress, or the dispatch trace is enabled.
+     */
+    bool snapshot(ChipSnapshot &out, std::string *err = nullptr) const;
+
+    /**
+     * Restores @p snap onto this chip. The chip must have the same
+     * configuration (fastForwardEnabled and fault seed excepted), the
+     * same program loaded and the same fault environment; hash
+     * mismatches refuse with @p err set. With the same fault seed the
+     * RNG streams resume exactly (bit-identical continuation); with a
+     * different seed this chip keeps its fresh streams (migration).
+     */
+    bool restore(const ChipSnapshot &snap, std::string *err = nullptr);
+
+    /** @return content hash of the loaded program (0 when none). */
+    std::uint64_t programHash() const { return programHash_; }
+
     // --- Trace record/replay tier (see sim/exec_trace.hh) ---
 
     /**
@@ -250,6 +275,7 @@ class Chip
     std::vector<InstructionQueue> queues_;     // 144.
 
     std::vector<TraceEvent> trace_;
+    std::uint64_t programHash_ = 0;  ///< hashProgram() of the loaded program.
     std::uint64_t ifetches_ = 0;
     std::uint64_t dispatchesThisCycle_ = 0;
 

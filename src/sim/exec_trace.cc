@@ -284,7 +284,7 @@ replayTrace(const ExecutionTrace &trace,
 }
 
 std::shared_ptr<const ExecutionTrace>
-TraceCache::find(const void *key)
+TraceCache::find(const TraceKey &key)
 {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = map_.find(key);
@@ -295,7 +295,7 @@ TraceCache::find(const void *key)
 }
 
 void
-TraceCache::insert(const void *key,
+TraceCache::insert(const TraceKey &key,
                    std::shared_ptr<const ExecutionTrace> trace)
 {
     if (!trace)
@@ -314,7 +314,7 @@ TraceCache::insert(const void *key,
 }
 
 void
-TraceCache::invalidate(const void *key)
+TraceCache::invalidate(const TraceKey &key)
 {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = map_.find(key);

@@ -194,6 +194,46 @@ void replayTrace(const ExecutionTrace &trace,
  * A byte-bounded LRU cache of execution traces shared by a serving
  * pool's workers, keyed by compiled-program identity. Thread-safe.
  */
+/**
+ * TraceCache key: an identity pointer *plus* a content fingerprint
+ * (e.g. hashProgram() of the compiled program). The pointer alone is
+ * an ABA hazard: retire a program, allocate a different one at the
+ * same address, and a pointer-keyed cache would serve the stale tape
+ * — replayed wholesale as the wrong program's results. A lookup whose
+ * fingerprint differs from the cached entry's simply misses, and the
+ * stale entry ages out of the LRU.
+ */
+struct TraceKey
+{
+    const void *ptr = nullptr;
+    std::uint64_t fingerprint = 0;
+
+    TraceKey(const void *p, std::uint64_t fp = 0)
+        : ptr(p), fingerprint(fp)
+    {
+    }
+
+    bool
+    operator==(const TraceKey &o) const
+    {
+        return ptr == o.ptr && fingerprint == o.fingerprint;
+    }
+};
+
+struct TraceKeyHash
+{
+    std::size_t
+    operator()(const TraceKey &k) const
+    {
+        // Multiplicative mix; the pointer and the fingerprint both
+        // perturb every output bit.
+        std::uint64_t h = reinterpret_cast<std::uintptr_t>(k.ptr);
+        h ^= k.fingerprint + 0x9e3779b97f4a7c15ull + (h << 6) +
+             (h >> 2);
+        return static_cast<std::size_t>(h);
+    }
+};
+
 class TraceCache
 {
   public:
@@ -207,14 +247,14 @@ class TraceCache
     }
 
     /** @return the cached trace for @p key, or null; refreshes LRU. */
-    std::shared_ptr<const ExecutionTrace> find(const void *key);
+    std::shared_ptr<const ExecutionTrace> find(const TraceKey &key);
 
     /** Inserts (or replaces) @p key's trace; evicts LRU over budget. */
-    void insert(const void *key,
+    void insert(const TraceKey &key,
                 std::shared_ptr<const ExecutionTrace> trace);
 
     /** Drops @p key's trace (weight reinstall, program retire). */
-    void invalidate(const void *key);
+    void invalidate(const TraceKey &key);
 
     /** @return cached trace count. */
     std::size_t size() const;
@@ -224,13 +264,14 @@ class TraceCache
 
   private:
     using LruList = std::list<
-        std::pair<const void *, std::shared_ptr<const ExecutionTrace>>>;
+        std::pair<TraceKey, std::shared_ptr<const ExecutionTrace>>>;
 
     void evictOverBudgetLocked();
 
     mutable std::mutex mu_;
     LruList lru_; ///< Front = most recent.
-    std::unordered_map<const void *, LruList::iterator> map_;
+    std::unordered_map<TraceKey, LruList::iterator, TraceKeyHash>
+        map_;
     std::size_t bytes_ = 0;
     std::size_t budget_;
 };

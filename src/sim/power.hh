@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "arch/config.hh"
+#include "common/snapshot_io.hh"
 
 namespace tsp {
 
@@ -81,6 +82,30 @@ class PowerModel
      * layer power plot.
      */
     std::vector<double> downsampledTrace(std::size_t buckets) const;
+
+    /** Serializes accumulated energy, cycles and the power trace. */
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.f64(energyJ_);
+        w.u64(cycles_);
+        w.u64(trace_.size());
+        for (const float v : trace_)
+            w.f32(v);
+    }
+
+    /** Restores accumulated energy, cycles and the power trace. */
+    void
+    loadState(SnapshotReader &r)
+    {
+        energyJ_ = r.f64();
+        cycles_ = r.u64();
+        trace_.clear();
+        const std::uint64_t n = r.u64();
+        trace_.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n && r.ok(); ++i)
+            trace_.push_back(r.f32());
+    }
 
   private:
     const ChipConfig &cfg_;

@@ -220,6 +220,116 @@ StreamFabric::advanceBy(Cycle n)
     applyPendingNow();
 }
 
+namespace {
+
+void
+putVec(SnapshotWriter &w, const Vec320 &v)
+{
+    w.bytes(v.bytes.data(), v.bytes.size());
+    for (const auto e : v.ecc)
+        w.u16(e);
+}
+
+void
+getVec(SnapshotReader &r, Vec320 &v)
+{
+    r.bytes(v.bytes.data(), v.bytes.size());
+    for (auto &e : v.ecc)
+        e = r.u16();
+}
+
+void
+putPendingWrite(SnapshotWriter &w, Cycle when, StreamRef s,
+                SlicePos pos, std::uint32_t tag, const Vec320 &vec)
+{
+    w.u64(when);
+    w.u8(s.id);
+    w.u8(s.dir == Direction::West ? 1 : 0);
+    w.i32(pos);
+    w.u32(tag);
+    putVec(w, vec);
+}
+
+} // namespace
+
+void
+StreamFabric::saveState(SnapshotWriter &w) const
+{
+    w.u64(cycle_);
+    for (const auto &ring : rings_) {
+        w.u32(static_cast<std::uint32_t>(ring.validInRing));
+        for (std::size_t idx = 0; idx < ring.slots.size(); ++idx) {
+            const Entry &e = ring.slots[idx];
+            if (!e.valid)
+                continue;
+            w.u16(static_cast<std::uint16_t>(idx));
+            w.u64(e.writtenAt);
+            w.u32(e.tag);
+            putVec(w, e.vec);
+        }
+    }
+    // All scheduled-but-unapplied writes, flattened with their
+    // visibility cycle; loadState() re-inserts via scheduleWrite.
+    std::uint64_t pending = 0;
+    for (const auto &b : pendingRing_)
+        pending += b.writes.size();
+    for (const auto &[when, writes] : overflow_)
+        pending += writes.size();
+    w.u64(pending);
+    for (const auto &b : pendingRing_) {
+        for (const PendingWrite &pw : b.writes)
+            putPendingWrite(w, b.when, pw.s, pw.pos, pw.tag, pw.vec);
+    }
+    for (const auto &[when, writes] : overflow_) {
+        for (const PendingWrite &pw : writes)
+            putPendingWrite(w, when, pw.s, pw.pos, pw.tag, pw.vec);
+    }
+    w.u64(validCount_);
+    w.u64(totalHops_);
+    w.u64(totalWrites_);
+}
+
+void
+StreamFabric::loadState(SnapshotReader &r)
+{
+    clear();
+    cycle_ = r.u64();
+    for (auto &ring : rings_) {
+        const std::uint32_t n = r.u32();
+        for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+            const std::uint16_t idx = r.u16();
+            if (idx >= ring.slots.size())
+                break;
+            Entry &e = ring.slots[idx];
+            e.valid = true;
+            e.writtenAt = r.u64();
+            e.writer = "snapshot";
+            e.tag = r.u32();
+            getVec(r, e.vec);
+            ++ring.validInRing;
+            ++validCount_;
+        }
+    }
+    const std::uint64_t pending = r.u64();
+    for (std::uint64_t i = 0; i < pending && r.ok(); ++i) {
+        const Cycle when = r.u64();
+        StreamRef s{};
+        s.id = r.u8();
+        s.dir = r.u8() ? Direction::West : Direction::East;
+        const SlicePos pos = r.i32();
+        const std::uint32_t tag = r.u32();
+        Vec320 vec;
+        getVec(r, vec);
+        // Pending means strictly in the future: writes for the
+        // restored cycle were applied before the snapshot was taken.
+        TSP_ASSERT(when > cycle_);
+        scheduleWrite(s, pos, vec, when, "snapshot", tag);
+    }
+    validCount_ = r.u64();
+    totalHops_ = r.u64();
+    totalWrites_ = r.u64();
+}
+
 void
 StreamFabric::clear()
 {

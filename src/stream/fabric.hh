@@ -31,6 +31,7 @@
 
 #include "arch/layout.hh"
 #include "arch/types.hh"
+#include "common/snapshot_io.hh"
 #include "isa/instruction.hh"
 #include "stream/trace_tape.hh"
 
@@ -175,6 +176,18 @@ class StreamFabric
         totalHops_ += hops;
         totalWrites_ += writes;
     }
+
+    /**
+     * Serializes the clock, every valid stream-register entry (by raw
+     * ring-slot index — slotOf() depends only on cycle_ % positions,
+     * which the restored clock reproduces), all scheduled-but-
+     * unapplied writes (calendar ring + overflow, flattened), and the
+     * hop/write totals. Fault/tape hooks are wiring, not state.
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restores fabric state; pending writes are re-scheduled. */
+    void loadState(SnapshotReader &r);
 
   private:
     struct Entry

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "arch/config.hh"
+#include "common/snapshot_io.hh"
 #include "stream/fabric.hh"
 
 namespace tsp {
@@ -77,6 +78,28 @@ class StreamIo
 
     /** Vectors produced. */
     std::uint64_t produced() const { return produced_; }
+
+    /** Serializes the CSR counters (snapshot/restore). */
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.u64(corrected_);
+        w.u64(uncorrectable_);
+        w.u64(missed_);
+        w.u64(consumed_);
+        w.u64(produced_);
+    }
+
+    /** Restores the CSR counters (snapshot/restore). */
+    void
+    loadState(SnapshotReader &r)
+    {
+        corrected_ = r.u64();
+        uncorrectable_ = r.u64();
+        missed_ = r.u64();
+        consumed_ = r.u64();
+        produced_ = r.u64();
+    }
 
   private:
     const ChipConfig &cfg_;

@@ -49,6 +49,24 @@ class SxmComplex
     /** @return the stream access point (CSR counters). */
     const StreamIo &io() const { return io_; }
 
+    /** Serializes counters (SXM ops complete within their issue). */
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        io_.saveState(w);
+        w.u64(bytesSwitched_);
+        w.u64(instructions_);
+    }
+
+    /** Restores counters. */
+    void
+    loadState(SnapshotReader &r)
+    {
+        io_.loadState(r);
+        bytesSwitched_ = r.u64();
+        instructions_ = r.u64();
+    }
+
   private:
     void executeShift(const Instruction &inst, bool north, Cycle now);
     void executeSelect(const Instruction &inst, Cycle now);

@@ -44,6 +44,24 @@ class VxmUnit
     /** @return the stream access point (CSR counters). */
     const StreamIo &io() const { return io_; }
 
+    /** Serializes counters (the VXM holds no latched data state). */
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        io_.saveState(w);
+        w.u64(laneOps_);
+        w.u64(instructions_);
+    }
+
+    /** Restores counters. */
+    void
+    loadState(SnapshotReader &r)
+    {
+        io_.loadState(r);
+        laneOps_ = r.u64();
+        instructions_ = r.u64();
+    }
+
   private:
     /** Reads the @p g consecutive streams of an operand group. */
     void loadGroup(StreamRef base, int g, Vec320 *out);

@@ -331,5 +331,78 @@ TEST(Soak, RequestCapStopsTheRun)
     EXPECT_EQ(rep.submitted, 500u);
 }
 
+// ---------------------------------------------------------------
+// Windowed quantile edge cases.
+// ---------------------------------------------------------------
+
+TEST(TimeSeries, EmptyWindowQuantilesEmitSentinelNotZero)
+{
+    // Regression: a window that served nothing used to emit 0.0 in
+    // the p50/p99 series — indistinguishable from a legitimately
+    // tiny quantile, and read by dashboards as "infinitely fast".
+    // The sentinel is -1, a value no real latency can take.
+    SoakTimeSeries ts(0.001, 1e-3);
+    serve::Result r;
+    r.outcome = serve::Outcome::Served;
+    r.arrivalSec = 0.0025; // Window 2; windows 0 and 1 stay empty.
+    r.startSec = r.arrivalSec;
+    r.completionSec = r.arrivalSec + 123e-6;
+    ts.recordResult(r);
+    ASSERT_EQ(ts.windowCount(), 3u);
+
+    JsonWriter j;
+    ts.appendJson(j);
+    const std::string json = j.str();
+    EXPECT_NE(json.find("\"p50_us\":[-1,-1,"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"p99_us\":[-1,-1,"), std::string::npos)
+        << json;
+    // The populated window still reports its real quantile.
+    EXPECT_EQ(json.find("\"p50_us\":[-1,-1,-1"), std::string::npos)
+        << json;
+}
+
+TEST(TimeSeries, SingleSampleWindowQuantileIsTheSample)
+{
+    // One served request in a window: every quantile of a
+    // single-sample population is that sample, exactly — the
+    // histogram's bucket-midpoint estimate must clamp to the
+    // observed range rather than leak bucket geometry.
+    SoakTimeSeries ts(0.001, 1e-3);
+    serve::Result r;
+    r.outcome = serve::Outcome::Served;
+    r.arrivalSec = 0.0001;
+    r.startSec = r.arrivalSec;
+    r.completionSec = r.arrivalSec + 437e-6;
+    ts.recordResult(r);
+
+    JsonWriter j;
+    ts.appendJson(j);
+    const std::string json = j.str();
+    const auto p50 = json.find("\"p50_us\":[437");
+    const auto p99 = json.find("\"p99_us\":[437");
+    EXPECT_NE(p50, std::string::npos) << json;
+    EXPECT_NE(p99, std::string::npos) << json;
+
+    // Two identical emissions are byte-identical (determinism).
+    JsonWriter j2;
+    ts.appendJson(j2);
+    EXPECT_EQ(json, j2.str());
+}
+
+TEST(TimeSeries, ZeroAndSingleSampleHistogramQuantiles)
+{
+    // The underlying primitives the series relies on.
+    Histogram h(0.0, 1e-3, 64);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0.0); // Defined, deterministic.
+    h.record(437e-6);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.quantile(0.0), 437e-6);
+    EXPECT_EQ(h.quantile(0.5), 437e-6);
+    EXPECT_EQ(h.quantile(0.99), 437e-6);
+    EXPECT_EQ(h.quantile(1.0), 437e-6);
+}
+
 } // namespace
 } // namespace tsp

@@ -515,5 +515,42 @@ TEST(Replay, TraceCacheLruEviction)
     EXPECT_EQ(cache.memoryBytes(), 0u);
 }
 
+TEST(Replay, TraceCacheKeyFingerprintDefeatsPointerAba)
+{
+    // Regression: the cache used to key on the program's address
+    // alone. A program freed and a *different* one allocated at the
+    // same address (ABA) would silently replay the stale trace. The
+    // key now pairs the pointer with a content fingerprint, so the
+    // recycled address with a different fingerprint misses — and the
+    // stale hit is impossible by construction.
+    auto make_trace = [](std::size_t events) {
+        auto t = std::make_shared<ExecutionTrace>();
+        t->events.resize(events);
+        return std::shared_ptr<const ExecutionTrace>(std::move(t));
+    };
+    int slot; // One address, two successive "programs".
+    const TraceKey first{&slot, 0x1111111111111111ull};
+    const TraceKey recycled{&slot, 0x2222222222222222ull};
+
+    TraceCache cache(1 << 20);
+    cache.insert(first, make_trace(100));
+    EXPECT_NE(cache.find(first), nullptr);
+
+    // Same pointer, different content: must MISS, not replay stale.
+    EXPECT_EQ(cache.find(recycled), nullptr);
+
+    // Both fingerprints may coexist at one address; each resolves to
+    // its own trace and invalidation is per-key.
+    cache.insert(recycled, make_trace(200));
+    EXPECT_EQ(cache.size(), 2u);
+    ASSERT_NE(cache.find(first), nullptr);
+    ASSERT_NE(cache.find(recycled), nullptr);
+    EXPECT_EQ(cache.find(first)->events.size(), 100u);
+    EXPECT_EQ(cache.find(recycled)->events.size(), 200u);
+    cache.invalidate(first);
+    EXPECT_EQ(cache.find(first), nullptr);
+    EXPECT_NE(cache.find(recycled), nullptr);
+}
+
 } // namespace
 } // namespace tsp

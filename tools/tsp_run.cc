@@ -17,6 +17,13 @@
  *     --fault-double F                      fraction of upsets striking a
  *                                           second bit in the same word
  *     --fault-seed S                        fault-injector seed
+ *     --snapshot-every N                    capture a chip snapshot every
+ *                                           N cycles; on a machine check
+ *                                           the run migrates onto a
+ *                                           rebuilt chip restored from
+ *                                           the last pre-fault snapshot
+ *                                           (fresh fault seed) instead
+ *                                           of dying
  *
  * Exit status: 0 on clean retirement, 1 on error or cycle-limit
  * abort, 2 on usage errors, 3 on a machine check (uncorrectable
@@ -46,10 +53,14 @@
 #include <fstream>
 #include <sstream>
 
+#include <memory>
+
+#include "common/seed.hh"
 #include "common/strutil.hh"
 #include "isa/assembler.hh"
 #include "mem/ecc.hh"
 #include "sim/chip.hh"
+#include "sim/snapshot.hh"
 #include "sim/trace_export.hh"
 
 namespace {
@@ -116,7 +127,8 @@ usage()
                  "usage: tsp-run PROGRAM.tsp [--mem H:S:A=b,b,...] "
                  "[--dump H:S:A] [--max-cycles N] [--trace] "
                  "[--stats] [--power] [--fault-rate R] "
-                 "[--fault-double F] [--fault-seed S]\n");
+                 "[--fault-double F] [--fault-seed S] "
+                 "[--snapshot-every N]\n");
 }
 
 } // namespace
@@ -138,6 +150,7 @@ main(int argc, char **argv)
     double fault_double = 0.0;
     bool have_fault_seed = false;
     std::uint64_t fault_seed = 0;
+    Cycle snapshot_every = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -197,6 +210,13 @@ main(int argc, char **argv)
             }
             fault_seed = static_cast<std::uint64_t>(v);
             have_fault_seed = true;
+        } else if (arg == "--snapshot-every") {
+            long v = 0;
+            if (!parseInt(next(), v) || v <= 0) {
+                std::fprintf(stderr, "bad --snapshot-every\n");
+                return 2;
+            }
+            snapshot_every = static_cast<Cycle>(v);
         } else if (!path) {
             path = argv[i];
         } else {
@@ -232,7 +252,7 @@ main(int argc, char **argv)
     cfg.fault.doubleBitFraction = fault_double;
     if (have_fault_seed)
         cfg.fault.seed = fault_seed;
-    Chip chip(cfg);
+    auto chip_p = std::make_unique<Chip>(cfg);
     for (const MemSpec &m : preloads) {
         Vec320 v;
         for (std::size_t b = 0;
@@ -243,13 +263,73 @@ main(int argc, char **argv)
         // Single-byte preloads broadcast across all lanes.
         if (m.bytes.size() == 1)
             v.bytes.fill(m.bytes[0]);
-        chip.mem(m.hem, m.slice).backdoorWrite(m.addr, v);
+        chip_p->mem(m.hem, m.slice).backdoorWrite(m.addr, v);
     }
 
-    chip.loadProgram(result.program);
-    const bool retired = chip.runBounded(max_cycles);
+    chip_p->loadProgram(result.program);
+    bool retired = false;
+    std::uint64_t snapshots = 0;
+    int migrations = 0;
+    if (snapshot_every == 0) {
+        retired = chip_p->runBounded(max_cycles);
+    } else {
+        // Chunked run: a snapshot at each boundary (never after a
+        // machine check, so the last capture precedes the first
+        // uncorrectable error). A machine check migrates the run
+        // onto a rebuilt chip restored from that snapshot, with a
+        // derived fault seed so the killing upset is not replayed.
+        ChipSnapshot last;
+        bool have_snap = false;
+        for (;;) {
+            const Cycle next =
+                std::min(max_cycles, chip_p->now() + snapshot_every);
+            retired = chip_p->runBounded(next);
+            if (chip_p->machineCheck()) {
+                if (!have_snap || migrations >= 8)
+                    break;
+                ++migrations;
+                ChipConfig mig_cfg = cfg;
+                mig_cfg.fault.seed = deriveSeed(
+                    cfg.fault.seed, SeedDomain::EngineRebuild,
+                    static_cast<std::uint64_t>(migrations));
+                auto fresh = std::make_unique<Chip>(mig_cfg);
+                fresh->loadProgram(result.program);
+                std::string err;
+                if (!fresh->restore(last, &err)) {
+                    std::fprintf(stderr, "migration failed: %s\n",
+                                 err.c_str());
+                    break;
+                }
+                std::fprintf(
+                    stderr,
+                    "machine check at cycle %llu; migrated to a "
+                    "rebuilt chip from the cycle-%llu snapshot\n",
+                    static_cast<unsigned long long>(
+                        chip_p->machineCheckInfo().cycle),
+                    static_cast<unsigned long long>(last.cycle));
+                chip_p = std::move(fresh);
+                continue;
+            }
+            if (retired || chip_p->now() >= max_cycles)
+                break;
+            ChipSnapshot s;
+            if (chip_p->snapshot(s)) {
+                last = std::move(s);
+                have_snap = true;
+                ++snapshots;
+            }
+        }
+    }
+    Chip &chip = *chip_p;
     const Cycle cycles = chip.now();
 
+    if (snapshot_every > 0) {
+        std::printf("snapshots: %llu captured every %llu cycles, "
+                    "%d migration%s\n",
+                    static_cast<unsigned long long>(snapshots),
+                    static_cast<unsigned long long>(snapshot_every),
+                    migrations, migrations == 1 ? "" : "s");
+    }
     if (retired) {
         std::printf("retired in %llu cycles (%.3f us at 1 GHz)\n",
                     static_cast<unsigned long long>(cycles),

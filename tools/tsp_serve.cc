@@ -30,6 +30,12 @@
  *     --fault-seed S    fault-injector seed          (default cfg)
  *     --retries N       retry budget after a machine check
  *                                                    (default 2)
+ *     --migrate-on-mc   recover machine-checked batches by restoring
+ *                       the last pre-fault snapshot onto a rebuilt
+ *                       engine and resuming, instead of a full retry
+ *     --snapshot-every N
+ *                       snapshot cadence in cycles (default with
+ *                       --migrate-on-mc: service cycles / 8)
  *     --batch-max N     largest batch submit() may form; compiles
  *                       one batch-b program per b = 1..N so the
  *                       admission controller books the exact
@@ -70,6 +76,7 @@ usage()
                  "[--model-seed S] [--seed S] [--json FILE] "
                  "[--fault-rate R] [--fault-double F] "
                  "[--fault-seed S] [--retries N] "
+                 "[--migrate-on-mc] [--snapshot-every N] "
                  "[--batch-max N] [--batch-window-us U]\n");
 }
 
@@ -93,6 +100,8 @@ main(int argc, char **argv)
     bool have_fault_seed = false;
     std::uint64_t fault_seed = 0;
     int retries = 2;
+    bool migrate_on_mc = false;
+    long snapshot_every = 0;
     int batch_max = 1;
     double batch_window_us = 0.0;
 
@@ -135,6 +144,10 @@ main(int argc, char **argv)
             have_fault_seed = true;
         } else if (!std::strcmp(argv[i], "--retries")) {
             retries = std::atoi(next());
+        } else if (!std::strcmp(argv[i], "--migrate-on-mc")) {
+            migrate_on_mc = true;
+        } else if (!std::strcmp(argv[i], "--snapshot-every")) {
+            snapshot_every = std::atol(next());
         } else if (!std::strcmp(argv[i], "--batch-max")) {
             batch_max = std::atoi(next());
         } else if (!std::strcmp(argv[i], "--batch-window-us")) {
@@ -146,7 +159,8 @@ main(int argc, char **argv)
     }
     if (workers < 1 || requests < 1 || rho <= 0.0 ||
         fault_rate < 0.0 || fault_rate > 1.0 || fault_double < 0.0 ||
-        fault_double > 1.0 || retries < 0 || pod_chips == 1 ||
+        fault_double > 1.0 || retries < 0 || snapshot_every < 0 ||
+        pod_chips == 1 ||
         pod_chips < 0 || batch_max < 1 || batch_window_us < 0.0 ||
         (pod_chips >= 2 && batch_max > AllReducePlan::kMaxBatch)) {
         usage();
@@ -168,6 +182,8 @@ main(int argc, char **argv)
     cfg.workers = workers;
     cfg.queueCapacity = queue_cap;
     cfg.maxRetries = retries;
+    cfg.migrateOnMachineCheck = migrate_on_mc;
+    cfg.snapshotEveryCycles = static_cast<Cycle>(snapshot_every);
     cfg.batchMax = batch_max;
     cfg.batchWindowSec = batch_window_us * 1e-6;
     cfg.chip.fault.memReadRate = fault_rate;
@@ -245,8 +261,9 @@ main(int argc, char **argv)
     }
     if (fault_rate > 0.0) {
         std::printf("fault injection: %.3g upsets/access, "
-                    "double-bit fraction %.3g, retry budget %d\n",
-                    fault_rate, fault_double, retries);
+                    "double-bit fraction %.3g, retry budget %d%s\n",
+                    fault_rate, fault_double, retries,
+                    migrate_on_mc ? ", mid-batch migration on" : "");
     }
     std::printf("\n");
 
