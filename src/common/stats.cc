@@ -1,6 +1,7 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -45,7 +46,10 @@ Histogram::record(double sample)
         max_ = std::max(max_, sample);
     }
     ++count_;
-    sum_ += sample;
+    // Integer addition is associative: however concurrent recorders
+    // interleave, the same sample multiset sums to the same value
+    // (see mean() in the header).
+    sumFx_ += std::llround(sample * kMeanScale);
 
     if (sample < lo_)
         ++underflow_;
@@ -61,7 +65,9 @@ Histogram::record(double sample)
 double
 Histogram::mean() const
 {
-    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    return count_ ? static_cast<double>(sumFx_) / kMeanScale /
+                        static_cast<double>(count_)
+                  : 0.0;
 }
 
 double

@@ -89,8 +89,19 @@ class Histogram
     /** @return number of samples recorded. */
     std::uint64_t count() const { return count_; }
 
-    /** @return arithmetic mean of recorded samples. */
+    /**
+     * @return arithmetic mean of recorded samples. Samples are summed
+     * in fixed point (kMeanScale units), so the mean is independent
+     * of recording *order* — concurrent recorders (e.g. serving
+     * workers finishing batches in host-scheduling order) produce a
+     * byte-identical report for the same sample multiset, which a
+     * floating-point running sum does not guarantee (its rounding
+     * depends on accumulation order).
+     */
     double mean() const;
+
+    /** Fixed-point units per 1.0 of sample in the mean sum. */
+    static constexpr double kMeanScale = 1048576.0; // 2^20
 
     /** @return smallest and largest recorded sample. */
     double minSample() const { return min_; }
@@ -121,7 +132,7 @@ class Histogram
     std::uint64_t count_ = 0;
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;
-    double sum_ = 0.0;
+    std::int64_t sumFx_ = 0; ///< Sum in kMeanScale fixed point.
     double min_ = 0.0;
     double max_ = 0.0;
 };

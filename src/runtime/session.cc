@@ -46,6 +46,7 @@ InferenceSession::bind(Lowering &lw,
 {
     lw_ = &lw;
     prog_ = std::move(prog);
+    ++binds_;
     dmaSeconds_ =
         static_cast<double>(lw.image().totalBytes()) / kPcieGen4Bps;
     // The chip still holds the previous program and image until the

@@ -112,6 +112,11 @@ class InferenceSession
     /** @return chips rebuilt after timeouts/machine checks. */
     int rebuilds() const { return rebuilds_; }
 
+    /** @return bind() calls since construction — how often this
+     * engine re-staged a different compiled program (batch switches
+     * and, in multi-model pools, weight swaps between families). */
+    std::uint64_t binds() const { return binds_; }
+
     /**
      * Rearms the session for another inference: reloads the program
      * and re-applies the DMA image (restoring weights, constants and
@@ -244,6 +249,7 @@ class InferenceSession
     bool machineChecked_ = false;
     MachineCheckInfo lastMc_{};
     int rebuilds_ = 0;
+    std::uint64_t binds_ = 0;
     double dmaSeconds_ = 0.0;
     /** Cycles consumed by chips already discarded (see totalCycles). */
     Cycle retiredCycles_ = 0;

@@ -28,16 +28,46 @@ SessionBackend::SessionBackend(Lowering &lw, LoweredTensor input,
 
 SessionBackend::SessionBackend(BatchProgramCache &cache,
                                ChipConfig cfg)
-    : inputSlot_(cache.get(1).inputs[0]),
-      outputSlot_(cache.get(1).outputs[0]), cache_(&cache),
-      sess_(*cache.get(1).lw, cache.get(1).prog, cfg)
+    : cache_(&cache), boundBp_(cache.acquire(1)),
+      sess_(*boundBp_->lw, boundBp_->prog, cfg)
 {
+    inputSlot_ = boundBp_->inputs[0];
+    outputSlot_ = boundBp_->outputs[0];
+}
+
+SessionBackend::SessionBackend(std::shared_ptr<BatchProgram> initial,
+                               int max_batch, ChipConfig cfg)
+    : boundBp_(std::move(initial)), maxBatch_(max_batch),
+      sess_(*boundBp_->lw, boundBp_->prog, cfg)
+{
+    TSP_ASSERT(boundBp_ != nullptr);
+    TSP_ASSERT(max_batch >= 1);
+    inputSlot_ = boundBp_->inputs[0];
+    outputSlot_ = boundBp_->outputs[0];
+    bound_ = boundBp_->batch;
 }
 
 int
 SessionBackend::maxBatch() const
 {
-    return cache_ ? cache_->maxBatch() : 1;
+    return cache_ ? cache_->maxBatch() : maxBatch_;
+}
+
+void
+SessionBackend::bindProgram(std::shared_ptr<BatchProgram> bp)
+{
+    TSP_ASSERT(bp != nullptr);
+    if (boundBp_ == bp)
+        return;
+    // A different program object: another model family, another
+    // batch size, or a recompile after registry eviction. The
+    // session re-stages the new image (the weight swap the booking
+    // already paid for).
+    boundBp_ = std::move(bp);
+    inputSlot_ = boundBp_->inputs[0];
+    outputSlot_ = boundBp_->outputs[0];
+    sess_.bind(*boundBp_->lw, boundBp_->prog);
+    bound_ = boundBp_->batch;
 }
 
 std::size_t
@@ -54,10 +84,14 @@ SessionBackend::resetBatch(int batch)
 {
     TSP_ASSERT(batch >= 1 && batch <= maxBatch());
     if (cache_ && batch != bound_) {
-        BatchProgram &bp = cache_->get(batch);
-        sess_.bind(*bp.lw, bp.prog);
+        boundBp_ = cache_->acquire(batch);
+        sess_.bind(*boundBp_->lw, boundBp_->prog);
         bound_ = batch;
     }
+    // Multi-model mode: the worker loop bindProgram()s the job's
+    // pinned program first, so the armed batch size must already
+    // match here.
+    TSP_ASSERT(cache_ || !boundBp_ || bound_ == batch);
     sess_.reset();
 }
 
@@ -65,10 +99,10 @@ void
 SessionBackend::writeSample(int sample,
                             const std::vector<std::int8_t> &input)
 {
-    if (cache_) {
-        sess_.writeTensor(cache_->get(bound_).inputs[
-                              static_cast<std::size_t>(sample)],
-                          input);
+    if (boundBp_) {
+        sess_.writeTensor(
+            boundBp_->inputs[static_cast<std::size_t>(sample)],
+            input);
         return;
     }
     TSP_ASSERT(sample == 0);
@@ -88,7 +122,7 @@ SessionBackend::traceKey() const
     // Pointer identity alone would be an ABA hazard (a retired
     // program's address can be reused by a different one); the chip's
     // cached program content hash disambiguates.
-    const void *ptr = cache_
+    const void *ptr = boundBp_
                           ? static_cast<const void *>(sess_.program())
                           : static_cast<const void *>(lwKey_);
     return {ptr, sess_.chip().programHash()};
@@ -114,9 +148,9 @@ SessionBackend::runBounded(Cycle max_cycles)
 ref::QTensor
 SessionBackend::readSample(int sample) const
 {
-    if (cache_) {
-        return sess_.readTensor(cache_->get(bound_).outputs[
-            static_cast<std::size_t>(sample)]);
+    if (boundBp_) {
+        return sess_.readTensor(
+            boundBp_->outputs[static_cast<std::size_t>(sample)]);
     }
     TSP_ASSERT(sample == 0);
     return sess_.readTensor(outputSlot_);

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/logging.hh"
 #include "compiler/lowering.hh"
 #include "graph/batch_program.hh"
 #include "ref/qnn.hh"
@@ -138,6 +139,19 @@ class Backend
      */
     virtual double rebuildPenaltySec() const { return 0.0; }
 
+    /**
+     * Arms a registry-pinned compiled program (multi-model pools):
+     * the worker loop hands each batch job's program — possibly a
+     * different model family than the previous job — to the engine
+     * before resetBatch(). Re-binding a different program re-stages
+     * the engine image (the admission controller booked that swap).
+     * Default: unsupported.
+     */
+    virtual void bindProgram(std::shared_ptr<BatchProgram> /*bp*/)
+    {
+        TSP_ASSERT(!"backend does not support program binding");
+    }
+
     // Batch-1 shorthands (legacy call sites and simple clients).
     void reset() { resetBatch(1); }
     void writeInput(const std::vector<std::int8_t> &input)
@@ -170,6 +184,16 @@ class SessionBackend final : public Backend
 
     /** Batch-capable: @p cache must outlive the backend. */
     SessionBackend(BatchProgramCache &cache, ChipConfig cfg);
+
+    /**
+     * Multi-model form: starts bound to @p initial (pinned by the
+     * shared_ptr, so registry eviction cannot invalidate it) and
+     * re-binds whatever program each batch job carries via
+     * bindProgram(). @p max_batch is the largest batch any family
+     * compiles (per-family caps are enforced at admission).
+     */
+    SessionBackend(std::shared_ptr<BatchProgram> initial,
+                   int max_batch, ChipConfig cfg);
 
     int maxBatch() const override;
     std::size_t expectedInputBytes() const override;
@@ -208,6 +232,7 @@ class SessionBackend final : public Backend
     {
         return sess_.dmaSeconds();
     }
+    void bindProgram(std::shared_ptr<BatchProgram> bp) override;
 
     /** @return the underlying session (tests). */
     InferenceSession &session() { return sess_; }
@@ -216,7 +241,11 @@ class SessionBackend final : public Backend
     LoweredTensor inputSlot_;
     LoweredTensor outputSlot_;
     BatchProgramCache *cache_ = nullptr;
-    int bound_ = 1; ///< Batch size the session is bound to.
+    /** Pinned program currently armed (batch-cache and multi-model
+     * modes); null in single-Lowering mode. */
+    std::shared_ptr<BatchProgram> boundBp_;
+    int maxBatch_ = 1; ///< Multi-model mode's global batch cap.
+    int bound_ = 1;    ///< Batch size the session is bound to.
     InferenceSession sess_;
     std::shared_ptr<TraceCache> traces_;
     /**

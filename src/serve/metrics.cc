@@ -44,6 +44,30 @@ ServerMetrics::ServerMetrics(double service_sec, int workers,
       totalUs_(0.0, latencyBoundUs(service_sec, workers, queue_capacity),
                512)
 {
+    // Seed every counter the schema promises at zero: a report
+    // consumer must be able to distinguish "zero machine checks"
+    // from "field not emitted by this build" without guessing
+    // (schema_version pins the promise).
+    for (const Outcome o :
+         {Outcome::Served, Outcome::RejectedDeadline,
+          Outcome::RejectedQueueFull, Outcome::RejectedInvalid,
+          Outcome::DeadlineMissed, Outcome::Failed,
+          Outcome::FailedMachineCheck})
+        counters_.add(outcomeName(o), 0);
+    for (const char *name :
+         {"submitted", "batches", "batch_samples", "machine_checks",
+          "retries", "migrations", "ecc_corrected", "preemptions",
+          "preempted_requeued", "preempted_shed"})
+        counters_.add(name, 0);
+}
+
+void
+ServerMetrics::recordPreemption(std::uint64_t requeued,
+                                std::uint64_t shed)
+{
+    counters_.add("preemptions");
+    counters_.add("preempted_requeued", requeued);
+    counters_.add("preempted_shed", shed);
 }
 
 void
@@ -131,6 +155,7 @@ void
 ServerMetrics::appendJson(JsonWriter &j) const
 {
     j.beginObject();
+    j.kv("schema_version", kSchemaVersion);
     j.key("counters").beginObject();
     for (const auto &[name, v] : counters_.all())
         j.kv(name, v);

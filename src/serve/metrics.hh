@@ -27,6 +27,15 @@ class ServerMetrics
 {
   public:
     /**
+     * Report schema version, emitted as `schema_version`. Bump when
+     * fields are added/renamed so report consumers can distinguish
+     * "zero" from "not emitted by this build". Version 2: every
+     * outcome and reliability counter is always present (zeros
+     * included) and the preemption counters exist.
+     */
+    static constexpr std::uint64_t kSchemaVersion = 2;
+
+    /**
      * @param service_sec exact per-request service time.
      * @param workers pool size.
      * @param queue_capacity bounded-queue capacity.
@@ -46,6 +55,15 @@ class ServerMetrics
      * against the backend's own totals.
      */
     void recordBatch(const std::vector<Result> &results);
+
+    /**
+     * Accounts one priority preemption: the open batch's @p requeued
+     * members were re-admitted behind the preemptor and @p shed
+     * members were provably infeasible after the rollback (they
+     * resolve as RejectedDeadline; preempted work is re-decided,
+     * never dropped).
+     */
+    void recordPreemption(std::uint64_t requeued, std::uint64_t shed);
 
     /** @return named outcome/infrastructure counters. */
     const StatGroup &counters() const { return counters_; }

@@ -86,9 +86,17 @@ struct Request
 
     /**
      * Absolute completion deadline on the virtual timeline, seconds;
-     * <= 0 means no deadline.
+     * <= 0 means no deadline. Inside the server this is the
+     * *effective* deadline — the caller's deadline with the tenant
+     * SLO class's multiplier already applied to its slack.
      */
     double deadlineSec = 0.0;
+
+    /** Model family this request targets (registry index). */
+    int model = 0;
+
+    /** Tenant SLO class (ServerConfig::sloClasses index). */
+    int sloClass = 0;
 };
 
 /** The serving layer's answer for one request. */
@@ -99,6 +107,14 @@ struct Result
 
     /** Model output (valid only when outcome is Served). */
     ref::QTensor output;
+
+    /** Model family that served (or rejected) this request. */
+    int model = 0;
+
+    /** Times this request's open batch was preempted by a
+     * higher-priority arrival before it sealed (each preemption
+     * re-queued it; it was never dropped). */
+    std::uint32_t preemptions = 0;
 
     /** Samples in the batch this request was served in. */
     int batch = 1;

@@ -25,7 +25,14 @@ InferenceServer::InferenceServer(BatchProgramCache &cache,
               return std::make_unique<SessionBackend>(cache,
                                                       cfg.chip);
           },
-          cache.cyclesByBatch(), cfg)
+          1,
+          ModelTiming{
+              // Lazy pulls: a batch size the batcher never forms is
+              // never compiled (the cache memoizes exact cycles).
+              [&cache](int, int b) { return cache.cycles(b); },
+              [&cache](int) { return cache.maxBatch(); },
+              nullptr},
+          nullptr, cfg)
 {
 }
 
@@ -40,14 +47,83 @@ InferenceServer::InferenceServer(const BackendFactory &factory,
 InferenceServer::InferenceServer(const BackendFactory &factory,
                                  std::vector<Cycle> cycles_by_batch,
                                  ServerConfig cfg)
-    : cfg_(cfg),
-      admission_(cfg.workers, std::move(cycles_by_batch),
+    : InferenceServer(factory, 1,
+                      ModelTiming::fromTable(
+                          std::move(cycles_by_batch)),
+                      nullptr, cfg)
+{
+}
+
+namespace {
+
+/** Multi-model servers with > 1 family require pinned dispatch: the
+ * weight swap a booking paid for must happen on the worker it was
+ * booked on, or the staged-model tracking is fiction. */
+ServerConfig
+forceMultiModel(ServerConfig cfg, int models)
+{
+    if (models > 1)
+        cfg.pinnedDispatch = true;
+    return cfg;
+}
+
+} // namespace
+
+InferenceServer::InferenceServer(ModelRegistry &registry,
+                                 ServerConfig cfg)
+    : InferenceServer(
+          [&registry, &cfg](int) {
+              int cap = 1;
+              for (int m = 0; m < registry.modelCount(); ++m)
+                  cap = std::max(cap, registry.maxBatch(m));
+              return std::make_unique<SessionBackend>(
+                  registry.acquire(0, 1), cap, cfg.chip);
+          },
+          registry.modelCount(),
+          ModelTiming{
+              [&registry](int m, int b) {
+                  return registry.cycles(m, b);
+              },
+              [&registry](int m) { return registry.maxBatch(m); },
+              // The swap re-stages the family's weight/constant
+              // image; batch sizes of one family share placements
+              // (conv-placement cache), so batch-1's image is the
+              // family's staging cost.
+              [&registry](int m) { return registry.swapSec(m, 1); }},
+          &registry, forceMultiModel(cfg, registry.modelCount()))
+{
+}
+
+InferenceServer::InferenceServer(const BackendFactory &factory,
+                                 ModelRegistry &registry,
+                                 ServerConfig cfg)
+    : InferenceServer(
+          factory, registry.modelCount(),
+          ModelTiming{
+              [&registry](int m, int b) {
+                  return registry.cycles(m, b);
+              },
+              [&registry](int m) { return registry.maxBatch(m); },
+              [&registry](int m) { return registry.swapSec(m, 1); }},
+          &registry, forceMultiModel(cfg, registry.modelCount()))
+{
+}
+
+InferenceServer::InferenceServer(const BackendFactory &factory,
+                                 int models, ModelTiming timing,
+                                 ModelRegistry *registry,
+                                 ServerConfig cfg)
+    : cfg_(cfg), registry_(registry),
+      admission_(cfg.workers, models, std::move(timing),
                  cfg.chip.cyclePeriodSec()),
       paused_(cfg.startPaused),
       metrics_(admission_.serviceSec(), cfg.workers,
                cfg.queueCapacity)
 {
     TSP_ASSERT(cfg_.workers >= 1);
+    classes_ = cfg_.sloClasses;
+    if (classes_.empty())
+        classes_.push_back(SloClass{});
     // One shared work-stealing queue, or one FIFO per worker under
     // pinned dispatch (each sealed batch goes to the worker its
     // booking assumed, so the engine that serves a request is a pure
@@ -65,6 +141,10 @@ InferenceServer::InferenceServer(const BackendFactory &factory,
             std::make_shared<TraceCache>(cfg_.traceCacheBytes);
         for (const auto &b : backends_)
             b->attachTraceCache(traceCache_);
+        // Eager trace hygiene: when the registry evicts a model's
+        // program, its traces leave the shared budget immediately.
+        if (registry_)
+            registry_->attachTraceCache(traceCache_);
     }
     if (cfg_.migrateOnMachineCheck || cfg_.snapshotEveryCycles > 0) {
         // Default cadence: 8 snapshots per batch-1 service — cheap
@@ -76,10 +156,10 @@ InferenceServer::InferenceServer(const BackendFactory &factory,
         for (const auto &b : backends_)
             b->enableSnapshots(every);
     }
-    effBatchMax_ =
-        std::max(1, std::min(cfg_.batchMax, admission_.maxBatch()));
+    backendBatchCap_ = backends_[0]->maxBatch();
     for (const auto &b : backends_)
-        effBatchMax_ = std::min(effBatchMax_, b->maxBatch());
+        backendBatchCap_ = std::min(backendBatchCap_, b->maxBatch());
+    effBatchMax_ = effBatchMaxFor(0);
     expectedInput_ = backends_[0]->expectedInputBytes();
     threads_.reserve(static_cast<std::size_t>(cfg_.workers));
     for (int w = 0; w < cfg_.workers; ++w)
@@ -96,7 +176,14 @@ InferenceServer::rejectNow(Request req, Outcome outcome,
     Result r;
     r.id = req.id;
     r.outcome = outcome;
-    r.predictedCycles = admission_.serviceCycles();
+    r.model = req.model;
+    // An out-of-range model (RejectedInvalid) has no timing; report
+    // the default family's like any other malformed request.
+    const int m =
+        req.model >= 0 && req.model < admission_.models()
+            ? req.model
+            : 0;
+    r.predictedCycles = admission_.serviceCyclesFor(m, 1);
     r.arrivalSec = req.arrivalSec;
     r.startSec = booking.startSec;
     r.completionSec = booking.completionSec;
@@ -132,6 +219,16 @@ InferenceServer::sealOpenLocked()
     job.members = std::move(openMembers_);
     openMembers_.clear();
     job.booking = admission_.seal();
+    job.model = openModel_;
+    job.priority = openPriority_;
+    // The registry handle rides with the job: LRU eviction may drop
+    // the program from the registry while the batch is queued, but
+    // the worker's copy stays pinned. acquire() runs here, on the
+    // submit path, so the LRU/eviction sequence is a pure function
+    // of the admission history.
+    if (registry_)
+        job.program =
+            registry_->acquire(job.model, job.booking.batch);
     // push() may block (only workers free space) but never loses the
     // job: on failure — the queue was closed by shutdown() — the
     // members are resolved as recorded queue-full rejections, booking
@@ -139,11 +236,13 @@ InferenceServer::sealOpenLocked()
     if (queueFor(job.booking.worker).push(std::move(job)))
         return;
     const Cycle predicted =
-        admission_.serviceCycles(job.booking.batch);
+        admission_.serviceCyclesFor(openModel_, job.booking.batch);
     for (Member &m : job.members) {
         Result r;
         r.id = m.req.id;
         r.outcome = Outcome::RejectedQueueFull;
+        r.model = m.req.model;
+        r.preemptions = m.preemptions;
         r.batch = job.booking.batch;
         r.predictedCycles = predicted;
         r.arrivalSec = m.req.arrivalSec;
@@ -167,8 +266,19 @@ InferenceServer::submit(std::vector<std::int8_t> input,
                         double arrival_sec, double deadline_sec,
                         OnFull on_full)
 {
-    return submitImpl(std::move(input), arrival_sec, deadline_sec,
-                      on_full, /*want_future=*/true);
+    return submitImpl(0, 0, std::move(input), arrival_sec,
+                      deadline_sec, on_full, /*want_future=*/true);
+}
+
+std::future<Result>
+InferenceServer::submitModel(int model, int slo_class,
+                             std::vector<std::int8_t> input,
+                             double arrival_sec, double deadline_sec,
+                             OnFull on_full)
+{
+    return submitImpl(model, slo_class, std::move(input),
+                      arrival_sec, deadline_sec, on_full,
+                      /*want_future=*/true);
 }
 
 void
@@ -176,12 +286,32 @@ InferenceServer::submitDetached(std::vector<std::int8_t> input,
                                 double arrival_sec,
                                 double deadline_sec, OnFull on_full)
 {
-    submitImpl(std::move(input), arrival_sec, deadline_sec, on_full,
-               /*want_future=*/false);
+    submitImpl(0, 0, std::move(input), arrival_sec, deadline_sec,
+               on_full, /*want_future=*/false);
+}
+
+void
+InferenceServer::submitModelDetached(int model, int slo_class,
+                                     std::vector<std::int8_t> input,
+                                     double arrival_sec,
+                                     double deadline_sec,
+                                     OnFull on_full)
+{
+    submitImpl(model, slo_class, std::move(input), arrival_sec,
+               deadline_sec, on_full, /*want_future=*/false);
+}
+
+int
+InferenceServer::effBatchMaxFor(int model) const
+{
+    const int cap =
+        std::min(admission_.maxBatchFor(model), backendBatchCap_);
+    return std::max(1, std::min(cfg_.batchMax, cap));
 }
 
 std::future<Result>
-InferenceServer::submitImpl(std::vector<std::int8_t> input,
+InferenceServer::submitImpl(int model, int slo_class,
+                            std::vector<std::int8_t> input,
                             double arrival_sec, double deadline_sec,
                             OnFull on_full, bool want_future)
 {
@@ -189,11 +319,34 @@ InferenceServer::submitImpl(std::vector<std::int8_t> input,
     req.id = nextId_.fetch_add(1, std::memory_order_relaxed);
     req.input = std::move(input);
     req.arrivalSec = arrival_sec;
+    req.model = model;
+    req.sloClass = slo_class;
+
+    // An unknown model or tenant class is malformed, exactly like a
+    // mis-sized input: refused before it can touch admission state.
+    if (model < 0 || model >= admission_.models() || slo_class < 0 ||
+        slo_class >= static_cast<int>(classes_.size())) {
+        req.deadlineSec = deadline_sec;
+        return rejectNow(std::move(req), Outcome::RejectedInvalid,
+                         Admission{}, want_future);
+    }
+
+    // The tenant class scales the *slack*, not the absolute stamp;
+    // everything downstream (join checks, retry budgets, preemption
+    // probes) sees only the effective deadline.
+    const SloClass &cls =
+        classes_[static_cast<std::size_t>(slo_class)];
+    if (deadline_sec > 0.0)
+        deadline_sec = arrival_sec + (deadline_sec - arrival_sec) *
+                                         cls.deadlineMultiplier;
     req.deadlineSec = deadline_sec;
 
     // Malformed input is refused before it can touch the admission
     // state or fault inside a worker thread.
-    if (expectedInput_ != 0 && req.input.size() != expectedInput_)
+    const std::size_t expect =
+        registry_ ? registry_->expectedInputBytes(model)
+                  : expectedInput_;
+    if (expect != 0 && req.input.size() != expect)
         return rejectNow(std::move(req), Outcome::RejectedInvalid,
                          Admission{}, want_future);
 
@@ -204,10 +357,13 @@ InferenceServer::submitImpl(std::vector<std::int8_t> input,
 
     // Try to join the open batch first: a joined request consumes no
     // queue slot of its own and cannot be queue-full rejected.
+    // Batches are single-family — a request for another model can
+    // never join.
     if (!openMembers_.empty()) {
         Admission joined{};
-        if (arrival_sec <=
-            openLeaderArrival_ + cfg_.batchWindowSec) {
+        if (model == openModel_ &&
+            arrival_sec <=
+                openLeaderArrival_ + cfg_.batchWindowSec) {
             joined = admission_.tryJoin(arrival_sec, deadline_sec);
         }
         if (joined.admitted) {
@@ -223,10 +379,25 @@ InferenceServer::submitImpl(std::vector<std::int8_t> input,
                 ++inflight_;
             }
             openMembers_.push_back(std::move(m));
+            openPriority_ = std::max(openPriority_, cls.priority);
             if (static_cast<int>(openMembers_.size()) >=
-                effBatchMax_)
+                effBatchMaxFor(model))
                 sealOpenLocked();
             return f;
+        }
+        // Priority preemption: this arrival outranks the open batch,
+        // cannot make its deadline behind it, but provably can in
+        // its place. The open batch's booking is rolled back and its
+        // members re-admitted right after (never dropped). Both
+        // probes book nothing, so declining leaves no trace.
+        if (cfg_.preemption && cls.priority > openPriority_ &&
+            deadline_sec > 0.0 &&
+            admission_.earliestCompletionFor(model, arrival_sec) >
+                deadline_sec &&
+            admission_.completionIfPreempted(arrival_sec, model) <=
+                deadline_sec) {
+            return preemptLocked(std::move(req), cls.priority,
+                                 want_future);
         }
         // Window expired or the join was provably infeasible: this
         // request starts the next batch.
@@ -238,14 +409,15 @@ InferenceServer::submitImpl(std::vector<std::int8_t> input,
     // submitters (serialized here) add to a queue, so a non-full
     // observation cannot be invalidated before our push. Under
     // pinned dispatch the relevant queue is the one this booking
-    // would land on: the earliest-free worker's.
+    // would land on.
     if (on_full == OnFull::Reject &&
-        queueFor(admission_.earliestWorker()).full())
+        queueFor(admission_.bestWorkerFor(model, arrival_sec))
+            .full())
         return rejectNow(std::move(req), Outcome::RejectedQueueFull,
                          Admission{}, want_future);
 
     const Admission booking =
-        admission_.open(arrival_sec, deadline_sec);
+        admission_.open(arrival_sec, deadline_sec, model);
     if (!booking.admitted) {
         // A failed open() books nothing and leaves no open batch.
         return rejectNow(std::move(req), Outcome::RejectedDeadline,
@@ -265,9 +437,127 @@ InferenceServer::submitImpl(std::vector<std::int8_t> input,
     }
     openMembers_.push_back(std::move(m));
     openLeaderArrival_ = arrival_sec;
-    if (effBatchMax_ <= 1)
+    openModel_ = model;
+    openPriority_ = cls.priority;
+    if (effBatchMaxFor(model) <= 1)
         sealOpenLocked();
     return f;
+}
+
+std::future<Result>
+InferenceServer::preemptLocked(Request req, int priority,
+                               bool want_future)
+{
+    // Capture the victims and undo their booking completely; the
+    // controller returns to its pre-open timeline.
+    std::vector<Member> victims = std::move(openMembers_);
+    openMembers_.clear();
+    const int vmodel = openModel_;
+    const int vprio = openPriority_;
+    const int model = req.model;
+    const double now = req.arrivalSec;
+    admission_.rollbackOpen();
+
+    // Book the preemptor; the feasibility probe already proved this
+    // admits.
+    const Admission booking =
+        admission_.open(now, req.deadlineSec, model);
+    TSP_ASSERT(booking.admitted);
+
+    Member m;
+    m.req = std::move(req);
+    std::future<Result> f;
+    if (want_future) {
+        m.promise.emplace();
+        f = m.promise->get_future();
+    }
+    {
+        std::lock_guard<std::mutex> dl(doneMu_);
+        ++inflight_;
+    }
+    openMembers_.push_back(std::move(m));
+    openLeaderArrival_ = now;
+    openModel_ = model;
+    openPriority_ = priority;
+    // Seal immediately: the victims must re-book *now* (only one
+    // batch may be open, and deferring their fate to a later submit
+    // would leave them booked nowhere).
+    sealOpenLocked();
+
+    // Re-admit the victims in their original admission order at the
+    // preemption's virtual time. Feasible members re-batch; members
+    // whose own deadline became infeasible are shed as recorded
+    // RejectedDeadline — re-decided, never dropped.
+    std::uint64_t requeued = 0, shed = 0;
+    for (Member &v : victims) {
+        v.preemptions += 1;
+        requeueVictimLocked(std::move(v), vmodel, vprio, now,
+                            requeued, shed);
+    }
+    {
+        std::lock_guard<std::mutex> dl(doneMu_);
+        metrics_.recordPreemption(requeued, shed);
+    }
+    return f;
+}
+
+void
+InferenceServer::requeueVictimLocked(Member v, int vmodel, int vprio,
+                                     double now_sec,
+                                     std::uint64_t &requeued,
+                                     std::uint64_t &shed)
+{
+    // Victims re-enter as a fresh batch of their family: the first
+    // feasible one opens it, later ones try to join (they were
+    // batchmates already — same family, adjacent deadlines), and a
+    // join failure seals and re-opens, exactly like live arrivals.
+    if (!openMembers_.empty()) {
+        const Admission joined =
+            admission_.tryJoin(now_sec, v.req.deadlineSec);
+        if (joined.admitted) {
+            openMembers_.push_back(std::move(v));
+            ++requeued;
+            if (static_cast<int>(openMembers_.size()) >=
+                effBatchMaxFor(vmodel))
+                sealOpenLocked();
+            return;
+        }
+        sealOpenLocked();
+    }
+    const Admission booking =
+        admission_.open(now_sec, v.req.deadlineSec, vmodel);
+    if (!booking.admitted) {
+        // Provably infeasible after the preemption: shed against its
+        // original (effective) deadline, booking fields recorded.
+        Result r;
+        r.id = v.req.id;
+        r.outcome = Outcome::RejectedDeadline;
+        r.model = v.req.model;
+        r.preemptions = v.preemptions;
+        r.predictedCycles = admission_.serviceCyclesFor(vmodel, 1);
+        r.arrivalSec = v.req.arrivalSec;
+        r.startSec = booking.startSec;
+        r.completionSec = booking.completionSec;
+        {
+            std::lock_guard<std::mutex> dl(doneMu_);
+            metrics_.record(r);
+        }
+        resolveMember(v, std::move(r));
+        {
+            std::lock_guard<std::mutex> dl(doneMu_);
+            --inflight_;
+        }
+        doneCv_.notify_all();
+        ++shed;
+        return;
+    }
+    openMembers_.push_back(std::move(v));
+    openLeaderArrival_ = now_sec;
+    openModel_ = vmodel;
+    openPriority_ = vprio;
+    ++requeued;
+    if (effBatchMaxFor(vmodel) <= 1)
+        sealOpenLocked();
 }
 
 void
@@ -284,9 +574,17 @@ InferenceServer::workerLoop(int w)
         if (!queueFor(w).pop(job))
             return; // Closed and drained.
 
+        // Multi-model: arm this family's compiled program before the
+        // batch touches the engine. The shared_ptr was pinned at seal
+        // time, so a registry eviction cannot free it mid-run.
+        if (job.program)
+            be.bindProgram(job.program);
+
         const int k = static_cast<int>(job.members.size());
-        const Cycle predicted = admission_.serviceCycles(k);
-        const double service = admission_.serviceSec(k);
+        const Cycle predicted =
+            admission_.serviceCyclesFor(job.model, k);
+        const double service =
+            admission_.serviceSecFor(job.model, k);
 
         // The whole batch retries or fails together; a retry is
         // taken only while the *tightest* member deadline still
@@ -370,6 +668,8 @@ InferenceServer::workerLoop(int w)
                 job.members[static_cast<std::size_t>(s)];
             Result &r = results[static_cast<std::size_t>(s)];
             r.id = m.req.id;
+            r.model = job.model;
+            r.preemptions = m.preemptions;
             r.batch = k;
             r.predictedCycles = predicted;
             r.measuredCycles = rr.cycles;
@@ -565,6 +865,33 @@ InferenceServer::metricsJson() const
             admission_.serviceCycles(b)));
     j.endArray();
     j.endObject();
+    if (registry_) {
+        // Side-effect-free accessors only: reporting must never
+        // compile a program or disturb the LRU order.
+        j.key("registry")
+            .beginObject()
+            .kv("budget_bytes", registry_->budgetBytes())
+            .kv("resident_bytes", registry_->residentBytes())
+            .kv("compiles", registry_->compileCount())
+            .kv("evictions", registry_->evictions())
+            .endObject();
+        j.key("models").beginArray();
+        for (int m = 0; m < registry_->modelCount(); ++m) {
+            j.beginObject()
+                .kv("name", registry_->name(m))
+                .kv("max_batch", registry_->maxBatch(m));
+            j.key("compiled_sizes").beginArray();
+            for (int b = 1; b <= registry_->maxBatch(m); ++b) {
+                if (registry_->compiled(m, b))
+                    j.value(static_cast<std::uint64_t>(b));
+            }
+            j.endArray();
+            j.kv("resident_bytes",
+                 registry_->cache(m).residentBytes());
+            j.endObject();
+        }
+        j.endArray();
+    }
     j.key("metrics");
     snap.appendJson(j);
     j.endObject();

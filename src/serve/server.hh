@@ -25,6 +25,20 @@
  * engine and retries the *whole batch* under the usual retry/deadline
  * policy; per-sample outputs are only read from a completed run.
  *
+ * Multi-model: constructed over a ModelRegistry, one server holds N
+ * compiled families. submitModel() routes each request; batches are
+ * single-family; each sealed job carries a registry-pinned program
+ * its worker binds before running (weight swaps between families
+ * cost exactly the modeled image re-stage, which admission booked).
+ * Tenant SLO classes scale deadlines and rank priorities; with
+ * preemption on, a higher-priority arrival that is infeasible behind
+ * the open batch but feasible in its place takes the booking and the
+ * open batch's members are re-admitted at once (shedding only the
+ * provably infeasible ones). Only the *open* batch is preemptible —
+ * it is pure admission state under the submit lock, so preemption
+ * decisions replay deterministically; queued and running batches are
+ * never revoked.
+ *
  * Timeline note: all latencies are *virtual* chip time (seconds at
  * the configured clock). The host threads merely reproduce, slower,
  * a timeline whose every event was already fixed at admission — the
@@ -48,10 +62,36 @@
 #include "serve/admission.hh"
 #include "serve/backend.hh"
 #include "serve/metrics.hh"
+#include "serve/model_registry.hh"
 #include "serve/request.hh"
 #include "serve/request_queue.hh"
 
 namespace tsp::serve {
+
+/**
+ * One tenant service class: how much deadline slack its requests
+ * get and how it ranks when bookings collide.
+ */
+struct SloClass
+{
+    /**
+     * Scales the slack (deadline - arrival) of every request in the
+     * class: effective = arrival + slack * deadlineMultiplier. > 1
+     * relaxes (batch/bulk tenants), < 1 tightens (interactive
+     * tenants), 1 passes the caller's deadline through.
+     */
+    double deadlineMultiplier = 1.0;
+
+    /**
+     * Preemption rank. With ServerConfig::preemption, an arrival
+     * whose deadline is provably infeasible behind the *open* batch
+     * but feasible in its place may preempt it iff its class
+     * priority is strictly higher than the open batch's; the
+     * preempted members are re-admitted immediately (never dropped),
+     * shedding only those whose own deadlines became infeasible.
+     */
+    int priority = 0;
+};
 
 /** Serving-tier configuration. */
 struct ServerConfig
@@ -159,6 +199,21 @@ struct ServerConfig
      */
     std::size_t traceCacheBytes = TraceCache::kDefaultBudget;
 
+    /**
+     * Tenant SLO classes, indexed by submitModel()'s slo_class.
+     * Empty means one default class (multiplier 1, priority 0) —
+     * the single-tenant behavior.
+     */
+    std::vector<SloClass> sloClasses;
+
+    /**
+     * Allow priority preemption of the open batch (see SloClass).
+     * Off by default: with preemption disabled a multi-class server
+     * behaves exactly like the priority-free tier (priorities only
+     * rank, they never revoke).
+     */
+    bool preemption = false;
+
     /** Configuration applied to every worker's chip. */
     ChipConfig chip{};
 };
@@ -215,6 +270,28 @@ class InferenceServer
                     std::vector<Cycle> cycles_by_batch,
                     ServerConfig cfg = {});
 
+    /**
+     * Multi-model form: one server holds every family in
+     * @p registry. Each worker starts staged with family 0; batch
+     * jobs carry a registry-pinned program, weight swaps between
+     * families are booked exactly into admission, and
+     * submitModel() routes per request. With more than one family
+     * pinned dispatch is forced on — the swap a booking pays for
+     * must happen on the worker it was booked on. @p registry must
+     * outlive the server.
+     */
+    explicit InferenceServer(ModelRegistry &registry,
+                             ServerConfig cfg = {});
+
+    /**
+     * Multi-model form with operator-supplied backends (e.g. fault
+     * plans seeded per worker). Every backend must support
+     * bindProgram() — SessionBackend's (program, max_batch) ctor
+     * does. @p registry must outlive the server.
+     */
+    InferenceServer(const BackendFactory &factory,
+                    ModelRegistry &registry, ServerConfig cfg = {});
+
     /** Drains and joins the pool. */
     ~InferenceServer();
 
@@ -239,6 +316,17 @@ class InferenceServer
                                OnFull on_full = OnFull::Reject);
 
     /**
+     * submit() addressed to one model family and tenant class (see
+     * ServerConfig::sloClasses). An unknown model or class resolves
+     * as RejectedInvalid; submit() is submitModel(0, 0, ...).
+     */
+    std::future<Result> submitModel(int model, int slo_class,
+                                    std::vector<std::int8_t> input,
+                                    double arrival_sec,
+                                    double deadline_sec = 0.0,
+                                    OnFull on_full = OnFull::Reject);
+
+    /**
      * submit() without the future: the request resolves through
      * ServerConfig::onResult (and the metrics) only. This is the
      * fleet soak path — a million-request run must not allocate a
@@ -247,6 +335,13 @@ class InferenceServer
     void submitDetached(std::vector<std::int8_t> input,
                         double arrival_sec, double deadline_sec = 0.0,
                         OnFull on_full = OnFull::Reject);
+
+    /** submitModel() without the future (fleet soak path). */
+    void submitModelDetached(int model, int slo_class,
+                             std::vector<std::int8_t> input,
+                             double arrival_sec,
+                             double deadline_sec = 0.0,
+                             OnFull on_full = OnFull::Reject);
 
     /**
      * Seals and enqueues the open batch, if any, without draining.
@@ -286,6 +381,12 @@ class InferenceServer
     /** @return the effective batch cap (config clamped to the
      * admission table and every backend's maxBatch). */
     int batchMax() const { return effBatchMax_; }
+
+    /** @return model families served (1 without a registry). */
+    int models() const { return admission_.models(); }
+
+    /** @return the registry backing this server (null without one). */
+    const ModelRegistry *registry() const { return registry_; }
 
     /** @return the admission controller (booking state + counters). */
     const AdmissionController &admission() const { return admission_; }
@@ -329,6 +430,8 @@ class InferenceServer
     struct Member
     {
         Request req;
+        /** Times this member's open batch was preempted so far. */
+        std::uint32_t preemptions = 0;
         /** Unset for detached submissions (onResult-only). */
         std::optional<std::promise<Result>> promise;
     };
@@ -338,21 +441,47 @@ class InferenceServer
     {
         std::vector<Member> members;
         Admission booking; ///< Final sealed booking (whole batch).
+        int model = 0;     ///< Model family the batch runs.
+        int priority = 0;  ///< Highest member SLO priority.
+        /** Registry-pinned compiled program (null in single-model
+         * servers): safe against eviction while the job is queued
+         * or running. */
+        std::shared_ptr<BatchProgram> program;
     };
+
+    /** Delegation target of every public constructor. */
+    InferenceServer(const BackendFactory &factory, int models,
+                    ModelTiming timing, ModelRegistry *registry,
+                    ServerConfig cfg);
 
     void workerLoop(int w);
     std::future<Result>
-    submitImpl(std::vector<std::int8_t> input, double arrival_sec,
+    submitImpl(int model, int slo_class,
+               std::vector<std::int8_t> input, double arrival_sec,
                double deadline_sec, OnFull on_full, bool want_future);
     std::future<Result> rejectNow(Request req, Outcome outcome,
                                   const Admission &booking,
                                   bool want_future);
+    /** Preempts the open batch for @p req (feasibility already
+     * proved), seals the preemptor, re-admits the victims (requires
+     * submitMu_). */
+    std::future<Result> preemptLocked(Request req, int priority,
+                                      bool want_future);
+    /** Re-admits one preempted member at virtual time @p now_sec,
+     * growing/opening a victim batch or shedding it (requires
+     * submitMu_). */
+    void requeueVictimLocked(Member v, int vmodel, int vprio,
+                             double now_sec, std::uint64_t &requeued,
+                             std::uint64_t &shed);
     /** Resolves one member: metrics hook already ran; fires the
      * onResult callback, then the promise (if attached). */
     void resolveMember(Member &m, Result r);
     /** Seals + enqueues the open batch (requires submitMu_). */
     void sealOpenLocked();
     void finishBatch(BatchJob &job, std::vector<Result> results);
+    /** @return the batch cap for @p model (config clamped to the
+     * model's compiled sizes and every backend). */
+    int effBatchMaxFor(int model) const;
     /** @return the queue feeding worker @p w's batches. */
     BoundedQueue<BatchJob> &queueFor(int w)
     {
@@ -362,6 +491,9 @@ class InferenceServer
     }
 
     const ServerConfig cfg_;
+    ModelRegistry *registry_ = nullptr; ///< Null in single-model mode.
+    /** Effective SLO classes (cfg_.sloClasses or one default). */
+    std::vector<SloClass> classes_;
 
     AdmissionController admission_;
     /** One shared queue, or one per worker under pinnedDispatch. */
@@ -371,6 +503,7 @@ class InferenceServer
     std::shared_ptr<TraceCache> traceCache_; ///< Null when disabled.
     std::vector<std::thread> threads_;
     int effBatchMax_ = 1;
+    int backendBatchCap_ = 1; ///< Min maxBatch() over the backends.
     /** Bytes a valid input must have (0 = backend can't say). */
     std::size_t expectedInput_ = 0;
 
@@ -378,6 +511,8 @@ class InferenceServer
     /** Open-batch accumulator (guarded by submitMu_). */
     std::vector<Member> openMembers_;
     double openLeaderArrival_ = 0.0;
+    int openModel_ = 0;    ///< Open batch's family (submitMu_).
+    int openPriority_ = 0; ///< Highest member priority (submitMu_).
 
     std::mutex pauseMu_;
     std::condition_variable pauseCv_;

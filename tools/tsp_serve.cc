@@ -44,10 +44,28 @@
  *                       how long (virtual us) after a batch
  *                       leader's arrival later requests may still
  *                       join its batch            (default 0)
+ *     --model NAME=SEED[:HxWxC]
+ *                       register a model family (repeatable). With
+ *                       one or more --model flags the server runs
+ *                       multi-model: one registry holds every
+ *                       family, requests spread across them, and
+ *                       weight swaps are booked exactly into
+ *                       admission (default shape 8x8x4)
+ *     --registry-mb N   compiled-program byte budget, MiB; LRU
+ *                       eviction (with eager trace invalidation)
+ *                       above it               (default unbounded)
+ *     --hipri F         fraction of requests submitted as the
+ *                       high-priority tenant class (priority 1,
+ *                       deadline slack halved)       (default 0)
+ *     --preempt         allow a high-priority arrival that would
+ *                       miss its deadline to preempt the open
+ *                       batch (victims re-queued, never dropped)
  *
- * Example:
+ * Examples:
  *   tsp-serve --workers 4 --requests 400 --rho 1.5 --slack 3 \
  *             --json serve_report.json
+ *   tsp-serve --model a=3 --model b=11:8x8x4 --batch-max 4 \
+ *             --hipri 0.2 --preempt --requests 400
  */
 
 #include <cmath>
@@ -77,7 +95,39 @@ usage()
                  "[--fault-rate R] [--fault-double F] "
                  "[--fault-seed S] [--retries N] "
                  "[--migrate-on-mc] [--snapshot-every N] "
-                 "[--batch-max N] [--batch-window-us U]\n");
+                 "[--batch-max N] [--batch-window-us U] "
+                 "[--model NAME=SEED[:HxWxC]]... [--registry-mb N] "
+                 "[--hipri F] [--preempt]\n");
+}
+
+/** One --model flag: NAME=SEED[:HxWxC]. */
+struct ModelArg
+{
+    std::string name;
+    std::uint64_t seed = 0;
+    int h = 8, w = 8, c = 4;
+};
+
+bool
+parseModelArg(const char *s, ModelArg &out)
+{
+    const char *eq = std::strchr(s, '=');
+    if (eq == nullptr || eq == s)
+        return false;
+    out.name.assign(s, static_cast<std::size_t>(eq - s));
+    char *end = nullptr;
+    out.seed = std::strtoull(eq + 1, &end, 10);
+    if (end == eq + 1)
+        return false;
+    if (*end == ':') {
+        if (std::sscanf(end + 1, "%dx%dx%d", &out.h, &out.w,
+                        &out.c) != 3 ||
+            out.h < 1 || out.w < 1 || out.c < 1)
+            return false;
+    } else if (*end != '\0') {
+        return false;
+    }
+    return true;
 }
 
 } // namespace
@@ -104,6 +154,10 @@ main(int argc, char **argv)
     long snapshot_every = 0;
     int batch_max = 1;
     double batch_window_us = 0.0;
+    std::vector<ModelArg> model_args;
+    long registry_mb = 0;
+    double hipri = 0.0;
+    bool preempt = false;
 
     for (int i = 1; i < argc; ++i) {
         auto next = [&]() -> const char * {
@@ -152,6 +206,19 @@ main(int argc, char **argv)
             batch_max = std::atoi(next());
         } else if (!std::strcmp(argv[i], "--batch-window-us")) {
             batch_window_us = std::atof(next());
+        } else if (!std::strcmp(argv[i], "--model")) {
+            ModelArg ma;
+            if (!parseModelArg(next(), ma)) {
+                usage();
+                return 2;
+            }
+            model_args.push_back(std::move(ma));
+        } else if (!std::strcmp(argv[i], "--registry-mb")) {
+            registry_mb = std::atol(next());
+        } else if (!std::strcmp(argv[i], "--hipri")) {
+            hipri = std::atof(next());
+        } else if (!std::strcmp(argv[i], "--preempt")) {
+            preempt = true;
         } else {
             usage();
             return 2;
@@ -162,7 +229,9 @@ main(int argc, char **argv)
         fault_double > 1.0 || retries < 0 || snapshot_every < 0 ||
         pod_chips == 1 ||
         pod_chips < 0 || batch_max < 1 || batch_window_us < 0.0 ||
-        (pod_chips >= 2 && batch_max > AllReducePlan::kMaxBatch)) {
+        (pod_chips >= 2 && batch_max > AllReducePlan::kMaxBatch) ||
+        registry_mb < 0 || hipri < 0.0 || hipri > 1.0 ||
+        (!model_args.empty() && pod_chips != 0)) {
         usage();
         return 2;
     }
@@ -193,10 +262,44 @@ main(int argc, char **argv)
     cfg.chip.fault.doubleBitFraction = fault_double;
     if (have_fault_seed)
         cfg.chip.fault.seed = fault_seed;
+    cfg.preemption = preempt;
+    if (hipri > 0.0 || preempt) {
+        // Class 0: best-effort. Class 1: priority tenant — halved
+        // deadline slack, outranks class 0 for preemption.
+        cfg.sloClasses.push_back(serve::SloClass{1.0, 0});
+        cfg.sloClasses.push_back(serve::SloClass{0.5, 1});
+    }
 
     std::unique_ptr<BatchProgramCache> cache;
+    std::unique_ptr<serve::ModelRegistry> registry;
     std::unique_ptr<serve::InferenceServer> server_p;
-    if (pod_chips >= 2) {
+    if (!model_args.empty()) {
+        // Multi-model: one registry holds every family; programs
+        // compile lazily on first use of each (model, batch) pair.
+        std::vector<serve::ModelSpec> specs;
+        specs.reserve(model_args.size());
+        for (const ModelArg &ma : model_args) {
+            serve::ModelSpec sp;
+            sp.name = ma.name;
+            sp.graph =
+                model::buildTinyNet(ma.seed, ma.h, ma.w, ma.c);
+            sp.warmInput.resize(static_cast<std::size_t>(ma.h) *
+                                static_cast<std::size_t>(ma.w) *
+                                static_cast<std::size_t>(ma.c));
+            Rng wr(ma.seed ^ 0x9e3779b97f4a7c15ull);
+            for (auto &v : sp.warmInput)
+                v = static_cast<std::int8_t>(wr.intIn(-100, 100));
+            sp.maxBatch = batch_max;
+            specs.push_back(std::move(sp));
+        }
+        registry = std::make_unique<serve::ModelRegistry>(
+            std::move(specs),
+            registry_mb > 0
+                ? static_cast<std::size_t>(registry_mb) << 20
+                : serve::ModelRegistry::kDefaultBudget);
+        server_p = std::make_unique<serve::InferenceServer>(
+            *registry, cfg);
+    } else if (pod_chips >= 2) {
         // Each worker owns an N-chip ring pod serving the statically
         // scheduled all-reduce; the collective's exact cycles(b) are
         // calibrated once per batch size on a fault-free pod.
@@ -223,6 +326,26 @@ main(int argc, char **argv)
             lw, tensors.at(0), tensors.at(g.outputNode()), cfg);
     }
     serve::InferenceServer &server = *server_p;
+    if (registry) {
+        std::printf("model registry: %d families, budget %s\n",
+                    registry->modelCount(),
+                    registry_mb > 0 ? "bounded" : "unbounded");
+        for (int m = 0; m < registry->modelCount(); ++m) {
+            std::printf("  %-12s max batch %d, cycles(1) %llu, "
+                        "swap %.3f us\n",
+                        registry->name(m).c_str(),
+                        registry->maxBatch(m),
+                        static_cast<unsigned long long>(
+                            registry->cycles(m, 1)),
+                        registry->swapSec(m, 1) * 1e6);
+        }
+        if (!cfg.sloClasses.empty()) {
+            std::printf("tenant classes: %.0f%% of traffic "
+                        "high-priority (slack x0.5)%s\n",
+                        hipri * 100.0,
+                        preempt ? ", preemption on" : "");
+        }
+    }
     if (server.batchMax() > 1) {
         std::printf("batching: up to %d samples per batch, join "
                     "window %.3f us; exact cycles(b):",
@@ -276,18 +399,33 @@ main(int argc, char **argv)
     double now = 0.0;
     std::vector<std::future<serve::Result>> futures;
     futures.reserve(static_cast<std::size_t>(requests));
+    const int nmodels = registry ? registry->modelCount() : 1;
     for (int i = 0; i < requests; ++i) {
         now += -std::log(1.0 - rng.nextDouble()) * mean_gap;
-        std::vector<std::int8_t> data(input_len);
+        int m = 0, tenant = 0;
+        if (nmodels > 1)
+            m = static_cast<int>(rng.intIn(0, nmodels - 1));
+        if (!cfg.sloClasses.empty() && hipri > 0.0 &&
+            rng.nextDouble() < hipri)
+            tenant = 1;
+        const std::size_t len =
+            registry ? registry->expectedInputBytes(m) : input_len;
+        std::vector<std::int8_t> data(len);
         for (auto &v : data)
             v = static_cast<std::int8_t>(rng.intIn(-100, 100));
+        // Slack is measured in this family's own service times.
+        const double svc =
+            registry ? server.admission().serviceSecFor(m, 1)
+                     : service;
         const double deadline =
-            slack_services > 0.0
-                ? now + slack_services * service
-                : 0.0;
-        futures.push_back(server.submit(
-            std::move(data), now, deadline,
-            serve::InferenceServer::OnFull::Block));
+            slack_services > 0.0 ? now + slack_services * svc : 0.0;
+        futures.push_back(
+            registry ? server.submitModel(
+                           m, tenant, std::move(data), now, deadline,
+                           serve::InferenceServer::OnFull::Block)
+                     : server.submit(
+                           std::move(data), now, deadline,
+                           serve::InferenceServer::OnFull::Block));
     }
     server.drain();
 
