@@ -50,11 +50,8 @@ main()
         const auto &L = lw.layers()[i];
         const Cycle b = std::min<Cycle>(L.begin, trace.size());
         const Cycle e = std::min<Cycle>(L.end, trace.size());
-        double sum = 0.0;
-        for (Cycle t = b; t < e; ++t)
-            sum += trace[static_cast<std::size_t>(t)];
-        const double avg =
-            e > b ? sum / static_cast<double>(e - b) : 0.0;
+        const double avg = bench::fixedPointMean(
+            trace.data() + b, static_cast<std::size_t>(e - b));
         layer_w.push_back(avg);
         peak_w = std::max(peak_w, avg);
         if (i < 12 || i + 6 >= lw.layers().size()) {

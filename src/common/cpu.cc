@@ -47,6 +47,17 @@ cpuHasAvx512Vnni()
 }
 
 bool
+cpuHasAvx512f()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    static const bool v = __builtin_cpu_supports("avx512f");
+    return v;
+#else
+    return false;
+#endif
+}
+
+bool
 simdKernelsEnabled()
 {
     if (forced >= 0)

@@ -27,6 +27,12 @@ bool cpuHasAvx2();
 bool cpuHasAvx512Vnni();
 
 /**
+ * @return true when the host CPU supports AVX-512 Foundation (the
+ * 16-wide fp32 kernels — the MXM fp16 fast path needs no VNNI).
+ */
+bool cpuHasAvx512f();
+
+/**
  * @return true when the AVX2 simulation kernels should be used: the
  * host has AVX2 and neither TSP_FORCE_SCALAR nor a
  * forceScalarKernels(1) override is in effect.

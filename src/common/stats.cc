@@ -49,7 +49,7 @@ Histogram::record(double sample)
     // Integer addition is associative: however concurrent recorders
     // interleave, the same sample multiset sums to the same value
     // (see mean() in the header).
-    sumFx_ += std::llround(sample * kMeanScale);
+    sum_.add(sample);
 
     if (sample < lo_)
         ++underflow_;
@@ -65,9 +65,7 @@ Histogram::record(double sample)
 double
 Histogram::mean() const
 {
-    return count_ ? static_cast<double>(sumFx_) / kMeanScale /
-                        static_cast<double>(count_)
-                  : 0.0;
+    return count_ ? sum_.value() / static_cast<double>(count_) : 0.0;
 }
 
 double

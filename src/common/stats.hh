@@ -7,12 +7,63 @@
 #ifndef TSP_COMMON_STATS_HH
 #define TSP_COMMON_STATS_HH
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 namespace tsp {
+
+/**
+ * Order-independent accumulator for floating-point samples.
+ *
+ * Each sample is rounded once to 2^20 fixed point and summed in
+ * int64, where addition is exact and associative — the total depends
+ * only on the sample multiset, never on accumulation order. A double
+ * running sum does not have that property: its rounding depends on
+ * the order partial sums grow, so concurrent producers (serving
+ * workers, fleet pods) or a container reordering silently change the
+ * reported aggregate. Use this for any sum of samples whose order is
+ * an artifact of host scheduling rather than of the model.
+ *
+ * Pick kScaleBits so the per-sample magnitude sits well above the
+ * quantum 2^-kScaleBits and the worst-case |sum| stays below
+ * 2^(63 - kScaleBits). The default (20 bits: ~1e-6 quantum, ~8.8e12
+ * range) suits report-level magnitudes like watts or wall-clock
+ * seconds; FineFixedPointSum (40 bits: ~9e-13 quantum, ~8.4e6 range)
+ * suits simulated-seconds sums whose samples can be sub-microsecond.
+ * Quantities below even the fine quantum (e.g. per-cycle energy in
+ * joules, ~1e-7 J at pJ resolution) must stay double, summed in a
+ * deterministic order.
+ */
+template <int kScaleBits = 20>
+class BasicFixedPointSum
+{
+    static_assert(kScaleBits > 0 && kScaleBits < 62);
+
+  public:
+    /** Fixed-point units per 1.0 of sample. */
+    static constexpr double kScale =
+        static_cast<double>(std::int64_t{1} << kScaleBits);
+
+    /** Adds one sample (rounded once to the fixed-point grid). */
+    void add(double sample) { fx_ += std::llround(sample * kScale); }
+
+    /** @return the accumulated sum as a double. */
+    double value() const { return static_cast<double>(fx_) / kScale; }
+
+    /** @return the raw fixed-point total. */
+    std::int64_t raw() const { return fx_; }
+
+    void reset() { fx_ = 0; }
+
+  private:
+    std::int64_t fx_ = 0;
+};
+
+using FixedPointSum = BasicFixedPointSum<>;
+using FineFixedPointSum = BasicFixedPointSum<40>;
 
 /**
  * A registry of named 64-bit counters.
@@ -91,17 +142,17 @@ class Histogram
 
     /**
      * @return arithmetic mean of recorded samples. Samples are summed
-     * in fixed point (kMeanScale units), so the mean is independent
-     * of recording *order* — concurrent recorders (e.g. serving
-     * workers finishing batches in host-scheduling order) produce a
-     * byte-identical report for the same sample multiset, which a
-     * floating-point running sum does not guarantee (its rounding
-     * depends on accumulation order).
+     * with a FixedPointSum, so the mean is independent of recording
+     * *order* — concurrent recorders (e.g. serving workers finishing
+     * batches in host-scheduling order) produce a byte-identical
+     * report for the same sample multiset, which a floating-point
+     * running sum does not guarantee (its rounding depends on
+     * accumulation order).
      */
     double mean() const;
 
     /** Fixed-point units per 1.0 of sample in the mean sum. */
-    static constexpr double kMeanScale = 1048576.0; // 2^20
+    static constexpr double kMeanScale = FixedPointSum::kScale;
 
     /** @return smallest and largest recorded sample. */
     double minSample() const { return min_; }
@@ -132,7 +183,7 @@ class Histogram
     std::uint64_t count_ = 0;
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;
-    std::int64_t sumFx_ = 0; ///< Sum in kMeanScale fixed point.
+    FixedPointSum sum_; ///< Order-independent sample sum for mean().
     double min_ = 0.0;
     double max_ = 0.0;
 };

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 
 namespace tsp::fleet {
 
@@ -91,12 +92,14 @@ Fleet::podsRetired() const
 double
 Fleet::totalBacklogSec(double now_sec) const
 {
-    double total = 0.0;
+    // Order-independent across pods: the fleet total must not change
+    // if the pod container is ever reordered or summed concurrently.
+    FineFixedPointSum total;
     for (const Pod &p : pods_) {
         if (p.info.state != PodState::Drained)
-            total += p.server->admission().backlogSec(now_sec);
+            total.add(p.server->admission().backlogSec(now_sec));
     }
-    return total;
+    return total.value();
 }
 
 void
@@ -110,11 +113,12 @@ Fleet::evaluateWindow(std::size_t window, double boundary_sec)
     }
 
     int routable = 0, provisioning = 0;
-    double backlog = 0.0;
+    FineFixedPointSum backlog;
     for (const Pod &p : pods_) {
         if (p.info.state == PodState::Active) {
             ++routable;
-            backlog += p.server->admission().backlogSec(boundary_sec);
+            backlog.add(
+                p.server->admission().backlogSec(boundary_sec));
         } else if (p.info.state == PodState::Provisioning) {
             ++provisioning;
         }
@@ -122,7 +126,7 @@ Fleet::evaluateWindow(std::size_t window, double boundary_sec)
 
     AutoscalerSignal sig;
     sig.backlogSecPerPod =
-        backlog / static_cast<double>(std::max(1, routable));
+        backlog.value() / static_cast<double>(std::max(1, routable));
     // Shed fraction from the fleet's own submit-thread counters
     // (the shared time series attributes served results at
     // completion time, which lags the boundary nondeterministically).

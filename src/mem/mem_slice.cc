@@ -119,24 +119,31 @@ MemSlice::checkPort(MemAddr addr, bool is_write, Cycle now)
 Vec320
 MemSlice::read(MemAddr addr, Cycle now)
 {
+    Vec320 out;
+    readInto(addr, now, out);
+    return out;
+}
+
+void
+MemSlice::readInto(MemAddr addr, Cycle now, Vec320 &out)
+{
     checkPort(addr, /*is_write=*/false, now);
     ++reads_;
 
-    Vec320 out;
     const Word *w = wordAtConst(addr);
     if (w) {
         out.bytes = w->bytes;
         out.ecc = w->ecc;
-    } else if (eccEnabled_) {
-        // Untouched SRAM reads as zero with valid (zero) ECC.
-        eccComputeVec(out);
+    } else {
+        // Untouched SRAM reads as zero with valid (zero) ECC; @p out
+        // may be a reused arena slot, so assign it explicitly.
+        out = Vec320{};
     }
     if (faults_) {
         // Transient read-path upset: corrupts the read-out copy, not
         // the stored word. The downstream consumer's check catches it.
         faults_->onMemRead(out);
     }
-    return out;
 }
 
 void
@@ -176,10 +183,19 @@ Vec320
 MemSlice::gather(const std::array<MemAddr, kSuperlanes> &addrs,
                  Cycle now)
 {
+    Vec320 out;
+    gatherInto(addrs, now, out);
+    return out;
+}
+
+void
+MemSlice::gatherInto(const std::array<MemAddr, kSuperlanes> &addrs,
+                     Cycle now, Vec320 &out)
+{
     checkPort(addrs[0], /*is_write=*/false, now);
     ++reads_;
 
-    Vec320 out;
+    out = Vec320{}; // May be a reused arena slot.
     bool any_missing = false;
     for (int sl = 0; sl < kSuperlanes; ++sl) {
         const Word *w = wordAtConst(addrs[static_cast<std::size_t>(sl)]);
@@ -209,7 +225,6 @@ MemSlice::gather(const std::array<MemAddr, kSuperlanes> &addrs,
     }
     if (faults_)
         faults_->onMemRead(out);
-    return out;
 }
 
 void

@@ -60,6 +60,12 @@ class MemSlice
     Vec320 read(MemAddr addr, Cycle now);
 
     /**
+     * read() writing straight into @p out (fully assigned) — the
+     * zero-copy replay produce path reads into a tape arena slot.
+     */
+    void readInto(MemAddr addr, Cycle now, Vec320 &out);
+
+    /**
      * Timed write of one 320-byte word at cycle @p now.
      *
      * The vector's ECC is checked (consumer side) before commit; a
@@ -75,6 +81,10 @@ class MemSlice
      */
     Vec320 gather(const std::array<MemAddr, kSuperlanes> &addrs,
                   Cycle now);
+
+    /** gather() writing straight into @p out (fully assigned). */
+    void gatherInto(const std::array<MemAddr, kSuperlanes> &addrs,
+                    Cycle now, Vec320 &out);
 
     /**
      * Indirect write: each superlane tile stores its 16-byte word at

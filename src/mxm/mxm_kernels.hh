@@ -58,6 +58,39 @@ bool mxmAbcInt8Vnni(const std::int8_t *w, int stride,
 bool mxmRowSumsInt8Vnni(const std::int8_t *w, int stride, int n,
                         std::int32_t *out);
 
+/**
+ * One fp16-mode ABC cycle's row dot products: for each row r < n,
+ *   acc[r] (+)= sum_{c<n} wCols[c*stride + r] * act[c]
+ * over the column-major fp32 weight image MxmPlane::buildF16WeightCols
+ * prepares (exact fp16->fp32 conversion), with @p act the converted
+ * activations.
+ *
+ * Bit-identical to MxmPlane::stepAbc's scalar fp16 loop: each row's
+ * sum starts at 0.0f and adds products column-ascending, one
+ * multiply rounding and one add rounding per term (vmulps + vaddps,
+ * never FMA — a fused product would skip the multiply's rounding and
+ * diverge). Vectorizing *across rows* (the column-major image makes
+ * rows adjacent) leaves every row's rounding sequence exactly the
+ * scalar one, so infinities, denormals and signed zeros propagate
+ * identically. The one exception is the *payload* of a NaN result:
+ * when a term mixes NaNs, which payload survives depends on mul/add
+ * operand order, which the compiler is free to commute — it is not
+ * pinned even between two compilations of the scalar loop. A NaN
+ * result stays a NaN result on every path; only its payload bits are
+ * unspecified (as in the fp16 numerics contract generally).
+ *
+ * @return false when (n) has no vector path (AVX2 tier: n % 8 != 0).
+ * Definitions live in mxm_kernels_avx2.cc / mxm_kernels_f16.cc, the
+ * only TUs compiled with the matching ISA flags; callers gate on
+ * simdKernelsEnabled() (+ cpuHasAvx512f() for the 512-bit tier).
+ */
+bool mxmAbcF16Avx2(const float *wCols, int stride, const float *act,
+                   float *acc, int n, bool accumulate);
+
+/** AVX-512F tier of mxmAbcF16Avx2 (16 rows per vector; n % 16). */
+bool mxmAbcF16Avx512(const float *wCols, int stride, const float *act,
+                     float *acc, int n, bool accumulate);
+
 } // namespace tsp::simd
 
 #endif // TSP_MXM_MXM_KERNELS_HH

@@ -69,6 +69,35 @@ mxmAbcInt8Avx2(const std::int8_t *w, int stride,
     return true;
 }
 
+bool
+mxmAbcF16Avx2(const float *wCols, int stride, const float *act,
+              float *acc, int n, bool accumulate)
+{
+    if (n % 8 != 0 || n > 320)
+        return false;
+
+    // Eight rows at a time over the column-major weight image; mul
+    // and add rounded separately (no FMA) in the scalar loop's
+    // column order — see mxm_kernels.hh for the bit-identity
+    // contract.
+    for (int r = 0; r < n; r += 8) {
+        __m256 sum = _mm256_setzero_ps();
+        const float *wc = wCols + r;
+        for (int c = 0; c < n; ++c) {
+            const __m256 w = _mm256_loadu_ps(
+                wc + static_cast<std::size_t>(c) * stride);
+            const __m256 p = _mm256_mul_ps(w, _mm256_set1_ps(act[c]));
+            sum = _mm256_add_ps(sum, p);
+        }
+        if (accumulate) {
+            const __m256 prev = _mm256_loadu_ps(acc + r);
+            sum = _mm256_add_ps(prev, sum);
+        }
+        _mm256_storeu_ps(acc + r, sum);
+    }
+    return true;
+}
+
 } // namespace tsp::simd
 
 #else // !x86
@@ -78,6 +107,12 @@ namespace tsp::simd {
 bool
 mxmAbcInt8Avx2(const std::int8_t *, int, const std::uint8_t *,
                std::int32_t *, int, bool)
+{
+    return false;
+}
+
+bool
+mxmAbcF16Avx2(const float *, int, const float *, float *, int, bool)
 {
     return false;
 }

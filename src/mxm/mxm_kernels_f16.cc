@@ -1,0 +1,60 @@
+/**
+ * @file
+ * AVX-512F kernel for the MXM plane's fp16-mode activation broadcast
+ * (see mxm_kernels.hh for the bit-identity contract). This is the
+ * only TU compiled with -mavx512f; selection is a runtime cpuid
+ * decision (common/cpu.hh).
+ */
+
+#include "mxm/mxm_kernels.hh"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace tsp::simd {
+
+bool
+mxmAbcF16Avx512(const float *wCols, int stride, const float *act,
+                float *acc, int n, bool accumulate)
+{
+    if (n % 16 != 0 || n > 320)
+        return false;
+
+    // Sixteen rows at a time: the column-major weight image makes
+    // one column's rows contiguous, so each c-step is a load, a
+    // broadcast multiply, and an add — mul and add rounded
+    // separately, exactly the scalar term order per row.
+    for (int r = 0; r < n; r += 16) {
+        __m512 sum = _mm512_setzero_ps();
+        const float *wc = wCols + r;
+        for (int c = 0; c < n; ++c) {
+            const __m512 w = _mm512_loadu_ps(
+                wc + static_cast<std::size_t>(c) * stride);
+            const __m512 p = _mm512_mul_ps(w, _mm512_set1_ps(act[c]));
+            sum = _mm512_add_ps(sum, p);
+        }
+        if (accumulate) {
+            const __m512 prev = _mm512_loadu_ps(acc + r);
+            sum = _mm512_add_ps(prev, sum);
+        }
+        _mm512_storeu_ps(acc + r, sum);
+    }
+    return true;
+}
+
+} // namespace tsp::simd
+
+#else // !x86 or no AVX-512F support in the toolchain
+
+namespace tsp::simd {
+
+bool
+mxmAbcF16Avx512(const float *, int, const float *, float *, int, bool)
+{
+    return false;
+}
+
+} // namespace tsp::simd
+
+#endif

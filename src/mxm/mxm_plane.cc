@@ -16,7 +16,8 @@ MxmPlane::MxmPlane(int plane, const ChipConfig &cfg,
       winst_(static_cast<std::size_t>(kMxmDim) * kMxmDim, 0),
       wbufF_(static_cast<std::size_t>(kMxmDim) * kMxmDim, 0),
       winstF_(static_cast<std::size_t>(kMxmDim) * kMxmDim, 0),
-      winstRowSum_(static_cast<std::size_t>(kMxmDim), 0)
+      winstRowSum_(static_cast<std::size_t>(kMxmDim), 0),
+      winstFCols_(static_cast<std::size_t>(kMxmDim) * kMxmDim, 0.0f)
 {
     TSP_ASSERT(plane >= 0 && plane < kMxmPlanes);
 }
@@ -75,17 +76,25 @@ MxmPlane::executeLw(const Instruction &inst, Cycle now)
             panic("MXM%d: LW overflows weight buffer (row %d + %d)",
                   plane_, fillRow_, gs);
         }
-        for (int k = 0; k < gs; ++k) {
-            StreamRef s = inst.srcA;
-            s.id = static_cast<StreamId>(inst.srcA.id + k);
-            const Vec320 v = io_.consume(s, pos());
-            const int row = fillRow_ + k;
-            for (int c = 0; c < kMxmDim; ++c) {
-                wbuf_[static_cast<std::size_t>(row) * kMxmDim +
-                      static_cast<std::size_t>(c)] =
-                    static_cast<std::int8_t>(
-                        v.bytes[static_cast<std::size_t>(c)]);
+        const Vec320 *vp[kStreamsPerDir];
+        Vec320 tmp[kStreamsPerDir];
+        if (!io_.replayConsumeRun(inst.srcA, pos(), vp,
+                                  static_cast<std::size_t>(gs))) {
+            for (int k = 0; k < gs; ++k) {
+                StreamRef s = inst.srcA;
+                s.id = static_cast<StreamId>(inst.srcA.id + k);
+                tmp[k] = io_.consume(s, pos());
+                vp[k] = &tmp[k];
             }
+        }
+        for (int k = 0; k < gs; ++k) {
+            const Vec320 &v = *vp[k];
+            const int row = fillRow_ + k;
+            // Bit-preserving u8 -> int8 row copy (the cast the scalar
+            // loop did is a no-op on the representation).
+            __builtin_memcpy(
+                &wbuf_[static_cast<std::size_t>(row) * kMxmDim],
+                v.bytes.data(), kMxmDim);
             weightBytes_ += kMxmDim;
         }
         fillRow_ += gs;
@@ -96,13 +105,20 @@ MxmPlane::executeLw(const Instruction &inst, Cycle now)
             panic("MXM%d: LW overflows weight buffer (row %d + %d)",
                   plane_, fillRow_, rows);
         }
+        const Vec320 *vp[kStreamsPerDir];
+        Vec320 tmp[kStreamsPerDir];
+        if (!io_.replayConsumeRun(inst.srcA, pos(), vp,
+                                  static_cast<std::size_t>(gs))) {
+            for (int k = 0; k < gs; ++k) {
+                StreamRef s = inst.srcA;
+                s.id = static_cast<StreamId>(inst.srcA.id + k);
+                tmp[k] = io_.consume(s, pos());
+                vp[k] = &tmp[k];
+            }
+        }
         for (int i = 0; i < rows; ++i) {
-            StreamRef lo = inst.srcA;
-            lo.id = static_cast<StreamId>(inst.srcA.id + 2 * i);
-            StreamRef hi = lo;
-            hi.id = static_cast<StreamId>(lo.id + 1);
-            const Vec320 vlo = io_.consume(lo, pos());
-            const Vec320 vhi = io_.consume(hi, pos());
+            const Vec320 &vlo = *vp[2 * i];
+            const Vec320 &vhi = *vp[2 * i + 1];
             const int row = fillRow_ + i;
             for (int c = 0; c < kMxmDim; ++c) {
                 const auto bits = static_cast<std::uint16_t>(
@@ -131,7 +147,23 @@ MxmPlane::executeIw(const Instruction &inst, Cycle now)
     winstF_ = wbufF_;
     installedType_ = weightType_;
     rowSumsValid_ = false;
+    fWeightsValid_ = false;
     fillRow_ = 0;
+}
+
+void
+MxmPlane::buildF16WeightCols()
+{
+    for (int r = 0; r < kMxmDim; ++r) {
+        const std::uint16_t *wrow =
+            &winstF_[static_cast<std::size_t>(r) * kMxmDim];
+        for (int c = 0; c < kMxmDim; ++c) {
+            winstFCols_[static_cast<std::size_t>(c) * kMxmDim +
+                        static_cast<std::size_t>(r)] =
+                Fp16::fromBits(wrow[c]).toFloat();
+        }
+    }
+    fWeightsValid_ = true;
 }
 
 void
@@ -194,7 +226,8 @@ MxmPlane::stepAbc(Cycle now)
     indexGen_[idx] = generation_;
 
     if (abc_.atype == DType::Int8) {
-        const Vec320 a = io_.consume(abc_.src, pos());
+        Vec320 scratch;
+        const Vec320 &a = *io_.consumeRef(abc_.src, pos(), scratch);
         auto &acc = accI_[idx];
         // Dot products against installed rows: y[r] = sum_c W[r][c]*a[c].
         // Kernel ladder: AVX-512 VNNI (needs the per-install row
@@ -239,11 +272,20 @@ MxmPlane::stepAbc(Cycle now)
             }
         }
     } else if (abc_.atype == DType::Fp16) {
-        StreamRef lo = abc_.src;
-        StreamRef hi = abc_.src;
-        hi.id = static_cast<StreamId>(lo.id + 1);
-        const Vec320 vlo = io_.consume(lo, pos());
-        const Vec320 vhi = io_.consume(hi, pos());
+        const Vec320 *vp[2];
+        Vec320 tmpLo;
+        Vec320 tmpHi;
+        if (!io_.replayConsumeRun(abc_.src, pos(), vp, 2)) {
+            StreamRef lo = abc_.src;
+            StreamRef hi = abc_.src;
+            hi.id = static_cast<StreamId>(lo.id + 1);
+            tmpLo = io_.consume(lo, pos());
+            tmpHi = io_.consume(hi, pos());
+            vp[0] = &tmpLo;
+            vp[1] = &tmpHi;
+        }
+        const Vec320 &vlo = *vp[0];
+        const Vec320 &vhi = *vp[1];
         float act[kMxmDim];
         for (int c = 0; c < n; ++c) {
             const auto bits = static_cast<std::uint16_t>(
@@ -254,16 +296,39 @@ MxmPlane::stepAbc(Cycle now)
             act[c] = Fp16::fromBits(bits).toFloat();
         }
         auto &acc = accF_[idx];
-        for (int r = 0; r < n; ++r) {
-            const std::uint16_t *wrow =
-                &winstF_[static_cast<std::size_t>(r) * kMxmDim];
-            float sum = 0.0f;
-            for (int c = 0; c < n; ++c)
-                sum += Fp16::fromBits(wrow[c]).toFloat() * act[c];
-            if (abc_.accumulate)
-                acc[static_cast<std::size_t>(r)] += sum;
-            else
-                acc[static_cast<std::size_t>(r)] = sum;
+        // Row dot products in fp32: y[r] = sum_c w[r][c]*act[c],
+        // summed column-ascending from 0.0f with a separate rounding
+        // for the multiply and the add (no FMA). The SIMD tiers
+        // vectorize *across rows*, so each row's rounding sequence is
+        // exactly this scalar loop's — bit-identical including NaN
+        // and inf propagation.
+        bool done = false;
+        if (simdKernelsEnabled()) {
+            if (!fWeightsValid_)
+                buildF16WeightCols();
+            if (cpuHasAvx512f()) {
+                done = simd::mxmAbcF16Avx512(
+                    winstFCols_.data(), kMxmDim, act, accF_[idx].data(),
+                    n, abc_.accumulate);
+            }
+            if (!done) {
+                done = simd::mxmAbcF16Avx2(winstFCols_.data(), kMxmDim,
+                                           act, accF_[idx].data(), n,
+                                           abc_.accumulate);
+            }
+        }
+        if (!done) {
+            for (int r = 0; r < n; ++r) {
+                const std::uint16_t *wrow =
+                    &winstF_[static_cast<std::size_t>(r) * kMxmDim];
+                float sum = 0.0f;
+                for (int c = 0; c < n; ++c)
+                    sum += Fp16::fromBits(wrow[c]).toFloat() * act[c];
+                if (abc_.accumulate)
+                    acc[static_cast<std::size_t>(r)] += sum;
+                else
+                    acc[static_cast<std::size_t>(r)] = sum;
+            }
         }
     } else {
         panic("MXM%d: unsupported activation dtype %s", plane_,
@@ -295,7 +360,26 @@ MxmPlane::stepAcc(Cycle now)
 
     const Cycle when = now + opTiming(Opcode::Acc).dFunc;
     const int n = cfg_.vectorLength();
-    Vec320 out[4];
+
+    TSP_ASSERT(acc_.dst.id % 4 == 0 &&
+               acc_.dst.id + 4 <= kStreamsPerDir);
+
+    // Replay: build the four byte-planes directly in their tape
+    // arena slots (claimed in the recorded produce order k = 0..3);
+    // nothing is copied. Slots are liveness-reused, so clear them
+    // first — a live run's out[] starts from zeroed vectors.
+    Vec320 local[4];
+    Vec320 *out[4];
+    bool replay = false;
+    for (int k = 0; k < 4; ++k) {
+        if (Vec320 *dst = io_.replayProduceDest()) {
+            *dst = Vec320{};
+            out[k] = dst;
+            replay = true;
+        } else {
+            out[k] = &local[k];
+        }
+    }
 
     if (installedType_ == DType::Fp16) {
         const auto &acc = accF_[acc_.index];
@@ -304,7 +388,7 @@ MxmPlane::stepAcc(Cycle now)
             const float f = acc[static_cast<std::size_t>(r)];
             __builtin_memcpy(&u, &f, sizeof(u));
             for (int k = 0; k < 4; ++k) {
-                out[k].bytes[static_cast<std::size_t>(r)] =
+                out[k]->bytes[static_cast<std::size_t>(r)] =
                     static_cast<std::uint8_t>((u >> (8 * k)) & 0xff);
             }
         }
@@ -314,18 +398,18 @@ MxmPlane::stepAcc(Cycle now)
             const auto u = static_cast<std::uint32_t>(
                 acc[static_cast<std::size_t>(r)]);
             for (int k = 0; k < 4; ++k) {
-                out[k].bytes[static_cast<std::size_t>(r)] =
+                out[k]->bytes[static_cast<std::size_t>(r)] =
                     static_cast<std::uint8_t>((u >> (8 * k)) & 0xff);
             }
         }
     }
 
-    TSP_ASSERT(acc_.dst.id % 4 == 0 &&
-               acc_.dst.id + 4 <= kStreamsPerDir);
-    for (int k = 0; k < 4; ++k) {
-        StreamRef s = acc_.dst;
-        s.id = static_cast<StreamId>(acc_.dst.id + k);
-        io_.produce(s, pos(), out[k], when);
+    if (!replay) {
+        for (int k = 0; k < 4; ++k) {
+            StreamRef s = acc_.dst;
+            s.id = static_cast<StreamId>(acc_.dst.id + k);
+            io_.produce(s, pos(), local[k], when);
+        }
     }
 
     ++acc_.index;
@@ -399,8 +483,10 @@ MxmPlane::loadState(SnapshotReader &r)
     fillRow_ = r.i32();
     weightType_ = static_cast<DType>(r.u8());
     installedType_ = static_cast<DType>(r.u8());
-    // The VNNI bias cache is derived state; recompute on demand.
+    // The VNNI bias cache and the fp16 column image are derived
+    // state; recompute on demand.
     rowSumsValid_ = false;
+    fWeightsValid_ = false;
 
     abc_.active = r.b();
     abc_.src.id = r.u8();

@@ -126,6 +126,9 @@ class MxmPlane
     void stepAbc(Cycle now);
     void stepAcc(Cycle now);
 
+    /** Rebuilds winstFCols_ from winstF_ (lazy, post-IW). */
+    void buildF16WeightCols();
+
     const ChipConfig &cfg_;
     StreamIo io_;
     int plane_;
@@ -143,6 +146,17 @@ class MxmPlane
      */
     std::vector<std::int32_t> winstRowSum_;
     bool rowSumsValid_ = false;
+    /**
+     * Column-major fp32 image of the installed fp16 weights
+     * (winstFCols_[c * kMxmDim + r] = toFloat(winstF_[r][c])), the
+     * operand layout the fp16 SIMD kernels need to vectorize across
+     * rows while keeping each row's scalar rounding order. Like the
+     * row-sum cache: rebuilt lazily after each IW, derived state
+     * excluded from snapshots, and fp16->fp32 conversion is exact so
+     * the image carries the installed bits losslessly.
+     */
+    std::vector<float> winstFCols_;
+    bool fWeightsValid_ = false;
     int fillRow_ = 0;
     DType weightType_ = DType::Int8;
     DType installedType_ = DType::Int8;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 
 namespace tsp::serve {
 
@@ -407,10 +408,14 @@ double
 AdmissionController::backlogSec(double now_sec) const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    double total = 0.0;
+    // Per-worker backlogs are set by concurrently finishing batches;
+    // sum them order-independently so the report (and the autoscaler
+    // decisions fed by it) depend only on the backlog multiset. Fine
+    // scale: per-request service times can be sub-microsecond.
+    FineFixedPointSum total;
     for (const double f : freeAt_)
-        total += std::max(0.0, f - now_sec);
-    return total;
+        total.add(std::max(0.0, f - now_sec));
+    return total.value();
 }
 
 std::uint64_t

@@ -104,45 +104,62 @@ Chip::dispatchMem(const IcuId &icu, const Instruction &inst)
 
     switch (inst.op) {
       case Opcode::Read: {
+        // Replay: read straight into the tape arena slot — the MEM
+        // read path is the bulk of all produces, and this leaves it
+        // with a single SRAM-word copy and nothing else.
+        if (Vec320 *dst = memIo_->replayProduceDest()) {
+            slice.readInto(inst.addr, now, *dst);
+            return;
+        }
         const Vec320 v = slice.read(inst.addr, now);
         memIo_->produceRaw(inst.dst, pos, v, when);
         return;
       }
       case Opcode::Write: {
-        const Vec320 v = memIo_->consume(inst.srcA, pos);
-        slice.write(inst.addr, v, now);
+        Vec320 scratch;
+        const Vec320 *v = memIo_->consumeRef(inst.srcA, pos, scratch);
+        slice.write(inst.addr, *v, now);
         return;
       }
       case Opcode::Gather: {
         // The map stream supplies one 13-bit word address per
         // superlane in the first two bytes of each tile word.
-        const Vec320 m = memIo_->consume(inst.srcB, pos);
+        Vec320 scratch;
+        const Vec320 *m = memIo_->consumeRef(inst.srcB, pos, scratch);
         std::array<MemAddr, kSuperlanes> addrs;
         for (int sl = 0; sl < kSuperlanes; ++sl) {
             const std::size_t base =
                 static_cast<std::size_t>(sl * kWordBytes);
             addrs[static_cast<std::size_t>(sl)] = static_cast<MemAddr>(
-                (m.bytes[base] |
-                 (static_cast<unsigned>(m.bytes[base + 1]) << 8)) &
+                (m->bytes[base] |
+                 (static_cast<unsigned>(m->bytes[base + 1]) << 8)) &
                 (kMemWordsPerSlice - 1));
+        }
+        if (Vec320 *dst = memIo_->replayProduceDest()) {
+            slice.gatherInto(addrs, now, *dst);
+            return;
         }
         const Vec320 v = slice.gather(addrs, now);
         memIo_->produceRaw(inst.dst, pos, v, when);
         return;
       }
       case Opcode::Scatter: {
-        const Vec320 m = memIo_->consume(inst.srcB, pos);
-        const Vec320 v = memIo_->consume(inst.srcA, pos);
+        Vec320 mScratch;
+        Vec320 vScratch;
+        const Vec320 *m =
+            memIo_->consumeRef(inst.srcB, pos, mScratch);
+        const Vec320 *v =
+            memIo_->consumeRef(inst.srcA, pos, vScratch);
         std::array<MemAddr, kSuperlanes> addrs;
         for (int sl = 0; sl < kSuperlanes; ++sl) {
             const std::size_t base =
                 static_cast<std::size_t>(sl * kWordBytes);
             addrs[static_cast<std::size_t>(sl)] = static_cast<MemAddr>(
-                (m.bytes[base] |
-                 (static_cast<unsigned>(m.bytes[base + 1]) << 8)) &
+                (m->bytes[base] |
+                 (static_cast<unsigned>(m->bytes[base + 1]) << 8)) &
                 (kMemWordsPerSlice - 1));
         }
-        slice.scatter(addrs, v, now);
+        slice.scatter(addrs, *v, now);
         return;
       }
       default:
@@ -500,6 +517,16 @@ Chip::replayMxmTick(int plane, Cycle when)
     TSP_ASSERT(plane >= 0 && plane < kMxmPlanes);
     fabric_.replayJumpTo(when);
     mxm_[static_cast<std::size_t>(plane)]->tick(when);
+}
+
+void
+Chip::replayMxmTickRun(int plane, Cycle when, std::size_t count)
+{
+    TSP_ASSERT(plane >= 0 && plane < kMxmPlanes);
+    fabric_.replayJumpTo(when);
+    MxmPlane &p = *mxm_[static_cast<std::size_t>(plane)];
+    for (std::size_t k = 0; k < count; ++k)
+        p.tick(when + k);
 }
 
 void

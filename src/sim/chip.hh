@@ -243,6 +243,18 @@ class Chip
     void replayMxmTick(int plane, Cycle when);
 
     /**
+     * Re-executes @p count recorded MXM-plane ticks for consecutive
+     * cycles starting at @p when, with one clock jump for the whole
+     * run. Only legal for events that were adjacent in the recorded
+     * host order (replayTrace coalesces exactly those), so the
+     * produce/consume interleaving on the tape is preserved tick by
+     * tick. Replay produces ignore their visibility cycle (they go
+     * to the tape), so deferring the per-tick jumps to the run's
+     * first cycle is invisible.
+     */
+    void replayMxmTickRun(int plane, Cycle when, std::size_t count);
+
+    /**
      * Leaves replay: jumps the clock to @p end (= @p start + recorded
      * span), credits the counters replay skipped from @p d, retires
      * the queues, and integrates the span's power in one sample. The

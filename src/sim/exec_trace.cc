@@ -6,13 +6,23 @@
 namespace tsp {
 
 std::size_t
+ExecutionTrace::arenaBytes() const
+{
+    return static_cast<std::size_t>(slotCount) * sizeof(Vec320);
+}
+
+std::size_t
 ExecutionTrace::memoryBytes() const
 {
+    // arenaBytes() is transient TapePlayer storage, not trace heap —
+    // but every replay of this trace pins exactly that much, so the
+    // cache budget must carry it or eviction under-counts what a
+    // cached-and-replaying trace really holds resident.
     return sizeof(ExecutionTrace) + events.size() * sizeof(Event) +
            insts.size() * sizeof(Instruction) +
            consumeTape.size() * sizeof(std::uint32_t) +
            produceSlot.size() * sizeof(std::uint32_t) +
-           chips.size() * sizeof(ChipDeltas);
+           chips.size() * sizeof(ChipDeltas) + arenaBytes();
 }
 
 TraceRecording::TraceRecording(std::vector<Chip *> chips)
@@ -205,25 +215,27 @@ TraceRecording::finish(bool completed)
 namespace {
 
 /**
- * The replay-side tape: produces log values, consumes read them. The
- * log holds one entry per trace *slot* (peak concurrently-live
- * values), not per produce — the whole exchange history stays
- * cache-resident instead of growing to gigabytes on dense models.
+ * The replay-side tape: produces write into the arena, consumes read
+ * arena pointers. The arena holds one pinned slot per trace *slot*
+ * (peak concurrently-live values), not per produce — the whole
+ * exchange history stays cache-resident instead of growing to
+ * gigabytes on dense models, and it never reallocates, so the
+ * pointers handed out stay valid for a value's recorded lifetime.
  */
 class TapePlayer final : public TapeReplayer
 {
   public:
     explicit TapePlayer(const ExecutionTrace &trace)
         : trace_(trace),
-          log_(static_cast<std::size_t>(trace.slotCount))
+          arena_(static_cast<std::size_t>(trace.slotCount))
     {
     }
 
-    void
-    onProduce(const Vec320 &vec) override
+    Vec320 *
+    onProduce() override
     {
         TSP_ASSERT(produced_ < trace_.produceSlot.size());
-        log_[trace_.produceSlot[produced_++]] = vec;
+        return &arena_[trace_.produceSlot[produced_++]];
     }
 
     const Vec320 *
@@ -236,7 +248,24 @@ class TapePlayer final : public TapeReplayer
         // A consume can only cite a produce that already ran: the
         // recorded host order is the replay order.
         TSP_ASSERT(t < produced_);
-        return &log_[trace_.produceSlot[t]];
+        return &arena_[trace_.produceSlot[t]];
+    }
+
+    void
+    onConsumeRun(const Vec320 **outs, std::size_t n) override
+    {
+        TSP_ASSERT(next_ + n <= trace_.consumeTape.size());
+        const std::uint32_t *tape = trace_.consumeTape.data() + next_;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint32_t t = tape[i];
+            if (t == kTapeMiss) {
+                outs[i] = nullptr;
+                continue;
+            }
+            TSP_ASSERT(t < produced_);
+            outs[i] = &arena_[trace_.produceSlot[t]];
+        }
+        next_ += n;
     }
 
     /** @return true once every recorded exchange re-executed. */
@@ -249,7 +278,7 @@ class TapePlayer final : public TapeReplayer
 
   private:
     const ExecutionTrace &trace_;
-    std::vector<Vec320> log_;
+    std::vector<Vec320> arena_;
     std::size_t produced_ = 0;
     std::size_t next_ = 0;
 };
@@ -267,13 +296,35 @@ replayTrace(const ExecutionTrace &trace,
         TSP_ASSERT(c->now() == start);
         c->beginReplay(&player);
     }
-    for (const ExecutionTrace::Event &e : trace.events) {
+    const std::size_t n = trace.events.size();
+    for (std::size_t i = 0; i < n;) {
+        const ExecutionTrace::Event &e = trace.events[i];
         Chip &c = *chips[e.chip];
         const Cycle cyc = start + e.cycleOffset;
-        if (e.kind == ExecutionTrace::EventKind::Dispatch)
+        if (e.kind == ExecutionTrace::EventKind::Dispatch) {
             c.replayDispatch(e.unit, trace.insts[e.instIndex], cyc);
-        else
-            c.replayMxmTick(e.unit, cyc);
+            ++i;
+            continue;
+        }
+        // Coalesce a run of MxmTicks that were *adjacent* in the
+        // recorded host order — same chip and plane, consecutive
+        // cycles — into one call. Only adjacency makes this safe:
+        // the tape resolves exchanges by recorded order, so events
+        // must re-execute in exactly that order, and a run of
+        // adjacent ticks trivially does.
+        std::size_t j = i + 1;
+        while (j < n) {
+            const ExecutionTrace::Event &f = trace.events[j];
+            if (f.kind != ExecutionTrace::EventKind::MxmTick ||
+                f.chip != e.chip || f.unit != e.unit ||
+                f.cycleOffset !=
+                    trace.events[j - 1].cycleOffset + 1) {
+                break;
+            }
+            ++j;
+        }
+        c.replayMxmTickRun(e.unit, cyc, j - i);
+        i = j;
     }
     for (std::size_t i = 0; i < chips.size(); ++i) {
         chips[i]->finishReplay(trace.chips[i], start,

@@ -103,7 +103,18 @@ struct ExecutionTrace
     Cycle span = 0; ///< Cycles the recorded run consumed.
     std::uint64_t produces = 0;
 
-    /** @return approximate heap footprint (cache accounting). */
+    /**
+     * @return bytes of the pinned Vec320 arena one replay of this
+     * trace allocates (slotCount slots; see trace_tape.hh).
+     */
+    std::size_t arenaBytes() const;
+
+    /**
+     * @return approximate resident footprint for cache accounting:
+     * the trace's own heap plus arenaBytes(), since a cached trace
+     * is held precisely to be replayed and each replay pins one
+     * arena of that size.
+     */
     std::size_t memoryBytes() const;
 };
 

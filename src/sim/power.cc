@@ -1,6 +1,7 @@
 #include "sim/power.hh"
 
 #include "arch/types.hh"
+#include "common/stats.hh"
 
 namespace tsp {
 
@@ -53,17 +54,21 @@ PowerModel::downsampledTrace(std::size_t buckets) const
     std::vector<double> out;
     if (trace_.empty() || buckets == 0)
         return out;
-    out.resize(buckets, 0.0);
+    // Watt-scale samples sum order-independently in fixed point, so
+    // a bucket's average depends only on which samples fell in it.
+    std::vector<FixedPointSum> sums(buckets);
     std::vector<std::size_t> counts(buckets, 0);
     for (std::size_t i = 0; i < trace_.size(); ++i) {
         const std::size_t b =
             i * buckets / trace_.size();
-        out[b] += trace_[i];
+        sums[b].add(trace_[i]);
         ++counts[b];
     }
+    out.resize(buckets, 0.0);
     for (std::size_t b = 0; b < buckets; ++b) {
         if (counts[b])
-            out[b] /= static_cast<double>(counts[b]);
+            out[b] = sums[b].value() /
+                     static_cast<double>(counts[b]);
     }
     return out;
 }

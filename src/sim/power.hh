@@ -109,6 +109,10 @@ class PowerModel
 
   private:
     const ChipConfig &cfg_;
+    /// Deliberately double, not FixedPointSum: per-cycle quanta are
+    /// ~1e-7 J, below the 2^20 fixed-point grid (every sample would
+    /// round to zero), and sampleSpan accumulates in deterministic
+    /// simulation order anyway.
     double energyJ_ = 0.0;
     Cycle cycles_ = 0;
     std::vector<float> trace_;

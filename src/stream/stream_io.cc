@@ -29,6 +29,22 @@ StreamIo::consume(StreamRef s, SlicePos pos)
     return out;
 }
 
+void
+StreamIo::checkReplayUntagged(StreamRef s, SlicePos pos)
+{
+    if (fabric_.validEntries() == 0)
+        return;
+    std::uint32_t tag = kTapeUntagged;
+    if (fabric_.peek(s, pos, &tag) && tag == kTapeUntagged) {
+        panic("%s: replay consume on %s at pos %d, cycle %llu would "
+              "sample a fabric entry written outside any StreamIo "
+              "(kTapeUntagged) — the tape cannot reproduce it, so "
+              "replay would silently read stale arena state",
+              owner_.c_str(), s.toString().c_str(), pos,
+              static_cast<unsigned long long>(fabric_.now()));
+    }
+}
+
 bool
 StreamIo::tryConsume(StreamRef s, SlicePos pos, Vec320 &out)
 {
@@ -37,6 +53,7 @@ StreamIo::tryConsume(StreamRef s, SlicePos pos, Vec320 &out)
         // consume sampled. The consumer-side ECC check is skipped —
         // replay is only ever taken for fault-free recordings whose
         // check came back clean on every operand.
+        checkReplayUntagged(s, pos);
         const Vec320 *rv = rep->onConsume();
         if (!rv) {
             out = Vec320{};
@@ -91,6 +108,84 @@ StreamIo::tryConsume(StreamRef s, SlicePos pos, Vec320 &out)
     return true;
 }
 
+const Vec320 *
+StreamIo::consumeRef(StreamRef s, SlicePos pos, Vec320 &scratch)
+{
+    if (TapeReplayer *rep = fabric_.tapeReplayer()) {
+        checkReplayUntagged(s, pos);
+        if (const Vec320 *rv = rep->onConsume()) {
+            ++consumed_;
+            return rv;
+        }
+        if (cfg_.strictStreams) {
+            panic("%s: no value flowing on %s at pos %d, cycle %llu "
+                  "(scheduler bug)",
+                  owner_.c_str(), s.toString().c_str(), pos,
+                  static_cast<unsigned long long>(fabric_.now()));
+        }
+        ++missed_;
+        scratch = Vec320{};
+        // A default Vec320 already carries valid (zero) ECC for zero
+        // data, matching consume()'s eccComputeVec on the miss path.
+        return &scratch;
+    }
+    if (!tryConsume(s, pos, scratch)) {
+        if (cfg_.strictStreams) {
+            panic("%s: no value flowing on %s at pos %d, cycle %llu "
+                  "(scheduler bug)",
+                  owner_.c_str(), s.toString().c_str(), pos,
+                  static_cast<unsigned long long>(fabric_.now()));
+        }
+        ++missed_;
+    }
+    return &scratch;
+}
+
+bool
+StreamIo::replayConsumeRun(StreamRef base, SlicePos pos,
+                           const Vec320 **outs, std::size_t n)
+{
+    TapeReplayer *rep = fabric_.tapeReplayer();
+    if (!rep)
+        return false;
+    if (fabric_.validEntries() != 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+            StreamRef s = base;
+            s.id = static_cast<StreamId>(base.id + i);
+            checkReplayUntagged(s, pos);
+        }
+    }
+    rep->onConsumeRun(outs, n);
+    static const Vec320 kZero{}; // Valid (zero) ECC for zero data.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (outs[i]) {
+            ++consumed_;
+            continue;
+        }
+        if (cfg_.strictStreams) {
+            StreamRef s = base;
+            s.id = static_cast<StreamId>(base.id + i);
+            panic("%s: no value flowing on %s at pos %d, cycle %llu "
+                  "(scheduler bug)",
+                  owner_.c_str(), s.toString().c_str(), pos,
+                  static_cast<unsigned long long>(fabric_.now()));
+        }
+        ++missed_;
+        outs[i] = &kZero;
+    }
+    return true;
+}
+
+Vec320 *
+StreamIo::replayProduceDest()
+{
+    if (TapeReplayer *rep = fabric_.tapeReplayer()) {
+        ++produced_;
+        return rep->onProduce();
+    }
+    return nullptr;
+}
+
 void
 StreamIo::produce(StreamRef s, SlicePos pos, Vec320 vec, Cycle when)
 {
@@ -99,7 +194,7 @@ StreamIo::produce(StreamRef s, SlicePos pos, Vec320 vec, Cycle when)
         // path checks codes, and the MEM slices regenerate them at
         // store time, so the encode's only observable effects are
         // reproduced for free.
-        rep->onProduce(vec);
+        *rep->onProduce() = vec;
         ++produced_;
         return;
     }
@@ -117,7 +212,7 @@ StreamIo::produceRaw(StreamRef s, SlicePos pos, const Vec320 &vec,
                      Cycle when)
 {
     if (TapeReplayer *rep = fabric_.tapeReplayer()) {
-        rep->onProduce(vec);
+        *rep->onProduce() = vec;
         ++produced_;
         return;
     }

@@ -51,6 +51,44 @@ class StreamIo
     bool tryConsume(StreamRef s, SlicePos pos, Vec320 &out);
 
     /**
+     * consume() without the copy: @return a pointer to the consumed
+     * vector — into the replay tape's arena while replaying (nothing
+     * copied), otherwise into @p scratch after the normal
+     * peek/fault/ECC path filled it. A missed operand panics under
+     * strictStreams like consume(), else returns @p scratch zeroed.
+     * The pointer is valid until the caller's next StreamIo call.
+     */
+    const Vec320 *consumeRef(StreamRef s, SlicePos pos,
+                             Vec320 &scratch);
+
+    /**
+     * Replay-only batched consume with consume() semantics per
+     * entry: resolves the next @p n tape reads in one call, filling
+     * @p outs with arena pointers (a recorded miss yields a pointer
+     * to a shared zero vector, after the strict-mode check).
+     *
+     * @p base / @p pos name the first operand's register (ids
+     * base.id + i) for diagnostics and the poked-fabric hard-fail
+     * check only — replay consumes resolve by tape order, not by
+     * register.
+     *
+     * @return false when not replaying: the caller must fall back
+     * to per-vector consume().
+     */
+    bool replayConsumeRun(StreamRef base, SlicePos pos,
+                          const Vec320 **outs, std::size_t n);
+
+    /**
+     * Replay-only zero-copy produce: claims the tape arena slot for
+     * the next produce and @return it; the caller writes the value
+     * in place (every data byte — slots are liveness-reused) and
+     * makes no further produce call. @return nullptr when not
+     * replaying: the caller must build the vector and call
+     * produce()/produceRaw() as usual.
+     */
+    Vec320 *replayProduceDest();
+
+    /**
      * Produces @p vec on stream @p s at position @p pos, visible at
      * cycle @p when; generates fresh ECC (producer side).
      */
@@ -102,6 +140,17 @@ class StreamIo
     }
 
   private:
+    /**
+     * Hard-fail check for replay consumes: a fabric entry poked in
+     * from outside any StreamIo (kTapeUntagged) during replay would
+     * be silently ignored — the tape resolves consumes by recorded
+     * order, so the replayed consume would read stale arena state
+     * instead of the poked value. Gated on validEntries() != 0 (one
+     * load): replay keeps the fabric empty, so the check is free on
+     * the hot path and only peeks when something is actually there.
+     */
+    void checkReplayUntagged(StreamRef s, SlicePos pos);
+
     const ChipConfig &cfg_;
     StreamFabric &fabric_;
     std::string owner_;

@@ -7,16 +7,18 @@
  * routes every stream-fabric exchange through a tape instead of the
  * flowing registers: during *recording*, each produce is numbered and
  * each consume notes which produce (or a miss) it sampled; during
- * *replay*, produces append their vectors to a log and consumes read
- * the logged vector their recorded number points at. The fabric is
- * the distribution point (mirroring attachFaultHooks): every
- * StreamIo consults the attached hooks per call, so no per-unit
- * plumbing is needed.
+ * *replay*, produces write their vectors straight into a pinned,
+ * liveness-compacted arena slot and consumes read arena pointers —
+ * no Vec320 is copied on the tape hot path. The fabric is the
+ * distribution point (mirroring attachFaultHooks): every StreamIo
+ * consults the attached hooks per call, so no per-unit plumbing is
+ * needed.
  */
 
 #ifndef TSP_STREAM_TRACE_TAPE_HH
 #define TSP_STREAM_TRACE_TAPE_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "arch/types.hh"
@@ -30,7 +32,9 @@ inline constexpr std::uint32_t kTapeMiss = 0xffffffffu;
  * Provenance tag of a fabric entry written outside any StreamIo
  * (e.g. a test poking StreamFabric::write directly). Consuming such
  * an entry while recording poisons the trace — replay could not
- * reproduce the value.
+ * reproduce the value. Consuming one *during* replay is a hard
+ * failure: the tape never captured it, so the replayed consume would
+ * silently read stale arena state instead.
  */
 inline constexpr std::uint32_t kTapeUntagged = 0xfffffffeu;
 
@@ -51,20 +55,45 @@ class TapeRecorder
     virtual void onConsume(std::uint32_t tag) = 0;
 };
 
-/** Replay-side hooks (implemented by the trace replay driver). */
+/**
+ * Replay-side hooks (implemented by the trace replay driver).
+ *
+ * The implementation owns a pinned arena of Vec320 slots (one per
+ * peak-live value of the recorded run, sim/exec_trace.hh). Produce
+ * and consume exchange *pointers into that arena*; nothing copies.
+ */
 class TapeReplayer
 {
   public:
     virtual ~TapeReplayer() = default;
 
-    /** Logs one produced vector (in produce-call order). */
-    virtual void onProduce(const Vec320 &vec) = 0;
+    /**
+     * Claims the arena slot for the next produce (in produce-call
+     * order) and @return it; the caller writes the produced value
+     * there in place.
+     *
+     * The caller must assign every data byte of the slot (slots are
+     * liveness-reused, so unwritten bytes would leak a dead value's
+     * bits). The ECC words may be left stale: no replay consumer
+     * checks codes and the MEM slices regenerate them at store time
+     * (MemSlice::setReplayMode).
+     */
+    virtual Vec320 *onProduce() = 0;
 
     /**
-     * @return the vector the recorded tape says this consume
-     * sampled, or nullptr for a recorded miss.
+     * @return the arena slot the recorded tape says this consume
+     * sampled, or nullptr for a recorded miss. The pointer is valid
+     * until the value's last recorded consume has run.
      */
     virtual const Vec320 *onConsume() = 0;
+
+    /**
+     * Batched onConsume: resolves the next @p n tape entries in one
+     * call, filling @p outs[0..n) (nullptr per recorded miss). The
+     * run bypasses per-vector virtual dispatch for multi-operand
+     * consumers (MXM LW bursts / fp16 pairs, VXM groups).
+     */
+    virtual void onConsumeRun(const Vec320 **outs, std::size_t n) = 0;
 };
 
 } // namespace tsp

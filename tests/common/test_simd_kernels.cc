@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "common/cpu.hh"
+#include "common/fp16.hh"
 #include "mxm/mxm_kernels.hh"
 #include "vxm/alu_ops.hh"
 #include "vxm/vxm_kernels.hh"
@@ -379,6 +380,159 @@ TEST(MxmSimd, KernelsMatchScalar)
                                          rs.data(), vn.data(), n,
                                          true));
         EXPECT_EQ(ref, vn) << "vnni";
+    }
+}
+
+/**
+ * Fp16 bit patterns that stress the fp16->fp32 conversion and the
+ * mul/add rounding sequence: NaNs (payloads must propagate), signed
+ * zeros and infinities, denormals, the largest finite value.
+ */
+const std::uint16_t kSpecialF16[] = {
+    0x0000, // +0
+    0x8000, // -0
+    0x7e00, // qNaN
+    0xfe00, // -qNaN
+    0x7e55, // qNaN with payload
+    0x7c00, // +inf
+    0xfc00, // -inf
+    0x0001, // smallest denormal
+    0x03ff, // largest denormal
+    0x0400, // smallest normal
+    0x7bff, // largest finite (65504)
+    0xfbff, // most negative finite
+    0x3c00, // 1.0
+    0xbc00, // -1.0
+    0x3800, // 0.5
+    0x4200, // 3.0
+    0x3555, // ~0.3333 (inexact in binary)
+};
+
+/**
+ * Scalar reference for one fp16-mode ABC cycle, written exactly as
+ * MxmPlane::stepAbc's scalar fp16 loop: per-row fp32 sum starting at
+ * 0.0f, one multiply rounding and one add rounding per column,
+ * columns ascending.
+ */
+void
+mxmScalarRefF16(const float *wCols, int stride, const float *act,
+                float *acc, int n, bool accumulate)
+{
+    for (int r = 0; r < n; ++r) {
+        float sum = 0.0f;
+        for (int c = 0; c < n; ++c)
+            sum += wCols[static_cast<std::size_t>(c) * stride + r] *
+                   act[c];
+        if (accumulate)
+            acc[r] += sum;
+        else
+            acc[r] = sum;
+    }
+}
+
+/**
+ * Bit-pattern comparison (NaN-safe, unlike any float equality), with
+ * one relaxation: two NaNs compare equal regardless of payload. When
+ * a term mixes NaNs with different payloads, *which* payload the
+ * mul/add returns depends on operand order — and the compiler treats
+ * float mul/add as commutative (the AVX intrinsics are plain vector
+ * `*`/`+` in GCC's headers), so payload choice is not pinned even
+ * between two compilations of the scalar loop itself. NaN-ness,
+ * infinities, denormals, signed zeros and all rounding are exact.
+ */
+void
+expectF32BitsEq(const std::vector<float> &want,
+                const std::vector<float> &got, const char *what)
+{
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        std::uint32_t wb, gb;
+        std::memcpy(&wb, &want[i], 4);
+        std::memcpy(&gb, &got[i], 4);
+        if ((wb & 0x7fffffffu) > 0x7f800000u &&
+            (gb & 0x7fffffffu) > 0x7f800000u)
+            continue; // Both NaN: payload choice is unspecified.
+        ASSERT_EQ(wb, gb) << what << " row " << i;
+    }
+}
+
+TEST(MxmSimd, F16KernelsMatchScalar)
+{
+    if (!cpuHasAvx2())
+        GTEST_SKIP() << "no AVX2 on this host";
+    const int n = 320;
+    const int ns = static_cast<int>(std::size(kSpecialF16));
+
+    // Weight bits: pseudo-random fp16 with every special planted in
+    // the first rows (so every special multiplies every special via
+    // the activation plants below).
+    std::vector<std::uint16_t> wbits(static_cast<std::size_t>(n) * n);
+    std::uint64_t seed = 131;
+    for (auto &b : wbits) {
+        b = static_cast<std::uint16_t>(nextByte(seed) |
+                                       (nextByte(seed) << 8));
+    }
+    for (int i = 0; i < ns; ++i)
+        for (int c = 0; c < n; ++c)
+            wbits[static_cast<std::size_t>(i) * n + c] =
+                kSpecialF16[(c + i) % ns];
+
+    // Column-major fp32 image, exactly as buildF16WeightCols makes it.
+    std::vector<float> wcols(static_cast<std::size_t>(n) * n);
+    for (int r = 0; r < n; ++r)
+        for (int c = 0; c < n; ++c)
+            wcols[static_cast<std::size_t>(c) * n + r] =
+                Fp16::fromBits(wbits[static_cast<std::size_t>(r) * n +
+                                     c])
+                    .toFloat();
+
+    // Activations: converted fp16 values with specials up front.
+    std::vector<float> act(static_cast<std::size_t>(n));
+    for (int c = 0; c < n; ++c) {
+        const auto b = static_cast<std::uint16_t>(
+            nextByte(seed) | (nextByte(seed) << 8));
+        act[static_cast<std::size_t>(c)] =
+            Fp16::fromBits(c < 2 * ns ? kSpecialF16[c % ns] : b)
+                .toFloat();
+    }
+
+    for (bool accumulate : {false, true}) {
+        // Seed the accumulators with a value that makes += visible
+        // (and, in lane 3, a NaN whose payload must survive +=).
+        std::vector<float> ref(static_cast<std::size_t>(n), 5.25f);
+        std::vector<float> got(static_cast<std::size_t>(n), 5.25f);
+        ref[3] = got[3] = __builtin_nanf("0x1234");
+        mxmScalarRefF16(wcols.data(), n, act.data(), ref.data(), n,
+                        accumulate);
+
+        ASSERT_TRUE(simd::mxmAbcF16Avx2(wcols.data(), n, act.data(),
+                                        got.data(), n, accumulate));
+        expectF32BitsEq(ref, got,
+                        accumulate ? "avx2 acc" : "avx2 ovw");
+
+        if (cpuHasAvx512f()) {
+            std::vector<float> g5(static_cast<std::size_t>(n), 5.25f);
+            g5[3] = __builtin_nanf("0x1234");
+            ASSERT_TRUE(simd::mxmAbcF16Avx512(wcols.data(), n,
+                                              act.data(), g5.data(),
+                                              n, accumulate));
+            expectF32BitsEq(ref, g5,
+                            accumulate ? "avx512 acc" : "avx512 ovw");
+        }
+    }
+}
+
+TEST(MxmSimd, F16KernelsDeclineUncoveredShapes)
+{
+    if (!cpuHasAvx2())
+        GTEST_SKIP() << "no AVX2 on this host";
+    std::vector<float> w(32 * 32, 1.0f), a(32, 1.0f), acc(32, 0.0f);
+    EXPECT_FALSE(
+        simd::mxmAbcF16Avx2(w.data(), 12, a.data(), acc.data(), 12,
+                            false));
+    if (cpuHasAvx512f()) {
+        EXPECT_FALSE(simd::mxmAbcF16Avx512(w.data(), 8, a.data(),
+                                           acc.data(), 8, false));
     }
 }
 

@@ -16,7 +16,10 @@
 #include <gtest/gtest.h>
 
 #include "c2c/collective.hh"
+#include "common/fp16.hh"
 #include "common/rng.hh"
+#include "compiler/builder.hh"
+#include "compiler/host_image.hh"
 #include "compiler/schedule.hh"
 #include "graph/graph.hh"
 #include "isa/assembler.hh"
@@ -480,6 +483,222 @@ TEST(Replay, PodAllReduceReplayIdentical)
     EXPECT_EQ(rep.replayCount(), 2u);
 }
 
+/**
+ * Builds the fp16 matmul of test_fp16_matmul.cc — weights installed
+ * as byte-plane pairs (LW bursts of 16 streams), @p n activation
+ * vectors broadcast as stream pairs, fp32 results drained through ACC
+ * and committed to MEM — from raw fp16 bit patterns, so adversarial
+ * encodings (NaN payloads, infinities, denormals) flow through the
+ * whole LW/IW/ABC/ACC surface. @return probes over the result words.
+ */
+std::vector<Probe>
+buildF16Matmul(ScheduledProgram &prog, HostImage &image, int n,
+               const std::vector<std::uint16_t> &wbits,
+               const std::vector<std::uint16_t> &abits)
+{
+    MemAllocator alloc;
+    KernelBuilder kb(prog);
+    const Hemisphere hem = Hemisphere::East;
+    const int plane = 2;
+    const SlicePos mxm = Layout::mxmPos(hem);
+    const IcuId wq = IcuId::mxm(plane, true);
+
+    auto split = [](const std::uint16_t *bits,
+                    std::array<std::uint8_t, kLanes> &lo,
+                    std::array<std::uint8_t, kLanes> &hi) {
+        for (int c = 0; c < kMxmDim; ++c) {
+            lo[static_cast<std::size_t>(c)] =
+                static_cast<std::uint8_t>(bits[c] & 0xff);
+            hi[static_cast<std::size_t>(c)] =
+                static_cast<std::uint8_t>(bits[c] >> 8);
+        }
+    };
+
+    std::vector<GlobalAddr> lo_addr(kMxmDim), hi_addr(kMxmDim);
+    for (int r = 0; r < kMxmDim; ++r) {
+        const int s_lo = 28 + 2 * (r % 8);
+        lo_addr[static_cast<std::size_t>(r)] =
+            alloc.alloc(hem, s_lo, 1);
+        hi_addr[static_cast<std::size_t>(r)] =
+            alloc.alloc(hem, s_lo + 1, 1);
+        std::array<std::uint8_t, kLanes> lo{}, hi{};
+        split(&wbits[static_cast<std::size_t>(r) * kMxmDim], lo, hi);
+        image.add(lo_addr[static_cast<std::size_t>(r)], lo);
+        image.add(hi_addr[static_cast<std::size_t>(r)], hi);
+    }
+
+    const Cycle t0 = 80;
+    for (int burst = 0; burst < kMxmDim / 8; ++burst) {
+        const Cycle at = t0 + static_cast<Cycle>(burst);
+        for (int i = 0; i < 8; ++i) {
+            const int r = burst * 8 + i;
+            kb.readArriving(lo_addr[static_cast<std::size_t>(r)],
+                            {static_cast<StreamId>(2 * i),
+                             Direction::East},
+                            mxm, at);
+            kb.readArriving(hi_addr[static_cast<std::size_t>(r)],
+                            {static_cast<StreamId>(2 * i + 1),
+                             Direction::East},
+                            mxm, at);
+        }
+        Instruction lw;
+        lw.op = Opcode::Lw;
+        lw.srcA = {0, Direction::East};
+        lw.groupSize = 16;
+        lw.dtype = DType::Fp16;
+        prog.emit(at, wq, lw);
+    }
+    Instruction iw;
+    iw.op = Opcode::Iw;
+    iw.imm0 = static_cast<std::uint32_t>(plane);
+    const Cycle iw_at = t0 + kMxmDim / 8;
+    prog.emit(iw_at, wq, iw);
+
+    const Cycle abc_at = iw_at + 2;
+    for (int i = 0; i < n; ++i) {
+        const GlobalAddr alo = alloc.alloc(hem, 10, 1);
+        const GlobalAddr ahi = alloc.alloc(hem, 11, 1);
+        std::array<std::uint8_t, kLanes> lo{}, hi{};
+        split(&abits[static_cast<std::size_t>(i) * kMxmDim], lo, hi);
+        image.add(alo, lo);
+        image.add(ahi, hi);
+        kb.readArriving(alo, {16, Direction::East}, mxm,
+                        abc_at + static_cast<Cycle>(i));
+        kb.readArriving(ahi, {17, Direction::East}, mxm,
+                        abc_at + static_cast<Cycle>(i));
+    }
+    kb.abc(plane, {16, Direction::East}, n, false, DType::Fp16,
+           abc_at);
+
+    kb.acc(plane, {20, Direction::West}, n, abc_at + 1);
+    std::vector<Probe> probes;
+    for (int i = 0; i < n; ++i) {
+        const Cycle vis = abc_at + 1 + static_cast<Cycle>(i) +
+                          opTiming(Opcode::Acc).dFunc;
+        for (int k = 0; k < 4; ++k) {
+            const GlobalAddr dst = alloc.alloc(hem, 20 + k, 1);
+            Instruction wr;
+            wr.op = Opcode::Write;
+            wr.addr = dst.addr;
+            wr.srcA = {static_cast<StreamId>(20 + k),
+                       Direction::West};
+            prog.emit(vis + Layout::transitDelay(mxm, dst.pos()),
+                      dst.icu(), wr);
+            probes.push_back({dst.hem, dst.slice, dst.addr});
+        }
+    }
+    return probes;
+}
+
+/** Fp16 operand bits: mostly random finite, specials up front. */
+void
+fillF16Bits(std::vector<std::uint16_t> &bits, std::uint64_t seed)
+{
+    const std::uint16_t specials[] = {
+        0x7e55, // qNaN with payload
+        0xfe00, // -qNaN
+        0x7c00, // +inf
+        0xfc00, // -inf
+        0x0001, // smallest denormal
+        0x8000, // -0
+        0x7bff, // largest finite
+    };
+    Rng rng(seed);
+    for (auto &b : bits)
+        b = Fp16(rng.uniform(-1.0f, 1.0f)).bits();
+    for (std::size_t i = 0; i < std::size(specials); ++i)
+        bits[i] = specials[i];
+}
+
+TEST(Replay, Fp16MatmulReplayIdentical)
+{
+    // The fp16 MXM surface under replay: byte-plane LW bursts
+    // (batched tape consumes), fp16 ABC (SIMD kernels + pair
+    // consumes), zero-copy ACC drains — bit-identical to the
+    // per-cycle reference, NaN payloads and infinities included.
+    constexpr int kN = 4;
+    std::vector<std::uint16_t> wbits(
+        static_cast<std::size_t>(kMxmDim) * kMxmDim);
+    std::vector<std::uint16_t> abits(static_cast<std::size_t>(kN) *
+                                     kMxmDim);
+    fillF16Bits(wbits, 77);
+    fillF16Bits(abits, 78);
+
+    ScheduledProgram prog;
+    HostImage image;
+    const std::vector<Probe> probes =
+        buildF16Matmul(prog, image, kN, wbits, abits);
+    const AsmProgram asmProg = prog.toAsm();
+
+    Chip legacy(configFor(false));
+    Chip recorded(configFor(true));
+    Chip replayed(configFor(true));
+    for (Chip *chip : {&legacy, &recorded, &replayed}) {
+        image.applyTo(*chip);
+        chip->loadProgram(asmProg);
+    }
+
+    const Cycle legacy_cycles = legacy.run();
+
+    std::shared_ptr<const ExecutionTrace> trace;
+    {
+        TraceRecording rec({&recorded});
+        EXPECT_EQ(recorded.run(), legacy_cycles);
+        trace = rec.finish(/*completed=*/true);
+    }
+    ASSERT_NE(trace, nullptr);
+    expectChipsIdentical(legacy, recorded, probes, "recorded");
+
+    replayTrace(*trace, {&replayed});
+    EXPECT_TRUE(replayed.done());
+    expectChipsIdentical(legacy, replayed, probes, "replayed");
+}
+
+TEST(Replay, Fp16FaultInjectionDeterministicAcrossLiveTiers)
+{
+    // Faults armed: replay is ineligible (the session gate is
+    // covered by FaultInjectionBypassesReplay), but the *live*
+    // consume paths the replay refactor rerouted — consumeRef, the
+    // batched LW group reads — must keep injecting stream upsets at
+    // exactly the recorded-by-seed points: same seed, same end
+    // state, on both the per-cycle and fast-forward tiers.
+    constexpr int kN = 4;
+    std::vector<std::uint16_t> wbits(
+        static_cast<std::size_t>(kMxmDim) * kMxmDim);
+    std::vector<std::uint16_t> abits(static_cast<std::size_t>(kN) *
+                                     kMxmDim);
+    fillF16Bits(wbits, 81);
+    fillF16Bits(abits, 82);
+
+    ScheduledProgram prog;
+    HostImage image;
+    const std::vector<Probe> probes =
+        buildF16Matmul(prog, image, kN, wbits, abits);
+    const AsmProgram asmProg = prog.toAsm();
+
+    ChipConfig cfg = configFor(false);
+    cfg.fault.seed = 0xf16ull;
+    cfg.fault.streamRate = 0.01;
+    cfg.fault.doubleBitFraction = 0.0;
+    ChipConfig cfg_ff = cfg;
+    cfg_ff.fastForwardEnabled = true;
+
+    Chip a(cfg), b(cfg), ff(cfg_ff);
+    for (Chip *chip : {&a, &b, &ff}) {
+        image.applyTo(*chip);
+        chip->loadProgram(asmProg);
+        chip->run();
+    }
+    expectChipsIdentical(a, b, probes, "same-seed repeat");
+    expectChipsIdentical(a, ff, probes, "fast-forward");
+
+    // Non-vacuous: upsets were actually injected on the fp16 consume
+    // paths, and SECDED corrected every one of them.
+    EXPECT_GT(a.stats().get("faults_injected_stream"), 0u);
+    EXPECT_GT(a.stats().get("ecc_corrected_mxm"), 0u);
+    EXPECT_EQ(a.stats().get("ecc_uncorrectable"), 0u);
+}
+
 TEST(Replay, TraceCacheLruEviction)
 {
     auto make_trace = [](std::size_t events) {
@@ -513,6 +732,83 @@ TEST(Replay, TraceCacheLruEviction)
     cache.invalidate(&keys[3]);
     EXPECT_EQ(cache.size(), 0u);
     EXPECT_EQ(cache.memoryBytes(), 0u);
+}
+
+TEST(Replay, ArenaAccountingMatchesAllocation)
+{
+    // Record a real program and pin the trace's self-reported
+    // footprint against the allocation formulas: arenaBytes() is
+    // exactly the pinned replay log (slotCount Vec320 slots), and
+    // memoryBytes() is the component sum including that arena.
+    const std::string text = "@MEM_W0:\n"
+                             "    nop 510\n"
+                             "    read 0x5, s16.e\n"
+                             "@MEM_W1:\n"
+                             "    nop 509\n"
+                             "    read 0x6, s17.e\n"
+                             "@MEM_W2:\n"
+                             "    nop 517\n"
+                             "    write 0x7, s29.w\n"
+                             "@VXM0:\n"
+                             "    nop 513\n"
+                             "    add.sat s16.e, s17.e, s29.w\n";
+    const AsmResult r = assemble(text);
+    ASSERT_TRUE(r.ok) << r.error;
+
+    Chip chip(configFor(true));
+    chip.mem(Hemisphere::West, 0).backdoorWrite(0x5, fill(30));
+    chip.mem(Hemisphere::West, 1).backdoorWrite(0x6, fill(40));
+    chip.loadProgram(r.program);
+    TraceRecording rec({&chip});
+    chip.run();
+    const auto trace = rec.finish(/*completed=*/true);
+    ASSERT_NE(trace, nullptr);
+
+    // Liveness compaction: one slot entry per produce, but the log
+    // itself holds only the peak number of simultaneously-live
+    // values — never one slot per produce.
+    EXPECT_EQ(trace->produceSlot.size(), trace->produces);
+    EXPECT_GE(trace->slotCount, 1u);
+    EXPECT_LE(trace->slotCount, trace->produceSlot.size() + 1);
+
+    EXPECT_EQ(trace->arenaBytes(),
+              static_cast<std::size_t>(trace->slotCount) *
+                  sizeof(Vec320));
+    EXPECT_EQ(trace->memoryBytes(),
+              sizeof(ExecutionTrace) +
+                  trace->events.size() *
+                      sizeof(ExecutionTrace::Event) +
+                  trace->insts.size() * sizeof(Instruction) +
+                  trace->consumeTape.size() * sizeof(std::uint32_t) +
+                  trace->produceSlot.size() * sizeof(std::uint32_t) +
+                  trace->chips.size() *
+                      sizeof(ExecutionTrace::ChipDeltas) +
+                  trace->arenaBytes());
+}
+
+TEST(Replay, TraceCacheBudgetsArenaStorage)
+{
+    // Two traces with identical heap contents but different replay
+    // arenas: if the cache ignored arenaBytes(), both would fit the
+    // budget below. The arena-heavy one must evict its peer.
+    auto make_trace = [](std::uint32_t slots) {
+        auto t = std::make_shared<ExecutionTrace>();
+        t->events.resize(100);
+        t->slotCount = slots;
+        return std::shared_ptr<const ExecutionTrace>(std::move(t));
+    };
+    const std::size_t lean = make_trace(1)->memoryBytes();
+    const std::size_t heavy = make_trace(4096)->memoryBytes();
+    ASSERT_EQ(heavy, lean + 4095 * sizeof(Vec320));
+
+    int keys[2];
+    TraceCache cache(lean + heavy - 1); // Both only fit sans arena.
+    cache.insert(&keys[0], make_trace(1));
+    cache.insert(&keys[1], make_trace(4096));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.find(&keys[0]), nullptr);
+    EXPECT_NE(cache.find(&keys[1]), nullptr);
+    EXPECT_EQ(cache.memoryBytes(), heavy);
 }
 
 TEST(Replay, TraceCacheKeyFingerprintDefeatsPointerAba)

@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include "arch/config.hh"
 #include "stream/fabric.hh"
+#include "stream/stream_io.hh"
 
 namespace tsp {
 namespace {
@@ -194,6 +196,78 @@ TEST(Fabric, EarliestPendingCycleTracksSchedule)
     f.advanceBy(488);
     EXPECT_EQ(f.earliestPendingCycle(), kNoEventCycle);
     ASSERT_NE(f.peek({3, Direction::East}, 12), nullptr);
+}
+
+/** Minimal replay tape: every exchange resolves to one fixed slot. */
+struct StubReplayer final : TapeReplayer
+{
+    Vec320 slot{};
+    Vec320 *onProduce() override { return &slot; }
+    const Vec320 *onConsume() override { return &slot; }
+    void
+    onConsumeRun(const Vec320 **outs, std::size_t n) override
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            outs[i] = &slot;
+    }
+};
+
+TEST(Fabric, ReplayConsumeResolvesFromTapeNotFabric)
+{
+    // While a TapeReplayer is attached, consumes read the tape arena;
+    // the fabric stays empty and nothing panics.
+    ChipConfig cfg;
+    StreamFabric f;
+    StubReplayer rep;
+    rep.slot = mark(9);
+    f.attachTapeHooks(nullptr, &rep);
+    StreamIo io(cfg, f, "TEST");
+
+    Vec320 out;
+    ASSERT_TRUE(io.tryConsume({4, Direction::East}, 10, out));
+    EXPECT_EQ(out.bytes[0], 9);
+
+    const Vec320 *outs[4] = {};
+    ASSERT_TRUE(io.replayConsumeRun({4, Direction::East}, 10, outs, 4));
+    for (const Vec320 *v : outs) {
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(v->bytes[0], 9);
+    }
+    EXPECT_EQ(io.consumed(), 5u);
+}
+
+TEST(FabricDeath, UntaggedEntryConsumedDuringReplayPanics)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    // Replay resolves consumes by recorded tape order, so a value
+    // poked into the fabric from outside any StreamIo (a direct
+    // StreamFabric::write carries kTapeUntagged) would be silently
+    // ignored — the replayed consume would read stale arena state
+    // instead of the poked value. Both consume paths must hard-fail.
+    const auto single = [] {
+        ChipConfig cfg;
+        StreamFabric f;
+        StubReplayer rep;
+        f.attachTapeHooks(nullptr, &rep);
+        StreamIo io(cfg, f, "TEST");
+        f.write({4, Direction::East}, 10, mark(7)); // Untagged poke.
+        Vec320 out;
+        io.tryConsume({4, Direction::East}, 10, out);
+    };
+    ASSERT_DEATH(single(), "outside any StreamIo");
+
+    const auto batched = [] {
+        ChipConfig cfg;
+        StreamFabric f;
+        StubReplayer rep;
+        f.attachTapeHooks(nullptr, &rep);
+        StreamIo io(cfg, f, "TEST");
+        // Poke a mid-run register: ids 4..7 are checked one by one.
+        f.write({6, Direction::East}, 10, mark(7));
+        const Vec320 *outs[4] = {};
+        io.replayConsumeRun({4, Direction::East}, 10, outs, 4);
+    };
+    ASSERT_DEATH(batched(), "outside any StreamIo");
 }
 
 TEST(Fabric, FullTraversalTiming)
